@@ -1,0 +1,360 @@
+// Package repro's benchmark suite regenerates the paper's evaluation:
+// one benchmark per table and figure, plus ablation benches for the design
+// decisions called out in DESIGN.md. `go test -bench=. -benchmem` runs
+// everything; `cmd/tfjs-bench` prints the same results formatted like the
+// paper's tables. See EXPERIMENTS.md for paper-vs-measured discussion.
+package repro
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/data"
+	"repro/internal/environment"
+	"repro/tf"
+)
+
+// benchMobileNet measures one MobileNet v1 inference per iteration on the
+// named backend — the Table 1 workload. The default geometry (alpha 0.25,
+// 96x96) keeps the plain baseline tractable; cmd/tfjs-bench scales it up.
+func benchMobileNet(b *testing.B, backend string) {
+	if err := tf.SetBackend(backend); err != nil {
+		b.Fatal(err)
+	}
+	model, err := tf.MobileNetV1(tf.MobileNetConfig{
+		Alpha: 0.25, InputSize: 96, NumClasses: 1000, IncludeTop: true, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer model.Dispose()
+	img := data.SyntheticPhoto(96, 42)
+	x := tf.FromPixelsBatch(img)
+	defer x.Dispose()
+
+	// Warmup outside the timer.
+	out := model.Predict(x)
+	out.DataSync()
+	out.Dispose()
+
+	b.ResetTimer()
+	ti := tf.Time(func() {
+		for i := 0; i < b.N; i++ {
+			out := model.Predict(x)
+			out.DataSync()
+			out.Dispose()
+		}
+	})
+	b.StopTimer()
+	if ti.HasKernelMS {
+		// Device-modeled GPU time, the Table 1 quantity for WebGL.
+		b.ReportMetric(ti.KernelMS/float64(b.N), "gpu-ms/op")
+	}
+}
+
+// BenchmarkTable1_PlainCPU is the Table 1 baseline: the naive float64
+// per-element backend standing in for plain JS.
+func BenchmarkTable1_PlainCPU(b *testing.B) { benchMobileNet(b, "cpu") }
+
+// BenchmarkTable1_WebGL is Table 1's WebGL row; the gpu-ms/op metric is the
+// device-modeled kernel time (see DESIGN.md on the timing model).
+func BenchmarkTable1_WebGL(b *testing.B) { benchMobileNet(b, "webgl") }
+
+// BenchmarkTable1_NodeCPU is Table 1's "Node.js CPU" row: the optimized
+// native-binding stand-in.
+func BenchmarkTable1_NodeCPU(b *testing.B) { benchMobileNet(b, "node") }
+
+// fig23Workload enqueues a chain of matmuls on the webgl device and returns
+// the un-downloaded result, as the timelines of Figures 2 and 3 assume.
+func fig23Workload() *tf.Tensor {
+	return tf.Tidy1(func() *tf.Tensor {
+		a := tf.Fill([]int{192, 192}, 1.0/192)
+		x := a
+		for i := 0; i < 8; i++ {
+			x = tf.MatMul(x, a, false, false)
+		}
+		return x
+	})
+}
+
+// BenchmarkFig2_DataSyncBlocking measures the main-thread stall of the
+// synchronous readback path: the event loop's longest task spans the whole
+// GPU execution (Figure 2).
+func BenchmarkFig2_DataSyncBlocking(b *testing.B) {
+	if err := tf.SetBackend("webgl"); err != nil {
+		b.Fatal(err)
+	}
+	var totalStall time.Duration
+	for i := 0; i < b.N; i++ {
+		loop := tf.NewEventLoop()
+		done := make(chan struct{})
+		loop.Post(func() {
+			t := fig23Workload()
+			t.DataSync() // blocks the "main thread" until the GPU finishes
+			t.Dispose()
+			close(done)
+		})
+		<-done
+		totalStall += loop.Stats().LongestTask
+		loop.Stop()
+	}
+	b.ReportMetric(float64(totalStall)/float64(time.Millisecond)/float64(b.N), "mainThreadStall-ms/op")
+}
+
+// BenchmarkFig3_AsyncData measures the same workload through the
+// asynchronous data() path: the main thread is released while the GPU
+// works and the promise resolves on the fence (Figure 3).
+func BenchmarkFig3_AsyncData(b *testing.B) {
+	if err := tf.SetBackend("webgl"); err != nil {
+		b.Fatal(err)
+	}
+	var totalStall time.Duration
+	for i := 0; i < b.N; i++ {
+		loop := tf.NewEventLoop()
+		done := make(chan struct{})
+		loop.Post(func() {
+			t := fig23Workload()
+			t.Data().ThenOn(loop, func([]float32, error) {
+				t.Dispose()
+				close(done)
+			})
+		})
+		<-done
+		totalStall += loop.Stats().LongestTask
+		loop.Stop()
+	}
+	b.ReportMetric(float64(totalStall)/float64(time.Millisecond)/float64(b.N), "mainThreadStall-ms/op")
+}
+
+// BenchmarkFig4_ElementwiseAdd executes the element-wise addition of two
+// equally shaped matrices as a fragment-shader program (Figure 4).
+func BenchmarkFig4_ElementwiseAdd(b *testing.B) {
+	if err := tf.SetBackend("webgl"); err != nil {
+		b.Fatal(err)
+	}
+	x := tf.Fill([]int{512, 512}, 1)
+	y := tf.Fill([]int{512, 512}, 2)
+	defer x.Dispose()
+	defer y.Dispose()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := tf.Add(x, y)
+		out.DataSync()
+		out.Dispose()
+	}
+}
+
+// packingWorkload is the matmul + element-wise mixture used by the §3.9
+// packing ablation.
+func packingWorkload(b *testing.B, backend string) {
+	if err := tf.SetBackend(backend); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tf.Tidy(func() []*tf.Tensor {
+			a := tf.Fill([]int{256, 256}, 0.5)
+			c := tf.Fill([]int{256, 256}, 0.25)
+			x := tf.MatMul(a, c, false, false)
+			for j := 0; j < 8; j++ {
+				x = tf.Relu(tf.Add(tf.Mul(x, c), a))
+			}
+			x.DataSync()
+			return nil
+		})
+	}
+}
+
+// BenchmarkPacking_Packed stores four values per RGBA texel (§3.9; the
+// paper reports 1.3-1.4x over unpacked).
+func BenchmarkPacking_Packed(b *testing.B) { packingWorkload(b, "webgl") }
+
+// BenchmarkPacking_Unpacked is the one-value-per-texel baseline.
+func BenchmarkPacking_Unpacked(b *testing.B) { packingWorkload(b, "webgl-unpacked") }
+
+// squeezeWorkload exercises shapes with size-1 dimensions, where the shader
+// compiler's logical-shape squeezing saves coordinate arithmetic (§4.1,
+// ~1.3x in the paper).
+func squeezeWorkload(b *testing.B, backend string) {
+	if err := tf.SetBackend(backend); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tf.Tidy(func() []*tf.Tensor {
+			x := tf.Fill([]int{1, 64, 1, 2048}, 0.5)
+			y := tf.Fill([]int{1, 64, 1, 1}, 2)
+			z := x
+			for j := 0; j < 10; j++ {
+				z = tf.Add(tf.Mul(z, y), x)
+			}
+			z.DataSync()
+			return nil
+		})
+	}
+}
+
+// BenchmarkLogicalMapping_Squeezed compiles samplers over non-degenerate
+// dimensions only.
+func BenchmarkLogicalMapping_Squeezed(b *testing.B) { squeezeWorkload(b, "webgl") }
+
+// BenchmarkLogicalMapping_Naive decodes every dimension per texel.
+func BenchmarkLogicalMapping_Naive(b *testing.B) { squeezeWorkload(b, "webgl-nosqueeze") }
+
+// recyclingWorkload repeats same-shape model passes, the pattern that
+// makes the texture recycler win (§4.1.2).
+func recyclingWorkload(b *testing.B, backend string) {
+	if err := tf.SetBackend(backend); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tf.Tidy(func() []*tf.Tensor {
+			a := tf.Fill([]int{128, 128}, 0.5)
+			x := a
+			for j := 0; j < 20; j++ {
+				x = tf.Relu(tf.MatMul(x, a, false, false))
+			}
+			x.DataSync()
+			return nil
+		})
+	}
+}
+
+// BenchmarkTextureRecycling_On reuses disposed textures from the pool.
+func BenchmarkTextureRecycling_On(b *testing.B) { recyclingWorkload(b, "webgl") }
+
+// BenchmarkTextureRecycling_Off deletes and reallocates every texture.
+func BenchmarkTextureRecycling_Off(b *testing.B) { recyclingWorkload(b, "webgl-norecycle") }
+
+// BenchmarkConverter measures converting a MobileNet-sized weight set:
+// pruning, packing into 4MB shards and uint8 quantization (§5.1).
+func BenchmarkConverter(b *testing.B) {
+	if err := tf.SetBackend("node"); err != nil {
+		b.Fatal(err)
+	}
+	model, err := tf.MobileNetV1(tf.MobileNetConfig{
+		Alpha: 0.5, InputSize: 96, NumClasses: 1000, IncludeTop: true, Seed: 2,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer model.Dispose()
+	graph, err := tf.ExportSavedModel(model, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		store := tf.NewMemStore()
+		if _, err := tf.Convert(graph, store, tf.ConvertOptions{QuantizationBytes: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDeviceCensus measures generating and summarizing the synthetic
+// WebGLStats population (§4.1.3).
+func BenchmarkDeviceCensus(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		devices := environment.SyntheticCensus(100000, 1)
+		environment.Report(devices)
+	}
+}
+
+// BenchmarkPagingOverhead measures webgl execution under a tight device
+// memory budget, where the backend pages textures to host memory (§4.1.2).
+func BenchmarkPagingOverhead(b *testing.B) {
+	if err := tf.SetBackend("webgl"); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tf.Tidy(func() []*tf.Tensor {
+			var kept []*tf.Tensor
+			for j := 0; j < 24; j++ {
+				kept = append(kept, tf.Fill([]int{128, 1024}, float32(j)))
+			}
+			sum := kept[0]
+			for _, t := range kept[1:] {
+				sum = tf.Add(sum, t)
+			}
+			sum.DataSync()
+			return nil
+		})
+	}
+}
+
+// asyncReadLatency measures enqueue-to-resolution latency of tensor.Data()
+// on the given webgl variant: WebGL 2 resolves on a fence, WebGL 1 polls
+// the disjoint-timer-query bit (§4.1.1's two approaches).
+func asyncReadLatency(b *testing.B, backend string) {
+	if err := tf.SetBackend(backend); err != nil {
+		b.Fatal(err)
+	}
+	x := tf.Fill([]int{64, 64}, 2)
+	defer x.Dispose()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		y := tf.Mul(x, x)
+		if _, err := y.Data().Await(); err != nil {
+			b.Fatal(err)
+		}
+		y.Dispose()
+	}
+}
+
+// BenchmarkAsyncRead_WebGL2Fence uses gl.fenceSync-style completion.
+func BenchmarkAsyncRead_WebGL2Fence(b *testing.B) { asyncReadLatency(b, "webgl") }
+
+// BenchmarkAsyncRead_WebGL1Polling uses EXT_disjoint_timer_query polling.
+func BenchmarkAsyncRead_WebGL1Polling(b *testing.B) { asyncReadLatency(b, "webgl1") }
+
+// BenchmarkFreeReshape measures the §3.4 claim that reshape is free: it
+// re-views a 4M-element tensor without touching the data.
+func BenchmarkFreeReshape(b *testing.B) {
+	if err := tf.SetBackend("node"); err != nil {
+		b.Fatal(err)
+	}
+	x := tf.Zeros(2048, 2048)
+	defer x.Dispose()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		y := tf.Reshape(x, 1024, 4096)
+		y.Dispose()
+	}
+}
+
+// matmulThroughput measures dense matmul chains, the workload where the
+// §4.3 compute-shader advantage (workgroups + shared memory) shows.
+func matmulThroughput(b *testing.B, backend string) {
+	if err := tf.SetBackend(backend); err != nil {
+		b.Fatal(err)
+	}
+	x := tf.Fill([]int{256, 256}, 1.0/256)
+	defer x.Dispose()
+	// Warmup.
+	tf.Tidy(func() []*tf.Tensor { tf.MatMul(x, x, false, false).DataSync(); return nil })
+	b.ResetTimer()
+	ti := tf.Time(func() {
+		for i := 0; i < b.N; i++ {
+			tf.Tidy(func() []*tf.Tensor {
+				y := tf.MatMul(x, x, false, false)
+				y.DataSync()
+				return nil
+			})
+		}
+	})
+	b.StopTimer()
+	if ti.HasKernelMS {
+		b.ReportMetric(ti.KernelMS/float64(b.N), "gpu-ms/op")
+	}
+}
+
+// BenchmarkWebGPU_MatMul runs the tiled compute-shader pipeline (§4.3
+// future work: workgroups + shared memory).
+func BenchmarkWebGPU_MatMul(b *testing.B) { matmulThroughput(b, "webgpu") }
+
+// BenchmarkWebGL_MatMul runs the per-texel fragment-shader kernel the
+// paper's backend uses today.
+func BenchmarkWebGL_MatMul(b *testing.B) { matmulThroughput(b, "webgl") }

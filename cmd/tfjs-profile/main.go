@@ -1,0 +1,145 @@
+// Command tfjs-profile is the debugging/profiling tool of Section 3.8 as a
+// CLI: it runs one MobileNet inference with per-kernel instrumentation and
+// prints, for every kernel, the output shape, the memory footprint and the
+// device-specific timing — the information the paper's in-browser debug
+// mode overlays on the page. With -debug it also downloads every output
+// and reports the first kernel that introduces a NaN.
+//
+//	tfjs-profile -backend webgl -alpha 0.25 -size 96
+//	tfjs-profile -backend webgl -debug -inject-nan
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/tf"
+)
+
+func main() {
+	backend := flag.String("backend", "webgl", "backend: cpu, webgl or node")
+	alpha := flag.Float64("alpha", 0.25, "MobileNet width multiplier")
+	size := flag.Int("size", 96, "input resolution")
+	top := flag.Int("top", 15, "show the N slowest kernels")
+	debug := flag.Bool("debug", false, "enable NaN-checking debug mode")
+	injectNaN := flag.Bool("inject-nan", false, "inject a NaN to demonstrate debug mode")
+	flag.Parse()
+
+	if err := tf.SetBackend(*backend); err != nil {
+		log.Fatal(err)
+	}
+
+	if *debug {
+		tf.EnableDebugMode()
+		defer tf.DisableDebugMode()
+	}
+	if *injectNaN {
+		demonstrateNaNCatch()
+		return
+	}
+
+	model, err := tf.MobileNetV1(tf.MobileNetConfig{
+		Alpha: *alpha, InputSize: *size, NumClasses: 1000, IncludeTop: true, Seed: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer model.Dispose()
+	img := data.SyntheticPhoto(*size, 42)
+	x := tf.FromPixelsBatch(img)
+	defer x.Dispose()
+
+	// Warmup, then profile one inference.
+	out := model.Predict(x)
+	out.DataSync()
+	out.Dispose()
+
+	var records []core.KernelRecord
+	remove := tf.EngineOf().AddKernelListener(func(r core.KernelRecord) {
+		records = append(records, r)
+	})
+	info := tf.Profile(func() {
+		out := model.Predict(x)
+		out.DataSync()
+		out.Dispose()
+	})
+	remove()
+	if len(records) == 0 {
+		records = info.Kernels
+	}
+
+	fmt.Printf("profiled 1 inference of MobileNet α=%.2f @%dx%d on %q: %d kernels\n\n",
+		*alpha, *size, *size, tf.GetBackendName(), len(records))
+	fmt.Printf("peak memory: %.2f MiB, net new tensors: %d, net new bytes: %d\n\n",
+		float64(info.PeakBytes)/(1<<20), info.NewTensors, info.NewBytes)
+
+	// Aggregate per kernel name.
+	type agg struct {
+		name    string
+		count   int
+		wallMS  float64
+		gpuMS   float64
+		hasGPU  bool
+		example string
+	}
+	byName := map[string]*agg{}
+	for _, r := range records {
+		a, ok := byName[r.Name]
+		if !ok {
+			a = &agg{name: r.Name}
+			byName[r.Name] = a
+		}
+		a.count++
+		a.wallMS += r.WallMS
+		if r.HasKernelMS {
+			a.gpuMS += r.KernelMS
+			a.hasGPU = true
+		}
+		if len(r.OutputShapes) > 0 {
+			a.example = fmt.Sprint(r.OutputShapes[0])
+		}
+	}
+	aggs := make([]*agg, 0, len(byName))
+	for _, a := range byName {
+		aggs = append(aggs, a)
+	}
+	sort.Slice(aggs, func(i, j int) bool { return aggs[i].wallMS > aggs[j].wallMS })
+	if *top > len(aggs) {
+		*top = len(aggs)
+	}
+
+	fmt.Printf("%-26s %6s %12s %12s %18s\n", "Kernel", "Calls", "Wall (ms)", "GPU (ms)", "Example out shape")
+	for _, a := range aggs[:*top] {
+		gpu := "-"
+		if a.hasGPU {
+			gpu = fmt.Sprintf("%.3f", a.gpuMS)
+		}
+		fmt.Printf("%-26s %6d %12.3f %12s %18s\n", a.name, a.count, a.wallMS, gpu, a.example)
+	}
+}
+
+// demonstrateNaNCatch shows the §3.8 behaviour: with debug mode on, the
+// first kernel that introduces a NaN throws with its name.
+func demonstrateNaNCatch() {
+	tf.EnableDebugMode()
+	defer tf.DisableDebugMode()
+	defer func() {
+		if r := recover(); r != nil {
+			fmt.Printf("debug mode caught the instability:\n  %v\n", r)
+			fmt.Println("(the exception names the first kernel that introduced a NaN, §3.8)")
+			return
+		}
+		log.Fatal("expected debug mode to catch the injected NaN")
+	}()
+	tf.Tidy(func() []*tf.Tensor {
+		x := tf.Scalar(0)
+		y := tf.Log(x)               // log(0) = -Inf: fine
+		z := tf.Mul(y, tf.Scalar(0)) // -Inf * 0 = NaN: caught here
+		z.DataSync()
+		return nil
+	})
+}

@@ -1,0 +1,110 @@
+// Command async demonstrates the asynchronous-execution design of Section
+// 3.6: a model trains on the simulated browser main thread while "UI
+// events" keep being handled between batches (FitAsync yields like await
+// tf.nextFrame()), and tensor downloads contrast DataSync() — which blocks
+// the main thread until the device finishes (Figure 2) — with Data() —
+// which returns a promise and keeps the thread free (Figure 3).
+//
+//	go run ./examples/async
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync/atomic"
+	"time"
+
+	"repro/tf"
+)
+
+func main() {
+	if err := tf.SetBackend("webgl"); err != nil {
+		log.Fatal(err)
+	}
+	tf.SetLayerSeed(3)
+
+	loop := tf.NewEventLoop()
+	defer loop.Stop()
+
+	// Part 1 — Figures 2 & 3: the same workload read back both ways.
+	fmt.Println("— readback (Figures 2 & 3) —")
+	workload := func() *tf.Tensor {
+		return tf.Tidy1(func() *tf.Tensor {
+			a := tf.Fill([]int{256, 256}, 1.0/256)
+			x := a
+			for i := 0; i < 8; i++ {
+				x = tf.MatMul(x, a, false, false)
+			}
+			return x
+		})
+	}
+
+	loop.PostAndWait(func() {
+		t := workload()
+		start := time.Now()
+		t.DataSync() // blocks the main thread until the GPU is done
+		fmt.Printf("DataSync(): main thread blocked for %8.1f ms (Fig 2)\n",
+			float64(time.Since(start))/float64(time.Millisecond))
+		t.Dispose()
+	})
+
+	done := make(chan struct{})
+	loop.Post(func() {
+		t := workload()
+		start := time.Now()
+		t.Data().ThenOn(loop, func([]float32, error) {
+			t.Dispose()
+			close(done)
+		})
+		fmt.Printf("Data():     main thread released in %8.3f ms; promise resolves on the fence (Fig 3)\n",
+			float64(time.Since(start))/float64(time.Millisecond))
+	})
+	<-done
+
+	// Part 2 — responsive training: FitAsync yields between batches so
+	// events interleave, the UX that makes in-browser tools like
+	// Teachable Machine possible (§6.1).
+	fmt.Println("\n— training on the main thread (§3.6) —")
+	model := tf.NewSequential("")
+	model.Add(tf.NewDense(tf.DenseConfig{Units: 16, Activation: "relu", InputShape: []int{8}}))
+	model.Add(tf.NewDense(tf.DenseConfig{Units: 2, Activation: "softmax"}))
+	if err := model.Compile(tf.CompileConfig{
+		Optimizer: "adam", Loss: "categoricalCrossentropy", LearningRate: 0.02,
+	}); err != nil {
+		log.Fatal(err)
+	}
+	xs := tf.RandNormal([]int{128, 8}, 0, 1, nil)
+	defer xs.Dispose()
+	labels := make([]float32, 128*2)
+	for i := 0; i < 128; i++ {
+		labels[i*2+i%2] = 1
+	}
+	ys := tf.Tensor2D(labels, 128, 2)
+	defer ys.Dispose()
+
+	var uiEvents atomic.Int64
+	stop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				loop.Post(func() { uiEvents.Add(1) })
+				time.Sleep(500 * time.Microsecond)
+			}
+		}
+	}()
+
+	loop.ResetStats()
+	hist, err := model.FitAsync(loop, xs, ys, tf.FitConfig{Epochs: 5, BatchSize: 16}, nil).Await()
+	close(stop)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stats := loop.Stats()
+	fmt.Printf("trained %d epochs (final loss %.4f)\n", hist.Epochs, hist.Logs["loss"][hist.Epochs-1])
+	fmt.Printf("UI events handled during training: %d\n", uiEvents.Load())
+	fmt.Printf("longest main-thread stall: %.2f ms (frame budget: 16.7 ms, dropped frames: %d)\n",
+		float64(stats.LongestTask)/float64(time.Millisecond), stats.JankCount)
+}

@@ -1,0 +1,76 @@
+// Command mnist trains a small convolutional network on a synthetic
+// MNIST-like digit dataset and evaluates it — the in-browser training
+// workload the paper's education examples (Section 6.1) are built on,
+// runnable on any backend.
+//
+//	go run ./examples/mnist -backend node -epochs 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/data"
+	"repro/tf"
+)
+
+func main() {
+	backend := flag.String("backend", "node", "backend: cpu, webgl or node")
+	epochs := flag.Int("epochs", 5, "training epochs")
+	examples := flag.Int("examples", 512, "dataset size")
+	flag.Parse()
+
+	if err := tf.SetBackend(*backend); err != nil {
+		log.Fatal(err)
+	}
+	tf.SetLayerSeed(12)
+
+	digits := data.SyntheticDigits(*examples, 0.15, 3)
+	defer digits.Dispose()
+	test := data.SyntheticDigits(128, 0.15, 4)
+	defer test.Dispose()
+
+	model := tf.NewSequential("mnist_convnet")
+	model.Add(tf.NewConv2DLayer(tf.Conv2DConfig{
+		Filters: 8, KernelSize: []int{3, 3}, Padding: "same", Activation: "relu",
+		InputShape: []int{16, 16, 1},
+	}))
+	model.Add(tf.NewMaxPooling2D(tf.Pool2DConfig{}))
+	model.Add(tf.NewConv2DLayer(tf.Conv2DConfig{
+		Filters: 16, KernelSize: []int{3, 3}, Padding: "same", Activation: "relu",
+	}))
+	model.Add(tf.NewMaxPooling2D(tf.Pool2DConfig{}))
+	model.Add(tf.NewFlatten())
+	model.Add(tf.NewDropout(0.25))
+	model.Add(tf.NewDense(tf.DenseConfig{Units: 10, Activation: "softmax"}))
+
+	if err := model.Compile(tf.CompileConfig{
+		Optimizer: "adam", Loss: "categoricalCrossentropy",
+		LearningRate: 0.01, Metrics: []string{"accuracy"},
+	}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("training %d-parameter convnet on %d synthetic digits (backend %s)\n",
+		model.CountParams(), *examples, tf.GetBackendName())
+
+	_, err := model.Fit(digits.Images, digits.Labels, tf.FitConfig{
+		Epochs: *epochs, BatchSize: 32,
+		OnEpochEnd: func(epoch int, logs map[string]float64) {
+			fmt.Printf("epoch %d: loss=%.4f acc=%.3f\n", epoch+1, logs["loss"], logs["acc"])
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	eval, err := model.Evaluate(test.Images, test.Labels, 64)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("held-out: loss=%.4f acc=%.3f\n", eval["loss"], eval["acc"])
+
+	mem := tf.Memory()
+	fmt.Printf("memory after training: %d tensors, %.1f KiB\n",
+		mem.NumTensors, float64(mem.NumBytes)/1024)
+}

@@ -1,0 +1,61 @@
+// Command posenet reproduces Listing 3 of the paper: the PoseNet model
+// from the models repository with its tensor-free API — a native image
+// object in, a JSON pose estimate out.
+//
+//	go run ./examples/posenet
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+
+	"repro/internal/data"
+	"repro/tf"
+)
+
+func main() {
+	if err := tf.SetBackend("webgl"); err != nil {
+		log.Fatal(err)
+	}
+
+	posenet, err := tf.NewPoseNet(tf.PoseNetConfig{InputSize: 128, OutputStride: 16, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer posenet.Dispose()
+
+	// The "person" image element of Listing 3: here a synthetic photo
+	// standing in for the webcam/DOM image.
+	imageElement := data.SyntheticPhoto(128, 42)
+
+	// Estimate a single pose from the image. Note: no tensors anywhere in
+	// this program — the model wrapper hides them (Section 5.2).
+	pose, err := posenet.EstimateSinglePose(imageElement)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Print the Listing 3 console output shape.
+	blob, err := json.MarshalIndent(struct {
+		Score     float64       `json:"score"`
+		Keypoints []tf.Keypoint `json:"keypoints"`
+	}{pose.Score, pose.Keypoints[:3]}, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(string(blob))
+	fmt.Printf("... (%d keypoints total) on backend %q\n", len(pose.Keypoints), tf.GetBackendName())
+
+	// Multi-pose decoding (posenet.estimateMultiplePoses): local maxima
+	// per part, NMS over nose candidates, greedy clustering.
+	poses, err := posenet.EstimateMultiplePoses(imageElement, 3, 0.3, 20)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("estimateMultiplePoses found %d candidate pose(s)\n", len(poses))
+	for i, p := range poses {
+		fmt.Printf("  pose %d: score %.3f, nose at (%.0f, %.0f)\n",
+			i, p.Score, p.Keypoints[0].Position.X, p.Keypoints[0].Position.Y)
+	}
+}

@@ -1,0 +1,58 @@
+// Command quickstart reproduces Listing 1 of the paper: build a
+// single-layer linear model with the Layers API, train it on synthetic
+// y = 2x - 1 data, and predict an unseen data point.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/tf"
+)
+
+func main() {
+	if err := tf.SetBackend("node"); err != nil {
+		log.Fatal(err)
+	}
+	tf.SetLayerSeed(42)
+
+	// A linear model with 1 dense layer.
+	model := tf.NewSequential("")
+	model.Add(tf.NewDense(tf.DenseConfig{Units: 1, InputShape: []int{1}}))
+
+	// Specify the loss and the optimizer.
+	if err := model.Compile(tf.CompileConfig{
+		Loss:         "meanSquaredError",
+		Optimizer:    "sgd",
+		LearningRate: 0.08,
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	// Generate synthetic data to train: y = 2x - 1.
+	xs := tf.Tensor2D([]float32{1, 2, 3, 4}, 4, 1)
+	ys := tf.Tensor2D([]float32{1, 3, 5, 7}, 4, 1)
+	defer xs.Dispose()
+	defer ys.Dispose()
+
+	// Train the model using the data.
+	hist, err := model.Fit(xs, ys, tf.FitConfig{Epochs: 200, BatchSize: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("final training loss: %.6f\n", hist.Logs["loss"][hist.Epochs-1])
+
+	// Do inference on an unseen data point and print the result.
+	x := tf.Tensor2D([]float32{5}, 1, 1)
+	defer x.Dispose()
+	pred := model.Predict(x)
+	defer pred.Dispose()
+	fmt.Print(pred.Format())
+	fmt.Printf("expected ~9 (y = 2*5 - 1)\n")
+
+	mem := tf.Memory()
+	fmt.Printf("memory: %d tensors, %d bytes on backend %q\n",
+		mem.NumTensors, mem.NumBytes, tf.GetBackendName())
+}

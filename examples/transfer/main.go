@@ -1,0 +1,121 @@
+// Command transfer demonstrates the transfer-learning workflow of Section
+// 5.2: a pretrained MobileNet serves as a frozen feature extractor and a
+// small dense head is trained on-device with relatively little user data —
+// the pattern behind Teachable Machine and the paper's gestural-interface
+// applications (Section 6.2).
+//
+//	go run ./examples/transfer
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/data"
+	"repro/tf"
+)
+
+const (
+	inputSize  = 96
+	numClasses = 3
+	perClass   = 8
+)
+
+func main() {
+	if err := tf.SetBackend("node"); err != nil {
+		log.Fatal(err)
+	}
+	tf.SetLayerSeed(21)
+
+	// The frozen backbone: MobileNet without its classifier.
+	backbone, err := tf.NewMobileNet(tf.MobileNetConfig{
+		Alpha: 0.25, InputSize: inputSize, NumClasses: 10, Seed: 9,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer backbone.Dispose()
+
+	// "Collect" a few samples per class, like a Teachable Machine user
+	// showing the webcam three objects. Each class is a distinct
+	// synthetic scene; embeddings are computed once and cached — the
+	// standard transfer-learning trick for small data.
+	fmt.Printf("collecting %d samples for %d classes...\n", perClass*numClasses, numClasses)
+	var embeds []*tf.Tensor
+	var labels []float32
+	for cls := 0; cls < numClasses; cls++ {
+		// One base scene per class; each sample is a noisy webcam frame
+		// of that scene.
+		base := data.SyntheticPhoto(inputSize, int64(cls+1))
+		for s := 0; s < perClass; s++ {
+			img := data.Perturb(base, 8, int64(cls*1000+s))
+			emb, err := backbone.Embed(img)
+			if err != nil {
+				log.Fatal(err)
+			}
+			embeds = append(embeds, emb)
+			oneHot := make([]float32, numClasses)
+			oneHot[cls] = 1
+			labels = append(labels, oneHot...)
+		}
+	}
+	raw := tf.Concat(embeds, 0)
+	for _, e := range embeds {
+		e.Dispose()
+	}
+	defer raw.Dispose()
+	ys := tf.Tensor2D(labels, perClass*numClasses, numClasses)
+	defer ys.Dispose()
+
+	// Standardize the embeddings (per-feature zero mean, unit variance);
+	// the same statistics are reused at inference. Raw random-backbone
+	// features are small and offset, which starves the head of gradient.
+	mean := tf.Tidy1(func() *tf.Tensor { return tf.Mean(raw, []int{0}, true) })
+	defer mean.Dispose()
+	std := tf.Tidy1(func() *tf.Tensor {
+		_, variance := tf.Moments(raw, []int{0}, true)
+		return tf.AddScalar(tf.Sqrt(variance), 1e-6)
+	})
+	defer std.Dispose()
+	standardize := func(t *tf.Tensor) *tf.Tensor {
+		return tf.Tidy1(func() *tf.Tensor { return tf.Div(tf.Sub(t, mean), std) })
+	}
+	xs := standardize(raw)
+	defer xs.Dispose()
+	embedDim := xs.Shape[1]
+
+	// The trainable head: one small dense layer on top of the frozen
+	// embeddings.
+	head := tf.NewSequential("transfer_head")
+	head.Add(tf.NewDense(tf.DenseConfig{Units: 16, Activation: "relu", InputShape: []int{embedDim}}))
+	head.Add(tf.NewDense(tf.DenseConfig{Units: numClasses, Activation: "softmax"}))
+	if err := head.Compile(tf.CompileConfig{
+		Optimizer: "adam", Loss: "categoricalCrossentropy",
+		LearningRate: 0.01, Metrics: []string{"accuracy"},
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	hist, err := head.Fit(xs, ys, tf.FitConfig{Epochs: 30, BatchSize: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after %d epochs: loss=%.4f acc=%.3f\n",
+		hist.Epochs, hist.Logs["loss"][hist.Epochs-1], hist.Logs["acc"][hist.Epochs-1])
+
+	// Classify a fresh sample of class 1.
+	img := data.Perturb(data.SyntheticPhoto(inputSize, 2), 8, 777) // fresh frame of class 1's scene
+	emb, err := backbone.Embed(img)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer emb.Dispose()
+	embStd := standardize(emb)
+	defer embStd.Dispose()
+	pred := head.Predict(embStd)
+	defer pred.Dispose()
+	cls := tf.ArgMax(pred, 1)
+	defer cls.Dispose()
+	fmt.Printf("new class-1 sample classified as class %.0f with probs %v\n",
+		cls.DataSync()[0], pred.DataSync())
+}

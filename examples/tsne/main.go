@@ -1,0 +1,203 @@
+// Command tsne is the numeric-computation application of Section 6.4: a
+// t-SNE embedding computed entirely with the library's accelerated tensor
+// ops, the way tfjs-tsne runs t-SNE on the WebGL backend in the browser.
+// It embeds synthetic high-dimensional clusters into 2-D and reports the
+// KL divergence as it optimizes, then checks that the clusters separate.
+//
+//	go run ./examples/tsne -backend webgl -n 150 -iters 300
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"repro/tf"
+)
+
+func main() {
+	backend := flag.String("backend", "webgl", "backend: cpu, webgl or node")
+	n := flag.Int("n", 150, "number of points")
+	dims := flag.Int("dims", 10, "input dimensionality")
+	clusters := flag.Int("clusters", 3, "number of synthetic clusters")
+	iters := flag.Int("iters", 300, "gradient iterations")
+	perplexity := flag.Float64("perplexity", 20, "target perplexity")
+	flag.Parse()
+
+	if err := tf.SetBackend(*backend); err != nil {
+		log.Fatal(err)
+	}
+
+	// Synthetic clustered data.
+	rng := rand.New(rand.NewSource(7))
+	xv := make([]float32, (*n)*(*dims))
+	labels := make([]int, *n)
+	for i := 0; i < *n; i++ {
+		c := i % *clusters
+		labels[i] = c
+		for d := 0; d < *dims; d++ {
+			center := 6 * float64(c) * float64((d+c)%2)
+			xv[i*(*dims)+d] = float32(center + rng.NormFloat64())
+		}
+	}
+
+	// High-dimensional affinities P with per-point bandwidths found by a
+	// binary search on perplexity (the standard t-SNE preprocessing),
+	// computed from the pairwise distances the GPU produces.
+	dist2 := pairwiseSq(tf.TensorOf(xv, *n, *dims))
+	p := affinities(dist2.DataSync(), *n, *perplexity)
+	dist2.Dispose()
+	pT := tf.TensorOf(p, *n, *n)
+	defer pT.Dispose()
+
+	// Optimize the 2-D embedding with momentum gradient descent; every
+	// iteration is a handful of tensor ops (matmuls, broadcasts,
+	// reductions) — the workload class the paper's §6.4 highlights.
+	y := tf.NewVariable(tf.RandNormal([]int{*n, 2}, 0, 1e-2, rng), true, "tsne/Y")
+	vel := tf.NewVariable(tf.Zeros(*n, 2), false, "tsne/velocity")
+	defer y.Dispose()
+	defer vel.Dispose()
+
+	const lr, momentum = 100.0, 0.8
+	for it := 1; it <= *iters; it++ {
+		exaggeration := float32(1)
+		if it < 100 {
+			exaggeration = 4 // early exaggeration, standard t-SNE
+		}
+		var kl float32
+		tf.Tidy(func() []*tf.Tensor {
+			dy := pairwiseSq(y.Value())
+			w := tf.Div(tf.Ones(*n, *n), tf.AddScalar(dy, 1)) // Student-t kernel
+			w = zeroDiag(w, *n)
+			sumW := tf.Sum(w, nil, true)
+			q := tf.Maximum(tf.Div(w, sumW), tf.Fill([]int{*n, *n}, 1e-12))
+
+			pEx := tf.MulScalar(pT, exaggeration)
+			pq := tf.Mul(tf.Sub(pEx, q), w) // (P - Q) ⊙ W
+			// grad_i = 4 [ rowsum(PQ)·y_i − PQ·Y ].
+			rowSum := tf.Sum(pq, []int{1}, true)
+			grad := tf.MulScalar(tf.Sub(tf.Mul(rowSum, y.Value()), tf.MatMul(pq, y.Value(), false, false)), 4)
+
+			newVel := tf.Sub(tf.MulScalar(vel.Value(), momentum), tf.MulScalar(grad, lr))
+			vel.Assign(newVel)
+			y.Assign(tf.Add(y.Value(), newVel))
+
+			if it%100 == 0 || it == 1 {
+				klT := tf.Sum(tf.Mul(pT, tf.Log(tf.Div(tf.Maximum(pT, tf.Fill([]int{*n, *n}, 1e-12)), q))), nil, false)
+				kl = klT.DataSync()[0]
+				fmt.Printf("iter %4d: KL(P||Q) = %.4f\n", it, kl)
+			}
+			return nil
+		})
+	}
+
+	// Quality check: mean intra-cluster distance should be well below
+	// mean inter-cluster distance in the final embedding.
+	emb := y.Value().DataSync()
+	intra, inter, nIntra, nInter := 0.0, 0.0, 0, 0
+	for i := 0; i < *n; i++ {
+		for j := i + 1; j < *n; j++ {
+			dx := float64(emb[i*2] - emb[j*2])
+			dyy := float64(emb[i*2+1] - emb[j*2+1])
+			d := math.Sqrt(dx*dx + dyy*dyy)
+			if labels[i] == labels[j] {
+				intra += d
+				nIntra++
+			} else {
+				inter += d
+				nInter++
+			}
+		}
+	}
+	intra /= float64(nIntra)
+	inter /= float64(nInter)
+	fmt.Printf("mean intra-cluster distance: %.3f\n", intra)
+	fmt.Printf("mean inter-cluster distance: %.3f\n", inter)
+	fmt.Printf("separation ratio: %.2fx (backend %s)\n", inter/intra, tf.GetBackendName())
+	if inter/intra < 2 {
+		log.Fatal("t-SNE failed to separate the synthetic clusters")
+	}
+}
+
+// pairwiseSq returns the [n, n] matrix of squared Euclidean distances
+// between the rows of x, computed as ‖a‖² + ‖b‖² − 2a·b on the device.
+func pairwiseSq(x *tf.Tensor) *tf.Tensor {
+	return tf.Tidy1(func() *tf.Tensor {
+		sq := tf.Sum(tf.Square(x), []int{1}, true) // [n,1]
+		cross := tf.MatMul(x, x, false, true)      // [n,n]
+		d := tf.Add(tf.Sub(sq, tf.MulScalar(cross, 2)), tf.Transpose(sq))
+		return tf.Relu(d) // clamp negatives from rounding
+	})
+}
+
+// zeroDiag zeroes the diagonal of a square matrix.
+func zeroDiag(m *tf.Tensor, n int) *tf.Tensor {
+	eye := tf.Eye(n)
+	return tf.Mul(m, tf.Sub(tf.Ones(n, n), eye))
+}
+
+// affinities computes the symmetrized, normalized P matrix with per-point
+// bandwidths matched to the target perplexity by binary search.
+func affinities(dist2 []float32, n int, perplexity float64) []float32 {
+	targetH := math.Log(perplexity)
+	p := make([]float32, n*n)
+	row := make([]float64, n)
+	for i := 0; i < n; i++ {
+		lo, hi := 1e-10, 1e10
+		beta := 1.0
+		for iter := 0; iter < 50; iter++ {
+			// Row-wise conditional probabilities at this bandwidth.
+			var sum float64
+			for j := 0; j < n; j++ {
+				if j == i {
+					row[j] = 0
+					continue
+				}
+				row[j] = math.Exp(-float64(dist2[i*n+j]) * beta)
+				sum += row[j]
+			}
+			if sum == 0 {
+				sum = 1e-12
+			}
+			// Shannon entropy of the row distribution.
+			h := 0.0
+			for j := 0; j < n; j++ {
+				if row[j] > 0 {
+					pj := row[j] / sum
+					h -= pj * math.Log(pj)
+				}
+			}
+			if math.Abs(h-targetH) < 1e-5 {
+				break
+			}
+			if h > targetH {
+				lo = beta
+				if hi >= 1e10 {
+					beta *= 2
+				} else {
+					beta = (beta + hi) / 2
+				}
+			} else {
+				hi = beta
+				beta = (beta + lo) / 2
+			}
+		}
+		var sum float64
+		for j := 0; j < n; j++ {
+			sum += row[j]
+		}
+		for j := 0; j < n; j++ {
+			p[i*n+j] = float32(row[j] / math.Max(sum, 1e-12))
+		}
+	}
+	// Symmetrize and normalize: P = (P + Pᵀ) / 2n.
+	out := make([]float32, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			out[i*n+j] = (p[i*n+j] + p[j*n+i]) / float32(2*n)
+		}
+	}
+	return out
+}

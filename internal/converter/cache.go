@@ -1,0 +1,76 @@
+package converter
+
+import (
+	"bytes"
+	"sync"
+)
+
+// CachingStore simulates the browser HTTP cache in front of an origin
+// store — the mechanism the 4 MB shard size optimizes for (§5.1: "packs
+// weights into 4MB files, optimizing for browser auto-caching"). Reads hit
+// the cache by path; content is validated against the origin the way a
+// revalidating cache would, so an updated shard is re-fetched while
+// unchanged shards are served locally.
+type CachingStore struct {
+	origin Store
+
+	mu    sync.Mutex
+	cache map[string][]byte
+
+	hits          int64
+	misses        int64
+	originBytes   int64 // bytes actually transferred from the origin
+	revalidations int64
+}
+
+// NewCachingStore wraps origin with an empty cache.
+func NewCachingStore(origin Store) *CachingStore {
+	return &CachingStore{origin: origin, cache: map[string][]byte{}}
+}
+
+// Write forwards to the origin and invalidates the cached entry, as an
+// upload/deploy would.
+func (s *CachingStore) Write(path string, data []byte) error {
+	if err := s.origin.Write(path, data); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	delete(s.cache, path)
+	s.mu.Unlock()
+	return nil
+}
+
+// Read returns the cached copy when it matches the origin (a revalidation
+// hit costing no transfer), otherwise fetches and caches.
+func (s *CachingStore) Read(path string) ([]byte, error) {
+	fresh, err := s.origin.Read(path)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.revalidations++
+	if cached, ok := s.cache[path]; ok && bytes.Equal(cached, fresh) {
+		s.hits++
+		return cached, nil
+	}
+	s.misses++
+	s.originBytes += int64(len(fresh))
+	buf := make([]byte, len(fresh))
+	copy(buf, fresh)
+	s.cache[path] = buf
+	return buf, nil
+}
+
+// List forwards to the origin.
+func (s *CachingStore) List() ([]string, error) { return s.origin.List() }
+
+// Stats reports cache behaviour: hits, misses, and bytes transferred from
+// the origin.
+func (s *CachingStore) Stats() (hits, misses, originBytes int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hits, s.misses, s.originBytes
+}
+
+var _ Store = (*CachingStore)(nil)

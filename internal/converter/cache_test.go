@@ -1,0 +1,192 @@
+package converter_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/converter"
+	"repro/internal/graphmodel"
+	"repro/internal/layers"
+	"repro/internal/ops"
+	"repro/internal/savedmodel"
+)
+
+// buildShardedModel converts a model large enough to span several shards,
+// using a small shard size so the test stays fast.
+func buildShardedModel(t *testing.T, store converter.Store, shardBytes int) *savedmodel.GraphDef {
+	t.Helper()
+	layers.SetSeed(31)
+	m := layers.NewSequential("cachetest")
+	m.Add(layers.NewDense(layers.DenseConfig{Units: 64, Activation: "relu", InputShape: []int{128}}))
+	m.Add(layers.NewDense(layers.DenseConfig{Units: 64, Activation: "relu"}))
+	m.Add(layers.NewDense(layers.DenseConfig{Units: 10, Activation: "softmax"}))
+	g, err := savedmodel.FromSequential(m, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := converter.Convert(g, store, converter.Options{ShardBytes: shardBytes}); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestBrowserCacheSecondLoadIsFree reproduces the auto-caching behaviour
+// the shard design targets: the second load of an unchanged model
+// transfers nothing from the origin.
+func TestBrowserCacheSecondLoadIsFree(t *testing.T) {
+	origin := converter.NewMemStore()
+	buildShardedModel(t, origin, 16<<10)
+	cache := converter.NewCachingStore(origin)
+
+	if _, err := graphmodel.Load(cache); err != nil {
+		t.Fatal(err)
+	}
+	_, misses1, bytes1 := cache.Stats()
+	if misses1 == 0 || bytes1 == 0 {
+		t.Fatal("first load should transfer from origin")
+	}
+
+	if _, err := graphmodel.Load(cache); err != nil {
+		t.Fatal(err)
+	}
+	hits2, misses2, bytes2 := cache.Stats()
+	if misses2 != misses1 {
+		t.Fatalf("second load missed the cache: %d -> %d misses", misses1, misses2)
+	}
+	if bytes2 != bytes1 {
+		t.Fatalf("second load transferred %d extra bytes", bytes2-bytes1)
+	}
+	if hits2 == 0 {
+		t.Fatal("second load should hit the cache")
+	}
+}
+
+// TestShardingLimitsInvalidation shows why weights are split across files:
+// updating a fraction of the weights re-transfers only the shards that
+// changed plus the manifest, not the whole model.
+func TestShardingLimitsInvalidation(t *testing.T) {
+	origin := converter.NewMemStore()
+	g := buildShardedModel(t, origin, 16<<10)
+	cache := converter.NewCachingStore(origin)
+	if _, err := graphmodel.Load(cache); err != nil {
+		t.Fatal(err)
+	}
+	_, _, coldBytes := cache.Stats()
+
+	// "Fine-tune" one late weight (the last bias) and re-convert.
+	for name, w := range g.Weights {
+		if len(w.Shape) == 1 && w.Shape[0] == 10 {
+			w.Values[0] += 1
+			_ = name
+		}
+	}
+	if _, err := converter.Convert(g, origin, converter.Options{ShardBytes: 16 << 10}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := graphmodel.Load(cache); err != nil {
+		t.Fatal(err)
+	}
+	_, _, warmTotal := cache.Stats()
+	updateBytes := warmTotal - coldBytes
+	if updateBytes <= 0 {
+		t.Fatal("an updated model must transfer something")
+	}
+	// The update should cost much less than a full re-download. The
+	// model has ~13k params (~52KB) in 16KB shards; a one-value change
+	// plus the manifest must stay well under half the cold transfer.
+	if updateBytes*2 >= coldBytes {
+		t.Fatalf("sharding failed to bound invalidation: update %dB vs cold %dB", updateBytes, coldBytes)
+	}
+}
+
+// TestSaveLoadLayersModel round-trips a trained Layers model through the
+// layers-model artifact format (model.save / tf.loadModel for Keras-format
+// models).
+func TestSaveLoadLayersModel(t *testing.T) {
+	layers.SetSeed(8)
+	m := layers.NewSequential("saveload")
+	m.Add(layers.NewConv2D(layers.Conv2DConfig{
+		Filters: 3, KernelSize: []int{3, 3}, Padding: "same", Activation: "relu",
+		InputShape: []int{6, 6, 1},
+	}))
+	m.Add(layers.NewFlatten())
+	m.Add(layers.NewDense(layers.DenseConfig{Units: 4, Activation: "softmax"}))
+	if err := m.Build(); err != nil {
+		t.Fatal(err)
+	}
+
+	store := converter.NewMemStore()
+	res, err := converter.SaveLayersModel(m, store, converter.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WeightBytes == 0 || res.NumShards == 0 {
+		t.Fatalf("save result %+v", res)
+	}
+
+	back, err := converter.LoadLayersModel(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := ops.RandNormal([]int{2, 6, 6, 1}, 0, 1, nil)
+	defer x.Dispose()
+	want := m.Predict(x)
+	got := back.Predict(x)
+	defer want.Dispose()
+	defer got.Dispose()
+	wv, gv := want.DataSync(), got.DataSync()
+	for i := range wv {
+		if math.Abs(float64(wv[i]-gv[i])) > 1e-6 {
+			t.Fatalf("restored layers model diverges at %d: %g vs %g", i, gv[i], wv[i])
+		}
+	}
+	// Loading a graph-model store as a layers model must fail cleanly.
+	gstore := converter.NewMemStore()
+	g, err := savedmodel.FromSequential(m, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := converter.Convert(g, gstore, converter.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := converter.LoadLayersModel(gstore); err == nil {
+		t.Fatal("graph-model artifacts must not load as a layers model")
+	}
+}
+
+// TestSaveLayersModelQuantized checks quantized save/load keeps predictions.
+func TestSaveLayersModelQuantized(t *testing.T) {
+	layers.SetSeed(9)
+	m := layers.NewSequential("quantsave")
+	m.Add(layers.NewDense(layers.DenseConfig{Units: 8, Activation: "relu", InputShape: []int{4}}))
+	m.Add(layers.NewDense(layers.DenseConfig{Units: 3, Activation: "softmax"}))
+	if err := m.Build(); err != nil {
+		t.Fatal(err)
+	}
+	full := converter.NewMemStore()
+	quant := converter.NewMemStore()
+	fullRes, err := converter.SaveLayersModel(m, full, converter.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	quantRes, err := converter.SaveLayersModel(m, quant, converter.Options{QuantizationBytes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if quantRes.WeightBytes*4 != fullRes.WeightBytes {
+		t.Fatalf("uint8 layers save should be 4x smaller: %d vs %d", quantRes.WeightBytes, fullRes.WeightBytes)
+	}
+	back, err := converter.LoadLayersModel(quant)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := ops.RandNormal([]int{4, 4}, 0, 1, nil)
+	defer x.Dispose()
+	wc := ops.ArgMax(m.Predict(x), 1).DataSync()
+	gc := ops.ArgMax(back.Predict(x), 1).DataSync()
+	for i := range wc {
+		if wc[i] != gc[i] {
+			t.Fatalf("quantized layers model changed prediction %d", i)
+		}
+	}
+}

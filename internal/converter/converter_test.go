@@ -1,0 +1,256 @@
+package converter_test
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/converter"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/graphmodel"
+	"repro/internal/kernels"
+	"repro/internal/layers"
+	"repro/internal/ops"
+	"repro/internal/savedmodel"
+	"repro/internal/tensor"
+)
+
+func init() {
+	core.Global().RegisterBackend("cpu", func() (kernels.Backend, error) { return cpu.New(), nil })
+}
+
+// buildModel returns a small convnet exported with training ops attached.
+func buildModel(t *testing.T) (*layers.Sequential, *savedmodel.GraphDef) {
+	t.Helper()
+	layers.SetSeed(99)
+	m := layers.NewSequential("convert_test")
+	m.Add(layers.NewConv2D(layers.Conv2DConfig{
+		Filters: 4, KernelSize: []int{3, 3}, Padding: "same", Activation: "relu",
+		InputShape: []int{8, 8, 1},
+	}))
+	m.Add(layers.NewMaxPooling2D(layers.Pool2DConfig{}))
+	m.Add(layers.NewFlatten())
+	m.Add(layers.NewDense(layers.DenseConfig{Units: 3, Activation: "softmax"}))
+	g, err := savedmodel.FromSequential(m, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, g
+}
+
+func TestPruningDropsTrainingOps(t *testing.T) {
+	_, g := buildModel(t)
+	trainingNodes := 0
+	for _, n := range g.Nodes {
+		if n.TrainingOnly {
+			trainingNodes++
+		}
+	}
+	if trainingNodes == 0 {
+		t.Fatal("export should have attached training-only nodes")
+	}
+	pruned, prunedNames := converter.Prune(g)
+	if len(prunedNames) < trainingNodes {
+		t.Fatalf("pruning dropped %d nodes, expected at least %d training nodes", len(prunedNames), trainingNodes)
+	}
+	for _, n := range pruned.Nodes {
+		if n.TrainingOnly {
+			t.Fatalf("training node %q survived pruning", n.Name)
+		}
+	}
+	if err := pruned.Validate(); err != nil {
+		t.Fatalf("pruned graph invalid: %v", err)
+	}
+}
+
+func TestConvertLoadRoundTrip(t *testing.T) {
+	model, g := buildModel(t)
+	store := converter.NewMemStore()
+	res, err := converter.Convert(g, store, converter.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NodesAfter >= res.NodesBefore {
+		t.Fatalf("conversion should prune nodes: before=%d after=%d", res.NodesBefore, res.NodesAfter)
+	}
+
+	gm, err := graphmodel.Load(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := ops.RandNormal([]int{2, 8, 8, 1}, 0, 1, rand.New(rand.NewSource(1)))
+	want := model.Predict(x).DataSync()
+	got, err := gm.Predict(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotVals := got.DataSync()
+	for i := range want {
+		if math.Abs(float64(want[i]-gotVals[i])) > 1e-5 {
+			t.Fatalf("converted model diverges at %d: %g vs %g", i, gotVals[i], want[i])
+		}
+	}
+}
+
+func TestConverterShards4MB(t *testing.T) {
+	// A model with >4MB of weights must split into multiple <=4MB shards.
+	layers.SetSeed(5)
+	m := layers.NewSequential("big")
+	m.Add(layers.NewDense(layers.DenseConfig{Units: 1500, InputShape: []int{1000}})) // 1.5M params = 6 MB
+	g, err := savedmodel.FromSequential(m, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := converter.NewMemStore()
+	res, err := converter.Convert(g, store, converter.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumShards < 2 {
+		t.Fatalf("6 MB of weights should shard into >=2 files, got %d", res.NumShards)
+	}
+	paths, err := store.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range paths {
+		if !strings.HasSuffix(p, ".bin") {
+			continue
+		}
+		data, err := store.Read(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(data) > converter.DefaultShardBytes {
+			t.Fatalf("shard %s is %d bytes, exceeds 4MB", p, len(data))
+		}
+	}
+	// Round trip still works.
+	gm, err := graphmodel.Load(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := ops.RandNormal([]int{1, 1000}, 0, 1, nil)
+	if _, err := gm.Predict(x); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantization4x(t *testing.T) {
+	_, g := buildModel(t)
+
+	full := converter.NewMemStore()
+	if _, err := converter.Convert(g, full, converter.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	quant8 := converter.NewMemStore()
+	res8, err := converter.Convert(g, quant8, converter.Options{QuantizationBytes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	quant16 := converter.NewMemStore()
+	res16, err := converter.Convert(g, quant16, converter.Options{QuantizationBytes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fullRes, _ := converter.Convert(g, converter.NewMemStore(), converter.Options{})
+	if res8.WeightBytes*4 != fullRes.WeightBytes {
+		t.Fatalf("uint8 quantization should be exactly 4x smaller: %d vs %d", res8.WeightBytes, fullRes.WeightBytes)
+	}
+	if res16.WeightBytes*2 != fullRes.WeightBytes {
+		t.Fatalf("uint16 quantization should be exactly 2x smaller: %d vs %d", res16.WeightBytes, fullRes.WeightBytes)
+	}
+
+	// Quantized weights reconstruct within the quantization step.
+	gm, err := graphmodel.Load(quant8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, err := converter.LoadArtifacts(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, w := range gm.Graph().Weights {
+		ow := orig.Weights[name]
+		minV, maxV := float32(math.Inf(1)), float32(math.Inf(-1))
+		for _, v := range ow.Values {
+			if v < minV {
+				minV = v
+			}
+			if v > maxV {
+				maxV = v
+			}
+		}
+		step := float64(maxV-minV) / 255
+		for i := range w.Values {
+			if diff := math.Abs(float64(w.Values[i] - ow.Values[i])); diff > step*0.51+1e-8 {
+				t.Fatalf("weight %s[%d] dequantization error %g exceeds half step %g", name, i, diff, step/2)
+			}
+		}
+	}
+}
+
+func TestQuantizedModelStillPredictsReasonably(t *testing.T) {
+	model, g := buildModel(t)
+	store := converter.NewMemStore()
+	if _, err := converter.Convert(g, store, converter.Options{QuantizationBytes: 2}); err != nil {
+		t.Fatal(err)
+	}
+	gm, err := graphmodel.Load(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := ops.RandNormal([]int{4, 8, 8, 1}, 0, 1, rand.New(rand.NewSource(2)))
+	want := model.Predict(x)
+	got, err := gm.Predict(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Class predictions should agree even if probabilities shift slightly.
+	wantCls := ops.ArgMax(want, 1).DataSync()
+	gotCls := ops.ArgMax(got, 1).DataSync()
+	for i := range wantCls {
+		if wantCls[i] != gotCls[i] {
+			t.Fatalf("uint16-quantized model changed prediction for example %d: %v vs %v", i, gotCls[i], wantCls[i])
+		}
+	}
+}
+
+func TestFSStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	_, g := buildModel(t)
+	store := converter.FSStore{Dir: dir}
+	if _, err := converter.Convert(g, store, converter.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	paths, err := store.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hasModel, hasShard := false, false
+	for _, p := range paths {
+		if p == "model.json" {
+			hasModel = true
+		}
+		if strings.HasSuffix(p, ".bin") {
+			hasShard = true
+		}
+	}
+	if !hasModel || !hasShard {
+		t.Fatalf("expected model.json and shard files, got %v", paths)
+	}
+	if _, err := graphmodel.Load(store); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadMissingArtifact(t *testing.T) {
+	store := converter.NewMemStore()
+	if _, err := converter.LoadArtifacts(store); err == nil {
+		t.Fatal("expected error loading from empty store")
+	}
+	_ = tensor.ShapeSize // keep import
+}

@@ -1,0 +1,121 @@
+// Package converter implements the model converter of Section 5.1: it
+// takes a source model (the SavedModel stand-in of internal/savedmodel),
+// prunes operations that are unnecessary for serving (training ops), packs
+// the weights into 4 MB shard files that browsers auto-cache, optionally
+// quantizes weights to 1 or 2 bytes for a 4x/2x size reduction, and emits
+// the web-format artifacts (model.json + binary shards) that
+// tf.loadModel(url) consumes.
+package converter
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// Store abstracts the artifact location — a directory on disk, an
+// in-memory map in tests, or (in the real system) an HTTP URL prefix such
+// as the paper's public Google Cloud Storage bucket (Section 5.2).
+type Store interface {
+	// Write stores a file under a relative path.
+	Write(path string, data []byte) error
+	// Read loads a file by relative path.
+	Read(path string) ([]byte, error)
+	// List returns the stored paths.
+	List() ([]string, error)
+}
+
+// FSStore stores artifacts under a directory.
+type FSStore struct {
+	// Dir is the base directory.
+	Dir string
+}
+
+// Write implements Store.
+func (s FSStore) Write(path string, data []byte) error {
+	full := filepath.Join(s.Dir, path)
+	if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+		return fmt.Errorf("converter: %w", err)
+	}
+	return os.WriteFile(full, data, 0o644)
+}
+
+// Read implements Store.
+func (s FSStore) Read(path string) ([]byte, error) {
+	return os.ReadFile(filepath.Join(s.Dir, path))
+}
+
+// List implements Store.
+func (s FSStore) List() ([]string, error) {
+	var out []string
+	err := filepath.Walk(s.Dir, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if !info.IsDir() {
+			rel, err := filepath.Rel(s.Dir, path)
+			if err != nil {
+				return err
+			}
+			out = append(out, rel)
+		}
+		return nil
+	})
+	sort.Strings(out)
+	return out, err
+}
+
+// MemStore is an in-memory Store for tests and benchmarks.
+type MemStore struct {
+	mu    sync.Mutex
+	files map[string][]byte
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore { return &MemStore{files: map[string][]byte{}} }
+
+// Write implements Store.
+func (s *MemStore) Write(path string, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	s.files[path] = buf
+	return nil
+}
+
+// Read implements Store.
+func (s *MemStore) Read(path string) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	data, ok := s.files[path]
+	if !ok {
+		return nil, fmt.Errorf("converter: no artifact %q", path)
+	}
+	return data, nil
+}
+
+// List implements Store.
+func (s *MemStore) List() ([]string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []string
+	for p := range s.files {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// TotalBytes reports total stored bytes, used by size-reduction tests.
+func (s *MemStore) TotalBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var n int64
+	for _, d := range s.files {
+		n += int64(len(d))
+	}
+	return n
+}

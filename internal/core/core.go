@@ -1,0 +1,784 @@
+// Package core implements the eager execution engine of the library — the
+// analogue of the TensorFlow.js Engine described in Sections 3.3–3.8 of the
+// paper.
+//
+// The engine owns:
+//
+//   - the backend registry and the active backend (Section 3.4);
+//   - the tensor/data-container registry with reference counting, which is
+//     what makes reshape and clone free (Section 3.4);
+//   - kernel dispatch: device-specific kernel overrides with a reference-
+//     kernel fallback (Section 3.3);
+//   - tidy scopes for deterministic memory management (Section 3.7);
+//   - the eager gradient tape for automatic differentiation (Section 3.5);
+//   - profiling, timing and the NaN-checking debug mode (Section 3.8).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/jsenv"
+	"repro/internal/kernels"
+	"repro/internal/tensor"
+)
+
+// OpError is the panic value raised for user-level operation errors (shape
+// mismatches, unknown kernels, invalid attributes). Like gonum/mat, the
+// library treats these as programmer errors and panics with a typed value
+// so callers who need to can recover selectively.
+type OpError struct {
+	Kernel string
+	Err    error
+}
+
+// Error implements the error interface.
+func (e *OpError) Error() string { return fmt.Sprintf("op %s: %v", e.Kernel, e.Err) }
+
+// Unwrap exposes the underlying error.
+func (e *OpError) Unwrap() error { return e.Err }
+
+func opPanic(kernel string, err error) {
+	panic(&OpError{Kernel: kernel, Err: err})
+}
+
+// dataEntry tracks one backend data container.
+type dataEntry struct {
+	backend  kernels.Backend
+	refCount int
+	bytes    int64
+	dtype    tensor.DataType
+}
+
+// Engine is the eager execution engine. A process normally uses the single
+// Global engine, matching the global engine of TensorFlow.js.
+type Engine struct {
+	mu sync.Mutex
+
+	backendFactories map[string]func() (kernels.Backend, error)
+	backendOrder     []string
+	backends         map[string]kernels.Backend
+	active           kernels.Backend
+
+	data       map[tensor.DataID]*dataEntry
+	numTensors int
+	numBytes   int64
+	peakBytes  int64
+
+	scopes []*scope
+
+	tapes      []*tape
+	gradDepth  int
+	tapePaused bool
+
+	debugMode     bool
+	debugKernels  []KernelRecord
+	profiling     bool
+	profileRecord *ProfileInfo
+
+	kernelListeners []func(KernelRecord)
+
+	autoFinalize bool
+}
+
+// scope is one tidy frame (Section 3.7).
+type scope struct {
+	name  string
+	track []*tensor.Tensor
+	keep  map[int64]bool
+}
+
+// NewEngine returns an engine with no backends registered. Most callers
+// should use Global instead.
+func NewEngine() *Engine {
+	return &Engine{
+		backendFactories: map[string]func() (kernels.Backend, error){},
+		backends:         map[string]kernels.Backend{},
+		data:             map[tensor.DataID]*dataEntry{},
+	}
+}
+
+var (
+	globalOnce sync.Once
+	global     *Engine
+)
+
+// Global returns the process-wide engine and installs it as the tensor
+// handler on first use.
+func Global() *Engine {
+	globalOnce.Do(func() {
+		global = NewEngine()
+		tensor.SetHandler(global)
+	})
+	return global
+}
+
+// RegisterBackend makes a backend available under name. The factory runs
+// lazily on first SetBackend/use, mirroring tf.registerBackend. Priority of
+// automatic selection follows registration order.
+func (e *Engine) RegisterBackend(name string, factory func() (kernels.Backend, error)) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, dup := e.backendFactories[name]; dup {
+		return
+	}
+	e.backendFactories[name] = factory
+	e.backendOrder = append(e.backendOrder, name)
+}
+
+// SetBackend activates the named backend, initializing it if needed.
+// Tensors created on other backends migrate lazily when next used.
+func (e *Engine) SetBackend(name string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	b, err := e.backendLocked(name)
+	if err != nil {
+		return err
+	}
+	e.active = b
+	return nil
+}
+
+func (e *Engine) backendLocked(name string) (kernels.Backend, error) {
+	if b, ok := e.backends[name]; ok {
+		return b, nil
+	}
+	factory, ok := e.backendFactories[name]
+	if !ok {
+		return nil, fmt.Errorf("core: backend %q is not registered (registered: %v)", name, e.backendOrder)
+	}
+	b, err := factory()
+	if err != nil {
+		return nil, fmt.Errorf("core: initializing backend %q: %w", name, err)
+	}
+	e.backends[name] = b
+	return b, nil
+}
+
+// Backend returns the active backend, auto-selecting the first registered
+// backend when none has been chosen — the automatic fallback behaviour
+// described in Section 3.1 (WebGL when available, otherwise CPU).
+func (e *Engine) Backend() kernels.Backend {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.activeLocked()
+}
+
+func (e *Engine) activeLocked() kernels.Backend {
+	if e.active != nil {
+		return e.active
+	}
+	for _, name := range e.backendOrder {
+		b, err := e.backendLocked(name)
+		if err != nil {
+			continue
+		}
+		e.active = b
+		return b
+	}
+	panic("core: no backend available; register one (import a backend package)")
+}
+
+// BackendName returns the name of the active backend.
+func (e *Engine) BackendName() string { return e.Backend().Name() }
+
+// RegisteredBackends lists backend names in registration (priority) order.
+func (e *Engine) RegisteredBackends() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]string, len(e.backendOrder))
+	copy(out, e.backendOrder)
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Tensor creation and tracking
+
+// MakeTensor uploads values to the active backend and returns a tracked
+// tensor. values must have exactly ShapeSize(shape) elements.
+func (e *Engine) MakeTensor(values []float32, shape []int, dtype tensor.DataType) *tensor.Tensor {
+	if len(values) != tensor.ShapeSize(shape) {
+		opPanic("MakeTensor", fmt.Errorf("got %d values for shape %v (want %d)",
+			len(values), shape, tensor.ShapeSize(shape)))
+	}
+	b := e.Backend()
+	id := tensor.NewDataID()
+	b.Write(id, values, shape, dtype)
+	t := tensor.New(id, shape, dtype)
+	e.registerTensor(t, b)
+	return t
+}
+
+// registerTensor adds a tensor handle to the registry, creating or
+// incrementing its data container's reference count, and tracks it in the
+// current tidy scope.
+func (e *Engine) registerTensor(t *tensor.Tensor, b kernels.Backend) {
+	e.mu.Lock()
+	entry, ok := e.data[t.DataID]
+	if !ok {
+		entry = &dataEntry{backend: b, bytes: int64(t.Bytes()), dtype: t.DType}
+		e.data[t.DataID] = entry
+		e.numBytes += entry.bytes
+		if e.numBytes > e.peakBytes {
+			e.peakBytes = e.numBytes
+		}
+	}
+	entry.refCount++
+	e.numTensors++
+	if n := len(e.scopes); n > 0 {
+		s := e.scopes[n-1]
+		s.track = append(s.track, t)
+	}
+	finalize := e.autoFinalize
+	e.mu.Unlock()
+	if finalize {
+		// Finalizer-based cleanup, the Node.js behaviour of Section 4.2:
+		// "Node.js and Google's V8 JS engine exposes finalization APIs,
+		// [which] eliminates the need for manual memory management."
+		// Dispose is idempotent, so explicit disposal still composes.
+		runtime.SetFinalizer(t, (*tensor.Tensor).Dispose)
+	}
+}
+
+// SetAutoFinalize toggles garbage-collector-driven tensor cleanup: every
+// tensor created while enabled carries a finalizer that disposes it when
+// unreachable. This reproduces the Node.js backend's memory model (§4.2);
+// the browser backends cannot do this, which is why tidy exists (§3.7).
+func (e *Engine) SetAutoFinalize(on bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.autoFinalize = on
+}
+
+// Dispose implements tensor.Handler: it decrements the tensor's data
+// container reference count and frees the container at zero (Section 3.4).
+func (e *Engine) Dispose(t *tensor.Tensor) {
+	e.mu.Lock()
+	entry, ok := e.data[t.DataID]
+	if !ok {
+		e.mu.Unlock()
+		return
+	}
+	e.numTensors--
+	entry.refCount--
+	var freeBackend kernels.Backend
+	if entry.refCount <= 0 {
+		delete(e.data, t.DataID)
+		e.numBytes -= entry.bytes
+		freeBackend = entry.backend
+	}
+	e.mu.Unlock()
+	if freeBackend != nil {
+		freeBackend.DisposeData(t.DataID)
+	}
+}
+
+// ReadSync implements tensor.Handler (tensor.dataSync()).
+func (e *Engine) ReadSync(t *tensor.Tensor) []float32 {
+	e.mu.Lock()
+	entry, ok := e.data[t.DataID]
+	e.mu.Unlock()
+	if !ok {
+		opPanic("DataSync", fmt.Errorf("tensor %d has no data (already disposed?)", t.ID))
+	}
+	return entry.backend.ReadSync(t.DataID)
+}
+
+// Read implements tensor.Handler (tensor.data()).
+func (e *Engine) Read(t *tensor.Tensor) *jsenv.Future[[]float32] {
+	e.mu.Lock()
+	entry, ok := e.data[t.DataID]
+	e.mu.Unlock()
+	if !ok {
+		f := jsenv.NewFuture[[]float32]()
+		f.Resolve(nil, fmt.Errorf("core: tensor %d has no data (already disposed?)", t.ID))
+		return f
+	}
+	return entry.backend.Read(t.DataID)
+}
+
+// Keep implements tensor.Handler (tf.keep): the tensor survives the
+// enclosing tidy scope.
+func (e *Engine) Keep(t *tensor.Tensor) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if n := len(e.scopes); n > 0 {
+		s := e.scopes[n-1]
+		if s.keep == nil {
+			s.keep = map[int64]bool{}
+		}
+		s.keep[t.ID] = true
+	}
+}
+
+// Clone implements tensor.Handler: a free shallow copy sharing the data
+// container.
+func (e *Engine) Clone(t *tensor.Tensor) *tensor.Tensor {
+	e.mu.Lock()
+	entry, ok := e.data[t.DataID]
+	e.mu.Unlock()
+	if !ok {
+		opPanic("Clone", fmt.Errorf("tensor %d has no data (already disposed?)", t.ID))
+	}
+	out := tensor.New(t.DataID, t.Shape, t.DType)
+	e.registerTensor(out, entry.backend)
+	// A clone is differentiable: record it like an identity kernel.
+	e.recordOnTape("Identity", []*tensor.Tensor{t}, []*tensor.Tensor{out}, nil)
+	return out
+}
+
+// NumTensors returns the count of live (undisposed) tensor handles.
+func (e *Engine) NumTensors() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.numTensors
+}
+
+// MemoryInfo is the engine-level allocation snapshot (tf.memory()).
+type MemoryInfo struct {
+	NumTensors     int
+	NumDataBuffers int
+	NumBytes       int64
+	PeakBytes      int64
+	Backend        kernels.MemoryInfo
+}
+
+// Memory reports engine and active-backend allocation state.
+func (e *Engine) Memory() MemoryInfo {
+	b := e.Backend()
+	e.mu.Lock()
+	info := MemoryInfo{
+		NumTensors:     e.numTensors,
+		NumDataBuffers: len(e.data),
+		NumBytes:       e.numBytes,
+		PeakBytes:      e.peakBytes,
+	}
+	e.mu.Unlock()
+	info.Backend = b.Memory()
+	return info
+}
+
+// ---------------------------------------------------------------------------
+// Kernel dispatch
+
+// RunKernel executes the named kernel on the active backend and returns its
+// outputs as tracked tensors. Inputs living on another backend are migrated
+// first. Kernel errors panic with *OpError.
+func (e *Engine) RunKernel(name string, inputs []*tensor.Tensor, attrs kernels.Attrs) []*tensor.Tensor {
+	if attrs == nil {
+		attrs = kernels.Attrs{}
+	}
+	b := e.Backend()
+
+	// Free ops: reshape-family kernels only re-view the data container.
+	if out, ok := e.tryFreeKernel(name, inputs, attrs); ok {
+		return out
+	}
+
+	for _, in := range inputs {
+		e.ensureOnBackend(in, b)
+	}
+
+	var outs []*tensor.Tensor
+	run := func() {
+		outs = e.dispatch(name, b, inputs, attrs)
+	}
+
+	if e.isProfiling() || e.isDebug() || len(e.kernelListeners) > 0 {
+		e.instrumentedRun(name, b, inputs, attrs, run, func() []*tensor.Tensor { return outs })
+	} else {
+		run()
+	}
+
+	e.recordOnTape(name, inputs, outs, attrs)
+	return outs
+}
+
+// RunKernel1 runs a kernel expected to produce exactly one output.
+func (e *Engine) RunKernel1(name string, inputs []*tensor.Tensor, attrs kernels.Attrs) *tensor.Tensor {
+	outs := e.RunKernel(name, inputs, attrs)
+	if len(outs) != 1 {
+		opPanic(name, fmt.Errorf("expected 1 output, got %d", len(outs)))
+	}
+	return outs[0]
+}
+
+// tryFreeKernel handles the kernels that are free because tensors are
+// decoupled from their data (Section 3.4): Reshape, Identity and
+// dtype-preserving Cast share the input's container.
+func (e *Engine) tryFreeKernel(name string, inputs []*tensor.Tensor, attrs kernels.Attrs) ([]*tensor.Tensor, bool) {
+	switch name {
+	case "Reshape":
+		if len(inputs) != 1 {
+			opPanic(name, fmt.Errorf("got %d inputs, want 1", len(inputs)))
+		}
+		in := inputs[0]
+		shape, err := tensor.InferShape(attrs.Ints("shape", nil), in.Size())
+		if err != nil {
+			opPanic(name, err)
+		}
+		out := e.shareData(in, shape, in.DType)
+		e.recordOnTape(name, inputs, []*tensor.Tensor{out}, kernels.Attrs{"shape": shape, "inputShape": tensor.CopyShape(in.Shape)})
+		return []*tensor.Tensor{out}, true
+	case "Identity":
+		if len(inputs) != 1 {
+			opPanic(name, fmt.Errorf("got %d inputs, want 1", len(inputs)))
+		}
+		in := inputs[0]
+		out := e.shareData(in, in.Shape, in.DType)
+		e.recordOnTape(name, inputs, []*tensor.Tensor{out}, nil)
+		return []*tensor.Tensor{out}, true
+	case "Cast":
+		if len(inputs) != 1 {
+			opPanic(name, fmt.Errorf("got %d inputs, want 1", len(inputs)))
+		}
+		in := inputs[0]
+		dt, err := tensor.ParseDataType(attrs.String("dtype", "float32"))
+		if err != nil {
+			opPanic(name, err)
+		}
+		if dt == in.DType || (in.DType == tensor.Bool && dt != tensor.Bool) || (in.DType == tensor.Int32 && dt == tensor.Float32) {
+			// Bool (0/1) and Int32 values are already valid float32
+			// payloads; only float->int/bool needs value conversion.
+			out := e.shareData(in, in.Shape, dt)
+			e.recordOnTape("Cast", inputs, []*tensor.Tensor{out}, attrs)
+			return []*tensor.Tensor{out}, true
+		}
+		return nil, false
+	}
+	return nil, false
+}
+
+// shareData creates a tensor sharing an existing data container.
+func (e *Engine) shareData(in *tensor.Tensor, shape []int, dtype tensor.DataType) *tensor.Tensor {
+	e.mu.Lock()
+	entry, ok := e.data[in.DataID]
+	e.mu.Unlock()
+	if !ok {
+		opPanic("shareData", fmt.Errorf("tensor %d has no data (already disposed?)", in.ID))
+	}
+	out := tensor.New(in.DataID, shape, dtype)
+	e.registerTensor(out, entry.backend)
+	return out
+}
+
+// ensureOnBackend migrates a tensor's data to backend b when it lives
+// elsewhere, mirroring how TensorFlow.js moves data when the active backend
+// changes.
+func (e *Engine) ensureOnBackend(t *tensor.Tensor, b kernels.Backend) {
+	e.mu.Lock()
+	entry, ok := e.data[t.DataID]
+	e.mu.Unlock()
+	if !ok {
+		opPanic("RunKernel", fmt.Errorf("input tensor %d has no data (already disposed?)", t.ID))
+	}
+	if entry.backend == b {
+		return
+	}
+	// The container keeps its DataID while moving between backends, so
+	// every tensor handle sharing it stays valid.
+	values := entry.backend.ReadSync(t.DataID)
+	entry.backend.DisposeData(t.DataID)
+	b.Write(t.DataID, values, t.Shape, t.DType)
+	e.mu.Lock()
+	entry.backend = b
+	e.mu.Unlock()
+}
+
+// dispatch runs the kernel on the backend: device override first, else the
+// reference kernel through host memory.
+func (e *Engine) dispatch(name string, b kernels.Backend, inputs []*tensor.Tensor, attrs kernels.Attrs) []*tensor.Tensor {
+	if ov, ok := b.(kernels.Overrider); ok {
+		if k, ok := ov.KernelOverride(name); ok {
+			kIns := make([]kernels.Input, len(inputs))
+			for i, in := range inputs {
+				kIns[i] = kernels.Input{DataID: in.DataID, Shape: in.Shape, DType: in.DType}
+			}
+			infos, err := k(kIns, attrs)
+			switch {
+			case err == nil:
+				outs := make([]*tensor.Tensor, len(infos))
+				for i, info := range infos {
+					t := tensor.New(info.DataID, info.Shape, info.DType)
+					e.registerTensor(t, b)
+					outs[i] = t
+				}
+				return outs
+			case errors.Is(err, kernels.ErrFallback):
+				// The override declined this shape/attr combination;
+				// run the reference kernel below.
+			default:
+				opPanic(name, err)
+			}
+		}
+	}
+
+	ref, ok := kernels.LookupRef(name)
+	if !ok {
+		opPanic(name, fmt.Errorf("kernel not registered for backend %q and no reference implementation", b.Name()))
+	}
+	bufs := make([]kernels.Buffer, len(inputs))
+	for i, in := range inputs {
+		bufs[i] = kernels.Buffer{Data: b.ReadSync(in.DataID), Shape: in.Shape, DType: in.DType}
+	}
+	outBufs, err := ref(bufs, attrs)
+	if err != nil {
+		opPanic(name, err)
+	}
+	outs := make([]*tensor.Tensor, len(outBufs))
+	for i, ob := range outBufs {
+		id := tensor.NewDataID()
+		b.Write(id, ob.Data, ob.Shape, ob.DType)
+		t := tensor.New(id, ob.Shape, ob.DType)
+		e.registerTensor(t, b)
+		outs[i] = t
+	}
+	return outs
+}
+
+// ---------------------------------------------------------------------------
+// Tidy scopes (Section 3.7)
+
+// StartScope pushes a named tidy scope.
+func (e *Engine) StartScope(name string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.scopes = append(e.scopes, &scope{name: name})
+}
+
+// EndScope pops the current scope and disposes every tensor created inside
+// it except the escaping tensors and those marked with Keep.
+func (e *Engine) EndScope(escaping []*tensor.Tensor) {
+	e.mu.Lock()
+	n := len(e.scopes)
+	if n == 0 {
+		e.mu.Unlock()
+		panic("core: EndScope without matching StartScope")
+	}
+	s := e.scopes[n-1]
+	e.scopes = e.scopes[:n-1]
+	survive := map[int64]bool{}
+	for id := range s.keep {
+		survive[id] = true
+	}
+	for _, t := range escaping {
+		if t != nil {
+			survive[t.ID] = true
+		}
+	}
+	var toDispose []*tensor.Tensor
+	var toParent []*tensor.Tensor
+	// While a gradient tape is active, intermediates must survive inner
+	// tidy scopes: the backward pass still needs them. They migrate to
+	// the parent scope and are disposed when the gradient computation's
+	// own scope ends (the same policy as the TensorFlow.js engine, which
+	// keeps tensors while gradientDepth > 0).
+	inGradMode := e.gradDepth > 0
+	for _, t := range s.track {
+		if survive[t.ID] || t.Disposed() || inGradMode {
+			toParent = append(toParent, t)
+			continue
+		}
+		toDispose = append(toDispose, t)
+	}
+	// Escaping tensors are re-tracked in the parent scope so nested tidies
+	// compose.
+	if n2 := len(e.scopes); n2 > 0 {
+		parent := e.scopes[n2-1]
+		parent.track = append(parent.track, toParent...)
+	}
+	e.mu.Unlock()
+	for _, t := range toDispose {
+		t.Dispose()
+	}
+}
+
+// Tidy runs fn inside a scope and disposes all intermediate tensors except
+// those returned (tf.tidy, Section 3.7).
+func (e *Engine) Tidy(name string, fn func() []*tensor.Tensor) []*tensor.Tensor {
+	e.StartScope(name)
+	var out []*tensor.Tensor
+	defer func() { e.EndScope(out) }()
+	out = fn()
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Debug mode and profiling (Section 3.8)
+
+// KernelRecord describes one executed kernel, as surfaced by the debug and
+// profiling modes.
+type KernelRecord struct {
+	Name         string
+	InputShapes  [][]int
+	OutputShapes [][]int
+	BytesAdded   int64
+	TotalBytes   int64
+	WallMS       float64
+	KernelMS     float64
+	HasKernelMS  bool
+}
+
+// SetDebugMode toggles the paper's debug mode: every kernel is profiled and
+// its outputs downloaded and scanned for NaNs, panicking at the first
+// kernel that introduces one.
+func (e *Engine) SetDebugMode(on bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.debugMode = on
+	if !on {
+		e.debugKernels = nil
+	}
+}
+
+// DebugKernels returns the kernel records accumulated while debug mode was
+// active.
+func (e *Engine) DebugKernels() []KernelRecord {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]KernelRecord, len(e.debugKernels))
+	copy(out, e.debugKernels)
+	return out
+}
+
+// AddKernelListener registers a callback invoked with every kernel record;
+// used by tooling. Returns a remove function.
+func (e *Engine) AddKernelListener(fn func(KernelRecord)) (remove func()) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.kernelListeners = append(e.kernelListeners, fn)
+	idx := len(e.kernelListeners) - 1
+	return func() {
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		e.kernelListeners[idx] = nil
+	}
+}
+
+func (e *Engine) isDebug() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.debugMode
+}
+
+func (e *Engine) isProfiling() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.profiling
+}
+
+// instrumentedRun wraps a kernel execution with timing, memory accounting,
+// NaN checking and listener notification.
+func (e *Engine) instrumentedRun(name string, b kernels.Backend, inputs []*tensor.Tensor, attrs kernels.Attrs, run func(), outs func() []*tensor.Tensor) {
+	before := e.Memory()
+	ti := b.Time(run)
+	after := e.Memory()
+
+	rec := KernelRecord{
+		Name:        name,
+		BytesAdded:  after.NumBytes - before.NumBytes,
+		TotalBytes:  after.NumBytes,
+		WallMS:      ti.WallMS,
+		KernelMS:    ti.KernelMS,
+		HasKernelMS: ti.HasKernelMS,
+	}
+	for _, in := range inputs {
+		rec.InputShapes = append(rec.InputShapes, tensor.CopyShape(in.Shape))
+	}
+	for _, out := range outs() {
+		rec.OutputShapes = append(rec.OutputShapes, tensor.CopyShape(out.Shape))
+	}
+
+	e.mu.Lock()
+	debug := e.debugMode
+	if debug {
+		e.debugKernels = append(e.debugKernels, rec)
+	}
+	if e.profiling && e.profileRecord != nil {
+		e.profileRecord.Kernels = append(e.profileRecord.Kernels, rec)
+		if after.NumBytes > e.profileRecord.PeakBytes {
+			e.profileRecord.PeakBytes = after.NumBytes
+		}
+	}
+	listeners := make([]func(KernelRecord), 0, len(e.kernelListeners))
+	for _, l := range e.kernelListeners {
+		if l != nil {
+			listeners = append(listeners, l)
+		}
+	}
+	e.mu.Unlock()
+
+	for _, l := range listeners {
+		l(rec)
+	}
+
+	if debug {
+		// Download every output and throw at the first NaN (Section 3.8).
+		for _, out := range outs() {
+			vals := b.ReadSync(out.DataID)
+			for i, v := range vals {
+				if math.IsNaN(float64(v)) {
+					opPanic(name, fmt.Errorf("debug mode: NaN introduced at output element %d (output shape %v)", i, out.Shape))
+				}
+			}
+		}
+	}
+}
+
+// ProfileInfo is the result of Profile (tf.profile()): memory effects and
+// the kernels executed by the profiled function.
+type ProfileInfo struct {
+	NewBytes   int64
+	NewTensors int
+	PeakBytes  int64
+	Kernels    []KernelRecord
+}
+
+// KernelNames returns the distinct kernel names in execution order.
+func (p ProfileInfo) KernelNames() []string {
+	seen := map[string]bool{}
+	var names []string
+	for _, k := range p.Kernels {
+		if !seen[k.Name] {
+			seen[k.Name] = true
+			names = append(names, k.Name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Profile runs f and reports its memory and kernel effects (Section 3.8).
+func (e *Engine) Profile(f func()) ProfileInfo {
+	before := e.Memory()
+	e.mu.Lock()
+	e.profiling = true
+	e.profileRecord = &ProfileInfo{PeakBytes: before.NumBytes}
+	e.mu.Unlock()
+
+	f()
+
+	e.mu.Lock()
+	info := *e.profileRecord
+	e.profiling = false
+	e.profileRecord = nil
+	e.mu.Unlock()
+
+	after := e.Memory()
+	info.NewBytes = after.NumBytes - before.NumBytes
+	info.NewTensors = after.NumTensors - before.NumTensors
+	return info
+}
+
+// Time runs f on the active backend's timer (tf.time(), Section 3.8). For
+// the WebGL backend KernelMS is the device-measured program time, excluding
+// upload and download.
+func (e *Engine) Time(f func()) kernels.TimeInfo {
+	return e.Backend().Time(f)
+}
+
+var _ tensor.Handler = (*Engine)(nil)

@@ -1,0 +1,137 @@
+// Package cpu implements the plain CPU backend: the analogue of the
+// paper's "plain JS" backend (Section 3.1), a straightforward
+// single-threaded implementation that runs anywhere and serves as the
+// baseline of Table 1.
+//
+// The backend stores data containers as host slices and provides no kernel
+// overrides: every operation executes through the engine's reference-kernel
+// path, scalar and single-threaded, just as the plain JS backend executes
+// interpreted loops. The optimized backends (webgl, native) embed this
+// package's storage plane and override the kernels that matter.
+package cpu
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/jsenv"
+	"repro/internal/kernels"
+	"repro/internal/tensor"
+)
+
+// Backend is a host-memory backend.
+type Backend struct {
+	name string
+
+	mu    sync.Mutex
+	bufs  map[tensor.DataID][]float32
+	bytes int64
+}
+
+// New returns the plain CPU backend.
+func New() *Backend { return NewNamed("cpu") }
+
+// NewNamed returns a host-memory backend with a custom name; used by
+// backends that embed this storage plane.
+func NewNamed(name string) *Backend {
+	return &Backend{name: name, bufs: map[tensor.DataID][]float32{}}
+}
+
+// Name implements kernels.Backend.
+func (b *Backend) Name() string { return b.name }
+
+// Write implements kernels.Backend.
+func (b *Backend) Write(d tensor.DataID, values []float32, shape []int, dtype tensor.DataType) {
+	buf := make([]float32, len(values))
+	copy(buf, values)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, dup := b.bufs[d]; dup {
+		panic(fmt.Sprintf("cpu: duplicate write for data id %d", d))
+	}
+	b.bufs[d] = buf
+	b.bytes += int64(len(buf)) * 4
+}
+
+// WriteOwned registers a buffer the backend takes ownership of, avoiding a
+// copy. Used by kernel overrides that allocate their own outputs.
+func (b *Backend) WriteOwned(d tensor.DataID, buf []float32) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, dup := b.bufs[d]; dup {
+		panic(fmt.Sprintf("cpu: duplicate write for data id %d", d))
+	}
+	b.bufs[d] = buf
+	b.bytes += int64(len(buf)) * 4
+}
+
+// Raw returns the backing buffer without copying. The buffer must be
+// treated as immutable; it is shared by every tensor handle onto the
+// container. Intended for embedding backends' kernel overrides.
+func (b *Backend) Raw(d tensor.DataID) []float32 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	buf, ok := b.bufs[d]
+	if !ok {
+		panic(fmt.Sprintf("cpu: read of unknown data id %d", d))
+	}
+	return buf
+}
+
+// ReadSync implements kernels.Backend. Like the TensorFlow.js CPU backend
+// it returns the backing buffer without copying; callers must not mutate
+// it.
+func (b *Backend) ReadSync(d tensor.DataID) []float32 { return b.Raw(d) }
+
+// Read implements kernels.Backend. Host memory is immediately available, so
+// the future resolves without waiting, but asynchronously — preserving the
+// scheduling contract that tensor.data() never runs its continuation
+// inline.
+func (b *Backend) Read(d tensor.DataID) *jsenv.Future[[]float32] {
+	f := jsenv.NewFuture[[]float32]()
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				f.Resolve(nil, fmt.Errorf("cpu: %v", r))
+			}
+		}()
+		f.Resolve(b.Raw(d), nil)
+	}()
+	return f
+}
+
+// DisposeData implements kernels.Backend.
+func (b *Backend) DisposeData(d tensor.DataID) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if buf, ok := b.bufs[d]; ok {
+		b.bytes -= int64(len(buf)) * 4
+		delete(b.bufs, d)
+	}
+}
+
+// Memory implements kernels.Backend.
+func (b *Backend) Memory() kernels.MemoryInfo {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return kernels.MemoryInfo{NumBuffers: len(b.bufs), NumBytes: b.bytes}
+}
+
+// Time implements kernels.Backend. The CPU has no separate device timeline,
+// so only wall time is reported.
+func (b *Backend) Time(f func()) kernels.TimeInfo {
+	start := time.Now()
+	f()
+	return kernels.TimeInfo{WallMS: float64(time.Since(start)) / float64(time.Millisecond)}
+}
+
+// Close implements kernels.Backend.
+func (b *Backend) Close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.bufs = map[tensor.DataID][]float32{}
+	b.bytes = 0
+}
+
+var _ kernels.Backend = (*Backend)(nil)

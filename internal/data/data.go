@@ -1,0 +1,216 @@
+// Package data provides input utilities: the tf.fromPixels analogue that
+// turns native image objects into tensors (Section 5.2: "model prediction
+// methods always take native JS objects like DOM elements"), plus synthetic
+// dataset generators used by the examples and benchmarks in place of
+// webcam/MNIST data.
+package data
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/ops"
+	"repro/internal/tensor"
+)
+
+// Image is the native image object of this environment — the counterpart
+// of an HTMLImageElement or canvas ImageData. Pixels are HWC row-major
+// float32 values, normally in [0, 255].
+type Image struct {
+	Width    int
+	Height   int
+	Channels int
+	Pixels   []float32
+}
+
+// NewImage allocates a zero image.
+func NewImage(width, height, channels int) *Image {
+	return &Image{
+		Width: width, Height: height, Channels: channels,
+		Pixels: make([]float32, width*height*channels),
+	}
+}
+
+// At returns the pixel value at (x, y, c).
+func (im *Image) At(x, y, c int) float32 {
+	return im.Pixels[(y*im.Width+x)*im.Channels+c]
+}
+
+// Set writes the pixel value at (x, y, c).
+func (im *Image) Set(x, y, c int, v float32) {
+	im.Pixels[(y*im.Width+x)*im.Channels+c] = v
+}
+
+// FromPixels converts an image into a [height, width, channels] tensor —
+// tf.fromPixels.
+func FromPixels(im *Image) *tensor.Tensor {
+	return ops.FromValues(im.Pixels, im.Height, im.Width, im.Channels)
+}
+
+// FromPixelsBatch converts an image into a [1, height, width, channels]
+// tensor, the layout models consume.
+func FromPixelsBatch(im *Image) *tensor.Tensor {
+	return ops.FromValues(im.Pixels, 1, im.Height, im.Width, im.Channels)
+}
+
+// NormalizeForMobileNet scales [0, 255] pixel tensors to [-1, 1], the
+// MobileNet input convention.
+func NormalizeForMobileNet(t *tensor.Tensor) *tensor.Tensor {
+	return ops.SubScalar(ops.DivScalar(t, 127.5), 1)
+}
+
+// SyntheticPhoto renders a deterministic synthetic "photo": a gradient
+// background with a few bright blobs, standing in for a webcam frame.
+func SyntheticPhoto(size int, seed int64) *Image {
+	rng := rand.New(rand.NewSource(seed))
+	im := NewImage(size, size, 3)
+	for y := 0; y < size; y++ {
+		for x := 0; x < size; x++ {
+			im.Set(x, y, 0, float32(x)/float32(size)*255)
+			im.Set(x, y, 1, float32(y)/float32(size)*255)
+			im.Set(x, y, 2, 128)
+		}
+	}
+	for b := 0; b < 5; b++ {
+		cx, cy := rng.Intn(size), rng.Intn(size)
+		r := size / 8
+		for dy := -r; dy <= r; dy++ {
+			for dx := -r; dx <= r; dx++ {
+				x, y := cx+dx, cy+dy
+				if x < 0 || x >= size || y < 0 || y >= size {
+					continue
+				}
+				d := math.Sqrt(float64(dx*dx + dy*dy))
+				if d > float64(r) {
+					continue
+				}
+				v := float32(255 * (1 - d/float64(r)))
+				for c := 0; c < 3; c++ {
+					if cur := im.At(x, y, c); v > cur {
+						im.Set(x, y, c, v)
+					}
+				}
+			}
+		}
+	}
+	return im
+}
+
+// Perturb returns a copy of the image with Gaussian pixel noise, standing
+// in for consecutive webcam frames of the same scene.
+func Perturb(im *Image, noiseStd float64, seed int64) *Image {
+	rng := rand.New(rand.NewSource(seed))
+	out := NewImage(im.Width, im.Height, im.Channels)
+	for i, v := range im.Pixels {
+		nv := float64(v) + rng.NormFloat64()*noiseStd
+		if nv < 0 {
+			nv = 0
+		}
+		if nv > 255 {
+			nv = 255
+		}
+		out.Pixels[i] = float32(nv)
+	}
+	return out
+}
+
+// Digits is a synthetic MNIST-like dataset: 10 classes of 16x16 glyph
+// patterns with additive noise.
+type Digits struct {
+	// Images is [n, 16, 16, 1] in [0, 1].
+	Images *tensor.Tensor
+	// Labels is [n, 10] one-hot.
+	Labels *tensor.Tensor
+	// ClassOf returns the class index of example i.
+	ClassOf []int
+}
+
+// digitGlyphs defines a coarse 4x4 pattern per class; rendering upscales
+// to 16x16. The patterns are arbitrary but distinct.
+var digitGlyphs = [10][16]float32{
+	{1, 1, 1, 1, 1, 0, 0, 1, 1, 0, 0, 1, 1, 1, 1, 1}, // 0: ring
+	{0, 1, 0, 0, 1, 1, 0, 0, 0, 1, 0, 0, 1, 1, 1, 0}, // 1
+	{1, 1, 1, 0, 0, 0, 1, 0, 0, 1, 0, 0, 1, 1, 1, 1}, // 2
+	{1, 1, 1, 0, 0, 1, 1, 0, 0, 0, 1, 0, 1, 1, 1, 0}, // 3
+	{1, 0, 1, 0, 1, 1, 1, 1, 0, 0, 1, 0, 0, 0, 1, 0}, // 4
+	{1, 1, 1, 1, 1, 1, 0, 0, 0, 0, 1, 1, 1, 1, 1, 0}, // 5
+	{0, 1, 1, 0, 1, 0, 0, 0, 1, 1, 1, 0, 1, 1, 1, 0}, // 6
+	{1, 1, 1, 1, 0, 0, 1, 0, 0, 1, 0, 0, 1, 0, 0, 0}, // 7
+	{0, 1, 1, 0, 1, 1, 1, 1, 1, 1, 1, 1, 0, 1, 1, 0}, // 8
+	{0, 1, 1, 1, 0, 1, 0, 1, 0, 1, 1, 1, 0, 0, 0, 1}, // 9
+}
+
+// SyntheticDigits generates n examples with the given noise level.
+func SyntheticDigits(n int, noise float64, seed int64) *Digits {
+	rng := rand.New(rand.NewSource(seed))
+	const side = 16
+	imgs := make([]float32, n*side*side)
+	labels := make([]float32, n*10)
+	classes := make([]int, n)
+	for i := 0; i < n; i++ {
+		cls := rng.Intn(10)
+		classes[i] = cls
+		labels[i*10+cls] = 1
+		glyph := digitGlyphs[cls]
+		base := i * side * side
+		for y := 0; y < side; y++ {
+			for x := 0; x < side; x++ {
+				gv := glyph[(y/4)*4+(x/4)]
+				v := float64(gv)*0.9 + rng.NormFloat64()*noise
+				if v < 0 {
+					v = 0
+				}
+				if v > 1 {
+					v = 1
+				}
+				imgs[base+y*side+x] = float32(v)
+			}
+		}
+	}
+	return &Digits{
+		Images:  ops.FromValues(imgs, n, side, side, 1),
+		Labels:  ops.FromValues(labels, n, 10),
+		ClassOf: classes,
+	}
+}
+
+// Dispose releases the dataset tensors.
+func (d *Digits) Dispose() {
+	d.Images.Dispose()
+	d.Labels.Dispose()
+}
+
+// LinearDataset generates (x, y=wx+b+noise) pairs for regression examples.
+func LinearDataset(n int, w, b, noise float64, seed int64) (xs, ys *tensor.Tensor) {
+	rng := rand.New(rand.NewSource(seed))
+	xv := make([]float32, n)
+	yv := make([]float32, n)
+	for i := 0; i < n; i++ {
+		x := rng.Float64()*10 - 5
+		xv[i] = float32(x)
+		yv[i] = float32(w*x + b + rng.NormFloat64()*noise)
+	}
+	return ops.FromValues(xv, n, 1), ops.FromValues(yv, n, 1)
+}
+
+// Split divides a dataset tensor along the first axis into train and test
+// parts.
+func Split(t *tensor.Tensor, trainFraction float64) (train, test *tensor.Tensor, err error) {
+	if t.Rank() < 1 {
+		return nil, nil, fmt.Errorf("data: cannot split rank-0 tensor")
+	}
+	n := t.Shape[0]
+	nTrain := int(float64(n) * trainFraction)
+	if nTrain <= 0 || nTrain >= n {
+		return nil, nil, fmt.Errorf("data: train fraction %g leaves an empty split of %d examples", trainFraction, n)
+	}
+	begin := make([]int, t.Rank())
+	size := tensor.CopyShape(t.Shape)
+	size[0] = nTrain
+	train = ops.Slice(t, begin, size)
+	begin[0] = nTrain
+	size[0] = n - nTrain
+	test = ops.Slice(t, begin, size)
+	return train, test, nil
+}

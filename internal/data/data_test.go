@@ -1,0 +1,156 @@
+package data_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/data"
+	"repro/internal/kernels"
+	"repro/internal/tensor"
+)
+
+func init() {
+	core.Global().RegisterBackend("cpu", func() (kernels.Backend, error) { return cpu.New(), nil })
+}
+
+func TestFromPixelsLayout(t *testing.T) {
+	im := data.NewImage(2, 3, 3) // width 2, height 3, rgb
+	im.Set(1, 2, 0, 42)
+	tt := data.FromPixels(im)
+	defer tt.Dispose()
+	if !tensor.ShapesEqual(tt.Shape, []int{3, 2, 3}) {
+		t.Fatalf("FromPixels shape %v, want [h w c] = [3 2 3]", tt.Shape)
+	}
+	vals := tt.DataSync()
+	// (y=2, x=1, c=0) at flat (2*2+1)*3+0 = 15.
+	if vals[15] != 42 {
+		t.Fatalf("pixel not where expected: %v", vals)
+	}
+	batched := data.FromPixelsBatch(im)
+	defer batched.Dispose()
+	if !tensor.ShapesEqual(batched.Shape, []int{1, 3, 2, 3}) {
+		t.Fatalf("FromPixelsBatch shape %v", batched.Shape)
+	}
+}
+
+func TestNormalizeForMobileNet(t *testing.T) {
+	im := data.NewImage(1, 1, 3)
+	im.Set(0, 0, 0, 0)
+	im.Set(0, 0, 1, 127.5)
+	im.Set(0, 0, 2, 255)
+	tt := data.FromPixels(im)
+	defer tt.Dispose()
+	norm := data.NormalizeForMobileNet(tt)
+	defer norm.Dispose()
+	got := norm.DataSync()
+	if got[0] != -1 || got[1] != 0 || got[2] != 1 {
+		t.Fatalf("normalized = %v, want [-1 0 1]", got)
+	}
+}
+
+func TestSyntheticPhotoDeterministic(t *testing.T) {
+	a := data.SyntheticPhoto(32, 5)
+	b := data.SyntheticPhoto(32, 5)
+	c := data.SyntheticPhoto(32, 6)
+	same, diff := true, false
+	for i := range a.Pixels {
+		if a.Pixels[i] != b.Pixels[i] {
+			same = false
+		}
+		if a.Pixels[i] != c.Pixels[i] {
+			diff = true
+		}
+	}
+	if !same {
+		t.Fatal("same seed must give identical photos")
+	}
+	if !diff {
+		t.Fatal("different seeds must differ")
+	}
+	for _, v := range a.Pixels {
+		if v < 0 || v > 255 {
+			t.Fatalf("pixel %g out of range", v)
+		}
+	}
+}
+
+func TestPerturbBounded(t *testing.T) {
+	im := data.SyntheticPhoto(16, 1)
+	noisy := data.Perturb(im, 10, 2)
+	changed := false
+	for i := range im.Pixels {
+		if noisy.Pixels[i] != im.Pixels[i] {
+			changed = true
+		}
+		if noisy.Pixels[i] < 0 || noisy.Pixels[i] > 255 {
+			t.Fatalf("perturbed pixel %g out of range", noisy.Pixels[i])
+		}
+	}
+	if !changed {
+		t.Fatal("perturbation changed nothing")
+	}
+}
+
+func TestSyntheticDigits(t *testing.T) {
+	d := data.SyntheticDigits(50, 0.1, 3)
+	defer d.Dispose()
+	if !tensor.ShapesEqual(d.Images.Shape, []int{50, 16, 16, 1}) {
+		t.Fatalf("images shape %v", d.Images.Shape)
+	}
+	if !tensor.ShapesEqual(d.Labels.Shape, []int{50, 10}) {
+		t.Fatalf("labels shape %v", d.Labels.Shape)
+	}
+	labels := d.Labels.DataSync()
+	for i := 0; i < 50; i++ {
+		sum := float32(0)
+		for c := 0; c < 10; c++ {
+			sum += labels[i*10+c]
+		}
+		if sum != 1 {
+			t.Fatalf("label row %d sums to %g", i, sum)
+		}
+		if labels[i*10+d.ClassOf[i]] != 1 {
+			t.Fatalf("ClassOf[%d] inconsistent with one-hot", i)
+		}
+	}
+	imgs := d.Images.DataSync()
+	for i, v := range imgs {
+		if v < 0 || v > 1 {
+			t.Fatalf("pixel %d = %g outside [0,1]", i, v)
+		}
+	}
+}
+
+func TestLinearDataset(t *testing.T) {
+	xs, ys := data.LinearDataset(100, 2, -1, 0, 1)
+	defer xs.Dispose()
+	defer ys.Dispose()
+	xv, yv := xs.DataSync(), ys.DataSync()
+	for i := range xv {
+		want := 2*xv[i] - 1
+		if diff := yv[i] - want; diff > 1e-5 || diff < -1e-5 {
+			t.Fatalf("noiseless dataset: y[%d] = %g, want %g", i, yv[i], want)
+		}
+	}
+}
+
+func TestSplit(t *testing.T) {
+	xs, _ := data.LinearDataset(10, 1, 0, 0, 1)
+	defer xs.Dispose()
+	train, test, err := data.Split(xs, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer train.Dispose()
+	defer test.Dispose()
+	if train.Shape[0] != 7 || test.Shape[0] != 3 {
+		t.Fatalf("split sizes %d/%d", train.Shape[0], test.Shape[0])
+	}
+	if _, _, err := data.Split(xs, 0); err == nil {
+		t.Fatal("empty split must error")
+	}
+	if _, _, err := data.Split(xs, 1); err == nil {
+		t.Fatal("full split must error")
+	}
+}

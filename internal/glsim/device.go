@@ -1,0 +1,444 @@
+package glsim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config describes the simulated device's capabilities, the properties the
+// paper's backend has to detect and adapt to (Section 4.1.3).
+type Config struct {
+	// MaxTextureSize is the maximum texture dimension (gl.MAX_TEXTURE_SIZE).
+	MaxTextureSize int
+	// WebGLVersion is 1 or 2. Version 2 exposes gl.fenceSync; version 1
+	// devices fall back to the EXT_disjoint_timer_query bit polling
+	// described in Section 4.1.1.
+	WebGLVersion int
+	// HalfFloatOnly marks a device whose float textures are 16-bit, like
+	// iOS Safari (Section 4.1.3).
+	HalfFloatOnly bool
+	// DisjointTimerQuery enables the GPU timing extension.
+	DisjointTimerQuery bool
+	// Workers is the number of host goroutines used to execute texel
+	// invocations; 0 means NumCPU.
+	Workers int
+	// SimulatedCores is the number of shader cores the device's timing
+	// model assumes. Texel invocations execute functionally on the host,
+	// but the device's timer (the disjoint-timer-query / tf.time()
+	// backing) reports modeled GPU time: the host execution time of a
+	// program divided by the parallelism available to it,
+	// min(SimulatedCores, output texels). 0 means 64, roughly an
+	// integrated laptop GPU's effective fragment throughput relative to
+	// one CPU core. See DESIGN.md on the WebGL substitution.
+	SimulatedCores int
+	// QueueDepth is the command queue capacity; 0 means 1024.
+	QueueDepth int
+	// TextureAllocCost models the driver cost of allocating a texture;
+	// deletion charges half. The paper's recycler exists because
+	// "disposing and re-allocating WebGL textures is relatively
+	// expensive" (Section 4.1.2); without a cost model the ablation
+	// cannot show that. 0 means 50µs; negative disables.
+	TextureAllocCost time.Duration
+}
+
+// DefaultConfig returns a WebGL2, full-float device.
+func DefaultConfig() Config {
+	return Config{
+		MaxTextureSize:     16384,
+		WebGLVersion:       2,
+		DisjointTimerQuery: true,
+	}
+}
+
+// command is one entry in the GPU command queue.
+type command struct {
+	run func()
+}
+
+// Stats counts device activity for tests and ablation benchmarks.
+type Stats struct {
+	ProgramsExecuted int64
+	TexelInvocations int64
+	TexturesCreated  int64
+	TexturesDeleted  int64
+	Uploads          int64
+	Readbacks        int64
+}
+
+// Device is the simulated GPU. Commands execute strictly in submission
+// order on a dedicated goroutine (the "GPU thread" of Section 4.1.1);
+// within one program execution, texels run in parallel across Workers
+// goroutines, matching the fragment-shader model of Figure 4.
+type Device struct {
+	cfg     Config
+	queue   chan command
+	done    chan struct{}
+	wg      sync.WaitGroup
+	workers int
+
+	mu           sync.Mutex
+	textureBytes int64
+	numTextures  int
+
+	stats struct {
+		programs atomic.Int64
+		texels   atomic.Int64
+		created  atomic.Int64
+		deleted  atomic.Int64
+		uploads  atomic.Int64
+		reads    atomic.Int64
+	}
+
+	// timing is guarded by timingMu and only touched on the GPU goroutine
+	// plus readers.
+	timingMu    sync.Mutex
+	timing      bool
+	timedMillis float64
+}
+
+// NewDevice creates and starts a simulated device.
+func NewDevice(cfg Config) *Device {
+	if cfg.MaxTextureSize == 0 {
+		cfg.MaxTextureSize = 16384
+	}
+	if cfg.WebGLVersion == 0 {
+		cfg.WebGLVersion = 2
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.NumCPU()
+	}
+	if cfg.SimulatedCores <= 0 {
+		cfg.SimulatedCores = 64
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 1024
+	}
+	if cfg.TextureAllocCost == 0 {
+		cfg.TextureAllocCost = 50 * time.Microsecond
+	}
+	d := &Device{
+		cfg:     cfg,
+		queue:   make(chan command, cfg.QueueDepth),
+		done:    make(chan struct{}),
+		workers: cfg.Workers,
+	}
+	d.wg.Add(1)
+	go d.run()
+	return d
+}
+
+// Config returns the device capabilities.
+func (d *Device) Config() Config { return d.cfg }
+
+func (d *Device) run() {
+	defer d.wg.Done()
+	for {
+		select {
+		case cmd := <-d.queue:
+			cmd.run()
+		case <-d.done:
+			for {
+				select {
+				case cmd := <-d.queue:
+					cmd.run()
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// submit enqueues a command, blocking if the queue is full (as the real
+// driver does when the command buffer fills).
+func (d *Device) submit(run func()) {
+	select {
+	case <-d.done:
+		// Device closed: execute inline so callers don't hang.
+		run()
+	default:
+		d.queue <- command{run: run}
+	}
+}
+
+// Close drains the queue and stops the GPU goroutine.
+func (d *Device) Close() {
+	select {
+	case <-d.done:
+		return
+	default:
+	}
+	close(d.done)
+	d.wg.Wait()
+}
+
+// ---------------------------------------------------------------------------
+// Textures
+
+// CreateTexture allocates a texture. Creation is synchronous (the driver
+// allocates immediately) and counts toward device memory.
+func (d *Device) CreateTexture(width, height int, format TextureFormat) (*Texture, error) {
+	if width <= 0 || height <= 0 {
+		return nil, fmt.Errorf("glsim: invalid texture size %dx%d", width, height)
+	}
+	if width > d.cfg.MaxTextureSize || height > d.cfg.MaxTextureSize {
+		return nil, fmt.Errorf("glsim: texture %dx%d exceeds MAX_TEXTURE_SIZE %d", width, height, d.cfg.MaxTextureSize)
+	}
+	if d.cfg.TextureAllocCost > 0 {
+		time.Sleep(d.cfg.TextureAllocCost)
+	}
+	t := &Texture{
+		Width:     width,
+		Height:    height,
+		Format:    format,
+		HalfFloat: d.cfg.HalfFloatOnly,
+		data:      make([]float32, width*height*format.Channels()),
+		device:    d,
+	}
+	d.mu.Lock()
+	d.textureBytes += t.Bytes()
+	d.numTextures++
+	d.mu.Unlock()
+	d.stats.created.Add(1)
+	return t, nil
+}
+
+// DeleteTexture releases a texture. The deletion is queued behind pending
+// commands so in-flight programs never lose their inputs.
+func (d *Device) DeleteTexture(t *Texture) {
+	d.submit(func() {
+		if t.deleted {
+			return
+		}
+		if d.cfg.TextureAllocCost > 0 {
+			time.Sleep(d.cfg.TextureAllocCost / 2)
+		}
+		t.deleted = true
+		t.data = nil
+		d.mu.Lock()
+		d.textureBytes -= t.Bytes()
+		d.numTextures--
+		d.mu.Unlock()
+		d.stats.deleted.Add(1)
+	})
+}
+
+// Upload queues a texSubImage2D-style data upload into the texture. values
+// are laid out in flat texel-major order and may be shorter than the
+// texture (trailing texels stay zero).
+func (d *Device) Upload(t *Texture, values []float32) {
+	if len(values) > t.Len() {
+		panic(fmt.Sprintf("glsim: upload of %d values into %v", len(values), t))
+	}
+	d.submit(func() {
+		for i, v := range values {
+			t.store(i, v)
+		}
+		d.stats.uploads.Add(1)
+	})
+}
+
+// ReadPixels synchronously downloads the texture: it blocks the calling
+// goroutine until all previously submitted commands have executed, exactly
+// like gl.readPixels blocks the JS main thread (Figure 2), then returns a
+// copy of the texel data.
+func (d *Device) ReadPixels(t *Texture) []float32 {
+	var out []float32
+	ch := make(chan struct{})
+	d.submit(func() {
+		out = make([]float32, t.Len())
+		copy(out, t.data)
+		d.stats.reads.Add(1)
+		close(ch)
+	})
+	<-ch
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Synchronization (Section 4.1.1)
+
+// FenceSync inserts a fence into the command queue (gl.fenceSync, WebGL
+// 2.0) and returns a channel closed when the GPU reaches it.
+func (d *Device) FenceSync() <-chan struct{} {
+	ch := make(chan struct{})
+	d.submit(func() { close(ch) })
+	return ch
+}
+
+// Query is a disjoint-timer-query object (WebGL 1.0 path): its done bit
+// flips when the enclosing commands have executed and must be polled.
+type Query struct {
+	done    atomic.Bool
+	elapsed atomic.Int64 // nanoseconds
+	begin   *time.Time   // written on the GPU goroutine between Begin/End
+}
+
+// Done reports whether the query's commands have completed. Callers poll
+// this, as the paper's WebGL 1.0 implementation polls the extension bit.
+func (q *Query) Done() bool { return q.done.Load() }
+
+// ElapsedMS returns the measured GPU time once Done reports true.
+func (q *Query) ElapsedMS() float64 { return float64(q.elapsed.Load()) / 1e6 }
+
+// BeginQuery starts a disjoint timer query; EndQuery closes it. The query's
+// done bit flips when the GPU executes the end command.
+func (d *Device) BeginQuery() *Query {
+	if !d.cfg.DisjointTimerQuery {
+		panic("glsim: EXT_disjoint_timer_query not supported on this device")
+	}
+	q := &Query{}
+	start := &time.Time{}
+	d.submit(func() { *start = time.Now() })
+	q.elapsed.Store(-1)
+	// Stash the start pointer on the query via closure in EndQuery; the
+	// device keeps ordering, so capturing here is safe.
+	q.begin = start
+	return q
+}
+
+// EndQuery marks the end of the query window.
+func (d *Device) EndQuery(q *Query) {
+	d.submit(func() {
+		if q.begin != nil && !q.begin.IsZero() {
+			q.elapsed.Store(int64(time.Since(*q.begin)))
+		}
+		q.done.Store(true)
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Program execution
+
+// TexelFunc is the body of a fragment shader: it computes the value(s) of
+// one output texel. It runs concurrently for different texels and must not
+// write anything except through its return value (Figure 4: "main() runs in
+// the context of each output value and in parallel, with no shared
+// memory").
+type TexelFunc func(texelIndex int) [4]float32
+
+// Program is a compiled shader program: a name (for profiling) and the
+// per-texel main function.
+type Program struct {
+	Name string
+	Main TexelFunc
+}
+
+// Execute binds output to the framebuffer and runs the program once per
+// output texel, parallelized across the device's workers. The call only
+// enqueues; it returns immediately, which is what makes op dispatch
+// sub-millisecond while the GPU works in the background (Section 4.1.1).
+func (d *Device) Execute(p *Program, out *Texture) {
+	d.submit(func() {
+		start := time.Now()
+		texels := out.Texels()
+		ch := out.Format.Channels()
+		workers := d.workers
+		if workers > texels {
+			workers = texels
+		}
+		if workers <= 1 {
+			runTexelRange(p, out, 0, texels, ch)
+		} else {
+			var wg sync.WaitGroup
+			chunk := (texels + workers - 1) / workers
+			for w := 0; w < workers; w++ {
+				lo := w * chunk
+				hi := lo + chunk
+				if hi > texels {
+					hi = texels
+				}
+				if lo >= hi {
+					break
+				}
+				wg.Add(1)
+				go func(lo, hi int) {
+					defer wg.Done()
+					runTexelRange(p, out, lo, hi, ch)
+				}(lo, hi)
+			}
+			wg.Wait()
+		}
+		d.stats.programs.Add(1)
+		d.stats.texels.Add(int64(texels))
+		// Timing model: the program's texels would run spread across the
+		// device's shader cores; report host time divided by the
+		// parallelism this program can use.
+		parallelism := d.cfg.SimulatedCores
+		if texels < parallelism {
+			parallelism = texels
+		}
+		if parallelism < 1 {
+			parallelism = 1
+		}
+		d.timingMu.Lock()
+		if d.timing {
+			d.timedMillis += float64(time.Since(start)) / float64(time.Millisecond) / float64(parallelism)
+		}
+		d.timingMu.Unlock()
+	})
+}
+
+func runTexelRange(p *Program, out *Texture, lo, hi, channels int) {
+	for t := lo; t < hi; t++ {
+		vals := p.Main(t)
+		base := t * channels
+		for c := 0; c < channels; c++ {
+			out.store(base+c, vals[c])
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Timing and accounting
+
+// BeginTiming starts accumulating GPU program time (the backing mechanism
+// of tf.time()'s kernelMs on the WebGL backend, Section 3.8).
+func (d *Device) BeginTiming() {
+	d.timingMu.Lock()
+	d.timing = true
+	d.timedMillis = 0
+	d.timingMu.Unlock()
+}
+
+// EndTiming stops accumulation and returns modeled GPU milliseconds spent
+// in programs since BeginTiming — excluding upload and download time, as
+// the paper specifies for WebGL timing, and scaled by the device's
+// shader-core timing model (Config.SimulatedCores).
+func (d *Device) EndTiming() float64 {
+	// Drain pending work so every submitted program is counted.
+	<-d.FenceSync()
+	d.timingMu.Lock()
+	defer d.timingMu.Unlock()
+	d.timing = false
+	return d.timedMillis
+}
+
+// TextureBytes returns current device memory held by textures.
+func (d *Device) TextureBytes() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.textureBytes
+}
+
+// NumTextures returns the number of live textures.
+func (d *Device) NumTextures() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.numTextures
+}
+
+// Stats returns a snapshot of device activity counters.
+func (d *Device) Stats() Stats {
+	return Stats{
+		ProgramsExecuted: d.stats.programs.Load(),
+		TexelInvocations: d.stats.texels.Load(),
+		TexturesCreated:  d.stats.created.Load(),
+		TexturesDeleted:  d.stats.deleted.Load(),
+		Uploads:          d.stats.uploads.Load(),
+		Readbacks:        d.stats.reads.Load(),
+	}
+}

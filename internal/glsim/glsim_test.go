@@ -1,0 +1,250 @@
+package glsim
+
+import (
+	"math"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func newTestDevice(t *testing.T, cfg Config) *Device {
+	t.Helper()
+	cfg.TextureAllocCost = -1 // disable the cost model in unit tests
+	d := NewDevice(cfg)
+	t.Cleanup(d.Close)
+	return d
+}
+
+func TestFloat16RoundTripKnownValues(t *testing.T) {
+	cases := []struct {
+		in   float32
+		want float32
+	}{
+		{0, 0},
+		{1, 1},
+		{-2, -2},
+		{0.5, 0.5},
+		{65504, 65504},         // max half
+		{1e-8, 0},              // underflows to zero — the §4.1.3 bug
+		{1e-4, 1.00016594e-04}, // representable (as the nearest half)
+		{float32(math.Inf(1)), float32(math.Inf(1))},
+	}
+	for _, c := range cases {
+		got := RoundToFloat16(c.in)
+		if math.Abs(float64(got-c.want)) > 1e-7*math.Abs(float64(c.want))+1e-12 {
+			t.Errorf("RoundToFloat16(%g) = %g, want %g", c.in, got, c.want)
+		}
+	}
+	if !math.IsNaN(float64(RoundToFloat16(float32(math.NaN())))) {
+		t.Error("NaN must round to NaN")
+	}
+}
+
+// TestFloat16RoundTripProperty: for values in the half-precision normal
+// range, a double round-trip is idempotent and the relative error of the
+// first rounding is bounded by 2^-11.
+func TestFloat16RoundTripProperty(t *testing.T) {
+	prop := func(v float32) bool {
+		f := float64(v)
+		if math.IsNaN(f) || math.Abs(f) > 60000 || (f != 0 && math.Abs(f) < 6.2e-5) {
+			return true // outside the normal half range
+		}
+		once := RoundToFloat16(v)
+		twice := RoundToFloat16(once)
+		if once != twice {
+			return false
+		}
+		if v == 0 {
+			return once == 0
+		}
+		relErr := math.Abs(float64(once-v)) / math.Abs(f)
+		return relErr <= 1.0/2048+1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCommandQueueOrdering(t *testing.T) {
+	d := newTestDevice(t, DefaultConfig())
+	tex, err := d.CreateTexture(4, 4, R32F)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Upload, then a program that doubles, then read: strict ordering
+	// must make the read observe the doubled values.
+	vals := make([]float32, 16)
+	for i := range vals {
+		vals[i] = float32(i)
+	}
+	d.Upload(tex, vals)
+	out, err := d.CreateTexture(4, 4, R32F)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Execute(&Program{Name: "double", Main: func(i int) [4]float32 {
+		return [4]float32{tex.FetchFlat(i) * 2}
+	}}, out)
+	got := d.ReadPixels(out)
+	for i := range vals {
+		if got[i] != vals[i]*2 {
+			t.Fatalf("element %d: got %g want %g", i, got[i], vals[i]*2)
+		}
+	}
+}
+
+func TestFenceSyncFiresAfterPriorCommands(t *testing.T) {
+	d := newTestDevice(t, DefaultConfig())
+	tex, _ := d.CreateTexture(64, 64, R32F)
+	var ran atomic.Bool
+	d.Execute(&Program{Name: "slow", Main: func(i int) [4]float32 {
+		if i == 0 {
+			time.Sleep(5 * time.Millisecond)
+			ran.Store(true)
+		}
+		return [4]float32{}
+	}}, tex)
+	<-d.FenceSync()
+	if !ran.Load() {
+		t.Fatal("fence fired before prior program completed")
+	}
+}
+
+func TestDisjointTimerQuery(t *testing.T) {
+	d := newTestDevice(t, DefaultConfig())
+	tex, _ := d.CreateTexture(32, 32, R32F)
+	q := d.BeginQuery()
+	d.Execute(&Program{Name: "work", Main: func(i int) [4]float32 {
+		return [4]float32{float32(i)}
+	}}, tex)
+	d.EndQuery(q)
+	deadline := time.Now().Add(2 * time.Second)
+	for !q.Done() {
+		if time.Now().After(deadline) {
+			t.Fatal("query never completed")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	if q.ElapsedMS() < 0 {
+		t.Fatalf("query elapsed = %g", q.ElapsedMS())
+	}
+}
+
+func TestTextureAccounting(t *testing.T) {
+	d := newTestDevice(t, DefaultConfig())
+	if d.NumTextures() != 0 || d.TextureBytes() != 0 {
+		t.Fatal("fresh device should have no textures")
+	}
+	tex, err := d.CreateTexture(10, 10, RGBA32F)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBytes := int64(10 * 10 * 4 * 4)
+	if d.NumTextures() != 1 || d.TextureBytes() != wantBytes {
+		t.Fatalf("after create: %d textures, %d bytes (want 1, %d)", d.NumTextures(), d.TextureBytes(), wantBytes)
+	}
+	d.DeleteTexture(tex)
+	<-d.FenceSync()
+	if d.NumTextures() != 0 || d.TextureBytes() != 0 {
+		t.Fatalf("after delete: %d textures, %d bytes", d.NumTextures(), d.TextureBytes())
+	}
+}
+
+func TestMaxTextureSizeEnforced(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxTextureSize = 64
+	d := newTestDevice(t, cfg)
+	if _, err := d.CreateTexture(65, 1, R32F); err == nil {
+		t.Fatal("expected MAX_TEXTURE_SIZE error")
+	}
+	if _, err := d.CreateTexture(0, 4, R32F); err == nil {
+		t.Fatal("expected invalid-size error")
+	}
+}
+
+func TestHalfFloatDeviceRoundsStores(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.HalfFloatOnly = true
+	d := newTestDevice(t, cfg)
+	tex, _ := d.CreateTexture(1, 1, R32F)
+	d.Upload(tex, []float32{1e-8})
+	got := d.ReadPixels(tex)
+	if got[0] != 0 {
+		t.Fatalf("fp16 texture stored 1e-8 as %g, want 0", got[0])
+	}
+}
+
+func TestPackedTextureChannels(t *testing.T) {
+	d := newTestDevice(t, DefaultConfig())
+	tex, _ := d.CreateTexture(2, 1, RGBA32F)
+	d.Upload(tex, []float32{1, 2, 3, 4, 5, 6, 7, 8})
+	<-d.FenceSync()
+	if tex.Fetch(0, 0, 2) != 3 || tex.Fetch(1, 0, 0) != 5 {
+		t.Fatalf("packed fetch wrong: %g %g", tex.Fetch(0, 0, 2), tex.Fetch(1, 0, 0))
+	}
+	if tex.Texels() != 2 || tex.Len() != 8 {
+		t.Fatalf("texels=%d len=%d", tex.Texels(), tex.Len())
+	}
+}
+
+func TestSimulatedTimingModel(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SimulatedCores = 4
+	d := newTestDevice(t, cfg)
+	tex, _ := d.CreateTexture(100, 100, R32F) // 10000 texels >> 4 cores
+	d.BeginTiming()
+	start := time.Now()
+	d.Execute(&Program{Name: "spin", Main: func(i int) [4]float32 {
+		// A little real work per texel.
+		s := 0.0
+		for k := 0; k < 50; k++ {
+			s += math.Sqrt(float64(k + i))
+		}
+		return [4]float32{float32(s)}
+	}}, tex)
+	modeled := d.EndTiming()
+	wall := float64(time.Since(start)) / float64(time.Millisecond)
+	if modeled <= 0 {
+		t.Fatal("modeled time must be positive")
+	}
+	// Modeled time must reflect the 4-core parallel model: well below
+	// the single-threaded wall time.
+	if modeled > wall/2 {
+		t.Fatalf("modeled %.3fms not scaled from wall %.3fms", modeled, wall)
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	d := newTestDevice(t, DefaultConfig())
+	tex, _ := d.CreateTexture(4, 4, R32F)
+	d.Upload(tex, make([]float32, 16))
+	d.Execute(&Program{Name: "id", Main: func(i int) [4]float32 { return [4]float32{} }}, tex)
+	d.ReadPixels(tex)
+	s := d.Stats()
+	if s.TexturesCreated != 1 || s.Uploads != 1 || s.ProgramsExecuted != 1 || s.Readbacks != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.TexelInvocations != 16 {
+		t.Fatalf("texel invocations = %d, want 16", s.TexelInvocations)
+	}
+}
+
+func TestCloseDrainsQueue(t *testing.T) {
+	cfg := DefaultConfig()
+	d := NewDevice(cfg)
+	tex, _ := d.CreateTexture(4, 4, R32F)
+	var ran atomic.Int32
+	for i := 0; i < 10; i++ {
+		d.Execute(&Program{Name: "count", Main: func(i int) [4]float32 {
+			if i == 0 {
+				ran.Add(1)
+			}
+			return [4]float32{}
+		}}, tex)
+	}
+	d.Close()
+	if ran.Load() != 10 {
+		t.Fatalf("Close dropped commands: ran %d of 10", ran.Load())
+	}
+}

@@ -1,0 +1,393 @@
+// Package graphmodel executes converted models — the inference engine
+// behind tf.loadModel(url) for graph-format models (Section 5.1). It
+// topologically sorts the graph once at load time and evaluates nodes with
+// the ops API, so a converted model runs on whichever backend is active.
+package graphmodel
+
+import (
+	"fmt"
+
+	"repro/internal/converter"
+	"repro/internal/core"
+	"repro/internal/ops"
+	"repro/internal/savedmodel"
+	"repro/internal/tensor"
+)
+
+// Model is an executable converted model.
+type Model struct {
+	graph *savedmodel.GraphDef
+	order []string // topological execution order
+	nodes map[string]*savedmodel.NodeDef
+
+	// weights are uploaded once at load time and shared across calls.
+	weights map[string]*tensor.Tensor
+}
+
+// Load reads artifacts from a converter.Store and prepares the model.
+func Load(store converter.Store) (*Model, error) {
+	g, err := converter.LoadArtifacts(store)
+	if err != nil {
+		return nil, err
+	}
+	return New(g)
+}
+
+// New prepares a model from an in-memory graph.
+func New(g *savedmodel.GraphDef) (*Model, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Model{graph: g, nodes: map[string]*savedmodel.NodeDef{}}
+	for i := range g.Nodes {
+		m.nodes[g.Nodes[i].Name] = &g.Nodes[i]
+	}
+	order, err := topoSort(g)
+	if err != nil {
+		return nil, err
+	}
+	m.order = order
+	m.weights = map[string]*tensor.Tensor{}
+	e := core.Global()
+	for name, w := range g.Weights {
+		t := e.MakeTensor(w.Values, w.Shape, tensor.Float32)
+		// Weights outlive every tidy scope.
+		m.weights[name] = e.NewVariable(t, "graph/"+name, false).Value()
+		t.Dispose()
+	}
+	return m, nil
+}
+
+// Graph exposes the underlying graph definition.
+func (m *Model) Graph() *savedmodel.GraphDef { return m.graph }
+
+func topoSort(g *savedmodel.GraphDef) ([]string, error) {
+	state := map[string]int{} // 0 unvisited, 1 visiting, 2 done
+	var order []string
+	var visit func(name string) error
+	visit = func(name string) error {
+		switch state[name] {
+		case 1:
+			return fmt.Errorf("graphmodel: cycle through node %q", name)
+		case 2:
+			return nil
+		}
+		state[name] = 1
+		if n, ok := g.Node(name); ok {
+			for _, in := range n.Inputs {
+				if err := visit(in); err != nil {
+					return err
+				}
+			}
+		}
+		state[name] = 2
+		order = append(order, name)
+		return nil
+	}
+	for _, out := range g.Outputs {
+		if err := visit(out); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// Predict executes the graph on a single input tensor (models with one
+// serving input). Intermediates are tidied; the caller owns the result.
+func (m *Model) Predict(x *tensor.Tensor) (*tensor.Tensor, error) {
+	outs, err := m.Execute(map[string]*tensor.Tensor{m.graph.Inputs[0]: x})
+	if err != nil {
+		return nil, err
+	}
+	return outs[m.graph.Outputs[0]], nil
+}
+
+// Execute runs the graph with the given input feeds and returns the output
+// tensors by name.
+func (m *Model) Execute(feeds map[string]*tensor.Tensor) (map[string]*tensor.Tensor, error) {
+	for _, in := range m.graph.Inputs {
+		if _, ok := feeds[in]; !ok {
+			return nil, fmt.Errorf("graphmodel: missing feed for input %q", in)
+		}
+	}
+	e := core.Global()
+	results := map[string]*tensor.Tensor{}
+	var execErr error
+	outs := e.Tidy("graph-execute", func() []*tensor.Tensor {
+		env := map[string]*tensor.Tensor{}
+		for name, t := range feeds {
+			env[name] = t
+		}
+		for name, w := range m.weights {
+			env[name] = w
+		}
+		for _, name := range m.order {
+			if _, ok := env[name]; ok {
+				continue
+			}
+			node := m.nodes[name]
+			out, err := m.evalNode(node, env)
+			if err != nil {
+				execErr = err
+				return nil
+			}
+			env[name] = out
+		}
+		var escape []*tensor.Tensor
+		for _, out := range m.graph.Outputs {
+			results[out] = env[out]
+			escape = append(escape, env[out])
+		}
+		return escape
+	})
+	if execErr != nil {
+		return nil, execErr
+	}
+	_ = outs
+	return results, nil
+}
+
+// evalNode lowers one graph node onto the ops API.
+func (m *Model) evalNode(n *savedmodel.NodeDef, env map[string]*tensor.Tensor) (*tensor.Tensor, error) {
+	in := func(i int) (*tensor.Tensor, error) {
+		if i >= len(n.Inputs) {
+			return nil, fmt.Errorf("graphmodel: node %q (%s) missing input %d", n.Name, n.Op, i)
+		}
+		t, ok := env[n.Inputs[i]]
+		if !ok {
+			return nil, fmt.Errorf("graphmodel: node %q input %q not evaluated", n.Name, n.Inputs[i])
+		}
+		return t, nil
+	}
+	attrs := n.Attrs
+
+	switch n.Op {
+	case "Placeholder", "Const":
+		return nil, fmt.Errorf("graphmodel: node %q (%s) must be fed", n.Name, n.Op)
+	case "Identity":
+		x, err := in(0)
+		if err != nil {
+			return nil, err
+		}
+		return x.Clone(), nil
+	case "MatMul":
+		a, err := in(0)
+		if err != nil {
+			return nil, err
+		}
+		b, err := in(1)
+		if err != nil {
+			return nil, err
+		}
+		return ops.MatMul(a, b, attrBool(attrs, "transpose_a"), attrBool(attrs, "transpose_b")), nil
+	case "Add", "BiasAdd":
+		a, err := in(0)
+		if err != nil {
+			return nil, err
+		}
+		b, err := in(1)
+		if err != nil {
+			return nil, err
+		}
+		return ops.Add(a, b), nil
+	case "Sub":
+		a, err := in(0)
+		if err != nil {
+			return nil, err
+		}
+		b, err := in(1)
+		if err != nil {
+			return nil, err
+		}
+		return ops.Sub(a, b), nil
+	case "Mul":
+		a, err := in(0)
+		if err != nil {
+			return nil, err
+		}
+		b, err := in(1)
+		if err != nil {
+			return nil, err
+		}
+		return ops.Mul(a, b), nil
+	case "Relu":
+		x, err := in(0)
+		if err != nil {
+			return nil, err
+		}
+		return ops.Relu(x), nil
+	case "Relu6":
+		x, err := in(0)
+		if err != nil {
+			return nil, err
+		}
+		return ops.Relu6(x), nil
+	case "Sigmoid":
+		x, err := in(0)
+		if err != nil {
+			return nil, err
+		}
+		return ops.Sigmoid(x), nil
+	case "Tanh":
+		x, err := in(0)
+		if err != nil {
+			return nil, err
+		}
+		return ops.Tanh(x), nil
+	case "Elu":
+		x, err := in(0)
+		if err != nil {
+			return nil, err
+		}
+		return ops.Elu(x), nil
+	case "Softplus":
+		x, err := in(0)
+		if err != nil {
+			return nil, err
+		}
+		return ops.Softplus(x), nil
+	case "Softmax":
+		x, err := in(0)
+		if err != nil {
+			return nil, err
+		}
+		return ops.Softmax(x), nil
+	case "Conv2D":
+		x, err := in(0)
+		if err != nil {
+			return nil, err
+		}
+		w, err := in(1)
+		if err != nil {
+			return nil, err
+		}
+		return ops.Conv2D(x, w, ops.ConvOpts{
+			Strides: attrInts(attrs, "strides", []int{1, 1}),
+			Pad:     attrString(attrs, "padding", "valid"),
+		}), nil
+	case "DepthwiseConv2dNative":
+		x, err := in(0)
+		if err != nil {
+			return nil, err
+		}
+		w, err := in(1)
+		if err != nil {
+			return nil, err
+		}
+		return ops.DepthwiseConv2D(x, w, ops.ConvOpts{
+			Strides: attrInts(attrs, "strides", []int{1, 1}),
+			Pad:     attrString(attrs, "padding", "valid"),
+		}), nil
+	case "MaxPool", "AvgPool":
+		x, err := in(0)
+		if err != nil {
+			return nil, err
+		}
+		opts := ops.PoolOpts{
+			FilterSize: attrInts(attrs, "ksize", []int{2, 2}),
+			Strides:    attrInts(attrs, "strides", nil),
+			Pad:        attrString(attrs, "padding", "valid"),
+		}
+		if n.Op == "MaxPool" {
+			return ops.MaxPool(x, opts), nil
+		}
+		return ops.AvgPool(x, opts), nil
+	case "Mean":
+		x, err := in(0)
+		if err != nil {
+			return nil, err
+		}
+		return ops.Mean(x, attrInts(attrs, "axes", nil), attrBool(attrs, "keep_dims")), nil
+	case "FusedBatchNorm":
+		x, err := in(0)
+		if err != nil {
+			return nil, err
+		}
+		mean, err := in(1)
+		if err != nil {
+			return nil, err
+		}
+		variance, err := in(2)
+		if err != nil {
+			return nil, err
+		}
+		offset, err := in(3)
+		if err != nil {
+			return nil, err
+		}
+		scale, err := in(4)
+		if err != nil {
+			return nil, err
+		}
+		return ops.BatchNorm(x, mean, variance, offset, scale, attrFloat(attrs, "epsilon", 1e-3)), nil
+	case "Reshape":
+		x, err := in(0)
+		if err != nil {
+			return nil, err
+		}
+		target := attrInts(attrs, "shape", nil)
+		shape := append([]int{x.Shape[0]}, target...)
+		return ops.Reshape(x, shape...), nil
+	case "Pad":
+		x, err := in(0)
+		if err != nil {
+			return nil, err
+		}
+		p := attrInts(attrs, "padding", nil)
+		if len(p) != 4 {
+			return nil, fmt.Errorf("graphmodel: Pad node %q needs [top bottom left right], got %v", n.Name, p)
+		}
+		return ops.Pad(x, [][2]int{{0, 0}, {p[0], p[1]}, {p[2], p[3]}, {0, 0}}, 0), nil
+	case "Flatten":
+		x, err := in(0)
+		if err != nil {
+			return nil, err
+		}
+		return ops.Reshape(x, x.Shape[0], x.Size()/x.Shape[0]), nil
+	default:
+		return nil, fmt.Errorf("graphmodel: unsupported op %q (node %q)", n.Op, n.Name)
+	}
+}
+
+func attrBool(attrs map[string]any, key string) bool {
+	v, _ := attrs[key].(bool)
+	return v
+}
+
+func attrString(attrs map[string]any, key, def string) string {
+	if v, ok := attrs[key].(string); ok {
+		return v
+	}
+	return def
+}
+
+func attrFloat(attrs map[string]any, key string, def float64) float64 {
+	switch v := attrs[key].(type) {
+	case float64:
+		return v
+	case int:
+		return float64(v)
+	}
+	return def
+}
+
+func attrInts(attrs map[string]any, key string, def []int) []int {
+	switch v := attrs[key].(type) {
+	case []int:
+		return v
+	case []any:
+		out := make([]int, len(v))
+		for i, e := range v {
+			switch n := e.(type) {
+			case int:
+				out[i] = n
+			case float64:
+				out[i] = int(n)
+			default:
+				return def
+			}
+		}
+		return out
+	}
+	return def
+}

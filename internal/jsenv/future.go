@@ -1,0 +1,94 @@
+// Package jsenv simulates the JavaScript execution environment the paper's
+// system runs in: a single-threaded event loop (the browser "main thread",
+// Section 2.1) and Promise-like futures used by the asynchronous tensor
+// download path (Section 3.6, Figures 2 and 3).
+//
+// The package exists because the central scheduling claims of the paper —
+// tensor.dataSync() blocks the main thread until the GPU finishes, while
+// tensor.data() releases it — are claims about this environment, not about
+// the kernels. Reproducing Figures 2 and 3 requires an environment in which
+// "blocking the main thread" is observable.
+package jsenv
+
+import "sync"
+
+// Future is a Promise-like container for a value of type T that becomes
+// available asynchronously, mirroring the JS Promise returned by
+// tensor.data(). A Future is resolved exactly once.
+type Future[T any] struct {
+	mu        sync.Mutex
+	done      chan struct{}
+	val       T
+	err       error
+	callbacks []func(T, error)
+}
+
+// NewFuture returns an unresolved Future.
+func NewFuture[T any]() *Future[T] {
+	return &Future[T]{done: make(chan struct{})}
+}
+
+// Resolved returns a Future already resolved with val.
+func Resolved[T any](val T) *Future[T] {
+	f := NewFuture[T]()
+	f.Resolve(val, nil)
+	return f
+}
+
+// Resolve completes the future with a value or error. Resolving an
+// already-resolved future is a no-op, matching Promise semantics.
+func (f *Future[T]) Resolve(val T, err error) {
+	f.mu.Lock()
+	select {
+	case <-f.done:
+		f.mu.Unlock()
+		return
+	default:
+	}
+	f.val, f.err = val, err
+	callbacks := f.callbacks
+	f.callbacks = nil
+	close(f.done)
+	f.mu.Unlock()
+	for _, cb := range callbacks {
+		cb(val, err)
+	}
+}
+
+// Await blocks the calling goroutine until the future resolves and returns
+// its value. Calling Await from the event-loop goroutine would deadlock the
+// "main thread", just as synchronously waiting on a Promise would in JS;
+// use Then from loop tasks instead.
+func (f *Future[T]) Await() (T, error) {
+	<-f.done
+	return f.val, f.err
+}
+
+// Done returns a channel closed when the future resolves.
+func (f *Future[T]) Done() <-chan struct{} { return f.done }
+
+// Then registers a callback invoked with the resolved value. If the future
+// is already resolved the callback runs immediately on the calling
+// goroutine; otherwise it runs on the resolving goroutine.
+func (f *Future[T]) Then(cb func(T, error)) {
+	f.mu.Lock()
+	select {
+	case <-f.done:
+		val, err := f.val, f.err
+		f.mu.Unlock()
+		cb(val, err)
+		return
+	default:
+	}
+	f.callbacks = append(f.callbacks, cb)
+	f.mu.Unlock()
+}
+
+// ThenOn registers a callback that is posted as a task onto loop when the
+// future resolves, matching how Promise continuations are scheduled on the
+// JS main thread.
+func (f *Future[T]) ThenOn(loop *Loop, cb func(T, error)) {
+	f.Then(func(val T, err error) {
+		loop.Post(func() { cb(val, err) })
+	})
+}

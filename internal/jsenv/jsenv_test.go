@@ -1,0 +1,117 @@
+package jsenv
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestFutureResolveOnce(t *testing.T) {
+	f := NewFuture[int]()
+	f.Resolve(1, nil)
+	f.Resolve(2, nil) // ignored, Promise semantics
+	v, err := f.Await()
+	if err != nil || v != 1 {
+		t.Fatalf("Await = %d, %v; want 1, nil", v, err)
+	}
+}
+
+func TestFutureError(t *testing.T) {
+	f := NewFuture[int]()
+	wantErr := errors.New("boom")
+	f.Resolve(0, wantErr)
+	if _, err := f.Await(); !errors.Is(err, wantErr) {
+		t.Fatalf("Await err = %v", err)
+	}
+}
+
+func TestFutureThenBeforeAndAfterResolve(t *testing.T) {
+	f := NewFuture[string]()
+	var before, after atomic.Bool
+	f.Then(func(v string, err error) { before.Store(v == "x") })
+	f.Resolve("x", nil)
+	f.Then(func(v string, err error) { after.Store(v == "x") })
+	if !before.Load() || !after.Load() {
+		t.Fatalf("callbacks: before=%v after=%v", before.Load(), after.Load())
+	}
+}
+
+func TestResolvedHelper(t *testing.T) {
+	v, err := Resolved(42).Await()
+	if err != nil || v != 42 {
+		t.Fatalf("Resolved = %d, %v", v, err)
+	}
+}
+
+func TestLoopRunsTasksInOrder(t *testing.T) {
+	loop := NewLoop()
+	defer loop.Stop()
+	var order []int
+	done := make(chan struct{})
+	for i := 0; i < 10; i++ {
+		i := i
+		loop.Post(func() { order = append(order, i) })
+	}
+	loop.Post(func() { close(done) })
+	<-done
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tasks out of order: %v", order)
+		}
+	}
+}
+
+func TestLoopPostAndWait(t *testing.T) {
+	loop := NewLoop()
+	defer loop.Stop()
+	ran := false
+	loop.PostAndWait(func() { ran = true })
+	if !ran {
+		t.Fatal("PostAndWait did not run the task")
+	}
+}
+
+func TestLoopStatsTrackBlockedTime(t *testing.T) {
+	loop := NewLoop()
+	defer loop.Stop()
+	loop.PostAndWait(func() { time.Sleep(25 * time.Millisecond) })
+	loop.PostAndWait(func() {})
+	stats := loop.Stats()
+	if stats.TasksRun < 2 {
+		t.Fatalf("TasksRun = %d", stats.TasksRun)
+	}
+	if stats.LongestTask < 20*time.Millisecond {
+		t.Fatalf("LongestTask = %v, want >= 20ms", stats.LongestTask)
+	}
+	if stats.JankCount == 0 {
+		t.Fatal("a 25ms task must count as jank (16.6ms frame budget)")
+	}
+	loop.ResetStats()
+	if s := loop.Stats(); s.TasksRun != 0 || s.Busy != 0 {
+		t.Fatalf("ResetStats left %+v", s)
+	}
+}
+
+func TestFutureThenOnLoop(t *testing.T) {
+	loop := NewLoop()
+	defer loop.Stop()
+	f := NewFuture[int]()
+	got := make(chan int, 1)
+	f.ThenOn(loop, func(v int, err error) { got <- v })
+	go f.Resolve(7, nil)
+	select {
+	case v := <-got:
+		if v != 7 {
+			t.Fatalf("got %d", v)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("ThenOn callback never ran")
+	}
+}
+
+func TestLoopStopIsIdempotent(t *testing.T) {
+	loop := NewLoop()
+	loop.Stop()
+	loop.Stop() // must not panic or deadlock
+}

@@ -1,0 +1,137 @@
+package jsenv
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Loop is a single-goroutine event loop standing in for the browser main
+// thread (Section 2.1 of the paper: "JS has a 'main thread' ... webpage
+// layout, JS code, event processing and more happen" there).
+//
+// Tasks posted with Post run one at a time on the loop goroutine. The loop
+// tracks how long it spends busy so experiments can measure main-thread
+// blocked time — the quantity contrasted between Figures 2 and 3.
+type Loop struct {
+	tasks   chan func()
+	quit    chan struct{}
+	wg      sync.WaitGroup
+	started atomic.Bool
+
+	mu           sync.Mutex
+	busy         time.Duration // total time spent executing tasks
+	longestTask  time.Duration // longest single task (worst-case jank)
+	tasksRun     int64
+	taskDeadline time.Duration // if > 0, tasks longer than this count as jank
+	jankCount    int64
+}
+
+// DefaultFrameBudget is the per-task budget used for jank accounting:
+// at 60 frames per second the main thread must yield every ~16.6 ms or the
+// page visibly stutters.
+const DefaultFrameBudget = 16666 * time.Microsecond
+
+// NewLoop creates and starts an event loop.
+func NewLoop() *Loop {
+	l := &Loop{
+		tasks:        make(chan func(), 1024),
+		quit:         make(chan struct{}),
+		taskDeadline: DefaultFrameBudget,
+	}
+	l.started.Store(true)
+	l.wg.Add(1)
+	go l.run()
+	return l
+}
+
+func (l *Loop) run() {
+	defer l.wg.Done()
+	for {
+		select {
+		case task := <-l.tasks:
+			start := time.Now()
+			task()
+			elapsed := time.Since(start)
+			l.mu.Lock()
+			l.busy += elapsed
+			l.tasksRun++
+			if elapsed > l.longestTask {
+				l.longestTask = elapsed
+			}
+			if l.taskDeadline > 0 && elapsed > l.taskDeadline {
+				l.jankCount++
+			}
+			l.mu.Unlock()
+		case <-l.quit:
+			// Drain any remaining tasks before exiting so Post/Stop
+			// pairs are deterministic in tests.
+			for {
+				select {
+				case task := <-l.tasks:
+					task()
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// Post schedules fn to run on the loop goroutine. It never blocks the
+// caller for longer than it takes to enqueue.
+func (l *Loop) Post(fn func()) {
+	select {
+	case l.tasks <- fn:
+	case <-l.quit:
+	}
+}
+
+// PostAndWait schedules fn and blocks the caller until it has run. It must
+// not be called from the loop goroutine itself.
+func (l *Loop) PostAndWait(fn func()) {
+	done := make(chan struct{})
+	l.Post(func() {
+		fn()
+		close(done)
+	})
+	<-done
+}
+
+// Stop shuts the loop down after draining queued tasks and waits for the
+// loop goroutine to exit.
+func (l *Loop) Stop() {
+	if !l.started.CompareAndSwap(true, false) {
+		return
+	}
+	close(l.quit)
+	l.wg.Wait()
+}
+
+// Stats is a snapshot of main-thread occupancy counters.
+type Stats struct {
+	// Busy is the total time the loop goroutine spent inside tasks.
+	Busy time.Duration
+	// LongestTask is the single longest task: the worst main-thread stall.
+	LongestTask time.Duration
+	// TasksRun counts completed tasks.
+	TasksRun int64
+	// JankCount counts tasks that exceeded the frame budget (16.6 ms),
+	// i.e. events during which a real page would have dropped frames.
+	JankCount int64
+}
+
+// Stats returns a snapshot of the loop's occupancy counters.
+func (l *Loop) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return Stats{Busy: l.busy, LongestTask: l.longestTask, TasksRun: l.tasksRun, JankCount: l.jankCount}
+}
+
+// ResetStats zeroes the occupancy counters, typically between benchmark
+// phases.
+func (l *Loop) ResetStats() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.busy, l.longestTask, l.tasksRun, l.jankCount = 0, 0, 0, 0
+}

@@ -1,0 +1,127 @@
+// Package kernels defines the backend contract of the library and the
+// reference kernel implementations.
+//
+// As in Section 3.3 of the paper, an operation is an abstract computation
+// independent of the device it runs on; operations call into kernels, which
+// are device-specific implementations. This package holds:
+//
+//   - the Backend interface every device implements (data storage, sync and
+//     async reads, memory accounting, device-specific timing);
+//   - a registry of reference kernels: straightforward, single-threaded,
+//     scalar implementations of every operation. The plain CPU backend (the
+//     analogue of the paper's "plain JS" backend) executes these directly;
+//     faster backends override the kernels that matter and inherit the rest
+//     through the engine's fallback path.
+package kernels
+
+import (
+	"repro/internal/jsenv"
+	"repro/internal/tensor"
+)
+
+// Backend is the device contract from Section 3.4: "A backend implements
+// kernels as well as methods such as read() and write() which are used to
+// store the TypedArray that backs the tensor."
+type Backend interface {
+	// Name identifies the backend ("cpu", "webgl", "native").
+	Name() string
+
+	// Write stores values into a data container registered under d, which
+	// the caller allocates with tensor.NewDataID. The backend owns the
+	// container until DisposeData is called. Keeping id allocation with
+	// the engine lets a container migrate between backends without
+	// invalidating the tensor handles that share it.
+	Write(d tensor.DataID, values []float32, shape []int, dtype tensor.DataType)
+
+	// ReadSync downloads the container's values, blocking until any
+	// pending device work that produces them has completed. The returned
+	// slice must be safe for the caller to retain (a copy, or an
+	// immutable buffer).
+	ReadSync(d tensor.DataID) []float32
+
+	// Read downloads the container's values asynchronously. The future
+	// resolves once the device signals completion (for WebGL, via a
+	// fence; Section 4.1.1).
+	Read(d tensor.DataID) *jsenv.Future[[]float32]
+
+	// DisposeData releases the container. Called by the engine when the
+	// container's tensor reference count reaches zero (Section 3.4).
+	DisposeData(d tensor.DataID)
+
+	// Memory reports the backend's current allocation state.
+	Memory() MemoryInfo
+
+	// Time runs f and reports wall time plus device-specific kernel time
+	// where the device can measure it (Section 3.8: "Each backend is
+	// responsible for timing functions, as timing may be device
+	// specific").
+	Time(f func()) TimeInfo
+
+	// Close releases all backend resources.
+	Close()
+}
+
+// Overrider is implemented by backends that provide device-specific kernels
+// overriding the reference implementations (the WebGL backend's shader
+// programs; the native backend's parallel blocked kernels).
+type Overrider interface {
+	// KernelOverride returns the backend-specific kernel for name, if any.
+	KernelOverride(name string) (OverrideKernel, bool)
+}
+
+// OverrideKernel is a device-resident kernel: it consumes input containers
+// already living on the backend and produces output containers without
+// round-tripping values through host memory.
+type OverrideKernel func(inputs []Input, attrs Attrs) ([]TensorInfo, error)
+
+// Input pairs a data container with its logical shape and dtype, the view
+// of a tensor a kernel needs.
+type Input struct {
+	DataID tensor.DataID
+	Shape  []int
+	DType  tensor.DataType
+}
+
+// TensorInfo describes a kernel output before the engine wraps it into a
+// tracked Tensor. Kernels that merely re-view data (Reshape, Cast between
+// compatible types) return the input's DataID with a new shape, which is
+// what makes those ops free.
+type TensorInfo struct {
+	DataID tensor.DataID
+	Shape  []int
+	DType  tensor.DataType
+}
+
+// MemoryInfo is the per-backend allocation snapshot surfaced through
+// tf.memory() (Section 3.8).
+type MemoryInfo struct {
+	// NumBuffers is the number of live data containers.
+	NumBuffers int
+	// NumBytes is the logical bytes across live containers.
+	NumBytes int64
+	// NumTextures is the number of live device textures (WebGL only).
+	NumTextures int
+	// TextureBytes is the bytes held in device textures (WebGL only).
+	TextureBytes int64
+	// FreeTextures is the number of recycled textures awaiting reuse
+	// (WebGL only; Section 4.1.2).
+	FreeTextures int
+	// PagedBytes is the bytes currently paged out of the device to host
+	// memory (WebGL only; Section 4.1.2).
+	PagedBytes int64
+	// Unreliable is set when the backend cannot exactly account for
+	// device memory, mirroring tf.memory().unreliable in the browser.
+	Unreliable bool
+}
+
+// TimeInfo is the result of Backend.Time (tf.time(), Section 3.8).
+type TimeInfo struct {
+	// WallMS is end-to-end wall time in milliseconds.
+	WallMS float64
+	// KernelMS is device-measured kernel time in milliseconds, excluding
+	// upload/download, when the device supports measuring it (the WebGL
+	// backend's disjoint timer query).
+	KernelMS float64
+	// HasKernelMS reports whether KernelMS is meaningful.
+	HasKernelMS bool
+}

@@ -1,0 +1,56 @@
+package kernels
+
+import "repro/internal/tensor"
+
+// broadcastStrides returns, for an input shape, the per-dimension strides
+// aligned to the broadcast output rank, with stride 0 for broadcast
+// dimensions. Walking the output space with these strides yields the
+// index of the corresponding input element.
+func broadcastStrides(inShape, outShape []int) []int {
+	outRank := len(outShape)
+	inRank := len(inShape)
+	inStrides := tensor.ComputeStrides(inShape)
+	aligned := make([]int, outRank)
+	for i := 0; i < outRank; i++ {
+		j := i - (outRank - inRank)
+		if j < 0 {
+			aligned[i] = 0
+			continue
+		}
+		if inShape[j] == 1 {
+			aligned[i] = 0
+		} else {
+			aligned[i] = inStrides[j]
+		}
+	}
+	return aligned
+}
+
+// odometer iterates the coordinates of shape in row-major order, calling
+// visit with the flat indices into two broadcast inputs for every output
+// element. It is the shared traversal for broadcast binary kernels.
+func odometer(outShape []int, aStrides, bStrides []int, visit func(outIdx, aIdx, bIdx int)) {
+	size := tensor.ShapeSize(outShape)
+	rank := len(outShape)
+	if rank == 0 {
+		visit(0, 0, 0)
+		return
+	}
+	coords := make([]int, rank)
+	aIdx, bIdx := 0, 0
+	for outIdx := 0; outIdx < size; outIdx++ {
+		visit(outIdx, aIdx, bIdx)
+		// Advance the odometer and the two running input indices.
+		for d := rank - 1; d >= 0; d-- {
+			coords[d]++
+			aIdx += aStrides[d]
+			bIdx += bStrides[d]
+			if coords[d] < outShape[d] {
+				break
+			}
+			coords[d] = 0
+			aIdx -= outShape[d] * aStrides[d]
+			bIdx -= outShape[d] * bStrides[d]
+		}
+	}
+}

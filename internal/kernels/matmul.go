@@ -1,0 +1,71 @@
+package kernels
+
+import "repro/internal/tensor"
+
+func init() {
+	// BatchMatMul multiplies two 3-D tensors [batch, m, k] x [batch, k, n]
+	// with optional transposition of the inner matrices and batch
+	// broadcasting (batch of 1 broadcasts). The ops layer reshapes 2-D
+	// matmuls into batch 1.
+	RegisterRef("BatchMatMul", func(inputs []Buffer, attrs Attrs) ([]Buffer, error) {
+		if err := wantInputs("BatchMatMul", inputs, 2); err != nil {
+			return nil, err
+		}
+		a, b := inputs[0], inputs[1]
+		transposeA := attrs.Bool("transposeA", false)
+		transposeB := attrs.Bool("transposeB", false)
+		if a.Rank() != 3 || b.Rank() != 3 {
+			return nil, errIn("BatchMatMul", "inputs must be rank 3, got %v and %v", a.Shape, b.Shape)
+		}
+		batchA, batchB := a.Shape[0], b.Shape[0]
+		batch := batchA
+		if batchB > batch {
+			batch = batchB
+		}
+		if batchA != batchB && batchA != 1 && batchB != 1 {
+			return nil, errIn("BatchMatMul", "incompatible batch dims %d and %d", batchA, batchB)
+		}
+		m, kA := a.Shape[1], a.Shape[2]
+		if transposeA {
+			m, kA = kA, m
+		}
+		kB, n := b.Shape[1], b.Shape[2]
+		if transposeB {
+			kB, n = n, kB
+		}
+		if kA != kB {
+			return nil, errIn("BatchMatMul", "inner dims mismatch: %v x %v (transposeA=%v transposeB=%v)",
+				a.Shape, b.Shape, transposeA, transposeB)
+		}
+		k := kA
+		out := NewBuffer([]int{batch, m, n}, tensor.Float32)
+		aMat := a.Shape[1] * a.Shape[2]
+		bMat := b.Shape[1] * b.Shape[2]
+		for p := 0; p < batch; p++ {
+			aOff := (p % batchA) * aMat
+			bOff := (p % batchB) * bMat
+			oOff := p * m * n
+			for i := 0; i < m; i++ {
+				for j := 0; j < n; j++ {
+					var sum float32
+					for kk := 0; kk < k; kk++ {
+						var av, bv float32
+						if transposeA {
+							av = a.Data[aOff+kk*m+i]
+						} else {
+							av = a.Data[aOff+i*k+kk]
+						}
+						if transposeB {
+							bv = b.Data[bOff+j*k+kk]
+						} else {
+							bv = b.Data[bOff+kk*n+j]
+						}
+						sum += av * bv
+					}
+					out.Data[oOff+i*n+j] = sum
+				}
+			}
+		}
+		return []Buffer{out}, nil
+	})
+}

@@ -1,0 +1,166 @@
+package kernels
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+func poolAttrs(attrs Attrs) (filterSize, strides []int, pad string) {
+	filterSize = attrs.Ints("filterSize", []int{2, 2})
+	strides = attrs.Ints("strides", filterSize)
+	pad = attrs.String("pad", "valid")
+	return filterSize, strides, pad
+}
+
+func init() {
+	// MaxPool computes 2-D max pooling over NHWC input.
+	RegisterRef("MaxPool", func(inputs []Buffer, attrs Attrs) ([]Buffer, error) {
+		if err := wantInputs("MaxPool", inputs, 1); err != nil {
+			return nil, err
+		}
+		x := inputs[0]
+		filterSize, strides, pad := poolAttrs(attrs)
+		info, err := ComputePool2DInfo(x.Shape, filterSize, strides, pad)
+		if err != nil {
+			return nil, errIn("MaxPool", "%v", err)
+		}
+		out := NewBuffer(info.OutShape(), x.DType)
+		poolForEach(info, func(b, oy, ox, c, outIdx int, window func(visit func(inIdx int))) {
+			best := float32(math.Inf(-1))
+			window(func(inIdx int) {
+				if v := x.Data[inIdx]; v > best {
+					best = v
+				}
+			})
+			out.Data[outIdx] = best
+		})
+		return []Buffer{out}, nil
+	})
+
+	// AvgPool computes 2-D average pooling; padding cells are excluded
+	// from the average, matching TensorFlow semantics.
+	RegisterRef("AvgPool", func(inputs []Buffer, attrs Attrs) ([]Buffer, error) {
+		if err := wantInputs("AvgPool", inputs, 1); err != nil {
+			return nil, err
+		}
+		x := inputs[0]
+		filterSize, strides, pad := poolAttrs(attrs)
+		info, err := ComputePool2DInfo(x.Shape, filterSize, strides, pad)
+		if err != nil {
+			return nil, errIn("AvgPool", "%v", err)
+		}
+		out := NewBuffer(info.OutShape(), tensor.Float32)
+		poolForEach(info, func(b, oy, ox, c, outIdx int, window func(visit func(inIdx int))) {
+			var sum float32
+			count := 0
+			window(func(inIdx int) {
+				sum += x.Data[inIdx]
+				count++
+			})
+			if count > 0 {
+				out.Data[outIdx] = sum / float32(count)
+			}
+		})
+		return []Buffer{out}, nil
+	})
+
+	// MaxPoolGrad routes dy to the max position of each window. Inputs
+	// are (dy, x).
+	RegisterRef("MaxPoolGrad", func(inputs []Buffer, attrs Attrs) ([]Buffer, error) {
+		if err := wantInputs("MaxPoolGrad", inputs, 2); err != nil {
+			return nil, err
+		}
+		dy, x := inputs[0], inputs[1]
+		filterSize, strides, pad := poolAttrs(attrs)
+		info, err := ComputePool2DInfo(x.Shape, filterSize, strides, pad)
+		if err != nil {
+			return nil, errIn("MaxPoolGrad", "%v", err)
+		}
+		if !tensor.ShapesEqual(dy.Shape, info.OutShape()) {
+			return nil, errIn("MaxPoolGrad", "dy shape %v != pool output shape %v", dy.Shape, info.OutShape())
+		}
+		dx := NewBuffer(x.Shape, tensor.Float32)
+		poolForEach(info, func(b, oy, ox, c, outIdx int, window func(visit func(inIdx int))) {
+			best := float32(math.Inf(-1))
+			bestIdx := -1
+			window(func(inIdx int) {
+				if v := x.Data[inIdx]; v > best {
+					best = v
+					bestIdx = inIdx
+				}
+			})
+			if bestIdx >= 0 {
+				dx.Data[bestIdx] += dy.Data[outIdx]
+			}
+		})
+		return []Buffer{dx}, nil
+	})
+
+	// AvgPoolGrad distributes dy evenly over each window. Input is dy;
+	// attr "inputShape" gives the original input shape.
+	RegisterRef("AvgPoolGrad", func(inputs []Buffer, attrs Attrs) ([]Buffer, error) {
+		if err := wantInputs("AvgPoolGrad", inputs, 1); err != nil {
+			return nil, err
+		}
+		dy := inputs[0]
+		inShape := attrs.Ints("inputShape", nil)
+		filterSize, strides, pad := poolAttrs(attrs)
+		info, err := ComputePool2DInfo(inShape, filterSize, strides, pad)
+		if err != nil {
+			return nil, errIn("AvgPoolGrad", "%v", err)
+		}
+		if !tensor.ShapesEqual(dy.Shape, info.OutShape()) {
+			return nil, errIn("AvgPoolGrad", "dy shape %v != pool output shape %v", dy.Shape, info.OutShape())
+		}
+		dx := NewBuffer(inShape, tensor.Float32)
+		poolForEach(info, func(b, oy, ox, c, outIdx int, window func(visit func(inIdx int))) {
+			count := 0
+			window(func(int) { count++ })
+			if count == 0 {
+				return
+			}
+			share := dy.Data[outIdx] / float32(count)
+			window(func(inIdx int) { dx.Data[inIdx] += share })
+		})
+		return []Buffer{dx}, nil
+	})
+}
+
+// poolForEach iterates every (batch, output y, output x, channel) cell of a
+// pooling op and hands the body a window iterator over the in-bounds input
+// indices of that cell's receptive field.
+func poolForEach(info Conv2DInfo, body func(b, oy, ox, c, outIdx int, window func(visit func(inIdx int)))) {
+	c := info.OutChannels
+	inRow := info.InWidth * c
+	inImg := info.InHeight * inRow
+	outRow := info.OutWidth * c
+	outImg := info.OutHeight * outRow
+	for b := 0; b < info.BatchSize; b++ {
+		for oy := 0; oy < info.OutHeight; oy++ {
+			yCorner := oy*info.StrideHeight - info.PadTop
+			for ox := 0; ox < info.OutWidth; ox++ {
+				xCorner := ox*info.StrideWidth - info.PadLeft
+				for ch := 0; ch < c; ch++ {
+					outIdx := b*outImg + oy*outRow + ox*c + ch
+					window := func(visit func(inIdx int)) {
+						for fy := 0; fy < info.FilterHeight; fy++ {
+							iy := yCorner + fy
+							if iy < 0 || iy >= info.InHeight {
+								continue
+							}
+							for fx := 0; fx < info.FilterWidth; fx++ {
+								ix := xCorner + fx
+								if ix < 0 || ix >= info.InWidth {
+									continue
+								}
+								visit(b*inImg + iy*inRow + ix*c + ch)
+							}
+						}
+					}
+					body(b, oy, ox, ch, outIdx, window)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package layers_test
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/jsenv"
+	"repro/internal/layers"
+	"repro/internal/ops"
+)
+
+// TestFitAsyncKeepsMainThreadResponsive trains on the event loop while
+// posting simulated user events; training must complete AND the events
+// must interleave between batches, so no single task spans the whole
+// training run (the §3.6 responsiveness property).
+func TestFitAsyncKeepsMainThreadResponsive(t *testing.T) {
+	layers.SetSeed(11)
+	model := layers.NewSequential("")
+	model.Add(layers.NewDense(layers.DenseConfig{Units: 8, Activation: "relu", InputShape: []int{4}}))
+	model.Add(layers.NewDense(layers.DenseConfig{Units: 2, Activation: "softmax"}))
+	if err := model.Compile(layers.CompileConfig{Optimizer: "adam", Loss: "categoricalCrossentropy", LearningRate: 0.02}); err != nil {
+		t.Fatal(err)
+	}
+	xs := ops.RandNormal([]int{64, 4}, 0, 1, nil)
+	defer xs.Dispose()
+	labels := make([]float32, 64*2)
+	for i := 0; i < 64; i++ {
+		labels[i*2+i%2] = 1
+	}
+	ys := ops.FromValues(labels, 64, 2)
+	defer ys.Dispose()
+
+	loop := jsenv.NewLoop()
+	defer loop.Stop()
+
+	var eventsDuringTraining atomic.Int64
+	trainingDone := make(chan struct{})
+	fut := model.FitAsync(loop, xs, ys, layers.FitConfig{Epochs: 4, BatchSize: 8}, nil)
+	go func() {
+		// Post "user events" continuously while training runs.
+		for {
+			select {
+			case <-trainingDone:
+				return
+			default:
+				loop.Post(func() { eventsDuringTraining.Add(1) })
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+	hist, err := fut.Await()
+	close(trainingDone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hist.Epochs != 4 || len(hist.Logs["loss"]) != 4 {
+		t.Fatalf("history incomplete: %+v", hist)
+	}
+	if eventsDuringTraining.Load() == 0 {
+		t.Fatal("no events interleaved with training batches — the loop was blocked")
+	}
+	// Worst stall must be a single batch, far below total training time.
+	stats := loop.Stats()
+	if stats.LongestTask > stats.Busy/2 {
+		t.Fatalf("one task dominated the loop: longest %v of %v busy", stats.LongestTask, stats.Busy)
+	}
+}
+
+// TestFitAsyncMatchesSyncFit: same seed, same data, same batches — the
+// async scheduler must produce identical training results.
+func TestFitAsyncMatchesSyncFit(t *testing.T) {
+	build := func() *layers.Sequential {
+		layers.SetSeed(99)
+		m := layers.NewSequential("")
+		m.Add(layers.NewDense(layers.DenseConfig{Units: 1, InputShape: []int{1}}))
+		if err := m.Compile(layers.CompileConfig{Optimizer: "sgd", Loss: "meanSquaredError", LearningRate: 0.05}); err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	xs := ops.FromValues([]float32{1, 2, 3, 4}, 4, 1)
+	ys := ops.FromValues([]float32{2, 4, 6, 8}, 4, 1)
+	defer xs.Dispose()
+	defer ys.Dispose()
+
+	syncModel := build()
+	histSync, err := syncModel.Fit(xs, ys, layers.FitConfig{Epochs: 10, BatchSize: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	asyncModel := build()
+	loop := jsenv.NewLoop()
+	defer loop.Stop()
+	histAsync, err := asyncModel.FitAsync(loop, xs, ys, layers.FitConfig{Epochs: 10, BatchSize: 2, Seed: 5}, nil).Await()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range histSync.Logs["loss"] {
+		s, a := histSync.Logs["loss"][i], histAsync.Logs["loss"][i]
+		if s != a {
+			t.Fatalf("epoch %d loss diverged: sync %g vs async %g", i, s, a)
+		}
+	}
+}
+
+func TestFitAsyncErrorsWithoutCompile(t *testing.T) {
+	m := layers.NewSequential("")
+	m.Add(layers.NewDense(layers.DenseConfig{Units: 1, InputShape: []int{1}}))
+	loop := jsenv.NewLoop()
+	defer loop.Stop()
+	x := ops.Ones(2, 1)
+	defer x.Dispose()
+	if _, err := m.FitAsync(loop, x, x, layers.FitConfig{}, nil).Await(); err == nil {
+		t.Fatal("uncompiled FitAsync must error")
+	}
+}

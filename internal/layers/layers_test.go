@@ -1,0 +1,318 @@
+package layers_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/kernels"
+	"repro/internal/layers"
+	"repro/internal/ops"
+	"repro/internal/tensor"
+	"repro/internal/train"
+)
+
+func init() {
+	core.Global().RegisterBackend("cpu", func() (kernels.Backend, error) { return cpu.New(), nil })
+}
+
+// TestListing1LinearModel reproduces Listing 1 of the paper: a single dense
+// layer trained on y = 2x - 1 data, then asked to predict x = 5.
+func TestListing1LinearModel(t *testing.T) {
+	layers.SetSeed(42)
+	model := layers.NewSequential("")
+	model.Add(layers.NewDense(layers.DenseConfig{Units: 1, InputShape: []int{1}}))
+	if err := model.Compile(layers.CompileConfig{Optimizer: "sgd", Loss: "meanSquaredError", LearningRate: 0.08}); err != nil {
+		t.Fatal(err)
+	}
+	xs := ops.FromValues([]float32{1, 2, 3, 4}, 4, 1)
+	ys := ops.FromValues([]float32{1, 3, 5, 7}, 4, 1)
+	hist, err := model.Fit(xs, ys, layers.FitConfig{Epochs: 200, BatchSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	finalLoss := hist.Logs["loss"][len(hist.Logs["loss"])-1]
+	if finalLoss > 1e-2 {
+		t.Fatalf("model did not converge: final loss %g", finalLoss)
+	}
+	x := ops.FromValues([]float32{5}, 1, 1)
+	pred := model.Predict(x).DataSync()[0]
+	// True function: y = 2*5 - 1 = 9.
+	if math.Abs(float64(pred)-9) > 0.3 {
+		t.Fatalf("predict(5) = %g, want ~9", pred)
+	}
+}
+
+func TestFitDoesNotLeakTensors(t *testing.T) {
+	e := core.Global()
+	model := layers.NewSequential("")
+	model.Add(layers.NewDense(layers.DenseConfig{Units: 4, Activation: "relu", InputShape: []int{3}}))
+	model.Add(layers.NewDense(layers.DenseConfig{Units: 2, Activation: "softmax"}))
+	if err := model.Compile(layers.CompileConfig{Optimizer: "sgd", Loss: "categoricalCrossentropy"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := model.Build(); err != nil {
+		t.Fatal(err)
+	}
+	xs := ops.RandNormal([]int{16, 3}, 0, 1, nil)
+	ys := ops.OneHot(ops.Cast(ops.Fill([]int{16}, 1), tensor.Int32), 2)
+
+	if _, err := model.Fit(xs, ys, layers.FitConfig{Epochs: 1, BatchSize: 8}); err != nil {
+		t.Fatal(err)
+	}
+	before := e.NumTensors()
+	if _, err := model.Fit(xs, ys, layers.FitConfig{Epochs: 3, BatchSize: 8}); err != nil {
+		t.Fatal(err)
+	}
+	after := e.NumTensors()
+	if after != before {
+		t.Fatalf("fit leaked tensors: before=%d after=%d", before, after)
+	}
+}
+
+func TestConvnetTrainsOnSyntheticTask(t *testing.T) {
+	layers.SetSeed(7)
+	// Classify whether the bright quadrant is top-left or bottom-right.
+	n := 64
+	xVals := make([]float32, n*8*8)
+	yVals := make([]float32, n*2)
+	for i := 0; i < n; i++ {
+		cls := i % 2
+		for r := 0; r < 8; r++ {
+			for c := 0; c < 8; c++ {
+				v := float32(0.05)
+				if cls == 0 && r < 4 && c < 4 {
+					v = 1
+				}
+				if cls == 1 && r >= 4 && c >= 4 {
+					v = 1
+				}
+				xVals[i*64+r*8+c] = v
+			}
+		}
+		yVals[i*2+cls] = 1
+	}
+	xs := ops.FromValues(xVals, n, 8, 8, 1)
+	ys := ops.FromValues(yVals, n, 2)
+
+	model := layers.NewSequential("convnet")
+	model.Add(layers.NewConv2D(layers.Conv2DConfig{
+		Filters: 4, KernelSize: []int{3, 3}, Activation: "relu", Padding: "same", InputShape: []int{8, 8, 1},
+	}))
+	model.Add(layers.NewMaxPooling2D(layers.Pool2DConfig{}))
+	model.Add(layers.NewFlatten())
+	model.Add(layers.NewDense(layers.DenseConfig{Units: 2, Activation: "softmax"}))
+	if err := model.Compile(layers.CompileConfig{
+		Optimizer: "adam", Loss: "categoricalCrossentropy", LearningRate: 0.01, Metrics: []string{"accuracy"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	hist, err := model.Fit(xs, ys, layers.FitConfig{Epochs: 10, BatchSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := hist.Logs["acc"][len(hist.Logs["acc"])-1]
+	if acc < 0.95 {
+		t.Fatalf("convnet failed to learn trivially separable task: acc=%g", acc)
+	}
+}
+
+func TestModelSerializationRoundTrip(t *testing.T) {
+	model := layers.NewSequential("roundtrip")
+	model.Add(layers.NewConv2D(layers.Conv2DConfig{
+		Filters: 3, KernelSize: []int{3, 3}, Padding: "same", Activation: "relu", InputShape: []int{6, 6, 1},
+	}))
+	model.Add(layers.NewFlatten())
+	model.Add(layers.NewDense(layers.DenseConfig{Units: 5, Activation: "softmax"}))
+	if err := model.Build(); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := model.ToJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := layers.FromJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.Build(); err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.SetWeights(model.GetWeights()); err != nil {
+		t.Fatal(err)
+	}
+
+	x := ops.RandNormal([]int{2, 6, 6, 1}, 0, 1, nil)
+	want := model.Predict(x).DataSync()
+	got := restored.Predict(x).DataSync()
+	for i := range want {
+		if math.Abs(float64(want[i]-got[i])) > 1e-6 {
+			t.Fatalf("restored model diverges at %d: %g vs %g", i, got[i], want[i])
+		}
+	}
+	if restored.CountParams() != model.CountParams() {
+		t.Fatalf("param count mismatch: %d vs %d", restored.CountParams(), model.CountParams())
+	}
+}
+
+func TestBatchNormalizationTrainingVsInference(t *testing.T) {
+	bn := layers.NewBatchNormalization(layers.BatchNormConfig{Momentum: 0.5})
+	if err := bn.Build([]int{3}); err != nil {
+		t.Fatal(err)
+	}
+	e := core.Global()
+	e.Tidy("bn", func() []*tensor.Tensor {
+		x := ops.FromValues([]float32{1, 2, 3, 5, 6, 7}, 2, 3)
+		trainOut := bn.Call(x, true)
+		// Batch mean is [3,4,5]; normalized output should be ~[-1, 1] per
+		// column up to epsilon.
+		vals := trainOut.DataSync()
+		if math.Abs(float64(vals[0]+1)) > 0.1 {
+			t.Fatalf("train-mode batchnorm wrong: %v", vals)
+		}
+		// Inference uses moving stats (initialized 0/1, partially updated).
+		inferOut := bn.Call(x, false)
+		if inferOut.Shape[0] != 2 || inferOut.Shape[1] != 3 {
+			t.Fatalf("bad shape %v", inferOut.Shape)
+		}
+		return nil
+	})
+}
+
+func TestDropoutOnlyDuringTraining(t *testing.T) {
+	do := layers.NewDropout(0.5)
+	e := core.Global()
+	e.Tidy("dropout", func() []*tensor.Tensor {
+		x := ops.Ones(10, 10)
+		inferOut := do.Call(x, false)
+		for _, v := range inferOut.DataSync() {
+			if v != 1 {
+				t.Fatalf("dropout active at inference: %g", v)
+			}
+		}
+		trainOut := do.Call(x, true)
+		zeros := 0
+		for _, v := range trainOut.DataSync() {
+			if v == 0 {
+				zeros++
+			}
+		}
+		if zeros == 0 || zeros == 100 {
+			t.Fatalf("dropout zeroed %d/100 values, expected a fraction", zeros)
+		}
+		return nil
+	})
+}
+
+func TestOptimizersConverge(t *testing.T) {
+	// Minimize (w-3)^2 with each optimizer.
+	for _, name := range []string{"sgd", "momentum", "rmsprop", "adagrad", "adam"} {
+		t.Run(name, func(t *testing.T) {
+			e := core.Global()
+			init := ops.Scalar(0)
+			w := e.NewVariable(init, "w_"+name, true)
+			init.Dispose()
+			defer w.Dispose()
+			lr := 0.1
+			if name == "adagrad" {
+				// Adagrad's effective step decays as gradients
+				// accumulate; it needs a larger base rate here.
+				lr = 1.0
+			}
+			opt, err := train.NewOptimizer(name, lr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer opt.Dispose()
+			var last float32
+			for i := 0; i < 300; i++ {
+				loss := train.Minimize(opt, func() *tensor.Tensor {
+					diff := ops.SubScalar(w.Value(), 3)
+					return ops.Mul(diff, diff)
+				}, []*core.Variable{w})
+				last = loss.DataSync()[0]
+				loss.Dispose()
+			}
+			if last > 1e-2 {
+				t.Fatalf("%s did not converge: loss=%g w=%g", name, last, w.Value().DataSync()[0])
+			}
+		})
+	}
+}
+
+func TestValidationSplit(t *testing.T) {
+	layers.SetSeed(44)
+	model := layers.NewSequential("")
+	model.Add(layers.NewDense(layers.DenseConfig{Units: 1, InputShape: []int{1}}))
+	if err := model.Compile(layers.CompileConfig{Optimizer: "sgd", Loss: "meanSquaredError", LearningRate: 0.05}); err != nil {
+		t.Fatal(err)
+	}
+	xs := ops.RandNormal([]int{40, 1}, 0, 1, nil)
+	defer xs.Dispose()
+	ys := ops.MulScalar(xs, 3)
+	defer ys.Dispose()
+	hist, err := model.Fit(xs, ys, layers.FitConfig{Epochs: 5, BatchSize: 8, ValidationSplit: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist.Logs["val_loss"]) != 5 {
+		t.Fatalf("validation losses missing: %v", hist.Logs)
+	}
+	// Validation loss should fall alongside training loss on this
+	// noiseless linear task.
+	if hist.Logs["val_loss"][4] >= hist.Logs["val_loss"][0] {
+		t.Fatalf("val_loss did not improve: %v", hist.Logs["val_loss"])
+	}
+	if _, err := model.Fit(xs, ys, layers.FitConfig{ValidationSplit: 1.0}); err == nil {
+		t.Fatal("validation split of 1.0 must error")
+	}
+}
+
+func TestEvaluate(t *testing.T) {
+	layers.SetSeed(45)
+	model := layers.NewSequential("")
+	model.Add(layers.NewDense(layers.DenseConfig{Units: 2, Activation: "softmax", InputShape: []int{2}}))
+	if err := model.Compile(layers.CompileConfig{Optimizer: "sgd", Loss: "categoricalCrossentropy", Metrics: []string{"accuracy"}}); err != nil {
+		t.Fatal(err)
+	}
+	xs := ops.RandNormal([]int{10, 2}, 0, 1, nil)
+	defer xs.Dispose()
+	labels := make([]float32, 20)
+	for i := 0; i < 10; i++ {
+		labels[i*2+i%2] = 1
+	}
+	ys := ops.FromValues(labels, 10, 2)
+	defer ys.Dispose()
+	logs, err := model.Evaluate(xs, ys, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := logs["loss"]; !ok {
+		t.Fatalf("evaluate missing loss: %v", logs)
+	}
+	if acc, ok := logs["acc"]; !ok || acc < 0 || acc > 1 {
+		t.Fatalf("evaluate accuracy invalid: %v", logs)
+	}
+}
+
+func TestFitShapeMismatchErrors(t *testing.T) {
+	model := layers.NewSequential("")
+	model.Add(layers.NewDense(layers.DenseConfig{Units: 1, InputShape: []int{1}}))
+	if err := model.Compile(layers.CompileConfig{Optimizer: "sgd", Loss: "meanSquaredError"}); err != nil {
+		t.Fatal(err)
+	}
+	x := ops.Ones(4, 1)
+	y := ops.Ones(3, 1)
+	defer x.Dispose()
+	defer y.Dispose()
+	if _, err := model.Fit(x, y, layers.FitConfig{}); err == nil {
+		t.Fatal("mismatched example counts must error")
+	}
+	uncompiled := layers.NewSequential("")
+	uncompiled.Add(layers.NewDense(layers.DenseConfig{Units: 1, InputShape: []int{1}}))
+	if _, err := uncompiled.Fit(x, x, layers.FitConfig{}); err == nil {
+		t.Fatal("uncompiled fit must error")
+	}
+}

@@ -1,0 +1,165 @@
+package layers_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/layers"
+	"repro/internal/ops"
+	"repro/internal/tensor"
+)
+
+func TestEmbeddingLayerShapesAndTraining(t *testing.T) {
+	layers.SetSeed(3)
+	// Classify length-4 token sequences: class = first token parity.
+	const vocab, dim, seqLen = 6, 4, 4
+	n := 32
+	ids := make([]float32, n*seqLen)
+	labels := make([]float32, n*2)
+	for i := 0; i < n; i++ {
+		first := i % vocab
+		ids[i*seqLen] = float32(first)
+		for j := 1; j < seqLen; j++ {
+			ids[i*seqLen+j] = float32((i + j) % vocab)
+		}
+		labels[i*2+first%2] = 1
+	}
+	xs := ops.FromValuesTyped(ids, []int{n, seqLen}, tensor.Int32)
+	ys := ops.FromValues(labels, n, 2)
+	defer xs.Dispose()
+	defer ys.Dispose()
+
+	m := layers.NewSequential("embedder")
+	m.Add(layers.NewEmbedding(layers.EmbeddingConfig{InputDim: vocab, OutputDim: dim, InputLength: seqLen}))
+	m.Add(layers.NewFlatten())
+	m.Add(layers.NewDense(layers.DenseConfig{Units: 2, Activation: "softmax"}))
+	if err := m.Compile(layers.CompileConfig{
+		Optimizer: "adam", Loss: "categoricalCrossentropy", LearningRate: 0.05, Metrics: []string{"accuracy"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := m.OutputShape()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 2 {
+		t.Fatalf("output shape %v", out)
+	}
+	hist, err := m.Fit(xs, ys, layers.FitConfig{Epochs: 25, BatchSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := hist.Logs["acc"][hist.Epochs-1]; acc < 0.95 {
+		t.Fatalf("embedding model failed to learn token parity: acc=%g", acc)
+	}
+}
+
+func TestZeroPadding2D(t *testing.T) {
+	l := layers.NewZeroPadding2D([]int{1})
+	shape, err := l.OutputShape([]int{2, 2, 1})
+	if err != nil || !tensor.ShapesEqual(shape, []int{4, 4, 1}) {
+		t.Fatalf("padded shape %v, %v", shape, err)
+	}
+	core.Global().Tidy("pad", func() []*tensor.Tensor {
+		x := ops.Ones(1, 2, 2, 1)
+		y := l.Call(x, false)
+		vals := y.DataSync()
+		if vals[0] != 0 || vals[5] != 1 {
+			t.Fatalf("padding wrong: %v", vals)
+		}
+		return nil
+	})
+}
+
+func TestMiscLayerSerialization(t *testing.T) {
+	m := layers.NewSequential("misc")
+	m.Add(layers.NewEmbedding(layers.EmbeddingConfig{InputDim: 10, OutputDim: 3, InputLength: 5}))
+	m.Add(layers.NewFlatten())
+	m.Add(layers.NewDense(layers.DenseConfig{Units: 2}))
+	if err := m.Build(); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := m.ToJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := layers.FromJSON(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Build(); err != nil {
+		t.Fatal(err)
+	}
+	if back.CountParams() != m.CountParams() {
+		t.Fatalf("params %d vs %d after round trip", back.CountParams(), m.CountParams())
+	}
+}
+
+// TestSimpleRNNLearnsSequenceTask trains an RNN built from a plain Go loop
+// over time steps — the eager-mode control-flow property of §3.5 — on a
+// task requiring memory: classify whether a binary sequence contains more
+// ones than zeros.
+func TestSimpleRNNLearnsSequenceTask(t *testing.T) {
+	layers.SetSeed(14)
+	const steps, n = 6, 96
+	xVals := make([]float32, n*steps)
+	yVals := make([]float32, n*2)
+	for i := 0; i < n; i++ {
+		ones := 0
+		for s := 0; s < steps; s++ {
+			bit := (i >> uint(s)) & 1
+			xVals[i*steps+s] = float32(bit)
+			ones += bit
+		}
+		if ones > steps/2 {
+			yVals[i*2+1] = 1
+		} else {
+			yVals[i*2] = 1
+		}
+	}
+	xs := ops.FromValues(xVals, n, steps, 1)
+	ys := ops.FromValues(yVals, n, 2)
+	defer xs.Dispose()
+	defer ys.Dispose()
+
+	m := layers.NewSequential("rnn")
+	m.Add(layers.NewSimpleRNN(layers.SimpleRNNConfig{Units: 8, InputShape: []int{steps, 1}}))
+	m.Add(layers.NewDense(layers.DenseConfig{Units: 2, Activation: "softmax"}))
+	if err := m.Compile(layers.CompileConfig{
+		Optimizer: "adam", Loss: "categoricalCrossentropy", LearningRate: 0.02, Metrics: []string{"accuracy"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	hist, err := m.Fit(xs, ys, layers.FitConfig{Epochs: 40, BatchSize: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := hist.Logs["acc"][hist.Epochs-1]; acc < 0.9 {
+		t.Fatalf("RNN failed to learn the counting task: acc=%g", acc)
+	}
+}
+
+func TestSimpleRNNReturnSequences(t *testing.T) {
+	l := layers.NewSimpleRNN(layers.SimpleRNNConfig{Units: 3, ReturnSequences: true})
+	if err := l.Build([]int{5, 2}); err != nil {
+		t.Fatal(err)
+	}
+	shape, err := l.OutputShape([]int{5, 2})
+	if err != nil || !tensor.ShapesEqual(shape, []int{5, 3}) {
+		t.Fatalf("sequence output shape %v, %v", shape, err)
+	}
+	core.Global().Tidy("rnn-seq", func() []*tensor.Tensor {
+		x := ops.RandNormal([]int{2, 5, 2}, 0, 1, nil)
+		out := l.Call(x, false)
+		if !tensor.ShapesEqual(out.Shape, []int{2, 5, 3}) {
+			t.Fatalf("call output shape %v", out.Shape)
+		}
+		// All hidden states bounded by tanh.
+		for _, v := range out.DataSync() {
+			if v < -1 || v > 1 {
+				t.Fatalf("tanh state out of range: %g", v)
+			}
+		}
+		return nil
+	})
+}

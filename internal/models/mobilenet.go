@@ -1,0 +1,214 @@
+// Package models is the models repository of Section 5.2: pre-built
+// architectures with friendly, tensor-free prediction APIs. In the paper
+// these ship with pretrained weights hosted on a public bucket; here the
+// architectures are exact and the weights synthetic (see DESIGN.md —
+// inference latency, the quantity Table 1 measures, depends only on
+// architecture and shapes).
+package models
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/data"
+	"repro/internal/layers"
+	"repro/internal/tensor"
+)
+
+// MobileNetConfig selects a MobileNet v1 variant (Howard et al., 2017).
+type MobileNetConfig struct {
+	// Alpha is the width multiplier (0.25, 0.5, 0.75, 1.0). 0 means 1.0.
+	Alpha float64
+	// InputSize is the square input resolution (96–224). 0 means 224.
+	InputSize int
+	// NumClasses is the classifier width. 0 means 1000.
+	NumClasses int
+	// IncludeTop appends the pooling + classifier head; without it the
+	// model is a feature extractor for transfer learning (Section 5.2).
+	IncludeTop bool
+	// Seed seeds the synthetic weight initialization.
+	Seed int64
+}
+
+func (c *MobileNetConfig) defaults() {
+	if c.Alpha == 0 {
+		c.Alpha = 1.0
+	}
+	if c.InputSize == 0 {
+		c.InputSize = 224
+	}
+	if c.NumClasses == 0 {
+		c.NumClasses = 1000
+	}
+}
+
+// mobileNetBlocks is the (pointwise filters, stride) sequence of the 13
+// depthwise-separable blocks in MobileNet v1.
+var mobileNetBlocks = []struct {
+	filters int
+	stride  int
+}{
+	{64, 1}, {128, 2}, {128, 1}, {256, 2}, {256, 1},
+	{512, 2}, {512, 1}, {512, 1}, {512, 1}, {512, 1}, {512, 1},
+	{1024, 2}, {1024, 1},
+}
+
+func scaled(filters int, alpha float64) int {
+	f := int(float64(filters) * alpha)
+	if f < 8 {
+		f = 8
+	}
+	return f
+}
+
+// MobileNetV1 builds the exact MobileNet v1 architecture as a Layers-API
+// model: a strided 3x3 convolution followed by 13 depthwise-separable
+// blocks (depthwise 3x3 + pointwise 1x1, each with batch norm and ReLU6),
+// then global average pooling and a softmax classifier.
+func MobileNetV1(cfg MobileNetConfig) (*layers.Sequential, error) {
+	cfg.defaults()
+	if cfg.Seed != 0 {
+		layers.SetSeed(cfg.Seed)
+	}
+	noBias := false
+	m := layers.NewSequential(fmt.Sprintf("mobilenet_v1_%.2f_%d", cfg.Alpha, cfg.InputSize))
+
+	// He initialization keeps activation variance stable through the
+	// 28-convolution stack, so even a synthetically initialized network
+	// produces informative features (see DESIGN.md on weight
+	// substitution).
+	m.Add(layers.NewConv2D(layers.Conv2DConfig{
+		Filters: scaled(32, cfg.Alpha), KernelSize: []int{3, 3}, Strides: []int{2, 2},
+		Padding: "same", UseBias: &noBias, Initializer: "he_normal",
+		InputShape: []int{cfg.InputSize, cfg.InputSize, 3},
+	}))
+	m.Add(layers.NewBatchNormalization(layers.BatchNormConfig{}))
+	m.Add(layers.NewActivation("relu6"))
+
+	for _, blk := range mobileNetBlocks {
+		m.Add(layers.NewDepthwiseConv2D(layers.Conv2DConfig{
+			Filters: 1, KernelSize: []int{3, 3}, Strides: []int{blk.stride, blk.stride},
+			Padding: "same", UseBias: &noBias, Initializer: "he_normal",
+		}))
+		m.Add(layers.NewBatchNormalization(layers.BatchNormConfig{}))
+		m.Add(layers.NewActivation("relu6"))
+		m.Add(layers.NewConv2D(layers.Conv2DConfig{
+			Filters: scaled(blk.filters, cfg.Alpha), KernelSize: []int{1, 1}, Strides: []int{1, 1},
+			Padding: "same", UseBias: &noBias, Initializer: "he_normal",
+		}))
+		m.Add(layers.NewBatchNormalization(layers.BatchNormConfig{}))
+		m.Add(layers.NewActivation("relu6"))
+	}
+
+	if cfg.IncludeTop {
+		m.Add(layers.NewGlobalAveragePooling2D())
+		m.Add(layers.NewDense(layers.DenseConfig{Units: cfg.NumClasses, Activation: "softmax"}))
+	}
+	if err := m.Build(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// MobileNet wraps MobileNetV1 with the friendly classification API of the
+// models repo: native image in, labeled predictions out, no tensors
+// (Section 5.2, Listing 3's design).
+type MobileNet struct {
+	model  *layers.Sequential
+	cfg    MobileNetConfig
+	labels []string
+}
+
+// NewMobileNet builds a MobileNet classifier with synthetic weights and
+// generated class labels.
+func NewMobileNet(cfg MobileNetConfig) (*MobileNet, error) {
+	cfg.defaults()
+	cfg.IncludeTop = true
+	model, err := MobileNetV1(cfg)
+	if err != nil {
+		return nil, err
+	}
+	labels := make([]string, cfg.NumClasses)
+	for i := range labels {
+		labels[i] = fmt.Sprintf("class_%03d", i)
+	}
+	return &MobileNet{model: model, cfg: cfg, labels: labels}, nil
+}
+
+// Model exposes the underlying Layers model for expert users — "we expose
+// APIs to work with tensors for expert users" (Section 5.2).
+func (m *MobileNet) Model() *layers.Sequential { return m.model }
+
+// Classification is one scored label.
+type Classification struct {
+	ClassName   string  `json:"className"`
+	Probability float64 `json:"probability"`
+}
+
+// Classify runs the classifier on a native image and returns the topK
+// predictions, highest probability first.
+func (m *MobileNet) Classify(im *data.Image, topK int) ([]Classification, error) {
+	if im.Width != m.cfg.InputSize || im.Height != m.cfg.InputSize || im.Channels != 3 {
+		return nil, fmt.Errorf("models: MobileNet expects %dx%dx3 input, got %dx%dx%d",
+			m.cfg.InputSize, m.cfg.InputSize, im.Width, im.Height, im.Channels)
+	}
+	if topK <= 0 {
+		topK = 3
+	}
+	var probs []float32
+	pixels := data.FromPixelsBatch(im)
+	defer pixels.Dispose()
+	normalized := pixelsNormalized(pixels)
+	out := m.model.Predict(normalized)
+	normalized.Dispose()
+	probs = out.DataSync()
+	out.Dispose()
+
+	idx := make([]int, len(probs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return probs[idx[a]] > probs[idx[b]] })
+	if topK > len(idx) {
+		topK = len(idx)
+	}
+	res := make([]Classification, topK)
+	for i := 0; i < topK; i++ {
+		res[i] = Classification{ClassName: m.labels[idx[i]], Probability: float64(probs[idx[i]])}
+	}
+	return res, nil
+}
+
+// pixelsNormalized rescales [0,255] pixels to MobileNet's [-1, 1] range
+// inside a tidy scope.
+func pixelsNormalized(pixels *tensor.Tensor) *tensor.Tensor {
+	outs := tidy(func() []*tensor.Tensor {
+		return []*tensor.Tensor{data.NormalizeForMobileNet(pixels)}
+	})
+	return outs[0]
+}
+
+// Embed returns the feature embedding (pre-classifier activations) for
+// transfer learning. The returned tensor is owned by the caller.
+func (m *MobileNet) Embed(im *data.Image) (*tensor.Tensor, error) {
+	if im.Width != m.cfg.InputSize || im.Height != m.cfg.InputSize || im.Channels != 3 {
+		return nil, fmt.Errorf("models: MobileNet expects %dx%dx3 input", m.cfg.InputSize, m.cfg.InputSize)
+	}
+	all := m.model.Layers()
+	pixels := data.FromPixelsBatch(im)
+	defer pixels.Dispose()
+	var out *tensor.Tensor
+	outs := tidy(func() []*tensor.Tensor {
+		x := data.NormalizeForMobileNet(pixels)
+		// Run every layer except the final classifier.
+		for _, l := range all[:len(all)-1] {
+			x = l.Call(x, false)
+		}
+		return []*tensor.Tensor{x}
+	})
+	out = outs[0]
+	return out, nil
+}
+
+// Dispose releases the model weights.
+func (m *MobileNet) Dispose() { m.model.Dispose() }

@@ -1,0 +1,168 @@
+package models_test
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/data"
+	"repro/internal/kernels"
+	"repro/internal/models"
+	"repro/internal/native"
+	"repro/internal/tensor"
+)
+
+func init() {
+	e := core.Global()
+	e.RegisterBackend("node", func() (kernels.Backend, error) { return native.New(), nil })
+	e.RegisterBackend("cpu", func() (kernels.Backend, error) { return cpu.New(), nil })
+}
+
+func TestMobileNetArchitectureShapes(t *testing.T) {
+	m, err := models.MobileNetV1(models.MobileNetConfig{
+		Alpha: 0.25, InputSize: 128, NumClasses: 10, IncludeTop: true, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Dispose()
+	out, err := m.OutputShape()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0] != 10 {
+		t.Fatalf("classifier output shape %v, want [10]", out)
+	}
+	// 3 stem layers + 13 blocks x 6 layers + pool + dense.
+	if got := len(m.Layers()); got != 3+13*6+2 {
+		t.Fatalf("unexpected layer count %d", got)
+	}
+	// The standard full MobileNet v1 1.0 has ~4.2M params; alpha=0.25
+	// shrinks quadratically. Sanity-check the 1.0 config's param count.
+	full, err := models.MobileNetV1(models.MobileNetConfig{Alpha: 1.0, InputSize: 224, IncludeTop: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer full.Dispose()
+	params := full.CountParams()
+	if params < 4_000_000 || params > 4_500_000 {
+		t.Fatalf("MobileNet v1 1.0 should have ~4.2M params, got %d", params)
+	}
+}
+
+func TestMobileNetClassifyFriendlyAPI(t *testing.T) {
+	if err := core.Global().SetBackend("node"); err != nil {
+		t.Fatal(err)
+	}
+	net, err := models.NewMobileNet(models.MobileNetConfig{Alpha: 0.25, InputSize: 96, NumClasses: 10, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Dispose()
+	img := data.SyntheticPhoto(96, 42)
+	before := core.Global().NumTensors()
+	preds, err := net.Classify(img, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(preds) != 3 {
+		t.Fatalf("want 3 predictions, got %d", len(preds))
+	}
+	var total float64
+	for i, p := range preds {
+		if p.Probability < 0 || p.Probability > 1 {
+			t.Fatalf("invalid probability %g", p.Probability)
+		}
+		if i > 0 && p.Probability > preds[i-1].Probability {
+			t.Fatal("predictions must be sorted descending")
+		}
+		total += p.Probability
+	}
+	if total <= 0 {
+		t.Fatal("probabilities should be positive")
+	}
+	// The friendly API must not leak tensors (Section 5.2 wrappers hide
+	// tensors and manage memory).
+	if after := core.Global().NumTensors(); after != before {
+		t.Fatalf("Classify leaked tensors: %d -> %d", before, after)
+	}
+}
+
+func TestListing3PoseNetAPI(t *testing.T) {
+	if err := core.Global().SetBackend("node"); err != nil {
+		t.Fatal(err)
+	}
+	p, err := models.NewPoseNet(models.PoseNetConfig{InputSize: 64, OutputStride: 16, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Dispose()
+	img := data.SyntheticPhoto(64, 7)
+	before := core.Global().NumTensors()
+	pose, err := p.EstimateSinglePose(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after := core.Global().NumTensors(); after != before {
+		t.Fatalf("EstimateSinglePose leaked tensors: %d -> %d", before, after)
+	}
+	if len(pose.Keypoints) != 17 {
+		t.Fatalf("want 17 keypoints, got %d", len(pose.Keypoints))
+	}
+	if pose.Keypoints[0].Part != "nose" {
+		t.Fatalf("first keypoint should be nose, got %q", pose.Keypoints[0].Part)
+	}
+	for _, kp := range pose.Keypoints {
+		if kp.Score < 0 || kp.Score > 1 {
+			t.Fatalf("keypoint %s score %g outside [0,1]", kp.Part, kp.Score)
+		}
+		if kp.Position.X < 0 || kp.Position.X > 63 || kp.Position.Y < 0 || kp.Position.Y > 63 {
+			t.Fatalf("keypoint %s position %+v outside image", kp.Part, kp.Position)
+		}
+	}
+	// The result must serialize to the JSON shape of Listing 3.
+	blob, err := json.Marshal(pose)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(blob, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := decoded["score"]; !ok {
+		t.Fatal("pose JSON missing score")
+	}
+	kps, ok := decoded["keypoints"].([]any)
+	if !ok || len(kps) != 17 {
+		t.Fatal("pose JSON missing keypoints array")
+	}
+	first := kps[0].(map[string]any)
+	if _, ok := first["position"]; !ok {
+		t.Fatal("keypoint JSON missing position")
+	}
+	if first["part"] != "nose" {
+		t.Fatalf("keypoint JSON part = %v", first["part"])
+	}
+}
+
+func TestMobileNetEmbedForTransferLearning(t *testing.T) {
+	if err := core.Global().SetBackend("node"); err != nil {
+		t.Fatal(err)
+	}
+	net, err := models.NewMobileNet(models.MobileNetConfig{Alpha: 0.25, InputSize: 96, NumClasses: 10, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Dispose()
+	img := data.SyntheticPhoto(96, 1)
+	emb, err := net.Embed(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer emb.Dispose()
+	// Embedding is the pooled feature vector: [1, 256] for alpha 0.25.
+	if !tensor.ShapesEqual(emb.Shape, []int{1, 256}) {
+		t.Fatalf("embedding shape %v, want [1 256]", emb.Shape)
+	}
+}

@@ -1,0 +1,188 @@
+package models
+
+import (
+	"math"
+	"sort"
+)
+
+// This file implements pose decoding as pure functions over raw heatmap
+// and offset buffers, so the decoding logic is unit-testable independently
+// of the backbone. Single-pose decoding takes the per-part argmax
+// (Listing 3); multi-pose decoding finds per-part local maxima,
+// suppresses duplicates within a radius, and greedily clusters part
+// detections into poses anchored at nose candidates — a simplified version
+// of the part-graph decoder in the real PoseNet (Oved, 2018).
+
+// heatmapView indexes a [h, w, parts] activation buffer.
+type heatmapView struct {
+	vals  []float32
+	h, w  int
+	parts int
+}
+
+func (v heatmapView) at(y, x, k int) float32 { return v.vals[(y*v.w+x)*v.parts+k] }
+
+// offsetView indexes a [h, w, 2*parts] offset buffer (dy channels first,
+// then dx, matching the backbone head layout).
+type offsetView struct {
+	vals  []float32
+	h, w  int
+	parts int
+}
+
+func (v offsetView) dy(y, x, k int) float64 {
+	return float64(v.vals[(y*v.w+x)*2*v.parts+k])
+}
+
+func (v offsetView) dx(y, x, k int) float64 {
+	return float64(v.vals[(y*v.w+x)*2*v.parts+v.parts+k])
+}
+
+// decodeSinglePose picks the global argmax per part.
+func decodeSinglePose(heat heatmapView, off offsetView, stride, inputSize int) Pose {
+	pose := Pose{Keypoints: make([]Keypoint, heat.parts)}
+	var total float64
+	for k := 0; k < heat.parts; k++ {
+		best := float32(math.Inf(-1))
+		bestY, bestX := 0, 0
+		for y := 0; y < heat.h; y++ {
+			for x := 0; x < heat.w; x++ {
+				if v := heat.at(y, x, k); v > best {
+					best = v
+					bestY, bestX = y, x
+				}
+			}
+		}
+		pose.Keypoints[k] = keypointAt(heat, off, bestY, bestX, k, stride, inputSize)
+		total += pose.Keypoints[k].Score
+	}
+	pose.Score = total / float64(heat.parts)
+	return pose
+}
+
+func keypointAt(heat heatmapView, off offsetView, y, x, k, stride, inputSize int) Keypoint {
+	return Keypoint{
+		Part:  PoseNetParts[k],
+		Score: float64(heat.at(y, x, k)),
+		Position: Point{
+			X: clamp(float64(x)*float64(stride)+off.dx(y, x, k), 0, float64(inputSize-1)),
+			Y: clamp(float64(y)*float64(stride)+off.dy(y, x, k), 0, float64(inputSize-1)),
+		},
+	}
+}
+
+// partCandidate is one local maximum of one part's heatmap.
+type partCandidate struct {
+	part  int
+	score float64
+	pos   Point
+}
+
+// localMaxima finds heatmap cells that dominate their neighborhood and
+// exceed the score threshold.
+func localMaxima(heat heatmapView, off offsetView, part, stride, inputSize int, threshold float64) []partCandidate {
+	var out []partCandidate
+	for y := 0; y < heat.h; y++ {
+		for x := 0; x < heat.w; x++ {
+			v := heat.at(y, x, part)
+			if float64(v) < threshold {
+				continue
+			}
+			isMax := true
+			for dy := -1; dy <= 1 && isMax; dy++ {
+				for dx := -1; dx <= 1; dx++ {
+					yy, xx := y+dy, x+dx
+					if yy < 0 || yy >= heat.h || xx < 0 || xx >= heat.w || (dy == 0 && dx == 0) {
+						continue
+					}
+					if heat.at(yy, xx, part) > v {
+						isMax = false
+						break
+					}
+				}
+			}
+			if isMax {
+				kp := keypointAt(heat, off, y, x, part, stride, inputSize)
+				out = append(out, partCandidate{part: part, score: kp.Score, pos: kp.Position})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].score > out[j].score })
+	return out
+}
+
+func dist(a, b Point) float64 {
+	dx, dy := a.X-b.X, a.Y-b.Y
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// decodeMultiplePoses clusters part candidates into up to maxPoses poses.
+// Poses are anchored at nose candidates (part 0) in score order; each
+// remaining part joins the nearest anchor within clusterRadius pixels.
+func decodeMultiplePoses(heat heatmapView, off offsetView, stride, inputSize, maxPoses int, scoreThreshold, nmsRadius float64) []Pose {
+	// Anchors: nose local maxima, NMS-suppressed.
+	noses := localMaxima(heat, off, 0, stride, inputSize, scoreThreshold)
+	var anchors []partCandidate
+	for _, cand := range noses {
+		tooClose := false
+		for _, a := range anchors {
+			if dist(cand.pos, a.pos) < nmsRadius {
+				tooClose = true
+				break
+			}
+		}
+		if !tooClose {
+			anchors = append(anchors, cand)
+		}
+		if len(anchors) >= maxPoses {
+			break
+		}
+	}
+	if len(anchors) == 0 {
+		return nil
+	}
+
+	clusterRadius := float64(inputSize) / 2
+	poses := make([]Pose, len(anchors))
+	for i, a := range anchors {
+		poses[i].Keypoints = make([]Keypoint, len(PoseNetParts))
+		poses[i].Keypoints[0] = Keypoint{Part: PoseNetParts[0], Score: a.score, Position: a.pos}
+	}
+	for part := 1; part < heat.parts; part++ {
+		candidates := localMaxima(heat, off, part, stride, inputSize, scoreThreshold)
+		claimed := make([]bool, len(poses))
+		for _, cand := range candidates {
+			bestPose := -1
+			bestDist := clusterRadius
+			for i := range poses {
+				if claimed[i] {
+					continue
+				}
+				if d := dist(cand.pos, poses[i].Keypoints[0].Position); d < bestDist {
+					bestDist = d
+					bestPose = i
+				}
+			}
+			if bestPose >= 0 {
+				poses[bestPose].Keypoints[part] = Keypoint{Part: PoseNetParts[part], Score: cand.score, Position: cand.pos}
+				claimed[bestPose] = true
+			}
+		}
+		// Poses that found no candidate keep a zero-score placeholder at
+		// the anchor, so keypoint arrays stay fully populated.
+		for i := range poses {
+			if poses[i].Keypoints[part].Part == "" {
+				poses[i].Keypoints[part] = Keypoint{Part: PoseNetParts[part], Score: 0, Position: poses[i].Keypoints[0].Position}
+			}
+		}
+	}
+	for i := range poses {
+		var total float64
+		for _, kp := range poses[i].Keypoints {
+			total += kp.Score
+		}
+		poses[i].Score = total / float64(len(PoseNetParts))
+	}
+	sort.Slice(poses, func(i, j int) bool { return poses[i].Score > poses[j].Score })
+	return poses
+}

@@ -1,0 +1,142 @@
+package models
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/data"
+	"repro/internal/kernels"
+)
+
+// coreSetBackendForTest registers and activates a host backend for the
+// in-package tests (the external test file has its own init).
+func coreSetBackendForTest() error {
+	core.Global().RegisterBackend("cpu", func() (kernels.Backend, error) { return cpu.New(), nil })
+	return core.Global().SetBackend("cpu")
+}
+
+func testPhoto(size int, seed int64) *data.Image { return data.SyntheticPhoto(size, seed) }
+
+// craftScene builds heatmap/offset buffers with one Gaussian-ish peak per
+// part per person at the given heatmap cells.
+func craftScene(h, w int, people [][2]int) (heatmapView, offsetView) {
+	parts := len(PoseNetParts)
+	heat := heatmapView{vals: make([]float32, h*w*parts), h: h, w: w, parts: parts}
+	off := offsetView{vals: make([]float32, h*w*2*parts), h: h, w: w, parts: parts}
+	for _, p := range people {
+		py, px := p[0], p[1]
+		for k := 0; k < parts; k++ {
+			// Spread parts slightly around the person's center so
+			// keypoints are distinct but close.
+			y := py + k%2
+			x := px + (k/2)%2
+			if y >= h {
+				y = h - 1
+			}
+			if x >= w {
+				x = w - 1
+			}
+			heat.vals[(y*w+x)*parts+k] = 0.9
+			// Mild neighbors so local-maximum detection has structure.
+			for _, d := range [][2]int{{0, 1}, {1, 0}, {0, -1}, {-1, 0}} {
+				yy, xx := y+d[0], x+d[1]
+				if yy < 0 || yy >= h || xx < 0 || xx >= w {
+					continue
+				}
+				idx := (yy*w+xx)*parts + k
+				if heat.vals[idx] < 0.3 {
+					heat.vals[idx] = 0.3
+				}
+			}
+			// Small sub-cell offsets.
+			off.vals[(y*w+x)*2*parts+k] = 2        // dy
+			off.vals[(y*w+x)*2*parts+parts+k] = -3 // dx
+		}
+	}
+	return heat, off
+}
+
+func TestDecodeSinglePoseFindsPeak(t *testing.T) {
+	heat, off := craftScene(8, 8, [][2]int{{2, 3}})
+	pose := decodeSinglePose(heat, off, 16, 128)
+	if pose.Score < 0.5 {
+		t.Fatalf("pose score %g too low", pose.Score)
+	}
+	nose := pose.Keypoints[0]
+	// Nose peak at cell (2,3), stride 16, offsets (dy=2, dx=-3):
+	// x = 3*16-3 = 45, y = 2*16+2 = 34.
+	if math.Abs(nose.Position.X-45) > 1e-6 || math.Abs(nose.Position.Y-34) > 1e-6 {
+		t.Fatalf("nose at (%g, %g), want (45, 34)", nose.Position.X, nose.Position.Y)
+	}
+}
+
+func TestDecodeMultiplePosesSeparatesTwoPeople(t *testing.T) {
+	heat, off := craftScene(8, 8, [][2]int{{1, 1}, {6, 6}})
+	poses := decodeMultiplePoses(heat, off, 16, 128, 5, 0.5, 20)
+	if len(poses) != 2 {
+		t.Fatalf("decoded %d poses, want 2", len(poses))
+	}
+	for i, pose := range poses {
+		if len(pose.Keypoints) != len(PoseNetParts) {
+			t.Fatalf("pose %d has %d keypoints", i, len(pose.Keypoints))
+		}
+		if pose.Score <= 0 {
+			t.Fatalf("pose %d score %g", i, pose.Score)
+		}
+	}
+	// The two noses must be far apart (different people).
+	d := dist(poses[0].Keypoints[0].Position, poses[1].Keypoints[0].Position)
+	if d < 50 {
+		t.Fatalf("poses not separated: nose distance %g", d)
+	}
+}
+
+func TestDecodeMultiplePosesNMSCollapsesNearbyPeaks(t *testing.T) {
+	// Two "people" one cell apart: with a 40px NMS radius they are the
+	// same person.
+	heat, off := craftScene(8, 8, [][2]int{{3, 3}, {3, 4}})
+	poses := decodeMultiplePoses(heat, off, 16, 128, 5, 0.5, 40)
+	if len(poses) != 1 {
+		t.Fatalf("NMS failed: decoded %d poses, want 1", len(poses))
+	}
+}
+
+func TestDecodeMultiplePosesRespectsMaxAndThreshold(t *testing.T) {
+	heat, off := craftScene(8, 8, [][2]int{{0, 0}, {0, 7}, {7, 0}, {7, 7}})
+	poses := decodeMultiplePoses(heat, off, 16, 128, 2, 0.5, 20)
+	if len(poses) != 2 {
+		t.Fatalf("maxPoses ignored: got %d", len(poses))
+	}
+	// An impossible threshold finds nobody.
+	none := decodeMultiplePoses(heat, off, 16, 128, 5, 0.99, 20)
+	if len(none) != 0 {
+		t.Fatalf("threshold ignored: got %d poses", len(none))
+	}
+}
+
+func TestEstimateMultiplePosesEndToEnd(t *testing.T) {
+	// End-to-end API shape check over the synthetic backbone.
+	if err := coreSetBackendForTest(); err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPoseNet(PoseNetConfig{InputSize: 64, OutputStride: 16, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Dispose()
+	img := testPhoto(64, 7)
+	poses, err := p.EstimateMultiplePoses(img, 3, 0.1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(poses) > 3 {
+		t.Fatalf("maxPoses exceeded: %d", len(poses))
+	}
+	for _, pose := range poses {
+		if len(pose.Keypoints) != len(PoseNetParts) {
+			t.Fatalf("pose missing keypoints: %d", len(pose.Keypoints))
+		}
+	}
+}

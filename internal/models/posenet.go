@@ -1,0 +1,222 @@
+package models
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/layers"
+	"repro/internal/ops"
+	"repro/internal/tensor"
+)
+
+func tidy(fn func() []*tensor.Tensor) []*tensor.Tensor {
+	return core.Global().Tidy("models", fn)
+}
+
+// PoseNetParts are the 17 keypoints of the PoseNet model (Oved, 2018),
+// in output-channel order.
+var PoseNetParts = []string{
+	"nose", "leftEye", "rightEye", "leftEar", "rightEar",
+	"leftShoulder", "rightShoulder", "leftElbow", "rightElbow",
+	"leftWrist", "rightWrist", "leftHip", "rightHip",
+	"leftKnee", "rightKnee", "leftAnkle", "rightAnkle",
+}
+
+// Point is an (x, y) image position.
+type Point struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+}
+
+// Keypoint is one detected body part, matching the JSON shape of
+// Listing 3's console output.
+type Keypoint struct {
+	Position Point   `json:"position"`
+	Part     string  `json:"part"`
+	Score    float64 `json:"score"`
+}
+
+// Pose is a full single-person estimate.
+type Pose struct {
+	Score     float64    `json:"score"`
+	Keypoints []Keypoint `json:"keypoints"`
+}
+
+// PoseNetConfig selects the backbone size.
+type PoseNetConfig struct {
+	// InputSize is the square input resolution; 0 means 128.
+	InputSize int
+	// OutputStride is the ratio between input and heatmap resolution;
+	// 0 means 16.
+	OutputStride int
+	// Seed seeds the synthetic backbone weights.
+	Seed int64
+}
+
+// PoseNet estimates human poses from images. Its API hides tensors
+// entirely: EstimateSinglePose takes a native image and returns plain
+// structs (Listing 3: "the user does not need to use tf.Tensor to use the
+// PoseNet model").
+type PoseNet struct {
+	cfg      PoseNetConfig
+	backbone []layers.Layer
+	heatmap  layers.Layer
+	offsets  layers.Layer
+}
+
+// NewPoseNet builds a PoseNet with a reduced-MobileNet backbone and
+// synthetic weights.
+func NewPoseNet(cfg PoseNetConfig) (*PoseNet, error) {
+	if cfg.InputSize == 0 {
+		cfg.InputSize = 128
+	}
+	if cfg.OutputStride == 0 {
+		cfg.OutputStride = 16
+	}
+	if cfg.InputSize%cfg.OutputStride != 0 {
+		return nil, fmt.Errorf("models: input size %d not divisible by output stride %d", cfg.InputSize, cfg.OutputStride)
+	}
+	if cfg.Seed != 0 {
+		layers.SetSeed(cfg.Seed)
+	}
+	noBias := false
+
+	// A reduced MobileNet-style backbone: repeated depthwise-separable
+	// strided blocks down to the output stride.
+	var backbone []layers.Layer
+	channels := 16
+	backbone = append(backbone,
+		layers.NewConv2D(layers.Conv2DConfig{
+			Filters: channels, KernelSize: []int{3, 3}, Strides: []int{2, 2},
+			Padding: "same", Activation: "relu6", UseBias: &noBias,
+			InputShape: []int{cfg.InputSize, cfg.InputSize, 3},
+		}))
+	stride := 2
+	for stride < cfg.OutputStride {
+		channels *= 2
+		backbone = append(backbone,
+			layers.NewDepthwiseConv2D(layers.Conv2DConfig{
+				Filters: 1, KernelSize: []int{3, 3}, Strides: []int{2, 2},
+				Padding: "same", Activation: "relu6", UseBias: &noBias,
+			}),
+			layers.NewConv2D(layers.Conv2DConfig{
+				Filters: channels, KernelSize: []int{1, 1}, Padding: "same",
+				Activation: "relu6", UseBias: &noBias,
+			}))
+		stride *= 2
+	}
+
+	p := &PoseNet{
+		cfg:      cfg,
+		backbone: backbone,
+		heatmap: layers.NewConv2D(layers.Conv2DConfig{
+			Filters: len(PoseNetParts), KernelSize: []int{1, 1}, Padding: "same",
+		}),
+		offsets: layers.NewConv2D(layers.Conv2DConfig{
+			Filters: 2 * len(PoseNetParts), KernelSize: []int{1, 1}, Padding: "same",
+		}),
+	}
+
+	// Build all layers by propagating shapes.
+	shape := []int{cfg.InputSize, cfg.InputSize, 3}
+	for _, l := range backbone {
+		if err := l.Build(shape); err != nil {
+			return nil, err
+		}
+		next, err := l.OutputShape(shape)
+		if err != nil {
+			return nil, err
+		}
+		shape = next
+	}
+	if err := p.heatmap.Build(shape); err != nil {
+		return nil, err
+	}
+	if err := p.offsets.Build(shape); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// runHeads executes the backbone and heads, returning raw heatmap and
+// offset buffers.
+func (p *PoseNet) runHeads(im *data.Image) (heatmapView, offsetView, error) {
+	if im.Width != p.cfg.InputSize || im.Height != p.cfg.InputSize || im.Channels != 3 {
+		return heatmapView{}, offsetView{}, fmt.Errorf("models: PoseNet expects %dx%dx3 input, got %dx%dx%d",
+			p.cfg.InputSize, p.cfg.InputSize, im.Width, im.Height, im.Channels)
+	}
+	numParts := len(PoseNetParts)
+	var heatVals, offsetVals []float32
+	var hh, hw int
+
+	pixels := data.FromPixelsBatch(im)
+	defer pixels.Dispose()
+	tidy(func() []*tensor.Tensor {
+		x := data.NormalizeForMobileNet(pixels)
+		for _, l := range p.backbone {
+			x = l.Call(x, false)
+		}
+		heat := ops.Sigmoid(p.heatmap.Call(x, false))
+		off := p.offsets.Call(x, false)
+		hh, hw = heat.Shape[1], heat.Shape[2]
+		heatVals = heat.DataSync()
+		offsetVals = off.DataSync()
+		return nil
+	})
+	return heatmapView{vals: heatVals, h: hh, w: hw, parts: numParts},
+		offsetView{vals: offsetVals, h: hh, w: hw, parts: numParts}, nil
+}
+
+// EstimateSinglePose runs the model and decodes the highest-scoring
+// position for each keypoint — posenet.estimateSinglePose of Listing 3.
+func (p *PoseNet) EstimateSinglePose(im *data.Image) (Pose, error) {
+	heat, off, err := p.runHeads(im)
+	if err != nil {
+		return Pose{}, err
+	}
+	return decodeSinglePose(heat, off, p.cfg.OutputStride, p.cfg.InputSize), nil
+}
+
+// EstimateMultiplePoses decodes up to maxPoses people from one image —
+// posenet.estimateMultiplePoses. Part detections are per-part local maxima
+// above scoreThreshold; nose candidates within nmsRadius pixels collapse
+// into one pose.
+func (p *PoseNet) EstimateMultiplePoses(im *data.Image, maxPoses int, scoreThreshold, nmsRadius float64) ([]Pose, error) {
+	if maxPoses <= 0 {
+		maxPoses = 5
+	}
+	if nmsRadius <= 0 {
+		nmsRadius = 20
+	}
+	heat, off, err := p.runHeads(im)
+	if err != nil {
+		return nil, err
+	}
+	return decodeMultiplePoses(heat, off, p.cfg.OutputStride, p.cfg.InputSize, maxPoses, scoreThreshold, nmsRadius), nil
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Dispose releases the model weights.
+func (p *PoseNet) Dispose() {
+	for _, l := range p.backbone {
+		for _, v := range l.Weights() {
+			v.Dispose()
+		}
+	}
+	for _, v := range p.heatmap.Weights() {
+		v.Dispose()
+	}
+	for _, v := range p.offsets.Weights() {
+		v.Dispose()
+	}
+}

@@ -1,0 +1,520 @@
+package native
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/kernels"
+	"repro/internal/tensor"
+)
+
+// initKernels installs the optimized kernels. Only the operations that
+// dominate model inference and training time are overridden — matmul,
+// convolutions, pooling, the element-wise workhorses, reductions and
+// softmax; the long tail inherits the reference implementations.
+func (b *Backend) initKernels() {
+	b.table = map[string]kernels.OverrideKernel{}
+	b.registerMatMul()
+	b.registerConv()
+	b.registerElementwise()
+	b.registerReduce()
+}
+
+// in returns the raw buffer of an input.
+func (b *Backend) in(i kernels.Input) []float32 { return b.Raw(i.DataID) }
+
+// out allocates and registers an output buffer.
+func (b *Backend) out(shape []int, dtype tensor.DataType) ([]float32, kernels.TensorInfo) {
+	buf := make([]float32, tensor.ShapeSize(shape))
+	id := tensor.NewDataID()
+	b.WriteOwned(id, buf)
+	return buf, kernels.TensorInfo{DataID: id, Shape: tensor.CopyShape(shape), DType: dtype}
+}
+
+func (b *Backend) registerMatMul() {
+	b.register("BatchMatMul", func(inputs []kernels.Input, attrs kernels.Attrs) ([]kernels.TensorInfo, error) {
+		if len(inputs) != 2 {
+			return nil, fmt.Errorf("BatchMatMul: got %d inputs, want 2", len(inputs))
+		}
+		a, x := inputs[0], inputs[1]
+		transposeA := attrs.Bool("transposeA", false)
+		transposeB := attrs.Bool("transposeB", false)
+		if len(a.Shape) != 3 || len(x.Shape) != 3 {
+			return nil, fmt.Errorf("BatchMatMul: inputs must be rank 3, got %v and %v", a.Shape, x.Shape)
+		}
+		batchA, batchB := a.Shape[0], x.Shape[0]
+		batch := batchA
+		if batchB > batch {
+			batch = batchB
+		}
+		if batchA != batchB && batchA != 1 && batchB != 1 {
+			return nil, fmt.Errorf("BatchMatMul: incompatible batch dims %d and %d", batchA, batchB)
+		}
+		m, kA := a.Shape[1], a.Shape[2]
+		if transposeA {
+			m, kA = kA, m
+		}
+		kB, n := x.Shape[1], x.Shape[2]
+		if transposeB {
+			kB, n = n, kB
+		}
+		if kA != kB {
+			return nil, fmt.Errorf("BatchMatMul: inner dims mismatch %v x %v", a.Shape, x.Shape)
+		}
+		k := kA
+		aBuf, bBuf := b.in(a), b.in(x)
+		out, info := b.out([]int{batch, m, n}, tensor.Float32)
+		aMat, bMat := a.Shape[1]*a.Shape[2], x.Shape[1]*x.Shape[2]
+
+		// Parallelize across (batch, row) pairs; the inner kernel walks
+		// k in the outer loop and j in the inner loop so writes stream
+		// through the output row — the access pattern AVX kernels use.
+		b.parallelFor(batch*m, 8, func(lo, hi int) {
+			for bi := lo; bi < hi; bi++ {
+				p := bi / m
+				i := bi % m
+				aOff := (p % batchA) * aMat
+				bOff := (p % batchB) * bMat
+				row := out[(p*m+i)*n : (p*m+i+1)*n]
+				if !transposeA && !transposeB {
+					aRow := aBuf[aOff+i*k : aOff+(i+1)*k]
+					for kk, av := range aRow {
+						if av == 0 {
+							continue
+						}
+						bRow := bBuf[bOff+kk*n : bOff+(kk+1)*n]
+						for j, bv := range bRow {
+							row[j] += av * bv
+						}
+					}
+					continue
+				}
+				for kk := 0; kk < k; kk++ {
+					var av float32
+					if transposeA {
+						av = aBuf[aOff+kk*m+i]
+					} else {
+						av = aBuf[aOff+i*k+kk]
+					}
+					if av == 0 {
+						continue
+					}
+					if transposeB {
+						for j := 0; j < n; j++ {
+							row[j] += av * bBuf[bOff+j*k+kk]
+						}
+					} else {
+						bRow := bBuf[bOff+kk*n : bOff+(kk+1)*n]
+						for j, bv := range bRow {
+							row[j] += av * bv
+						}
+					}
+				}
+			}
+		})
+		return []kernels.TensorInfo{info}, nil
+	})
+}
+
+func (b *Backend) registerConv() {
+	b.register("Conv2D", func(inputs []kernels.Input, attrs kernels.Attrs) ([]kernels.TensorInfo, error) {
+		if len(inputs) != 2 {
+			return nil, fmt.Errorf("Conv2D: got %d inputs, want 2", len(inputs))
+		}
+		x, w := inputs[0], inputs[1]
+		info, err := kernels.ComputeConv2DInfo(x.Shape, w.Shape,
+			attrs.Ints("strides", []int{1, 1}), attrs.Ints("dilations", []int{1, 1}),
+			attrs.String("pad", "valid"), false)
+		if err != nil {
+			return nil, err
+		}
+		xBuf, wBuf := b.in(x), b.in(w)
+		out, tinfo := b.out(info.OutShape(), tensor.Float32)
+		inC, outC := info.InChannels, info.OutChannels
+		inRow := info.InWidth * inC
+		inImg := info.InHeight * inRow
+		outRow := info.OutWidth * outC
+		outImg := info.OutHeight * outRow
+
+		// Parallelize across output rows (batch × outY).
+		b.parallelFor(info.BatchSize*info.OutHeight, 2, func(lo, hi int) {
+			for r := lo; r < hi; r++ {
+				bb := r / info.OutHeight
+				oy := r % info.OutHeight
+				yCorner := oy*info.StrideHeight - info.PadTop
+				for ox := 0; ox < info.OutWidth; ox++ {
+					xCorner := ox*info.StrideWidth - info.PadLeft
+					outBase := bb*outImg + oy*outRow + ox*outC
+					dst := out[outBase : outBase+outC]
+					for fy := 0; fy < info.FilterHeight; fy++ {
+						iy := yCorner + fy*info.DilationHeight
+						if iy < 0 || iy >= info.InHeight {
+							continue
+						}
+						for fx := 0; fx < info.FilterWidth; fx++ {
+							ix := xCorner + fx*info.DilationWidth
+							if ix < 0 || ix >= info.InWidth {
+								continue
+							}
+							inBase := bb*inImg + iy*inRow + ix*inC
+							wBase := (fy*info.FilterWidth + fx) * inC * outC
+							for ic := 0; ic < inC; ic++ {
+								xv := xBuf[inBase+ic]
+								if xv == 0 {
+									continue
+								}
+								wRow := wBuf[wBase+ic*outC : wBase+(ic+1)*outC]
+								for oc, wv := range wRow {
+									dst[oc] += xv * wv
+								}
+							}
+						}
+					}
+				}
+			}
+		})
+		return []kernels.TensorInfo{tinfo}, nil
+	})
+
+	b.register("DepthwiseConv2dNative", func(inputs []kernels.Input, attrs kernels.Attrs) ([]kernels.TensorInfo, error) {
+		if len(inputs) != 2 {
+			return nil, fmt.Errorf("DepthwiseConv2dNative: got %d inputs, want 2", len(inputs))
+		}
+		x, w := inputs[0], inputs[1]
+		info, err := kernels.ComputeConv2DInfo(x.Shape, w.Shape,
+			attrs.Ints("strides", []int{1, 1}), attrs.Ints("dilations", []int{1, 1}),
+			attrs.String("pad", "valid"), true)
+		if err != nil {
+			return nil, err
+		}
+		xBuf, wBuf := b.in(x), b.in(w)
+		out, tinfo := b.out(info.OutShape(), tensor.Float32)
+		inC, mult, outC := info.InChannels, info.ChannelMultiplier, info.OutChannels
+		inRow := info.InWidth * inC
+		inImg := info.InHeight * inRow
+		outRow := info.OutWidth * outC
+		outImg := info.OutHeight * outRow
+
+		b.parallelFor(info.BatchSize*info.OutHeight, 2, func(lo, hi int) {
+			for r := lo; r < hi; r++ {
+				bb := r / info.OutHeight
+				oy := r % info.OutHeight
+				yCorner := oy*info.StrideHeight - info.PadTop
+				for ox := 0; ox < info.OutWidth; ox++ {
+					xCorner := ox*info.StrideWidth - info.PadLeft
+					outBase := bb*outImg + oy*outRow + ox*outC
+					for fy := 0; fy < info.FilterHeight; fy++ {
+						iy := yCorner + fy*info.DilationHeight
+						if iy < 0 || iy >= info.InHeight {
+							continue
+						}
+						for fx := 0; fx < info.FilterWidth; fx++ {
+							ix := xCorner + fx*info.DilationWidth
+							if ix < 0 || ix >= info.InWidth {
+								continue
+							}
+							inBase := bb*inImg + iy*inRow + ix*inC
+							wBase := (fy*info.FilterWidth + fx) * inC * mult
+							if mult == 1 {
+								for ic := 0; ic < inC; ic++ {
+									out[outBase+ic] += xBuf[inBase+ic] * wBuf[wBase+ic]
+								}
+							} else {
+								for ic := 0; ic < inC; ic++ {
+									xv := xBuf[inBase+ic]
+									for q := 0; q < mult; q++ {
+										out[outBase+ic*mult+q] += xv * wBuf[wBase+ic*mult+q]
+									}
+								}
+							}
+						}
+					}
+				}
+			}
+		})
+		return []kernels.TensorInfo{tinfo}, nil
+	})
+
+	pool := func(name string, isMax bool) kernels.OverrideKernel {
+		return func(inputs []kernels.Input, attrs kernels.Attrs) ([]kernels.TensorInfo, error) {
+			if len(inputs) != 1 {
+				return nil, fmt.Errorf("%s: got %d inputs, want 1", name, len(inputs))
+			}
+			x := inputs[0]
+			filterSize := attrs.Ints("filterSize", []int{2, 2})
+			strides := attrs.Ints("strides", filterSize)
+			info, err := kernels.ComputePool2DInfo(x.Shape, filterSize, strides, attrs.String("pad", "valid"))
+			if err != nil {
+				return nil, err
+			}
+			xBuf := b.in(x)
+			out, tinfo := b.out(info.OutShape(), x.DType)
+			c := info.OutChannels
+			inRow := info.InWidth * c
+			inImg := info.InHeight * inRow
+			outRow := info.OutWidth * c
+			outImg := info.OutHeight * outRow
+			b.parallelFor(info.BatchSize*info.OutHeight, 2, func(lo, hi int) {
+				for r := lo; r < hi; r++ {
+					bb := r / info.OutHeight
+					oy := r % info.OutHeight
+					yCorner := oy*info.StrideHeight - info.PadTop
+					for ox := 0; ox < info.OutWidth; ox++ {
+						xCorner := ox*info.StrideWidth - info.PadLeft
+						outBase := bb*outImg + oy*outRow + ox*c
+						for ch := 0; ch < c; ch++ {
+							best := float32(math.Inf(-1))
+							var sum float32
+							count := 0
+							for fy := 0; fy < info.FilterHeight; fy++ {
+								iy := yCorner + fy
+								if iy < 0 || iy >= info.InHeight {
+									continue
+								}
+								for fx := 0; fx < info.FilterWidth; fx++ {
+									ix := xCorner + fx
+									if ix < 0 || ix >= info.InWidth {
+										continue
+									}
+									v := xBuf[bb*inImg+iy*inRow+ix*c+ch]
+									if isMax {
+										if v > best {
+											best = v
+										}
+									} else {
+										sum += v
+										count++
+									}
+								}
+							}
+							if isMax {
+								out[outBase+ch] = best
+							} else if count > 0 {
+								out[outBase+ch] = sum / float32(count)
+							}
+						}
+					}
+				}
+			})
+			return []kernels.TensorInfo{tinfo}, nil
+		}
+	}
+	b.register("MaxPool", pool("MaxPool", true))
+	b.register("AvgPool", pool("AvgPool", false))
+}
+
+func (b *Backend) registerElementwise() {
+	bin := func(name string, f func(a, x float32) float32) {
+		b.register(name, func(inputs []kernels.Input, attrs kernels.Attrs) ([]kernels.TensorInfo, error) {
+			if len(inputs) != 2 {
+				return nil, fmt.Errorf("%s: got %d inputs, want 2", name, len(inputs))
+			}
+			a, x := inputs[0], inputs[1]
+			if !tensor.ShapesEqual(a.Shape, x.Shape) {
+				// Broadcasting falls back to the reference kernel.
+				ref, _ := kernels.LookupRef(name)
+				outs, err := ref([]kernels.Buffer{
+					{Data: b.in(a), Shape: a.Shape, DType: a.DType},
+					{Data: b.in(x), Shape: x.Shape, DType: x.DType},
+				}, attrs)
+				if err != nil {
+					return nil, err
+				}
+				id := tensor.NewDataID()
+				b.WriteOwned(id, outs[0].Data)
+				return []kernels.TensorInfo{{DataID: id, Shape: outs[0].Shape, DType: outs[0].DType}}, nil
+			}
+			aBuf, xBuf := b.in(a), b.in(x)
+			out, info := b.out(a.Shape, a.DType)
+			b.parallelFor(len(out), 16384, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					out[i] = f(aBuf[i], xBuf[i])
+				}
+			})
+			return []kernels.TensorInfo{info}, nil
+		})
+	}
+	bin("Add", func(a, x float32) float32 { return a + x })
+	bin("Sub", func(a, x float32) float32 { return a - x })
+	bin("Mul", func(a, x float32) float32 { return a * x })
+	bin("RealDiv", func(a, x float32) float32 { return a / x })
+
+	un := func(name string, f func(x float32) float32) {
+		b.register(name, func(inputs []kernels.Input, attrs kernels.Attrs) ([]kernels.TensorInfo, error) {
+			if len(inputs) != 1 {
+				return nil, fmt.Errorf("%s: got %d inputs, want 1", name, len(inputs))
+			}
+			xBuf := b.in(inputs[0])
+			out, info := b.out(inputs[0].Shape, inputs[0].DType)
+			b.parallelFor(len(out), 16384, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					out[i] = f(xBuf[i])
+				}
+			})
+			return []kernels.TensorInfo{info}, nil
+		})
+	}
+	un("Relu", func(x float32) float32 {
+		if x > 0 {
+			return x
+		}
+		return 0
+	})
+	un("Relu6", func(x float32) float32 {
+		if x < 0 {
+			return 0
+		}
+		if x > 6 {
+			return 6
+		}
+		return x
+	})
+	un("Sigmoid", func(x float32) float32 { return float32(1 / (1 + math.Exp(-float64(x)))) })
+	un("Tanh", func(x float32) float32 { return float32(math.Tanh(float64(x))) })
+	un("Exp", func(x float32) float32 { return float32(math.Exp(float64(x))) })
+	un("Neg", func(x float32) float32 { return -x })
+	un("Sqrt", func(x float32) float32 { return float32(math.Sqrt(float64(x))) })
+	un("Square", func(x float32) float32 { return x * x })
+
+	// FusedBatchNorm with the common layout (params of shape [C], input
+	// [..., C]) runs a channel-indexed tight loop.
+	b.register("FusedBatchNorm", func(inputs []kernels.Input, attrs kernels.Attrs) ([]kernels.TensorInfo, error) {
+		if len(inputs) != 5 {
+			return nil, fmt.Errorf("FusedBatchNorm: got %d inputs, want 5", len(inputs))
+		}
+		x := inputs[0]
+		rank := len(x.Shape)
+		c := 0
+		if rank > 0 {
+			c = x.Shape[rank-1]
+		}
+		channelParams := true
+		for _, p := range inputs[1:] {
+			if !(len(p.Shape) == 1 && p.Shape[0] == c) {
+				channelParams = false
+				break
+			}
+		}
+		if !channelParams {
+			ref, _ := kernels.LookupRef("FusedBatchNorm")
+			bufs := make([]kernels.Buffer, 5)
+			for i, in := range inputs {
+				bufs[i] = kernels.Buffer{Data: b.in(in), Shape: in.Shape, DType: in.DType}
+			}
+			outs, err := ref(bufs, attrs)
+			if err != nil {
+				return nil, err
+			}
+			id := tensor.NewDataID()
+			b.WriteOwned(id, outs[0].Data)
+			return []kernels.TensorInfo{{DataID: id, Shape: outs[0].Shape, DType: outs[0].DType}}, nil
+		}
+		eps := float32(attrs.Float("varianceEpsilon", 1e-3))
+		xBuf := b.in(x)
+		mean, variance, offset, scale := b.in(inputs[1]), b.in(inputs[2]), b.in(inputs[3]), b.in(inputs[4])
+		// Precompute per-channel multiplier and bias:
+		// out = x*mulC + addC.
+		mulC := make([]float32, c)
+		addC := make([]float32, c)
+		for ch := 0; ch < c; ch++ {
+			inv := float32(1 / math.Sqrt(float64(variance[ch]+eps)))
+			mulC[ch] = scale[ch] * inv
+			addC[ch] = offset[ch] - mean[ch]*mulC[ch]
+		}
+		out, info := b.out(x.Shape, tensor.Float32)
+		b.parallelFor(len(out)/c, 1024, func(lo, hi int) {
+			for r := lo; r < hi; r++ {
+				base := r * c
+				for ch := 0; ch < c; ch++ {
+					out[base+ch] = xBuf[base+ch]*mulC[ch] + addC[ch]
+				}
+			}
+		})
+		return []kernels.TensorInfo{info}, nil
+	})
+}
+
+func (b *Backend) registerReduce() {
+	red := func(name string, initial float32, merge func(acc, v float32) float32, finish func(acc float32, n int) float32) {
+		b.register(name, func(inputs []kernels.Input, attrs kernels.Attrs) ([]kernels.TensorInfo, error) {
+			if len(inputs) != 1 {
+				return nil, fmt.Errorf("%s: got %d inputs, want 1", name, len(inputs))
+			}
+			x := inputs[0]
+			if len(x.Shape) != 2 {
+				return nil, fmt.Errorf("%s: input must be rank 2, got %v", name, x.Shape)
+			}
+			outer, inner := x.Shape[0], x.Shape[1]
+			xBuf := b.in(x)
+			dt := x.DType
+			if name == "Mean" {
+				dt = tensor.Float32
+			}
+			out, info := b.out([]int{outer}, dt)
+			b.parallelFor(outer, 64, func(lo, hi int) {
+				for o := lo; o < hi; o++ {
+					acc := initial
+					row := xBuf[o*inner : (o+1)*inner]
+					for _, v := range row {
+						acc = merge(acc, v)
+					}
+					if finish != nil {
+						acc = finish(acc, inner)
+					}
+					out[o] = acc
+				}
+			})
+			return []kernels.TensorInfo{info}, nil
+		})
+	}
+	red("Sum", 0, func(a, v float32) float32 { return a + v }, nil)
+	red("Mean", 0, func(a, v float32) float32 { return a + v }, func(a float32, n int) float32 { return a / float32(n) })
+	red("Max", float32(math.Inf(-1)), func(a, v float32) float32 {
+		if v > a {
+			return v
+		}
+		return a
+	}, nil)
+	red("Min", float32(math.Inf(1)), func(a, v float32) float32 {
+		if v < a {
+			return v
+		}
+		return a
+	}, nil)
+
+	b.register("Softmax", func(inputs []kernels.Input, attrs kernels.Attrs) ([]kernels.TensorInfo, error) {
+		if len(inputs) != 1 {
+			return nil, fmt.Errorf("Softmax: got %d inputs, want 1", len(inputs))
+		}
+		x := inputs[0]
+		if len(x.Shape) != 2 {
+			return nil, fmt.Errorf("Softmax: input must be rank 2, got %v", x.Shape)
+		}
+		outer, inner := x.Shape[0], x.Shape[1]
+		xBuf := b.in(x)
+		out, info := b.out(x.Shape, tensor.Float32)
+		b.parallelFor(outer, 16, func(lo, hi int) {
+			for o := lo; o < hi; o++ {
+				row := xBuf[o*inner : (o+1)*inner]
+				dst := out[o*inner : (o+1)*inner]
+				maxV := float32(math.Inf(-1))
+				for _, v := range row {
+					if v > maxV {
+						maxV = v
+					}
+				}
+				var sum float64
+				for i, v := range row {
+					e := math.Exp(float64(v - maxV))
+					dst[i] = float32(e)
+					sum += e
+				}
+				inv := float32(1 / sum)
+				for i := range dst {
+					dst[i] *= inv
+				}
+			}
+		})
+		return []kernels.TensorInfo{info}, nil
+	})
+}

@@ -1,0 +1,88 @@
+// Package native implements the "node" backend: the stand-in for the
+// Node.js backend of Section 4.2, which binds to the TensorFlow C library
+// through N-API and inherits native hardware acceleration (AVX on CPU,
+// CUDA on GPU).
+//
+// There is no TensorFlow C library in this reproduction (see DESIGN.md);
+// instead the backend plays the same architectural role: it shares the
+// user-facing API with every other backend while delegating the hot kernels
+// to optimized code — here cache-blocked, goroutine-parallel Go loops that
+// stand in for the vendored BLAS/Eigen kernels. Everything not overridden
+// falls back to the reference kernels through the engine, exactly like the
+// real Node backend falls back for ops the C API does not expose.
+package native
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/cpu"
+	"repro/internal/kernels"
+)
+
+// Backend is the optimized host backend. It embeds the plain CPU storage
+// plane; only kernel execution differs.
+type Backend struct {
+	*cpu.Backend
+	workers int
+	table   map[string]kernels.OverrideKernel
+}
+
+// New returns the native backend.
+func New() *Backend {
+	b := &Backend{
+		Backend: cpu.NewNamed("node"),
+		workers: runtime.NumCPU(),
+	}
+	b.initKernels()
+	return b
+}
+
+// KernelOverride implements kernels.Overrider.
+func (b *Backend) KernelOverride(name string) (kernels.OverrideKernel, bool) {
+	k, ok := b.table[name]
+	return k, ok
+}
+
+func (b *Backend) register(name string, k kernels.OverrideKernel) {
+	b.table[name] = k
+}
+
+// parallelFor splits [0, n) across the backend's workers. Small ranges run
+// inline: goroutine fan-out costs more than it saves below the grain size.
+func (b *Backend) parallelFor(n, grain int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	workers := b.workers
+	if grain < 1 {
+		grain = 1
+	}
+	if n <= grain || workers <= 1 {
+		fn(0, n)
+		return
+	}
+	chunks := (n + grain - 1) / grain
+	if chunks > workers {
+		chunks = workers
+	}
+	chunk := (n + chunks - 1) / chunks
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+var (
+	_ kernels.Backend   = (*Backend)(nil)
+	_ kernels.Overrider = (*Backend)(nil)
+)

@@ -1,0 +1,66 @@
+package ops
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/kernels"
+	"repro/internal/tensor"
+)
+
+// MatMul multiplies two rank-2 matrices, optionally transposing either
+// operand (Listing 2 of the paper shows the WebGL shader this dispatches to
+// on the webgl backend).
+func MatMul(a, b *tensor.Tensor, transposeA, transposeB bool) *tensor.Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic(&core.OpError{Kernel: "MatMul", Err: fmt.Errorf("inputs must be rank 2, got %v and %v", a.Shape, b.Shape)})
+	}
+	a3 := Reshape(a, 1, a.Shape[0], a.Shape[1])
+	b3 := Reshape(b, 1, b.Shape[0], b.Shape[1])
+	out := BatchMatMul(a3, b3, transposeA, transposeB)
+	return Reshape(out, out.Shape[1], out.Shape[2])
+}
+
+// BatchMatMul multiplies two rank-3 tensors batch-wise with broadcasting of
+// a batch dimension of 1.
+func BatchMatMul(a, b *tensor.Tensor, transposeA, transposeB bool) *tensor.Tensor {
+	return run1("BatchMatMul", []*tensor.Tensor{a, b},
+		kernels.Attrs{"transposeA": transposeA, "transposeB": transposeB})
+}
+
+// Dot computes the vector dot product of two rank-1 tensors.
+func Dot(a, b *tensor.Tensor) *tensor.Tensor {
+	if a.Rank() != 1 || b.Rank() != 1 {
+		panic(&core.OpError{Kernel: "Dot", Err: fmt.Errorf("inputs must be rank 1, got %v and %v", a.Shape, b.Shape)})
+	}
+	m := MatMul(Reshape(a, 1, a.Shape[0]), Reshape(b, b.Shape[0], 1), false, false)
+	return Reshape(m)
+}
+
+func init() {
+	core.RegisterGradient("BatchMatMul", func(e *core.Engine, dys []*tensor.Tensor, inputs, outputs []*tensor.Tensor, attrs kernels.Attrs) []*tensor.Tensor {
+		dy := dys[0]
+		a, b := inputs[0], inputs[1]
+		tA := attrs.Bool("transposeA", false)
+		tB := attrs.Bool("transposeB", false)
+		var da, db *tensor.Tensor
+		switch {
+		case !tA && !tB:
+			da = BatchMatMul(dy, b, false, true)
+			db = BatchMatMul(a, dy, true, false)
+		case !tA && tB:
+			da = BatchMatMul(dy, b, false, false)
+			db = BatchMatMul(dy, a, true, false)
+		case tA && !tB:
+			da = BatchMatMul(b, dy, false, true)
+			db = BatchMatMul(a, dy, false, false)
+		default: // tA && tB
+			da = BatchMatMul(b, dy, true, true)
+			db = BatchMatMul(dy, a, true, true)
+		}
+		// Reverse batch broadcasting if either operand had batch 1.
+		da = sumToShape(e, da, a.Shape)
+		db = sumToShape(e, db, b.Shape)
+		return []*tensor.Tensor{da, db}
+	})
+}

@@ -1,0 +1,171 @@
+package ops
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/tensor"
+)
+
+// valueCheck runs fn in a tidy scope and compares the result values.
+func valueCheck(t *testing.T, label string, fn func() *tensor.Tensor, wantShape []int, want []float32) {
+	t.Helper()
+	core.Global().Tidy(label, func() []*tensor.Tensor {
+		out := fn()
+		if !tensor.ShapesEqual(out.Shape, wantShape) {
+			t.Fatalf("%s: shape %v, want %v", label, out.Shape, wantShape)
+		}
+		got := out.DataSync()
+		for i := range want {
+			if math.Abs(float64(got[i]-want[i])) > 1e-5 {
+				t.Fatalf("%s: element %d = %g, want %g (full %v)", label, i, got[i], want[i], got)
+			}
+		}
+		return nil
+	})
+}
+
+func TestCreationOps(t *testing.T) {
+	valueCheck(t, "linspace", func() *tensor.Tensor { return Linspace(0, 1, 5) },
+		[]int{5}, []float32{0, 0.25, 0.5, 0.75, 1})
+	valueCheck(t, "linspace1", func() *tensor.Tensor { return Linspace(3, 9, 1) },
+		[]int{1}, []float32{3})
+	valueCheck(t, "range", func() *tensor.Tensor { return Range(0, 10, 3) },
+		[]int{4}, []float32{0, 3, 6, 9})
+	valueCheck(t, "rangeNeg", func() *tensor.Tensor { return Range(5, 0, -2) },
+		[]int{3}, []float32{5, 3, 1})
+	valueCheck(t, "eye", func() *tensor.Tensor { return Eye(3) },
+		[]int{3, 3}, []float32{1, 0, 0, 0, 1, 0, 0, 0, 1})
+	valueCheck(t, "onehot", func() *tensor.Tensor {
+		return OneHot(FromValuesTyped([]float32{2, 0}, []int{2}, tensor.Int32), 3)
+	}, []int{2, 3}, []float32{0, 0, 1, 1, 0, 0})
+}
+
+func TestStackUnstackSplitValues(t *testing.T) {
+	valueCheck(t, "stack", func() *tensor.Tensor {
+		a := FromValues([]float32{1, 2}, 2)
+		b := FromValues([]float32{3, 4}, 2)
+		return Stack([]*tensor.Tensor{a, b}, 0)
+	}, []int{2, 2}, []float32{1, 2, 3, 4})
+	valueCheck(t, "stackAxis1", func() *tensor.Tensor {
+		a := FromValues([]float32{1, 2}, 2)
+		b := FromValues([]float32{3, 4}, 2)
+		return Stack([]*tensor.Tensor{a, b}, 1)
+	}, []int{2, 2}, []float32{1, 3, 2, 4})
+	core.Global().Tidy("unstack", func() []*tensor.Tensor {
+		x := FromValues([]float32{1, 2, 3, 4, 5, 6}, 3, 2)
+		parts := Unstack(x, 0)
+		if len(parts) != 3 {
+			t.Fatalf("unstack produced %d parts", len(parts))
+		}
+		if got := parts[1].DataSync(); got[0] != 3 || got[1] != 4 {
+			t.Fatalf("unstack part 1 = %v", got)
+		}
+		halves := Split(x, 3, 0)
+		if got := halves[2].DataSync(); got[0] != 5 {
+			t.Fatalf("split part 2 = %v", got)
+		}
+		return nil
+	})
+}
+
+func TestMomentsValues(t *testing.T) {
+	core.Global().Tidy("moments", func() []*tensor.Tensor {
+		x := FromValues([]float32{1, 2, 3, 4}, 4)
+		mean, variance := Moments(x, nil, false)
+		if got := mean.DataSync()[0]; math.Abs(float64(got)-2.5) > 1e-6 {
+			t.Fatalf("mean = %g", got)
+		}
+		if got := variance.DataSync()[0]; math.Abs(float64(got)-1.25) > 1e-6 {
+			t.Fatalf("variance = %g", got)
+		}
+		return nil
+	})
+}
+
+func TestLogSumExpMatchesDirect(t *testing.T) {
+	core.Global().Tidy("lse", func() []*tensor.Tensor {
+		x := FromValues([]float32{1000, 1001, 999, 1000}, 2, 2)
+		out := LogSumExp(x, []int{1}, false)
+		got := out.DataSync()
+		// log(e^1000 + e^1001) = 1001 + log(1 + e^-1) without overflow.
+		want0 := 1001 + math.Log(1+math.Exp(-1))
+		if math.Abs(float64(got[0])-want0) > 1e-3 {
+			t.Fatalf("lse[0] = %g, want %g", got[0], want0)
+		}
+		if math.IsInf(float64(got[1]), 0) || math.IsNaN(float64(got[1])) {
+			t.Fatalf("lse overflowed: %v", got)
+		}
+		return nil
+	})
+}
+
+func TestWhereValues(t *testing.T) {
+	valueCheck(t, "where", func() *tensor.Tensor {
+		cond := Greater(FromValues([]float32{1, -1, 2, -2}, 4), Zeros(4))
+		return Where(cond, Fill([]int{4}, 10), Fill([]int{4}, -10))
+	}, []int{4}, []float32{10, -10, 10, -10})
+}
+
+func TestCumSumAxes(t *testing.T) {
+	valueCheck(t, "cumsum-axis0", func() *tensor.Tensor {
+		x := FromValues([]float32{1, 2, 3, 4}, 2, 2)
+		return CumSum(x, 0, false, false)
+	}, []int{2, 2}, []float32{1, 2, 4, 6})
+	valueCheck(t, "cumsum-neg-axis", func() *tensor.Tensor {
+		x := FromValues([]float32{1, 2, 3, 4}, 2, 2)
+		return CumSum(x, -1, false, false)
+	}, []int{2, 2}, []float32{1, 3, 3, 7})
+}
+
+func TestCastAndLogicalValues(t *testing.T) {
+	valueCheck(t, "castBool", func() *tensor.Tensor {
+		return Cast(FromValues([]float32{0, 0.5, -3}, 3), tensor.Bool)
+	}, []int{3}, []float32{0, 1, 1})
+	valueCheck(t, "logic", func() *tensor.Tensor {
+		a := FromValuesTyped([]float32{1, 1, 0, 0}, []int{4}, tensor.Bool)
+		b := FromValuesTyped([]float32{1, 0, 1, 0}, []int{4}, tensor.Bool)
+		return LogicalAnd(a, LogicalOr(b, LogicalNot(a)))
+	}, []int{4}, []float32{1, 0, 0, 0})
+}
+
+func TestOpErrorsOnBadArguments(t *testing.T) {
+	cases := map[string]func(){
+		"sliceOOB":       func() { Slice(Ones(2, 2), []int{1, 1}, []int{2, 2}) },
+		"concatMismatch": func() { Concat([]*tensor.Tensor{Ones(2, 2), Ones(3, 3)}, 0) },
+		"badAxis":        func() { Sum(Ones(2), []int{5}, false) },
+		"badReshape":     func() { Reshape(Ones(2, 3), 4) },
+		"matmulInner":    func() { MatMul(Ones(2, 3), Ones(4, 2), false, false) },
+		"splitUneven":    func() { Split(Ones(5, 2), 2, 0) },
+		"badSqueeze":     func() { Squeeze(Ones(2, 2), 0) },
+		"linspaceZero":   func() { Linspace(0, 1, 0) },
+		"negDropDepth":   func() { OneHot(Ones(2), -1) },
+	}
+	for name, fn := range cases {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if r := recover(); r == nil {
+					t.Fatalf("%s: expected panic", name)
+				} else if _, ok := r.(*core.OpError); !ok {
+					t.Fatalf("%s: panic value %T, want *core.OpError", name, r)
+				}
+			}()
+			core.Global().Tidy("err", func() []*tensor.Tensor {
+				fn()
+				return nil
+			})
+		})
+	}
+}
+
+func TestFormatAndPrint(t *testing.T) {
+	core.Global().Tidy("format", func() []*tensor.Tensor {
+		x := FromValues([]float32{1.5, -2}, 2, 1)
+		s := x.Format()
+		if s == "" || len(s) < 10 {
+			t.Fatalf("Format output too short: %q", s)
+		}
+		return nil
+	})
+}

@@ -1,0 +1,129 @@
+package savedmodel_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/converter"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/graphmodel"
+	"repro/internal/kernels"
+	"repro/internal/layers"
+	"repro/internal/ops"
+	"repro/internal/savedmodel"
+	"repro/internal/tensor"
+)
+
+func init() {
+	core.Global().RegisterBackend("cpu", func() (kernels.Backend, error) { return cpu.New(), nil })
+}
+
+// TestExportEveryLayerClass builds a model touching every exportable layer
+// class, converts it end to end (export → artifacts → reload → execute)
+// and compares against the Layers model's own predictions.
+func TestExportEveryLayerClass(t *testing.T) {
+	layers.SetSeed(55)
+	useBias := true
+	m := layers.NewSequential("kitchen_sink")
+	m.Add(layers.NewZeroPadding2D([]int{1}))
+	m.SetInputShape([]int{6, 6, 2})
+	m.Add(layers.NewConv2D(layers.Conv2DConfig{
+		Filters: 4, KernelSize: []int{3, 3}, Padding: "valid", Activation: "relu6", UseBias: &useBias,
+	}))
+	m.Add(layers.NewBatchNormalization(layers.BatchNormConfig{}))
+	m.Add(layers.NewActivation("relu"))
+	m.Add(layers.NewDepthwiseConv2D(layers.Conv2DConfig{
+		Filters: 1, KernelSize: []int{3, 3}, Padding: "same", Activation: "tanh",
+	}))
+	m.Add(layers.NewMaxPooling2D(layers.Pool2DConfig{PoolSize: []int{2, 2}}))
+	m.Add(layers.NewAveragePooling2D(layers.Pool2DConfig{PoolSize: []int{2, 2}, Strides: []int{1, 1}, Padding: "same"}))
+	m.Add(layers.NewDropout(0.3))
+	m.Add(layers.NewFlatten())
+	m.Add(layers.NewDense(layers.DenseConfig{Units: 12, Activation: "sigmoid"}))
+	m.Add(layers.NewReshape([]int{3, 4}))
+	m.Add(layers.NewFlatten())
+	m.Add(layers.NewDense(layers.DenseConfig{Units: 5, Activation: "softmax"}))
+	if err := m.Build(); err != nil {
+		t.Fatal(err)
+	}
+
+	g, err := savedmodel.FromSequential(m, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := converter.NewMemStore()
+	if _, err := converter.Convert(g, store, converter.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	gm, err := graphmodel.Load(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	x := ops.RandNormal([]int{3, 6, 6, 2}, 0, 1, nil)
+	defer x.Dispose()
+	want := m.Predict(x)
+	defer want.Dispose()
+	got, err := gm.Predict(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer got.Dispose()
+	wv, gv := want.DataSync(), got.DataSync()
+	for i := range wv {
+		if math.Abs(float64(wv[i]-gv[i])) > 1e-5 {
+			t.Fatalf("kitchen-sink model diverges at %d: %g vs %g", i, gv[i], wv[i])
+		}
+	}
+}
+
+// TestExportUnsupportedLayerErrors: classes without a graph lowering fail
+// loudly rather than producing a wrong graph.
+func TestExportUnsupportedLayerErrors(t *testing.T) {
+	m := layers.NewSequential("rnn_export")
+	m.Add(layers.NewSimpleRNN(layers.SimpleRNNConfig{Units: 4, InputShape: []int{5, 2}}))
+	if err := m.Build(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := savedmodel.FromSequential(m, false); err == nil {
+		t.Fatal("SimpleRNN export should error (no graph lowering)")
+	}
+}
+
+// TestMultiOutputGraphExecute feeds a graph with two serving outputs.
+func TestMultiOutputGraphExecute(t *testing.T) {
+	g := &savedmodel.GraphDef{
+		Nodes: []savedmodel.NodeDef{
+			{Name: "x", Op: "Placeholder"},
+			{Name: "double", Op: "Mul", Inputs: []string{"x", "two"}},
+			{Name: "two", Op: "Const"},
+			{Name: "squash", Op: "Sigmoid", Inputs: []string{"x"}},
+		},
+		Weights: map[string]*savedmodel.Weight{
+			"two": {Name: "two", Shape: nil, DType: "float32", Values: []float32{2}},
+		},
+		Inputs:  []string{"x"},
+		Outputs: []string{"double", "squash"},
+	}
+	m, err := graphmodel.New(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := ops.FromValues([]float32{0, 1}, 2)
+	defer x.Dispose()
+	outs, err := m.Execute(map[string]*tensor.Tensor{"x": x})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := outs["double"].DataSync()
+	s := outs["squash"].DataSync()
+	if d[0] != 0 || d[1] != 2 {
+		t.Fatalf("double = %v", d)
+	}
+	if math.Abs(float64(s[0])-0.5) > 1e-6 {
+		t.Fatalf("squash = %v", s)
+	}
+	outs["double"].Dispose()
+	outs["squash"].Dispose()
+}

@@ -1,0 +1,64 @@
+// Package tensor provides the core Tensor data structure of the library:
+// an immutable, shape-annotated handle onto a reference-counted data
+// container owned by a backend.
+//
+// Mirroring the design in Section 3.4 of the TensorFlow.js paper, tensors
+// are decoupled from the data that backs them: operations such as reshape
+// and clone are effectively free because they produce shallow copies that
+// point at the same data container. Disposal decrements the container's
+// reference count; the container itself is released only when no tensors
+// reference it.
+package tensor
+
+import "fmt"
+
+// DataType enumerates the element types supported by the library.
+//
+// As in the WebGL backend of TensorFlow.js, all backends in this
+// implementation physically store values as float32 regardless of the
+// logical dtype (WebGL float textures can hold nothing else). Int32 values
+// above 2^24 therefore lose precision, exactly as they do on the WebGL
+// backend described in the paper.
+type DataType int
+
+const (
+	// Float32 is the default numeric type.
+	Float32 DataType = iota
+	// Int32 is an integer type stored in float32 containers.
+	Int32
+	// Bool is a logical type stored as 0.0 / 1.0.
+	Bool
+)
+
+// String implements fmt.Stringer.
+func (d DataType) String() string {
+	switch d {
+	case Float32:
+		return "float32"
+	case Int32:
+		return "int32"
+	case Bool:
+		return "bool"
+	default:
+		return fmt.Sprintf("DataType(%d)", int(d))
+	}
+}
+
+// BytesPerElement reports the logical width of one element of this dtype.
+// All dtypes are stored in 4-byte containers (see DataType).
+func (d DataType) BytesPerElement() int { return 4 }
+
+// ParseDataType converts a serialized dtype name (as used in the Keras and
+// converter JSON formats) back to a DataType.
+func ParseDataType(s string) (DataType, error) {
+	switch s {
+	case "float32", "":
+		return Float32, nil
+	case "int32":
+		return Int32, nil
+	case "bool":
+		return Bool, nil
+	default:
+		return Float32, fmt.Errorf("tensor: unknown dtype %q", s)
+	}
+}

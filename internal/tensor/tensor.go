@@ -1,0 +1,215 @@
+package tensor
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+
+	"repro/internal/jsenv"
+)
+
+// DataID is an opaque handle onto a backend-owned data container. Several
+// tensors may share one DataID (the result of reshape or clone), which is
+// what makes those operations free (Section 3.4).
+type DataID int64
+
+var nextDataID atomic.Int64
+
+// NewDataID allocates a process-unique data container handle.
+func NewDataID() DataID { return DataID(nextDataID.Add(1)) }
+
+var nextTensorID atomic.Int64
+
+// NewTensorID allocates a process-unique tensor id.
+func NewTensorID() int64 { return nextTensorID.Add(1) }
+
+// Handler is the engine-side service a Tensor uses to read, dispose and
+// retain itself. The concrete implementation lives in internal/core; the
+// indirection keeps this package free of a dependency cycle, the same way
+// TensorFlow.js tensors talk to a globally registered engine.
+type Handler interface {
+	// ReadSync synchronously downloads the values backing t, blocking the
+	// caller until any pending device work completes (tensor.dataSync()).
+	ReadSync(t *Tensor) []float32
+	// Read asynchronously downloads the values backing t (tensor.data()).
+	Read(t *Tensor) *jsenv.Future[[]float32]
+	// Dispose releases t's claim on its data container.
+	Dispose(t *Tensor)
+	// Keep marks t to survive the enclosing tidy scope.
+	Keep(t *Tensor)
+	// Clone returns a new tensor sharing t's data container.
+	Clone(t *Tensor) *Tensor
+}
+
+var handler atomic.Pointer[handlerBox]
+
+type handlerBox struct{ h Handler }
+
+// SetHandler installs the engine as the global tensor handler. It is called
+// once by internal/core during initialization.
+func SetHandler(h Handler) { handler.Store(&handlerBox{h: h}) }
+
+func getHandler() Handler {
+	box := handler.Load()
+	if box == nil {
+		panic("tensor: no engine registered; import the tf package or internal/core")
+	}
+	return box.h
+}
+
+// Tensor is an immutable, shape-annotated handle onto a data container.
+// The zero value is not usable; tensors are created by the engine.
+type Tensor struct {
+	// ID uniquely identifies this tensor handle.
+	ID int64
+	// DataID identifies the backing data container; shared across shallow
+	// copies such as reshapes and clones.
+	DataID DataID
+	// Shape is the logical dimensions of the tensor. A scalar has an
+	// empty shape.
+	Shape []int
+	// DType is the logical element type.
+	DType DataType
+
+	size     int
+	strides  []int
+	disposed atomic.Bool
+}
+
+// New constructs a tensor handle. It is intended for use by the engine and
+// backends, not end users; user code creates tensors through the tf facade.
+func New(dataID DataID, shape []int, dtype DataType) *Tensor {
+	s := CopyShape(shape)
+	return &Tensor{
+		ID:      NewTensorID(),
+		DataID:  dataID,
+		Shape:   s,
+		DType:   dtype,
+		size:    ShapeSize(s),
+		strides: ComputeStrides(s),
+	}
+}
+
+// Size returns the number of elements.
+func (t *Tensor) Size() int { return t.size }
+
+// Rank returns the number of dimensions.
+func (t *Tensor) Rank() int { return len(t.Shape) }
+
+// Strides returns the row-major strides of the tensor's logical shape.
+func (t *Tensor) Strides() []int { return t.strides }
+
+// Bytes returns the logical memory footprint of the tensor.
+func (t *Tensor) Bytes() int { return t.size * t.DType.BytesPerElement() }
+
+// DataSync synchronously downloads the tensor's values. In the browser
+// setting this blocks the main thread until the GPU finishes (Figure 2).
+func (t *Tensor) DataSync() []float32 {
+	t.mustLive("DataSync")
+	return getHandler().ReadSync(t)
+}
+
+// Data asynchronously downloads the tensor's values, returning a future
+// that resolves once the device has finished producing them (Figure 3).
+func (t *Tensor) Data() *jsenv.Future[[]float32] {
+	t.mustLive("Data")
+	return getHandler().Read(t)
+}
+
+// Dispose releases this tensor's claim on its data container. Disposing a
+// tensor twice is an error in TensorFlow.js; here the second call is a
+// safe no-op so that tidy scopes and manual disposal compose.
+func (t *Tensor) Dispose() {
+	if t.disposed.CompareAndSwap(false, true) {
+		getHandler().Dispose(t)
+	}
+}
+
+// Disposed reports whether Dispose has been called on this handle.
+func (t *Tensor) Disposed() bool { return t.disposed.Load() }
+
+// Keep marks the tensor to survive the enclosing tidy scope (tf.keep).
+func (t *Tensor) Keep() *Tensor {
+	t.mustLive("Keep")
+	getHandler().Keep(t)
+	return t
+}
+
+// Clone returns a new tensor handle sharing this tensor's data container.
+// Like reshape, this is free: no values are copied (Section 3.4).
+func (t *Tensor) Clone() *Tensor {
+	t.mustLive("Clone")
+	return getHandler().Clone(t)
+}
+
+func (t *Tensor) mustLive(op string) {
+	if t.disposed.Load() {
+		panic(fmt.Sprintf("tensor: %s called on disposed tensor %d", op, t.ID))
+	}
+}
+
+// String renders a short description such as Tensor[2x3 float32].
+func (t *Tensor) String() string {
+	dims := make([]string, len(t.Shape))
+	for i, d := range t.Shape {
+		dims[i] = fmt.Sprint(d)
+	}
+	shape := strings.Join(dims, "x")
+	if shape == "" {
+		shape = "scalar"
+	}
+	return fmt.Sprintf("Tensor[%s %s]", shape, t.DType)
+}
+
+// Format renders the tensor values like tensor.print() in TensorFlow.js.
+// It downloads data synchronously.
+func (t *Tensor) Format() string {
+	vals := t.DataSync()
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", t.String())
+	writeValues(&b, vals, t.Shape, 0, 0)
+	return b.String()
+}
+
+func writeValues(b *strings.Builder, vals []float32, shape []int, offset, depth int) {
+	indent := strings.Repeat("  ", depth)
+	if len(shape) == 0 {
+		fmt.Fprintf(b, "%s%g\n", indent, vals[offset])
+		return
+	}
+	if len(shape) == 1 {
+		fmt.Fprintf(b, "%s[", indent)
+		limit := shape[0]
+		truncated := false
+		if limit > 16 {
+			limit = 16
+			truncated = true
+		}
+		for i := 0; i < limit; i++ {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(b, "%g", vals[offset+i])
+		}
+		if truncated {
+			fmt.Fprintf(b, ", ... (%d total)", shape[0])
+		}
+		b.WriteString("]\n")
+		return
+	}
+	inner := ShapeSize(shape[1:])
+	fmt.Fprintf(b, "%s[\n", indent)
+	limit := shape[0]
+	truncated := false
+	if limit > 8 {
+		limit = 8
+		truncated = true
+	}
+	for i := 0; i < limit; i++ {
+		writeValues(b, vals, shape[1:], offset+i*inner, depth+1)
+	}
+	if truncated {
+		fmt.Fprintf(b, "%s  ... (%d slices total)\n", indent, shape[0])
+	}
+	fmt.Fprintf(b, "%s]\n", indent)
+}

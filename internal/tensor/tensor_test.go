@@ -1,0 +1,197 @@
+package tensor
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestShapeSize(t *testing.T) {
+	cases := []struct {
+		shape []int
+		want  int
+	}{
+		{nil, 1},
+		{[]int{}, 1},
+		{[]int{3}, 3},
+		{[]int{2, 3}, 6},
+		{[]int{2, 0, 4}, 0},
+		{[]int{1, 1, 1}, 1},
+	}
+	for _, c := range cases {
+		if got := ShapeSize(c.shape); got != c.want {
+			t.Errorf("ShapeSize(%v) = %d, want %d", c.shape, got, c.want)
+		}
+	}
+}
+
+func TestComputeStrides(t *testing.T) {
+	if got := ComputeStrides(nil); got != nil {
+		t.Errorf("scalar strides = %v, want nil", got)
+	}
+	if got := ComputeStrides([]int{2, 3, 4}); !reflect.DeepEqual(got, []int{12, 4, 1}) {
+		t.Errorf("strides(2,3,4) = %v", got)
+	}
+}
+
+func TestInferShape(t *testing.T) {
+	got, err := InferShape([]int{2, -1}, 6)
+	if err != nil || !reflect.DeepEqual(got, []int{2, 3}) {
+		t.Errorf("InferShape([2,-1], 6) = %v, %v", got, err)
+	}
+	if _, err := InferShape([]int{2, -1, -1}, 6); err == nil {
+		t.Error("two wildcards should error")
+	}
+	if _, err := InferShape([]int{4}, 6); err == nil {
+		t.Error("mismatched size should error")
+	}
+	if _, err := InferShape([]int{4, -1}, 6); err == nil {
+		t.Error("non-divisible wildcard should error")
+	}
+}
+
+func TestBroadcastShapes(t *testing.T) {
+	cases := []struct {
+		a, b, want []int
+		err        bool
+	}{
+		{[]int{2, 3}, []int{2, 3}, []int{2, 3}, false},
+		{[]int{2, 1}, []int{1, 3}, []int{2, 3}, false},
+		{[]int{3}, []int{2, 3}, []int{2, 3}, false},
+		{[]int{}, []int{2, 3}, []int{2, 3}, false},
+		{[]int{2}, []int{3}, nil, true},
+		{[]int{4, 1, 5}, []int{3, 1}, []int{4, 3, 5}, false},
+	}
+	for _, c := range cases {
+		got, err := BroadcastShapes(c.a, c.b)
+		if c.err {
+			if err == nil {
+				t.Errorf("BroadcastShapes(%v, %v) should error", c.a, c.b)
+			}
+			continue
+		}
+		if err != nil || !reflect.DeepEqual(got, c.want) {
+			t.Errorf("BroadcastShapes(%v, %v) = %v, %v; want %v", c.a, c.b, got, err, c.want)
+		}
+	}
+}
+
+// TestBroadcastCommutes is a property test: broadcasting is symmetric in
+// its result shape.
+func TestBroadcastCommutes(t *testing.T) {
+	gen := func(r *rand.Rand) []int {
+		rank := r.Intn(4)
+		s := make([]int, rank)
+		for i := range s {
+			if r.Intn(2) == 0 {
+				s[i] = 1
+			} else {
+				s[i] = 1 + r.Intn(4)
+			}
+		}
+		return s
+	}
+	cfg := &quick.Config{MaxCount: 200, Values: func(vals []reflect.Value, r *rand.Rand) {
+		vals[0] = reflect.ValueOf(gen(r))
+		vals[1] = reflect.ValueOf(gen(r))
+	}}
+	prop := func(a, b []int) bool {
+		ab, errAB := BroadcastShapes(a, b)
+		ba, errBA := BroadcastShapes(b, a)
+		if (errAB == nil) != (errBA == nil) {
+			return false
+		}
+		if errAB != nil {
+			return true
+		}
+		return ShapesEqual(ab, ba)
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestIndexLocRoundTrip is a property test: IndexToLoc and LocToIndex are
+// inverses for any valid shape.
+func TestIndexLocRoundTrip(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 200, Values: func(vals []reflect.Value, r *rand.Rand) {
+		rank := 1 + r.Intn(4)
+		s := make([]int, rank)
+		for i := range s {
+			s[i] = 1 + r.Intn(5)
+		}
+		vals[0] = reflect.ValueOf(s)
+		vals[1] = reflect.ValueOf(r.Intn(ShapeSize(s)))
+	}}
+	prop := func(shape []int, idx int) bool {
+		strides := ComputeStrides(shape)
+		loc := IndexToLoc(idx, len(shape), strides)
+		for i, c := range loc {
+			if c < 0 || c >= shape[i] {
+				return false
+			}
+		}
+		return LocToIndex(loc, len(shape), strides) == idx
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSqueezeShape(t *testing.T) {
+	shape, axes := SqueezeShape([]int{1, 3, 1, 2})
+	if !reflect.DeepEqual(shape, []int{3, 2}) || !reflect.DeepEqual(axes, []int{1, 3}) {
+		t.Errorf("SqueezeShape(1,3,1,2) = %v, %v", shape, axes)
+	}
+	shape, axes = SqueezeShape([]int{1, 1})
+	if len(shape) != 0 || len(axes) != 0 {
+		t.Errorf("SqueezeShape(1,1) = %v, %v", shape, axes)
+	}
+}
+
+func TestDataTypeStrings(t *testing.T) {
+	for _, c := range []struct {
+		dt   DataType
+		want string
+	}{{Float32, "float32"}, {Int32, "int32"}, {Bool, "bool"}} {
+		if c.dt.String() != c.want {
+			t.Errorf("%v.String() = %q", c.dt, c.dt.String())
+		}
+		parsed, err := ParseDataType(c.want)
+		if err != nil || parsed != c.dt {
+			t.Errorf("ParseDataType(%q) = %v, %v", c.want, parsed, err)
+		}
+	}
+	if _, err := ParseDataType("float16"); err == nil {
+		t.Error("unknown dtype should error")
+	}
+	if dt, err := ParseDataType(""); err != nil || dt != Float32 {
+		t.Error("empty dtype should default to float32")
+	}
+}
+
+func TestTensorBasics(t *testing.T) {
+	tt := New(NewDataID(), []int{2, 3}, Float32)
+	if tt.Size() != 6 || tt.Rank() != 2 || tt.Bytes() != 24 {
+		t.Errorf("tensor basics wrong: size=%d rank=%d bytes=%d", tt.Size(), tt.Rank(), tt.Bytes())
+	}
+	if got := tt.String(); got != "Tensor[2x3 float32]" {
+		t.Errorf("String() = %q", got)
+	}
+	scalar := New(NewDataID(), nil, Int32)
+	if scalar.String() != "Tensor[scalar int32]" {
+		t.Errorf("scalar String() = %q", scalar.String())
+	}
+}
+
+func TestTensorIDsUnique(t *testing.T) {
+	seen := map[DataID]bool{}
+	for i := 0; i < 1000; i++ {
+		id := NewDataID()
+		if seen[id] {
+			t.Fatal("duplicate DataID")
+		}
+		seen[id] = true
+	}
+}

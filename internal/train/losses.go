@@ -1,0 +1,101 @@
+package train
+
+import (
+	"fmt"
+
+	"repro/internal/ops"
+	"repro/internal/tensor"
+)
+
+// Loss maps (labels, predictions) to a scalar loss tensor.
+type Loss func(yTrue, yPred *tensor.Tensor) *tensor.Tensor
+
+// MeanSquaredError is the 'meanSquaredError' loss of Listing 1.
+func MeanSquaredError(yTrue, yPred *tensor.Tensor) *tensor.Tensor {
+	return ops.Mean(ops.SquaredDifference(yTrue, yPred), nil, false)
+}
+
+// MeanAbsoluteError averages |yTrue - yPred|.
+func MeanAbsoluteError(yTrue, yPred *tensor.Tensor) *tensor.Tensor {
+	return ops.Mean(ops.Abs(ops.Sub(yTrue, yPred)), nil, false)
+}
+
+// CategoricalCrossentropy expects one-hot labels and probability
+// predictions (for example the output of a softmax layer).
+func CategoricalCrossentropy(yTrue, yPred *tensor.Tensor) *tensor.Tensor {
+	eps := 1e-7
+	clipped := ops.ClipByValue(yPred, eps, 1-eps)
+	perExample := ops.Neg(ops.Sum(ops.Mul(yTrue, ops.Log(clipped)), []int{-1 + yPred.Rank()}, false))
+	return ops.Mean(perExample, nil, false)
+}
+
+// SoftmaxCrossEntropyFromLogits combines softmax and cross-entropy
+// numerically stably; yTrue is one-hot, logits are unnormalized scores.
+func SoftmaxCrossEntropyFromLogits(yTrue, logits *tensor.Tensor) *tensor.Tensor {
+	logProbs := ops.LogSoftmax(logits)
+	perExample := ops.Neg(ops.Sum(ops.Mul(yTrue, logProbs), []int{logits.Rank() - 1}, false))
+	return ops.Mean(perExample, nil, false)
+}
+
+// BinaryCrossentropy expects probabilities in (0, 1) and binary labels.
+func BinaryCrossentropy(yTrue, yPred *tensor.Tensor) *tensor.Tensor {
+	eps := 1e-7
+	p := ops.ClipByValue(yPred, eps, 1-eps)
+	term1 := ops.Mul(yTrue, ops.Log(p))
+	term2 := ops.Mul(ops.Sub(ops.OnesLike(yTrue), yTrue), ops.Log(ops.Sub(ops.OnesLike(p), p)))
+	return ops.Neg(ops.Mean(ops.Add(term1, term2), nil, false))
+}
+
+// NewLoss resolves a serialized loss name as used by model.compile().
+func NewLoss(name string) (Loss, error) {
+	switch name {
+	case "meanSquaredError", "mse":
+		return MeanSquaredError, nil
+	case "meanAbsoluteError", "mae":
+		return MeanAbsoluteError, nil
+	case "categoricalCrossentropy":
+		return CategoricalCrossentropy, nil
+	case "softmaxCrossEntropy":
+		return SoftmaxCrossEntropyFromLogits, nil
+	case "binaryCrossentropy":
+		return BinaryCrossentropy, nil
+	default:
+		return nil, fmt.Errorf("train: unknown loss %q", name)
+	}
+}
+
+// Metric maps (labels, predictions) to a scalar metric tensor.
+type Metric struct {
+	Name string
+	Fn   func(yTrue, yPred *tensor.Tensor) *tensor.Tensor
+}
+
+// Accuracy compares argmax classes of one-hot labels and predictions.
+func Accuracy() Metric {
+	return Metric{Name: "acc", Fn: func(yTrue, yPred *tensor.Tensor) *tensor.Tensor {
+		axis := yPred.Rank() - 1
+		match := ops.Equal(ops.ArgMax(yTrue, axis), ops.ArgMax(yPred, axis))
+		return ops.Mean(ops.Cast(match, tensor.Float32), nil, false)
+	}}
+}
+
+// BinaryAccuracy thresholds predictions at 0.5.
+func BinaryAccuracy() Metric {
+	return Metric{Name: "binaryAcc", Fn: func(yTrue, yPred *tensor.Tensor) *tensor.Tensor {
+		pred := ops.Cast(ops.Greater(yPred, ops.Fill(yPred.Shape, 0.5)), tensor.Float32)
+		match := ops.Equal(pred, yTrue)
+		return ops.Mean(ops.Cast(match, tensor.Float32), nil, false)
+	}}
+}
+
+// NewMetric resolves a serialized metric name.
+func NewMetric(name string) (Metric, error) {
+	switch name {
+	case "accuracy", "acc":
+		return Accuracy(), nil
+	case "binaryAccuracy":
+		return BinaryAccuracy(), nil
+	default:
+		return Metric{}, fmt.Errorf("train: unknown metric %q", name)
+	}
+}

@@ -1,0 +1,165 @@
+package train_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/kernels"
+	"repro/internal/ops"
+	"repro/internal/tensor"
+	"repro/internal/train"
+)
+
+func init() {
+	core.Global().RegisterBackend("cpu", func() (kernels.Backend, error) { return cpu.New(), nil })
+}
+
+func TestMeanSquaredError(t *testing.T) {
+	yTrue := ops.FromValues([]float32{1, 2, 3}, 3)
+	yPred := ops.FromValues([]float32{2, 2, 5}, 3)
+	defer yTrue.Dispose()
+	defer yPred.Dispose()
+	loss := train.MeanSquaredError(yTrue, yPred)
+	defer loss.Dispose()
+	// ((1)² + 0 + (2)²)/3 = 5/3.
+	if got := loss.DataSync()[0]; math.Abs(float64(got)-5.0/3) > 1e-6 {
+		t.Fatalf("mse = %g", got)
+	}
+}
+
+func TestMeanAbsoluteError(t *testing.T) {
+	yTrue := ops.FromValues([]float32{1, -2}, 2)
+	yPred := ops.FromValues([]float32{0, 2}, 2)
+	defer yTrue.Dispose()
+	defer yPred.Dispose()
+	loss := train.MeanAbsoluteError(yTrue, yPred)
+	defer loss.Dispose()
+	if got := loss.DataSync()[0]; math.Abs(float64(got)-2.5) > 1e-6 {
+		t.Fatalf("mae = %g", got)
+	}
+}
+
+func TestCategoricalCrossentropy(t *testing.T) {
+	yTrue := ops.FromValues([]float32{0, 1, 0}, 1, 3)
+	yPred := ops.FromValues([]float32{0.2, 0.7, 0.1}, 1, 3)
+	defer yTrue.Dispose()
+	defer yPred.Dispose()
+	loss := train.CategoricalCrossentropy(yTrue, yPred)
+	defer loss.Dispose()
+	want := -math.Log(0.7)
+	if got := float64(loss.DataSync()[0]); math.Abs(got-want) > 1e-5 {
+		t.Fatalf("cce = %g, want %g", got, want)
+	}
+}
+
+func TestSoftmaxCrossEntropyMatchesManual(t *testing.T) {
+	yTrue := ops.FromValues([]float32{1, 0}, 1, 2)
+	logits := ops.FromValues([]float32{2, 0}, 1, 2)
+	defer yTrue.Dispose()
+	defer logits.Dispose()
+	loss := train.SoftmaxCrossEntropyFromLogits(yTrue, logits)
+	defer loss.Dispose()
+	// softmax(2,0) = (e²/(e²+1), ...); loss = -log(p0).
+	p0 := math.Exp(2) / (math.Exp(2) + 1)
+	if got := float64(loss.DataSync()[0]); math.Abs(got+math.Log(p0)) > 1e-5 {
+		t.Fatalf("softmax ce = %g, want %g", got, -math.Log(p0))
+	}
+}
+
+func TestBinaryCrossentropy(t *testing.T) {
+	yTrue := ops.FromValues([]float32{1, 0}, 2)
+	yPred := ops.FromValues([]float32{0.9, 0.2}, 2)
+	defer yTrue.Dispose()
+	defer yPred.Dispose()
+	loss := train.BinaryCrossentropy(yTrue, yPred)
+	defer loss.Dispose()
+	want := -(math.Log(0.9) + math.Log(0.8)) / 2
+	if got := float64(loss.DataSync()[0]); math.Abs(got-want) > 1e-5 {
+		t.Fatalf("bce = %g, want %g", got, want)
+	}
+}
+
+func TestAccuracyMetric(t *testing.T) {
+	acc := train.Accuracy()
+	yTrue := ops.FromValues([]float32{1, 0, 0, 1}, 2, 2)         // classes 0, 1
+	yPred := ops.FromValues([]float32{0.9, 0.1, 0.8, 0.2}, 2, 2) // classes 0, 0
+	defer yTrue.Dispose()
+	defer yPred.Dispose()
+	m := acc.Fn(yTrue, yPred)
+	defer m.Dispose()
+	if got := m.DataSync()[0]; got != 0.5 {
+		t.Fatalf("accuracy = %g, want 0.5", got)
+	}
+}
+
+func TestNewOptimizerNames(t *testing.T) {
+	for _, name := range []string{"sgd", "momentum", "rmsprop", "adagrad", "adam"} {
+		opt, err := train.NewOptimizer(name, 0.1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if opt.Name() != name {
+			t.Fatalf("optimizer name %q != %q", opt.Name(), name)
+		}
+		opt.Dispose()
+	}
+	if _, err := train.NewOptimizer("lbfgs", 0.1); err == nil {
+		t.Fatal("unknown optimizer must error")
+	}
+	if _, err := train.NewLoss("hinge"); err == nil {
+		t.Fatal("unknown loss must error")
+	}
+	if _, err := train.NewMetric("auc"); err == nil {
+		t.Fatal("unknown metric must error")
+	}
+}
+
+func TestMinimizeDoesNotLeak(t *testing.T) {
+	e := core.Global()
+	init := ops.Scalar(0)
+	w := e.NewVariable(init, "w_leak", true)
+	init.Dispose()
+	defer w.Dispose()
+	opt := train.NewAdam(0.1, 0, 0, 0)
+	defer opt.Dispose()
+
+	step := func() {
+		loss := train.Minimize(opt, func() *tensor.Tensor {
+			diff := ops.SubScalar(w.Value(), 3)
+			return ops.Mul(diff, diff)
+		}, []*core.Variable{w})
+		loss.Dispose()
+	}
+	step() // warmup allocates the Adam slot variables
+	before := e.NumTensors()
+	for i := 0; i < 10; i++ {
+		step()
+	}
+	if after := e.NumTensors(); after != before {
+		t.Fatalf("Minimize leaked tensors: %d -> %d", before, after)
+	}
+}
+
+func TestMomentumNesterovConverges(t *testing.T) {
+	e := core.Global()
+	init := ops.Scalar(0)
+	w := e.NewVariable(init, "w_nesterov", true)
+	init.Dispose()
+	defer w.Dispose()
+	opt := train.NewMomentum(0.05, 0.9, true)
+	defer opt.Dispose()
+	var last float32
+	for i := 0; i < 200; i++ {
+		loss := train.Minimize(opt, func() *tensor.Tensor {
+			diff := ops.SubScalar(w.Value(), 2)
+			return ops.Mul(diff, diff)
+		}, []*core.Variable{w})
+		last = loss.DataSync()[0]
+		loss.Dispose()
+	}
+	if last > 1e-3 {
+		t.Fatalf("nesterov momentum did not converge: loss %g", last)
+	}
+}

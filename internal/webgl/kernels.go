@@ -1,0 +1,152 @@
+package webgl
+
+import (
+	"fmt"
+
+	"repro/internal/glsim"
+	"repro/internal/kernels"
+	"repro/internal/tensor"
+)
+
+// This file holds the kernel-override plumbing; the program builders for
+// each kernel family live in the kernels_*.go files. Each override plays
+// the role of a compiled GLSL fragment shader (Listing 2 of the paper): a
+// per-output-texel function assembled from compiler-provided samplers.
+
+// register installs one kernel override.
+func (b *Backend) register(name string, k kernels.OverrideKernel) {
+	if _, dup := b.kernelsTable[name]; dup {
+		panic(fmt.Sprintf("webgl: duplicate kernel %q", name))
+	}
+	b.kernelsTable[name] = k
+}
+
+// initKernels builds the override table.
+func (b *Backend) initKernels() {
+	b.kernelsTable = map[string]kernels.OverrideKernel{}
+	b.registerElementwise()
+	b.registerMatMul()
+	b.registerConv()
+	b.registerReduce()
+	b.registerShape()
+	b.registerGather()
+	b.registerConvGrad()
+}
+
+// input resolves a kernel input to its live texture (paging it back in when
+// needed) and refreshes its LRU tick.
+func (b *Backend) input(in kernels.Input) (*texData, *glsim.Texture) {
+	td := b.lookup(in.DataID)
+	tex := b.touch(td)
+	return td, tex
+}
+
+// output allocates a data container for a kernel result and returns its
+// record plus the TensorInfo handed back to the engine.
+func (b *Backend) output(shape []int, dtype tensor.DataType) (*texData, kernels.TensorInfo, error) {
+	id := tensor.NewDataID()
+	td, err := b.newTexData(id, shape, dtype)
+	if err != nil {
+		return nil, kernels.TensorInfo{}, err
+	}
+	return td, kernels.TensorInfo{DataID: id, Shape: tensor.CopyShape(shape), DType: dtype}, nil
+}
+
+// runFlat executes a program whose value at flat output index i is
+// valueAt(i). It handles both texel layouts: with packing, one texel
+// invocation produces four consecutive values (the §3.9 packing
+// optimization — a quarter of the shader invocations).
+func (b *Backend) runFlat(name string, out *texData, valueAt func(flat int) float32) {
+	size := out.size
+	var main glsim.TexelFunc
+	if out.tex.Format == glsim.RGBA32F {
+		main = func(texel int) [4]float32 {
+			var vals [4]float32
+			base := texel * 4
+			for c := 0; c < 4 && base+c < size; c++ {
+				vals[c] = valueAt(base + c)
+			}
+			return vals
+		}
+	} else {
+		main = func(texel int) [4]float32 {
+			if texel >= size {
+				return [4]float32{}
+			}
+			return [4]float32{valueAt(texel)}
+		}
+	}
+	b.device.Execute(&glsim.Program{Name: name, Main: main}, out.tex)
+}
+
+// runTexel executes a program with full control of the per-texel function;
+// used by kernels with packed-specific fast paths.
+func (b *Backend) runTexel(name string, out *texData, main glsim.TexelFunc) {
+	b.device.Execute(&glsim.Program{Name: name, Main: main}, out.tex)
+}
+
+// indexTerm is one dimension's contribution when mapping an output flat
+// index to an input flat index: (flat / div % dim) * stride.
+type indexTerm struct {
+	div    int
+	dim    int
+	stride int
+}
+
+// broadcastSamplers compiles, for each input shape, a mapper from output
+// flat index to input flat index. This is the Go analogue of the shader
+// compiler's generated getA(...) samplers: with SqueezeLogicalShapes
+// enabled, size-1 output dimensions produce no term at all — the "ignores a
+// and c" optimization of Section 4.1 — and stride-0 (broadcast) dimensions
+// are likewise dropped.
+func (b *Backend) broadcastSamplers(outShape []int, inShapes [][]int) []func(outFlat int) int {
+	outStrides := tensor.ComputeStrides(outShape)
+	mappers := make([]func(int) int, len(inShapes))
+	for k, inShape := range inShapes {
+		aligned := compileSampler(inShape, outShape, b.cfg.SqueezeLogicalShapes, nil).strides
+		var terms []indexTerm
+		for i, dim := range outShape {
+			if b.cfg.SqueezeLogicalShapes && (dim == 1 || aligned[i] == 0) {
+				continue
+			}
+			terms = append(terms, indexTerm{div: outStrides[i], dim: dim, stride: aligned[i]})
+		}
+		mappers[k] = func(outFlat int) int {
+			idx := 0
+			for _, t := range terms {
+				idx += (outFlat / t.div % t.dim) * t.stride
+			}
+			return idx
+		}
+	}
+	return mappers
+}
+
+// sameShape reports whether every input has exactly the output's shape, the
+// condition for the no-decode fast path.
+func sameShape(outShape []int, inShapes [][]int) bool {
+	for _, s := range inShapes {
+		if !tensor.ShapesEqual(s, outShape) {
+			return false
+		}
+	}
+	return true
+}
+
+// InputTexture resolves a kernel input to its live device texture, paging
+// it back in when needed. Exported for backends layered on this one (the
+// experimental WebGPU backend reuses the WebGL data plane).
+func (b *Backend) InputTexture(in kernels.Input) *glsim.Texture {
+	_, tex := b.input(in)
+	return tex
+}
+
+// Output allocates a device container for a kernel result, returning its
+// texture and the TensorInfo for the engine. Exported for layered backends.
+func (b *Backend) Output(shape []int, dtype tensor.DataType) (*glsim.Texture, kernels.TensorInfo, error) {
+	td, info, err := b.output(shape, dtype)
+	if err != nil {
+		return nil, kernels.TensorInfo{}, err
+	}
+	return td.tex, info, nil
+}

@@ -1,0 +1,187 @@
+package webgl
+
+import (
+	"math"
+
+	"repro/internal/kernels"
+	"repro/internal/tensor"
+)
+
+// registerConv installs the convolution and pooling shader programs. Each
+// output texel decodes its NHWC coordinates and walks the receptive field
+// through flat-index samplers, the structure of the tf.conv2d() fragment
+// shader described in Section 4.1 ("the GLSL implementation of tf.conv2d()
+// uses the auto-generated getA(batch, row, column, depth) method to sample
+// from a 4D tensor").
+func (b *Backend) registerConv() {
+	b.register("Conv2D", func(inputs []kernels.Input, attrs kernels.Attrs) ([]kernels.TensorInfo, error) {
+		if len(inputs) != 2 {
+			return nil, errf("Conv2D: got %d inputs, want 2", len(inputs))
+		}
+		x, w := inputs[0], inputs[1]
+		info, err := kernels.ComputeConv2DInfo(x.Shape, w.Shape,
+			attrs.Ints("strides", []int{1, 1}), attrs.Ints("dilations", []int{1, 1}),
+			attrs.String("pad", "valid"), false)
+		if err != nil {
+			return nil, err
+		}
+		_, xTex := b.input(x)
+		_, wTex := b.input(w)
+		out, tinfo, err := b.output(info.OutShape(), tensor.Float32)
+		if err != nil {
+			return nil, err
+		}
+		inC, outC := info.InChannels, info.OutChannels
+		inRow := info.InWidth * inC
+		inImg := info.InHeight * inRow
+		b.runFlat("Conv2D", out, func(flat int) float32 {
+			oc := flat % outC
+			rest := flat / outC
+			ox := rest % info.OutWidth
+			rest /= info.OutWidth
+			oy := rest % info.OutHeight
+			bb := rest / info.OutHeight
+			yCorner := oy*info.StrideHeight - info.PadTop
+			xCorner := ox*info.StrideWidth - info.PadLeft
+			var sum float32
+			for fy := 0; fy < info.FilterHeight; fy++ {
+				iy := yCorner + fy*info.DilationHeight
+				if iy < 0 || iy >= info.InHeight {
+					continue
+				}
+				for fx := 0; fx < info.FilterWidth; fx++ {
+					ix := xCorner + fx*info.DilationWidth
+					if ix < 0 || ix >= info.InWidth {
+						continue
+					}
+					inBase := bb*inImg + iy*inRow + ix*inC
+					wBase := ((fy*info.FilterWidth)+fx)*inC*outC + oc
+					for ic := 0; ic < inC; ic++ {
+						sum += xTex.FetchFlat(inBase+ic) * wTex.FetchFlat(wBase+ic*outC)
+					}
+				}
+			}
+			return sum
+		})
+		return []kernels.TensorInfo{tinfo}, nil
+	})
+
+	b.register("DepthwiseConv2dNative", func(inputs []kernels.Input, attrs kernels.Attrs) ([]kernels.TensorInfo, error) {
+		if len(inputs) != 2 {
+			return nil, errf("DepthwiseConv2dNative: got %d inputs, want 2", len(inputs))
+		}
+		x, w := inputs[0], inputs[1]
+		info, err := kernels.ComputeConv2DInfo(x.Shape, w.Shape,
+			attrs.Ints("strides", []int{1, 1}), attrs.Ints("dilations", []int{1, 1}),
+			attrs.String("pad", "valid"), true)
+		if err != nil {
+			return nil, err
+		}
+		_, xTex := b.input(x)
+		_, wTex := b.input(w)
+		out, tinfo, err := b.output(info.OutShape(), tensor.Float32)
+		if err != nil {
+			return nil, err
+		}
+		inC, mult, outC := info.InChannels, info.ChannelMultiplier, info.OutChannels
+		inRow := info.InWidth * inC
+		inImg := info.InHeight * inRow
+		b.runFlat("DepthwiseConv2dNative", out, func(flat int) float32 {
+			oc := flat % outC
+			rest := flat / outC
+			ox := rest % info.OutWidth
+			rest /= info.OutWidth
+			oy := rest % info.OutHeight
+			bb := rest / info.OutHeight
+			ic := oc / mult
+			q := oc % mult
+			yCorner := oy*info.StrideHeight - info.PadTop
+			xCorner := ox*info.StrideWidth - info.PadLeft
+			var sum float32
+			for fy := 0; fy < info.FilterHeight; fy++ {
+				iy := yCorner + fy*info.DilationHeight
+				if iy < 0 || iy >= info.InHeight {
+					continue
+				}
+				for fx := 0; fx < info.FilterWidth; fx++ {
+					ix := xCorner + fx*info.DilationWidth
+					if ix < 0 || ix >= info.InWidth {
+						continue
+					}
+					sum += xTex.FetchFlat(bb*inImg+iy*inRow+ix*inC+ic) *
+						wTex.FetchFlat(((fy*info.FilterWidth)+fx)*inC*mult+ic*mult+q)
+				}
+			}
+			return sum
+		})
+		return []kernels.TensorInfo{tinfo}, nil
+	})
+
+	pool := func(name string, isMax bool) kernels.OverrideKernel {
+		return func(inputs []kernels.Input, attrs kernels.Attrs) ([]kernels.TensorInfo, error) {
+			if len(inputs) != 1 {
+				return nil, errf("%s: got %d inputs, want 1", name, len(inputs))
+			}
+			x := inputs[0]
+			filterSize := attrs.Ints("filterSize", []int{2, 2})
+			strides := attrs.Ints("strides", filterSize)
+			pad := attrs.String("pad", "valid")
+			info, err := kernels.ComputePool2DInfo(x.Shape, filterSize, strides, pad)
+			if err != nil {
+				return nil, err
+			}
+			_, xTex := b.input(x)
+			out, tinfo, err := b.output(info.OutShape(), x.DType)
+			if err != nil {
+				return nil, err
+			}
+			c := info.OutChannels
+			inRow := info.InWidth * c
+			inImg := info.InHeight * inRow
+			b.runFlat(name, out, func(flat int) float32 {
+				ch := flat % c
+				rest := flat / c
+				ox := rest % info.OutWidth
+				rest /= info.OutWidth
+				oy := rest % info.OutHeight
+				bb := rest / info.OutHeight
+				yCorner := oy*info.StrideHeight - info.PadTop
+				xCorner := ox*info.StrideWidth - info.PadLeft
+				best := float32(math.Inf(-1))
+				var sum float32
+				count := 0
+				for fy := 0; fy < info.FilterHeight; fy++ {
+					iy := yCorner + fy
+					if iy < 0 || iy >= info.InHeight {
+						continue
+					}
+					for fx := 0; fx < info.FilterWidth; fx++ {
+						ix := xCorner + fx
+						if ix < 0 || ix >= info.InWidth {
+							continue
+						}
+						v := xTex.FetchFlat(bb*inImg + iy*inRow + ix*c + ch)
+						if isMax {
+							if v > best {
+								best = v
+							}
+						} else {
+							sum += v
+							count++
+						}
+					}
+				}
+				if isMax {
+					return best
+				}
+				if count == 0 {
+					return 0
+				}
+				return sum / float32(count)
+			})
+			return []kernels.TensorInfo{tinfo}, nil
+		}
+	}
+	b.register("MaxPool", pool("MaxPool", true))
+	b.register("AvgPool", pool("AvgPool", false))
+}

@@ -1,0 +1,331 @@
+package webgl
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/glsim"
+	"repro/internal/kernels"
+	"repro/internal/tensor"
+)
+
+// registerElementwise installs the element-wise binary and unary shader
+// programs. The binary programs come in two forms: a same-shape fast path
+// that reads both operands at the output's own flat index (and, when
+// packed, processes a whole RGBA texel per invocation), and a broadcast
+// path that routes through the compiler-generated samplers.
+func (b *Backend) registerElementwise() {
+	type binOp struct {
+		name  string
+		f     func(a, x float32) float32
+		boolO bool
+	}
+	binOps := []binOp{
+		{"Add", func(a, x float32) float32 { return a + x }, false},
+		{"Sub", func(a, x float32) float32 { return a - x }, false},
+		{"Mul", func(a, x float32) float32 { return a * x }, false},
+		{"RealDiv", func(a, x float32) float32 { return a / x }, false},
+		{"Maximum", func(a, x float32) float32 {
+			if a > x {
+				return a
+			}
+			return x
+		}, false},
+		{"Minimum", func(a, x float32) float32 {
+			if a < x {
+				return a
+			}
+			return x
+		}, false},
+		{"Pow", func(a, x float32) float32 { return float32(math.Pow(float64(a), float64(x))) }, false},
+		{"SquaredDifference", func(a, x float32) float32 { d := a - x; return d * d }, false},
+		{"Greater", func(a, x float32) float32 { return b2f(a > x) }, true},
+		{"GreaterEqual", func(a, x float32) float32 { return b2f(a >= x) }, true},
+		{"Less", func(a, x float32) float32 { return b2f(a < x) }, true},
+		{"LessEqual", func(a, x float32) float32 { return b2f(a <= x) }, true},
+		{"Equal", func(a, x float32) float32 { return b2f(a == x) }, true},
+		{"NotEqual", func(a, x float32) float32 { return b2f(a != x) }, true},
+		{"LogicalAnd", func(a, x float32) float32 { return b2f(a != 0 && x != 0) }, true},
+		{"LogicalOr", func(a, x float32) float32 { return b2f(a != 0 || x != 0) }, true},
+		{"Prelu", func(a, x float32) float32 {
+			if a >= 0 {
+				return a
+			}
+			return x * a
+		}, false},
+	}
+	for _, op := range binOps {
+		op := op
+		b.register(op.name, func(inputs []kernels.Input, attrs kernels.Attrs) ([]kernels.TensorInfo, error) {
+			return b.binaryProgram(op.name, inputs, op.f, op.boolO)
+		})
+	}
+
+	type unOp struct {
+		name string
+		f    func(x float32) float32
+	}
+	unOps := []unOp{
+		{"Neg", func(x float32) float32 { return -x }},
+		{"Abs", func(x float32) float32 { return float32(math.Abs(float64(x))) }},
+		{"Exp", func(x float32) float32 { return float32(math.Exp(float64(x))) }},
+		{"Expm1", func(x float32) float32 { return float32(math.Expm1(float64(x))) }},
+		{"Log", func(x float32) float32 { return float32(math.Log(float64(x))) }},
+		{"Log1p", func(x float32) float32 { return float32(math.Log1p(float64(x))) }},
+		{"Sqrt", func(x float32) float32 { return float32(math.Sqrt(float64(x))) }},
+		{"Rsqrt", func(x float32) float32 { return float32(1 / math.Sqrt(float64(x))) }},
+		{"Square", func(x float32) float32 { return x * x }},
+		{"Reciprocal", func(x float32) float32 { return 1 / x }},
+		{"Floor", func(x float32) float32 { return float32(math.Floor(float64(x))) }},
+		{"Ceil", func(x float32) float32 { return float32(math.Ceil(float64(x))) }},
+		{"Round", func(x float32) float32 { return float32(math.RoundToEven(float64(x))) }},
+		{"Sign", func(x float32) float32 {
+			switch {
+			case x > 0:
+				return 1
+			case x < 0:
+				return -1
+			default:
+				return 0
+			}
+		}},
+		{"Sin", func(x float32) float32 { return float32(math.Sin(float64(x))) }},
+		{"Cos", func(x float32) float32 { return float32(math.Cos(float64(x))) }},
+		{"Tan", func(x float32) float32 { return float32(math.Tan(float64(x))) }},
+		{"Tanh", func(x float32) float32 { return float32(math.Tanh(float64(x))) }},
+		{"Sigmoid", func(x float32) float32 { return float32(1 / (1 + math.Exp(-float64(x)))) }},
+		{"Softplus", func(x float32) float32 { return float32(math.Log1p(math.Exp(float64(x)))) }},
+		{"Relu", func(x float32) float32 {
+			if x > 0 {
+				return x
+			}
+			return 0
+		}},
+		{"Relu6", func(x float32) float32 {
+			if x < 0 {
+				return 0
+			}
+			if x > 6 {
+				return 6
+			}
+			return x
+		}},
+		{"Elu", func(x float32) float32 {
+			if x >= 0 {
+				return x
+			}
+			return float32(math.Expm1(float64(x)))
+		}},
+	}
+	for _, op := range unOps {
+		op := op
+		b.register(op.name, func(inputs []kernels.Input, attrs kernels.Attrs) ([]kernels.TensorInfo, error) {
+			return b.unaryProgram(op.name, inputs, op.f)
+		})
+	}
+
+	// Attribute-parameterized unary programs.
+	b.register("ClipByValue", func(inputs []kernels.Input, attrs kernels.Attrs) ([]kernels.TensorInfo, error) {
+		lo := float32(attrs.Float("clipValueMin", math.Inf(-1)))
+		hi := float32(attrs.Float("clipValueMax", math.Inf(1)))
+		return b.unaryProgram("ClipByValue", inputs, func(x float32) float32 {
+			if x < lo {
+				return lo
+			}
+			if x > hi {
+				return hi
+			}
+			return x
+		})
+	})
+	b.register("LeakyRelu", func(inputs []kernels.Input, attrs kernels.Attrs) ([]kernels.TensorInfo, error) {
+		alpha := float32(attrs.Float("alpha", 0.2))
+		return b.unaryProgram("LeakyRelu", inputs, func(x float32) float32 {
+			if x >= 0 {
+				return x
+			}
+			return alpha * x
+		})
+	})
+	b.register("Step", func(inputs []kernels.Input, attrs kernels.Attrs) ([]kernels.TensorInfo, error) {
+		alpha := float32(attrs.Float("alpha", 0))
+		return b.unaryProgram("Step", inputs, func(x float32) float32 {
+			switch {
+			case math.IsNaN(float64(x)):
+				return x
+			case x > 0:
+				return 1
+			default:
+				return alpha
+			}
+		})
+	})
+
+	// Fill is a zero-input program: every texel computes the constant.
+	b.register("Fill", func(inputs []kernels.Input, attrs kernels.Attrs) ([]kernels.TensorInfo, error) {
+		shape := attrs.Ints("shape", nil)
+		value := float32(attrs.Float("value", 0))
+		dt, err := tensor.ParseDataType(attrs.String("dtype", "float32"))
+		if err != nil {
+			return nil, err
+		}
+		out, info, err := b.output(shape, dt)
+		if err != nil {
+			return nil, err
+		}
+		b.runFlat("Fill", out, func(int) float32 { return value })
+		return []kernels.TensorInfo{info}, nil
+	})
+
+	// Select: three-input broadcast program.
+	b.register("Select", func(inputs []kernels.Input, attrs kernels.Attrs) ([]kernels.TensorInfo, error) {
+		if len(inputs) != 3 {
+			return nil, errf("Select: got %d inputs, want 3", len(inputs))
+		}
+		_, condTex := b.input(inputs[0])
+		_, tTex := b.input(inputs[1])
+		_, fTex := b.input(inputs[2])
+		outShape, err := tensor.BroadcastShapes(inputs[1].Shape, inputs[2].Shape)
+		if err != nil {
+			return nil, err
+		}
+		outShape, err = tensor.BroadcastShapes(outShape, inputs[0].Shape)
+		if err != nil {
+			return nil, err
+		}
+		out, info, err := b.output(outShape, inputs[1].DType)
+		if err != nil {
+			return nil, err
+		}
+		maps := b.broadcastSamplers(outShape, [][]int{inputs[0].Shape, inputs[1].Shape, inputs[2].Shape})
+		b.runFlat("Select", out, func(i int) float32 {
+			if condTex.FetchFlat(maps[0](i)) != 0 {
+				return tTex.FetchFlat(maps[1](i))
+			}
+			return fTex.FetchFlat(maps[2](i))
+		})
+		return []kernels.TensorInfo{info}, nil
+	})
+
+	// FusedBatchNorm: five-input broadcast program (x, mean, variance,
+	// offset, scale).
+	b.register("FusedBatchNorm", func(inputs []kernels.Input, attrs kernels.Attrs) ([]kernels.TensorInfo, error) {
+		if len(inputs) != 5 {
+			return nil, errf("FusedBatchNorm: got %d inputs, want 5", len(inputs))
+		}
+		eps := float32(attrs.Float("varianceEpsilon", 1e-3))
+		texes := make([]*glsim.Texture, 5)
+		shapes := make([][]int, 5)
+		for i := range inputs {
+			_, texes[i] = b.input(inputs[i])
+			shapes[i] = inputs[i].Shape
+		}
+		out, info, err := b.output(inputs[0].Shape, tensor.Float32)
+		if err != nil {
+			return nil, err
+		}
+		maps := b.broadcastSamplers(inputs[0].Shape, shapes)
+		x, mean, variance, offset, scale := texes[0], texes[1], texes[2], texes[3], texes[4]
+		b.runFlat("FusedBatchNorm", out, func(i int) float32 {
+			m := mean.FetchFlat(maps[1](i))
+			v := variance.FetchFlat(maps[2](i))
+			o := offset.FetchFlat(maps[3](i))
+			s := scale.FetchFlat(maps[4](i))
+			norm := (x.FetchFlat(i) - m) / float32(math.Sqrt(float64(v+eps)))
+			return norm*s + o
+		})
+		return []kernels.TensorInfo{info}, nil
+	})
+}
+
+func b2f(c bool) float32 {
+	if c {
+		return 1
+	}
+	return 0
+}
+
+func errf(format string, args ...any) error { return fmt.Errorf(format, args...) }
+
+// binaryProgram assembles an element-wise binary shader. Equal shapes use
+// the direct path (and a packed whole-texel fast path); otherwise the
+// broadcast samplers are compiled in.
+func (b *Backend) binaryProgram(name string, inputs []kernels.Input, f func(a, x float32) float32, boolOut bool) ([]kernels.TensorInfo, error) {
+	if len(inputs) != 2 {
+		return nil, errf("%s: got %d inputs, want 2", name, len(inputs))
+	}
+	_, aTex := b.input(inputs[0])
+	_, xTex := b.input(inputs[1])
+	outShape, err := tensor.BroadcastShapes(inputs[0].Shape, inputs[1].Shape)
+	if err != nil {
+		return nil, err
+	}
+	dt := inputs[0].DType
+	if boolOut {
+		dt = tensor.Bool
+	}
+	out, info, err := b.output(outShape, dt)
+	if err != nil {
+		return nil, err
+	}
+	if sameShape(outShape, [][]int{inputs[0].Shape, inputs[1].Shape}) {
+		if out.tex.Format == glsim.RGBA32F {
+			// Packed fast path: one invocation computes a whole RGBA
+			// texel of four consecutive values, the analogue of the
+			// vec4 arithmetic packing enables in GLSL.
+			size := out.size
+			b.runTexel(name, out, func(texel int) [4]float32 {
+				var vals [4]float32
+				base := texel * 4
+				n := size - base
+				if n > 4 {
+					n = 4
+				}
+				for c := 0; c < n; c++ {
+					vals[c] = f(aTex.FetchFlat(base+c), xTex.FetchFlat(base+c))
+				}
+				return vals
+			})
+		} else {
+			b.runFlat(name, out, func(i int) float32 {
+				return f(aTex.FetchFlat(i), xTex.FetchFlat(i))
+			})
+		}
+		return []kernels.TensorInfo{info}, nil
+	}
+	maps := b.broadcastSamplers(outShape, [][]int{inputs[0].Shape, inputs[1].Shape})
+	b.runFlat(name, out, func(i int) float32 {
+		return f(aTex.FetchFlat(maps[0](i)), xTex.FetchFlat(maps[1](i)))
+	})
+	return []kernels.TensorInfo{info}, nil
+}
+
+// unaryProgram assembles an element-wise unary shader.
+func (b *Backend) unaryProgram(name string, inputs []kernels.Input, f func(x float32) float32) ([]kernels.TensorInfo, error) {
+	if len(inputs) != 1 {
+		return nil, errf("%s: got %d inputs, want 1", name, len(inputs))
+	}
+	_, xTex := b.input(inputs[0])
+	out, info, err := b.output(inputs[0].Shape, inputs[0].DType)
+	if err != nil {
+		return nil, err
+	}
+	if out.tex.Format == glsim.RGBA32F {
+		size := out.size
+		b.runTexel(name, out, func(texel int) [4]float32 {
+			var vals [4]float32
+			base := texel * 4
+			n := size - base
+			if n > 4 {
+				n = 4
+			}
+			for c := 0; c < n; c++ {
+				vals[c] = f(xTex.FetchFlat(base + c))
+			}
+			return vals
+		})
+	} else {
+		b.runFlat(name, out, func(i int) float32 { return f(xTex.FetchFlat(i)) })
+	}
+	return []kernels.TensorInfo{info}, nil
+}

@@ -1,0 +1,125 @@
+package webgl
+
+import (
+	"repro/internal/glsim"
+	"repro/internal/kernels"
+	"repro/internal/tensor"
+)
+
+// registerMatMul installs the matrix-multiplication shader — the Go
+// counterpart of Listing 2 in the paper: each output texel decodes its
+// (row, col) coordinates with getOutputCoords(), samples rows of A and
+// columns of B through compiler-generated getters, and accumulates a dot
+// product.
+func (b *Backend) registerMatMul() {
+	b.register("BatchMatMul", func(inputs []kernels.Input, attrs kernels.Attrs) ([]kernels.TensorInfo, error) {
+		if len(inputs) != 2 {
+			return nil, errf("BatchMatMul: got %d inputs, want 2", len(inputs))
+		}
+		a, x := inputs[0], inputs[1]
+		transposeA := attrs.Bool("transposeA", false)
+		transposeB := attrs.Bool("transposeB", false)
+		if len(a.Shape) != 3 || len(x.Shape) != 3 {
+			return nil, errf("BatchMatMul: inputs must be rank 3, got %v and %v", a.Shape, x.Shape)
+		}
+		batchA, batchB := a.Shape[0], x.Shape[0]
+		batch := batchA
+		if batchB > batch {
+			batch = batchB
+		}
+		if batchA != batchB && batchA != 1 && batchB != 1 {
+			return nil, errf("BatchMatMul: incompatible batch dims %d and %d", batchA, batchB)
+		}
+		m, kA := a.Shape[1], a.Shape[2]
+		if transposeA {
+			m, kA = kA, m
+		}
+		kB, n := x.Shape[1], x.Shape[2]
+		if transposeB {
+			kB, n = n, kB
+		}
+		if kA != kB {
+			return nil, errf("BatchMatMul: inner dims mismatch %v x %v", a.Shape, x.Shape)
+		}
+		k := kA
+		_, aTex := b.input(a)
+		_, bTex := b.input(x)
+		out, info, err := b.output([]int{batch, m, n}, tensor.Float32)
+		if err != nil {
+			return nil, err
+		}
+
+		aMat := a.Shape[1] * a.Shape[2]
+		bMat := x.Shape[1] * x.Shape[2]
+		// Compiler-generated samplers: getA(p, i, kk) and getB(p, kk, j)
+		// in flat index form, with the transpose folded into strides.
+		aRowStride, aColStride := a.Shape[2], 1
+		if transposeA {
+			aRowStride, aColStride = 1, a.Shape[2]
+		}
+		bRowStride, bColStride := x.Shape[2], 1
+		if transposeB {
+			bRowStride, bColStride = 1, x.Shape[2]
+		}
+
+		valueAt := func(flat int) float32 {
+			// getOutputCoords()
+			j := flat % n
+			rest := flat / n
+			i := rest % m
+			p := rest / m
+			aOff := (p % batchA) * aMat
+			bOff := (p % batchB) * bMat
+			var sum float32
+			for kk := 0; kk < k; kk++ {
+				sum += aTex.FetchFlat(aOff+i*aRowStride+kk*aColStride) *
+					bTex.FetchFlat(bOff+kk*bRowStride+j*bColStride)
+			}
+			return sum
+		}
+
+		if out.tex.Format == glsim.RGBA32F && !transposeA && !transposeB {
+			// Packed matmul: one texel computes four consecutive output
+			// columns, re-using the A row samples across all four — the
+			// simulation analogue of the vec4 dot-product trick in the
+			// paper's packed shaders.
+			size := out.size
+			b.runTexel("BatchMatMul(packed)", out, func(texel int) [4]float32 {
+				var vals [4]float32
+				base := texel * 4
+				limit := size - base
+				if limit > 4 {
+					limit = 4
+				}
+				if limit <= 0 {
+					return vals
+				}
+				j0 := base % n
+				rest := base / n
+				i := rest % m
+				p := rest / m
+				if j0+limit <= n {
+					// All four outputs share row i: fetch A once per k.
+					aOff := (p%batchA)*aMat + i*aRowStride
+					bOff := (p % batchB) * bMat
+					for kk := 0; kk < k; kk++ {
+						av := aTex.FetchFlat(aOff + kk)
+						bRow := bOff + kk*bRowStride + j0
+						for c := 0; c < limit; c++ {
+							vals[c] += av * bTex.FetchFlat(bRow+c)
+						}
+					}
+					return vals
+				}
+				for c := 0; c < limit; c++ {
+					vals[c] = valueAt(base + c)
+				}
+				return vals
+			})
+			return []kernels.TensorInfo{info}, nil
+		}
+
+		b.runFlat("BatchMatMul", out, valueAt)
+		return []kernels.TensorInfo{info}, nil
+	})
+}

@@ -1,0 +1,105 @@
+package webgl
+
+import (
+	"sync"
+
+	"repro/internal/glsim"
+)
+
+// texKey identifies a physical texture shape for recycling purposes. Only
+// textures with identical physical shape and format are interchangeable.
+type texKey struct {
+	w, h   int
+	format glsim.TextureFormat
+}
+
+// textureManager implements the texture recycler of Section 4.1.2:
+// "Disposing and re-allocating WebGL textures is relatively expensive, so
+// we don't release memory when a tensor gets disposed. Instead, we mark the
+// texture for reuse."
+type textureManager struct {
+	device  *glsim.Device
+	enabled bool
+
+	mu   sync.Mutex
+	free map[texKey][]*glsim.Texture
+
+	// Counters for the recycling ablation.
+	acquires    int64
+	recycleHits int64
+	frees       int64
+}
+
+func newTextureManager(device *glsim.Device, enabled bool) *textureManager {
+	return &textureManager{device: device, enabled: enabled, free: map[texKey][]*glsim.Texture{}}
+}
+
+// acquire returns a texture of the given physical shape, recycling a free
+// one when possible. Recycled textures may contain stale values; callers
+// always overwrite every texel (programs write the full output; uploads
+// cover the logical size and readback truncates to it).
+func (m *textureManager) acquire(w, h int, format glsim.TextureFormat) (*glsim.Texture, error) {
+	m.mu.Lock()
+	m.acquires++
+	key := texKey{w: w, h: h, format: format}
+	if m.enabled {
+		if list := m.free[key]; len(list) > 0 {
+			tex := list[len(list)-1]
+			m.free[key] = list[:len(list)-1]
+			m.recycleHits++
+			m.mu.Unlock()
+			return tex, nil
+		}
+	}
+	m.mu.Unlock()
+	return m.device.CreateTexture(w, h, format)
+}
+
+// release returns a texture to the free pool (or deletes it when recycling
+// is disabled, the ablation baseline).
+func (m *textureManager) release(tex *glsim.Texture) {
+	if tex == nil {
+		return
+	}
+	if !m.enabled {
+		m.device.DeleteTexture(tex)
+		return
+	}
+	m.mu.Lock()
+	key := texKey{w: tex.Width, h: tex.Height, format: tex.Format}
+	m.free[key] = append(m.free[key], tex)
+	m.frees++
+	m.mu.Unlock()
+}
+
+// freeCount returns the number of textures awaiting reuse.
+func (m *textureManager) freeCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, list := range m.free {
+		n += len(list)
+	}
+	return n
+}
+
+// recycleRate reports hits / acquires, for tests.
+func (m *textureManager) stats() (acquires, hits int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.acquires, m.recycleHits
+}
+
+// drainFree deletes every pooled texture, used when the backend needs to
+// give device memory back (paging pressure) or shuts down.
+func (m *textureManager) drainFree() {
+	m.mu.Lock()
+	lists := m.free
+	m.free = map[texKey][]*glsim.Texture{}
+	m.mu.Unlock()
+	for _, list := range lists {
+		for _, tex := range list {
+			m.device.DeleteTexture(tex)
+		}
+	}
+}

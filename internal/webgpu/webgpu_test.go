@@ -1,0 +1,146 @@
+package webgpu_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/kernels"
+	"repro/internal/ops"
+	"repro/internal/tensor"
+	"repro/internal/webgl"
+	"repro/internal/webgpu"
+)
+
+func init() {
+	e := core.Global()
+	e.RegisterBackend("cpu", func() (kernels.Backend, error) { return cpu.New(), nil })
+	e.RegisterBackend("webgl", func() (kernels.Backend, error) { return webgl.New(webgl.DefaultConfig()), nil })
+	e.RegisterBackend("webgpu", func() (kernels.Backend, error) {
+		return webgpu.New(webgl.DefaultConfig()), nil
+	})
+}
+
+func onBackend(t *testing.T, backend string, fn func() []float32) []float32 {
+	t.Helper()
+	e := core.Global()
+	if err := e.SetBackend(backend); err != nil {
+		t.Fatal(err)
+	}
+	defer e.SetBackend("cpu")
+	var out []float32
+	e.Tidy("webgpu-test", func() []*tensor.Tensor {
+		out = fn()
+		return nil
+	})
+	return out
+}
+
+func TestComputeMatMulParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, dims := range [][3]int{{3, 5, 4}, {16, 16, 16}, {17, 33, 19}, {50, 20, 70}, {1, 100, 1}} {
+		m, k, n := dims[0], dims[1], dims[2]
+		av := make([]float32, m*k)
+		bv := make([]float32, k*n)
+		for i := range av {
+			av[i] = float32(rng.NormFloat64())
+		}
+		for i := range bv {
+			bv[i] = float32(rng.NormFloat64())
+		}
+		run := func() []float32 {
+			return ops.MatMul(ops.FromValues(av, m, k), ops.FromValues(bv, k, n), false, false).DataSync()
+		}
+		want := onBackend(t, "cpu", run)
+		got := onBackend(t, "webgpu", run)
+		for i := range want {
+			if math.Abs(float64(got[i]-want[i])) > 1e-4*(1+math.Abs(float64(want[i]))) {
+				t.Fatalf("%dx%dx%d: element %d: webgpu %g vs cpu %g", m, k, n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestComputeMatMulBatchBroadcast(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	av := make([]float32, 4*6)
+	bv := make([]float32, 3*6*5)
+	for i := range av {
+		av[i] = float32(rng.NormFloat64())
+	}
+	for i := range bv {
+		bv[i] = float32(rng.NormFloat64())
+	}
+	run := func() []float32 {
+		a := ops.FromValues(av, 1, 4, 6)
+		b := ops.FromValues(bv, 3, 6, 5)
+		return ops.BatchMatMul(a, b, false, false).DataSync()
+	}
+	want := onBackend(t, "cpu", run)
+	got := onBackend(t, "webgpu", run)
+	for i := range want {
+		if math.Abs(float64(got[i]-want[i])) > 1e-4 {
+			t.Fatalf("element %d: %g vs %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTransposedMatMulFallsBackToFragmentPath(t *testing.T) {
+	// Transposed matmuls decline the compute pipeline and run through the
+	// inherited WebGL fragment kernels; results must still be correct.
+	rng := rand.New(rand.NewSource(11))
+	av := make([]float32, 6*4)
+	bv := make([]float32, 6*5)
+	for i := range av {
+		av[i] = float32(rng.NormFloat64())
+	}
+	for i := range bv {
+		bv[i] = float32(rng.NormFloat64())
+	}
+	run := func() []float32 {
+		return ops.MatMul(ops.FromValues(av, 6, 4), ops.FromValues(bv, 6, 5), true, false).DataSync()
+	}
+	want := onBackend(t, "cpu", run)
+	got := onBackend(t, "webgpu", run)
+	for i := range want {
+		if math.Abs(float64(got[i]-want[i])) > 1e-4 {
+			t.Fatalf("element %d: %g vs %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestWebGPUSharedMemoryReducesFetches(t *testing.T) {
+	// The point of workgroups + shared memory (§4.3): each operand value
+	// is fetched once per tile instead of once per output element. For a
+	// 128³ matmul the fragment path fetches 2·128³ values; the tiled
+	// path fetches each operand element once per opposing tile:
+	// 2·128²·(128/16).
+	e := core.Global()
+	count := func(backend string) int64 {
+		if err := e.SetBackend(backend); err != nil {
+			t.Fatal(err)
+		}
+		defer e.SetBackend("cpu")
+		var fetches int64
+		e.Tidy("fetch-count", func() []*tensor.Tensor {
+			a := ops.Fill([]int{128, 128}, 0.5)
+			a.DataSync()
+			// Texture fetch counters are not exposed; approximate with
+			// device texel invocations is not enough — so measure via
+			// modeled GPU time instead, which tracks work done.
+			ti := e.Time(func() {
+				ops.MatMul(a, a, false, false).DataSync()
+			})
+			fetches = int64(ti.KernelMS * 1e6) // ns of modeled device time
+			return nil
+		})
+		return fetches
+	}
+	fragment := count("webgl")
+	compute := count("webgpu")
+	if compute >= fragment {
+		t.Fatalf("compute matmul (modeled %dns) should beat fragment (%dns)", compute, fragment)
+	}
+}

@@ -1,0 +1,143 @@
+package tf_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/tf"
+)
+
+// randomProgram deterministically generates and executes a random op
+// sequence from the given seed, returning every live tensor's values.
+// Replaying the same seed on different backends must produce the same
+// results — a differential test across the plain, webgl and node kernels.
+func randomProgram(t *testing.T, seed int64) [][]float32 {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+
+	var results [][]float32
+	outs := tf.Tidy(func() []*tf.Tensor {
+		// Seed pool: a few small tensors with bounded values.
+		pool := []*tf.Tensor{}
+		for i := 0; i < 3; i++ {
+			rank := 1 + rng.Intn(3)
+			shape := make([]int, rank)
+			for d := range shape {
+				shape[d] = 1 + rng.Intn(4)
+			}
+			vals := make([]float32, sizeOf(shape))
+			for j := range vals {
+				vals[j] = float32(rng.NormFloat64())
+			}
+			pool = append(pool, tf.TensorOf(vals, shape...))
+		}
+
+		pick := func() *tf.Tensor { return pool[rng.Intn(len(pool))] }
+
+		for step := 0; step < 12; step++ {
+			var out *tf.Tensor
+			switch rng.Intn(8) {
+			case 0: // safe unary
+				x := pick()
+				switch rng.Intn(5) {
+				case 0:
+					out = tf.Tanh(x)
+				case 1:
+					out = tf.Relu(x)
+				case 2:
+					out = tf.Sigmoid(x)
+				case 3:
+					out = tf.Abs(x)
+				default:
+					out = tf.Neg(x)
+				}
+			case 1: // safe binary with broadcasting against a scalar
+				x := pick()
+				out = tf.Add(x, tf.Scalar(float32(rng.NormFloat64())))
+			case 2: // binary on same-shape operands (clone trick)
+				x := pick()
+				out = tf.Mul(x, tf.Tanh(x))
+			case 3: // safe division
+				x := pick()
+				out = tf.Div(x, tf.AddScalar(tf.Abs(x), 1))
+			case 4: // reduce
+				x := pick()
+				if x.Rank() == 0 {
+					out = tf.AddScalar(x, 1)
+					break
+				}
+				axis := rng.Intn(x.Rank())
+				if rng.Intn(2) == 0 {
+					out = tf.Sum(x, []int{axis}, rng.Intn(2) == 0)
+				} else {
+					out = tf.Mean(x, []int{axis}, true)
+				}
+			case 5: // transpose (reversed dims)
+				out = tf.Transpose(pick())
+			case 6: // reshape to flat and back to a factor pair
+				x := pick()
+				out = tf.Reshape(x, x.Size())
+			case 7: // concat with itself along axis 0
+				x := pick()
+				if x.Rank() == 0 {
+					out = tf.MulScalar(x, 2)
+					break
+				}
+				out = tf.Concat([]*tf.Tensor{x, x}, 0)
+			}
+			if out.Size() > 0 && out.Size() < 512 {
+				pool = append(pool, out)
+			}
+		}
+		return pool
+	})
+	for _, o := range outs {
+		results = append(results, o.DataSync())
+		o.Dispose()
+	}
+	return results
+}
+
+func sizeOf(shape []int) int {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	return n
+}
+
+// TestDifferentialFuzzAcrossBackends replays random programs on every
+// backend and requires element-wise agreement.
+func TestDifferentialFuzzAcrossBackends(t *testing.T) {
+	defer tf.SetBackend("cpu")
+	for seed := int64(0); seed < 25; seed++ {
+		if err := tf.SetBackend("cpu"); err != nil {
+			t.Fatal(err)
+		}
+		want := randomProgram(t, seed)
+		for _, backend := range []string{"node", "webgl", "webgl-unpacked", "webgl-nosqueeze"} {
+			if err := tf.SetBackend(backend); err != nil {
+				t.Fatal(err)
+			}
+			got := randomProgram(t, seed)
+			if len(got) != len(want) {
+				t.Fatalf("seed %d on %s: %d tensors vs %d", seed, backend, len(got), len(want))
+			}
+			for i := range want {
+				if len(got[i]) != len(want[i]) {
+					t.Fatalf("seed %d on %s: tensor %d length %d vs %d", seed, backend, i, len(got[i]), len(want[i]))
+				}
+				for j := range want[i] {
+					g, w := float64(got[i][j]), float64(want[i][j])
+					if math.IsNaN(g) && math.IsNaN(w) {
+						continue
+					}
+					if math.Abs(g-w) > 1e-5*(1+math.Abs(w)) {
+						t.Fatalf("seed %d on %s: tensor %d element %d: %g vs %g", seed, backend, i, j, g, w)
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,168 @@
+// Package tf is the public API of the library: a Go rendering of the
+// TensorFlow.js API surface described in the paper. It exposes eager
+// tensors, the Ops API, automatic differentiation, memory management with
+// tidy scopes, profiling and debugging utilities, multiple backends (the
+// plain CPU baseline, the simulated-WebGL backend, and the "node" native
+// backend), the Layers API, the model converter and the models repository.
+//
+// The simplest program mirrors Listing 1 of the paper:
+//
+//	model := tf.NewSequential("")
+//	model.Add(tf.NewDense(tf.DenseConfig{Units: 1, InputShape: []int{1}}))
+//	model.Compile(tf.CompileConfig{Optimizer: "sgd", Loss: "meanSquaredError"})
+//	xs := tf.Tensor2D([]float32{1, 2, 3, 4}, 4, 1)
+//	ys := tf.Tensor2D([]float32{1, 3, 5, 7}, 4, 1)
+//	model.Fit(xs, ys, tf.FitConfig{Epochs: 100})
+//	model.Predict(tf.Tensor2D([]float32{5}, 1, 1)).Format()
+package tf
+
+import (
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/jsenv"
+	"repro/internal/kernels"
+	"repro/internal/native"
+	"repro/internal/tensor"
+	"repro/internal/webgl"
+	"repro/internal/webgpu"
+)
+
+// Tensor is the core data structure: an immutable, shape-annotated handle
+// onto a backend data container (Section 3.1).
+type Tensor = tensor.Tensor
+
+// DataType enumerates element types.
+type DataType = tensor.DataType
+
+// Float32, Int32 and Bool are the supported dtypes.
+const (
+	Float32 = tensor.Float32
+	Int32   = tensor.Int32
+	Bool    = tensor.Bool
+)
+
+// Variable is a mutable tensor used for model weights.
+type Variable = core.Variable
+
+// Engine is the eager execution engine.
+type Engine = core.Engine
+
+// MemoryInfo is the allocation snapshot returned by Memory().
+type MemoryInfo = core.MemoryInfo
+
+// ProfileInfo is the result of Profile().
+type ProfileInfo = core.ProfileInfo
+
+// TimeInfo is the result of Time().
+type TimeInfo = kernels.TimeInfo
+
+// OpError is the typed panic value of operation errors.
+type OpError = core.OpError
+
+func init() {
+	e := core.Global()
+	// Backend priority mirrors the paper's automatic selection: WebGL
+	// when available, with CPU as the universal fallback; "node" is the
+	// server-side native binding (Figure 1).
+	e.RegisterBackend("webgl", func() (kernels.Backend, error) { return webgl.New(webgl.DefaultConfig()), nil })
+	e.RegisterBackend("node", func() (kernels.Backend, error) { return native.New(), nil })
+	e.RegisterBackend("cpu", func() (kernels.Backend, error) { return cpu.NewNaive(), nil })
+
+	// Ablation variants used by benchmarks and tests.
+	unpacked := webgl.DefaultConfig()
+	unpacked.Packed = false
+	e.RegisterBackend("webgl-unpacked", func() (kernels.Backend, error) { return webgl.New(unpacked), nil })
+	nosqueeze := webgl.DefaultConfig()
+	nosqueeze.SqueezeLogicalShapes = false
+	e.RegisterBackend("webgl-nosqueeze", func() (kernels.Backend, error) { return webgl.New(nosqueeze), nil })
+	norecycle := webgl.DefaultConfig()
+	norecycle.Recycling = false
+	e.RegisterBackend("webgl-norecycle", func() (kernels.Backend, error) { return webgl.New(norecycle), nil })
+	v1 := webgl.DefaultConfig()
+	v1.Device.WebGLVersion = 1
+	e.RegisterBackend("webgl1", func() (kernels.Backend, error) { return webgl.New(v1), nil })
+	// The experimental WebGPU backend (§4.3 future work): compute-shader
+	// pipelines with workgroups and shared memory on the WebGL data plane.
+	e.RegisterBackend("webgpu", func() (kernels.Backend, error) { return webgpu.New(webgl.DefaultConfig()), nil })
+}
+
+// EngineOf returns the global engine.
+func EngineOf() *Engine { return core.Global() }
+
+// SetBackend activates a registered backend by name ("webgl", "node",
+// "cpu", or one of the ablation variants).
+func SetBackend(name string) error { return core.Global().SetBackend(name) }
+
+// GetBackendName returns the active backend's name.
+func GetBackendName() string { return core.Global().BackendName() }
+
+// Backends lists the registered backend names in priority order.
+func Backends() []string { return core.Global().RegisteredBackends() }
+
+// Memory reports live tensor, buffer and byte counts (tf.memory()).
+func Memory() MemoryInfo { return core.Global().Memory() }
+
+// Tidy runs fn and disposes every tensor it creates except those it
+// returns (tf.tidy, Section 3.7).
+func Tidy(fn func() []*Tensor) []*Tensor { return core.Global().Tidy("tidy", fn) }
+
+// Tidy1 is Tidy for functions returning a single tensor.
+func Tidy1(fn func() *Tensor) *Tensor {
+	outs := core.Global().Tidy("tidy", func() []*Tensor {
+		out := fn()
+		if out == nil {
+			return nil
+		}
+		return []*Tensor{out}
+	})
+	if len(outs) == 0 {
+		return nil
+	}
+	return outs[0]
+}
+
+// Keep marks a tensor to survive the enclosing tidy scope (tf.keep).
+func Keep(t *Tensor) *Tensor { return t.Keep() }
+
+// DisposeVariables is a convenience to dispose a set of variables.
+func DisposeVariables(vars ...*Variable) {
+	for _, v := range vars {
+		v.Dispose()
+	}
+}
+
+// Time measures fn on the active backend (tf.time, Section 3.8). On the
+// webgl backend KernelMS is device program time, excluding upload and
+// download.
+func Time(fn func()) TimeInfo { return core.Global().Time(fn) }
+
+// Profile reports the memory effect and kernel log of fn (tf.profile).
+func Profile(fn func()) ProfileInfo { return core.Global().Profile(fn) }
+
+// EnableDebugMode turns on per-kernel profiling and NaN checking; the
+// first kernel producing a NaN panics with its name (Section 3.8).
+func EnableDebugMode() { core.Global().SetDebugMode(true) }
+
+// DisableDebugMode turns debug mode off.
+func DisableDebugMode() { core.Global().SetDebugMode(false) }
+
+// SetAutoFinalize enables garbage-collector-driven tensor cleanup, the
+// Node.js memory model of Section 4.2 ("eliminates the need for manual
+// memory management"). Off by default; tidy scopes remain the portable
+// mechanism.
+func SetAutoFinalize(on bool) { core.Global().SetAutoFinalize(on) }
+
+// NewVariable creates a mutable variable from an initial tensor.
+func NewVariable(initial *Tensor, trainable bool, name string) *Variable {
+	return core.Global().NewVariable(initial, name, trainable)
+}
+
+// Future is the promise-like result of Tensor.Data().
+type Future = jsenv.Future[[]float32]
+
+// EventLoop is a single-threaded task loop simulating the browser main
+// thread; used by the Figure 2/3 experiments.
+type EventLoop = jsenv.Loop
+
+// NewEventLoop starts a main-thread loop.
+func NewEventLoop() *EventLoop { return jsenv.NewLoop() }

@@ -1,0 +1,246 @@
+package tf_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/data"
+	"repro/tf"
+)
+
+// TestListing1ThroughFacade runs the paper's Listing 1 program through the
+// public API only.
+func TestListing1ThroughFacade(t *testing.T) {
+	if err := tf.SetBackend("node"); err != nil {
+		t.Fatal(err)
+	}
+	tf.SetLayerSeed(42)
+	model := tf.NewSequential("")
+	model.Add(tf.NewDense(tf.DenseConfig{Units: 1, InputShape: []int{1}}))
+	if err := model.Compile(tf.CompileConfig{
+		Loss: "meanSquaredError", Optimizer: "sgd", LearningRate: 0.08,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	xs := tf.Tensor2D([]float32{1, 2, 3, 4}, 4, 1)
+	ys := tf.Tensor2D([]float32{1, 3, 5, 7}, 4, 1)
+	defer xs.Dispose()
+	defer ys.Dispose()
+	if _, err := model.Fit(xs, ys, tf.FitConfig{Epochs: 200, BatchSize: 4}); err != nil {
+		t.Fatal(err)
+	}
+	x := tf.Tensor2D([]float32{5}, 1, 1)
+	defer x.Dispose()
+	pred := model.Predict(x)
+	defer pred.Dispose()
+	if got := pred.DataSync()[0]; math.Abs(float64(got)-9) > 0.3 {
+		t.Fatalf("predict(5) = %g, want ~9", got)
+	}
+}
+
+func TestBackendSwitchingAcrossComputation(t *testing.T) {
+	for _, backend := range []string{"cpu", "node", "webgl"} {
+		if err := tf.SetBackend(backend); err != nil {
+			t.Fatal(err)
+		}
+		if tf.GetBackendName() != backendName(backend) {
+			t.Fatalf("active backend %q after SetBackend(%q)", tf.GetBackendName(), backend)
+		}
+		out := tf.Tidy1(func() *tf.Tensor {
+			a := tf.Tensor2D([]float32{1, 2, 3, 4}, 2, 2)
+			return tf.MatMul(a, a, false, false)
+		})
+		got := out.DataSync()
+		if got[0] != 7 || got[3] != 22 {
+			t.Fatalf("matmul on %s = %v", backend, got)
+		}
+		out.Dispose()
+	}
+	tf.SetBackend("cpu")
+}
+
+// backendName maps a registered name to the backend's self-reported name.
+func backendName(registered string) string {
+	switch {
+	case strings.HasPrefix(registered, "webgl"):
+		return "webgl"
+	case registered == "node":
+		return "node"
+	default:
+		return "cpu"
+	}
+}
+
+func TestAsyncDataOnEventLoop(t *testing.T) {
+	if err := tf.SetBackend("webgl"); err != nil {
+		t.Fatal(err)
+	}
+	defer tf.SetBackend("cpu")
+	loop := tf.NewEventLoop()
+	defer loop.Stop()
+	got := make(chan []float32, 1)
+	loop.Post(func() {
+		x := tf.Fill([]int{64, 64}, 3)
+		y := tf.Mul(x, x)
+		y.Data().ThenOn(loop, func(vals []float32, err error) {
+			if err != nil {
+				t.Error(err)
+			}
+			x.Dispose()
+			y.Dispose()
+			got <- vals
+		})
+	})
+	select {
+	case vals := <-got:
+		if vals[0] != 9 {
+			t.Fatalf("async value %g", vals[0])
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("async data never resolved")
+	}
+}
+
+func TestTimeAndProfileFacade(t *testing.T) {
+	if err := tf.SetBackend("webgl"); err != nil {
+		t.Fatal(err)
+	}
+	defer tf.SetBackend("cpu")
+	ti := tf.Time(func() {
+		tf.Tidy(func() []*tf.Tensor {
+			a := tf.Fill([]int{128, 128}, 0.5)
+			tf.MatMul(a, a, false, false).DataSync()
+			return nil
+		})
+	})
+	if !ti.HasKernelMS {
+		t.Fatal("webgl Time must report device kernel time")
+	}
+	if ti.KernelMS <= 0 || ti.WallMS <= 0 {
+		t.Fatalf("time info %+v", ti)
+	}
+	// The paper: GPU time excludes upload/download, so kernel time is
+	// below wall time.
+	if ti.KernelMS >= ti.WallMS {
+		t.Fatalf("kernel %.3fms should be < wall %.3fms", ti.KernelMS, ti.WallMS)
+	}
+
+	info := tf.Profile(func() {
+		tf.Tidy(func() []*tf.Tensor {
+			a := tf.Fill([]int{16, 16}, 1)
+			tf.Relu(tf.Add(a, a)).DataSync()
+			return nil
+		})
+	})
+	if len(info.Kernels) < 3 {
+		t.Fatalf("profile kernels = %d", len(info.Kernels))
+	}
+}
+
+func TestGradFacade(t *testing.T) {
+	if err := tf.SetBackend("cpu"); err != nil {
+		t.Fatal(err)
+	}
+	x := tf.Scalar(4)
+	defer x.Dispose()
+	value, grad := tf.Grad(func() *tf.Tensor {
+		return tf.Reshape(tf.Sqrt(x))
+	}, x)
+	defer value.Dispose()
+	defer grad.Dispose()
+	if got := value.DataSync()[0]; got != 2 {
+		t.Fatalf("sqrt(4) = %g", got)
+	}
+	// d sqrt(x)/dx = 1/(2 sqrt(x)) = 0.25.
+	if got := grad.DataSync()[0]; math.Abs(float64(got)-0.25) > 1e-6 {
+		t.Fatalf("grad = %g, want 0.25", got)
+	}
+}
+
+func TestMobileNetThroughConverterPipeline(t *testing.T) {
+	// End-to-end ecosystem test: build MobileNet, export, convert with
+	// quantization, reload, compare classifications (Sections 5.1-5.2).
+	if err := tf.SetBackend("node"); err != nil {
+		t.Fatal(err)
+	}
+	defer tf.SetBackend("cpu")
+	model, err := tf.MobileNetV1(tf.MobileNetConfig{
+		Alpha: 0.25, InputSize: 64, NumClasses: 20, IncludeTop: true, Seed: 13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer model.Dispose()
+	graph, err := tf.ExportSavedModel(model, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := tf.NewMemStore()
+	res, err := tf.Convert(graph, store, tf.ConvertOptions{QuantizationBytes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PrunedNodes) == 0 {
+		t.Fatal("expected pruned training nodes")
+	}
+	gm, err := tf.LoadModel(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := data.SyntheticPhoto(64, 3)
+	x := tf.FromPixelsBatch(img)
+	defer x.Dispose()
+	want := model.Predict(x)
+	defer want.Dispose()
+	got, err := gm.Predict(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer got.Dispose()
+	wc := tf.ArgMax(want, 1)
+	gc := tf.ArgMax(got, 1)
+	defer wc.Dispose()
+	defer gc.Dispose()
+	if wc.DataSync()[0] != gc.DataSync()[0] {
+		t.Fatal("quantized round-trip changed the MobileNet prediction")
+	}
+}
+
+func TestMemoryFacade(t *testing.T) {
+	if err := tf.SetBackend("cpu"); err != nil {
+		t.Fatal(err)
+	}
+	before := tf.Memory()
+	a := tf.Ones(10, 10)
+	mid := tf.Memory()
+	if mid.NumTensors != before.NumTensors+1 {
+		t.Fatalf("NumTensors %d -> %d", before.NumTensors, mid.NumTensors)
+	}
+	if mid.NumBytes != before.NumBytes+400 {
+		t.Fatalf("NumBytes %d -> %d, want +400", before.NumBytes, mid.NumBytes)
+	}
+	a.Dispose()
+	after := tf.Memory()
+	if after.NumTensors != before.NumTensors || after.NumBytes != before.NumBytes {
+		t.Fatal("dispose did not restore memory counters")
+	}
+}
+
+func TestDebugModeFacade(t *testing.T) {
+	if err := tf.SetBackend("cpu"); err != nil {
+		t.Fatal(err)
+	}
+	tf.EnableDebugMode()
+	defer tf.DisableDebugMode()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("debug mode should panic on NaN")
+		}
+	}()
+	tf.Tidy(func() []*tf.Tensor {
+		tf.Log(tf.Scalar(-1)) // NaN
+		return nil
+	})
+}
