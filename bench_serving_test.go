@@ -1,0 +1,118 @@
+package repro
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/converter"
+	"repro/internal/serving"
+	"repro/tf"
+)
+
+// servingStore caches one converted MobileNet artifact set across the
+// serving benchmarks (conversion itself is benchmarked elsewhere).
+var (
+	servingStoreOnce sync.Once
+	servingStoreMem  *converter.MemStore
+	servingStoreErr  error
+)
+
+func servingStore() (*converter.MemStore, error) {
+	servingStoreOnce.Do(func() {
+		model, err := tf.MobileNetV1(tf.MobileNetConfig{
+			Alpha: 0.25, InputSize: 96, NumClasses: 1000, IncludeTop: true, Seed: 1,
+		})
+		if err != nil {
+			servingStoreErr = err
+			return
+		}
+		defer model.Dispose()
+		g, err := tf.ExportSavedModel(model, false)
+		if err != nil {
+			servingStoreErr = err
+			return
+		}
+		servingStoreMem = tf.NewMemStore()
+		_, servingStoreErr = tf.Convert(g, servingStoreMem, tf.ConvertOptions{})
+	})
+	return servingStoreMem, servingStoreErr
+}
+
+// benchServing measures end-to-end serving throughput on the native
+// backend: 32 concurrent clients issue single-example predictions through
+// the registry/scheduler path, and the benchmark reports QPS plus the
+// p50/p95/p99 request latencies the metrics collector observed.
+func benchServing(b *testing.B, maxBatch int) {
+	store, err := servingStore()
+	if err != nil {
+		b.Fatal(err)
+	}
+	reg := serving.NewRegistry()
+	defer reg.Close()
+	m, err := reg.Load("mobilenet", store, serving.ModelOptions{
+		Backend: "node",
+		Batching: serving.Config{
+			MaxBatchSize: maxBatch,
+			BatchTimeout: 2 * time.Millisecond,
+			QueueSize:    4096,
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := m.WaitReady(ctx); err != nil {
+		b.Fatal(err)
+	}
+	inst := serving.Instance{Values: make([]float32, 96*96*3), Shape: []int{96, 96, 3}}
+	for i := range inst.Values {
+		inst.Values[i] = float32(i%251) / 251
+	}
+	if _, err := m.Predict(ctx, inst); err != nil {
+		b.Fatal(err)
+	}
+
+	// 32 concurrent clients regardless of GOMAXPROCS, so the batcher has
+	// queued requests to coalesce.
+	clients := 32
+	if gp := clients / maxGoMaxProcs(); gp > 0 {
+		b.SetParallelism(gp)
+	}
+	b.ResetTimer()
+	start := time.Now()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := m.Predict(ctx, inst); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	elapsed := time.Since(start)
+	b.StopTimer()
+
+	b.ReportMetric(float64(b.N)/elapsed.Seconds(), "qps")
+	p50, p95, p99 := m.Metrics().Percentiles()
+	b.ReportMetric(p50, "p50-ms")
+	b.ReportMetric(p95, "p95-ms")
+	b.ReportMetric(p99, "p99-ms")
+	b.ReportMetric(float64(m.Metrics().MaxBatchObserved()), "max-batch")
+}
+
+func maxGoMaxProcs() int {
+	if n := runtime.GOMAXPROCS(0); n > 0 {
+		return n
+	}
+	return 1
+}
+
+// BenchmarkServing_Batched serves with the dynamic micro-batcher
+// coalescing up to 16 concurrent examples into one batched execution.
+func BenchmarkServing_Batched(b *testing.B) { benchServing(b, 16) }
+
+// BenchmarkServing_Unbatched is the control: same scheduler, same
+// concurrency, one example per execution (MaxBatchSize 1).
+func BenchmarkServing_Unbatched(b *testing.B) { benchServing(b, 1) }

@@ -7,6 +7,7 @@
 //	tfjs-bench squeeze   — §4.1: logical-shape squeezing ablation
 //	tfjs-bench recycling — §4.1.2: texture recycler ablation
 //	tfjs-bench census    — §4.1.3: device support shares (WebGLStats analogue)
+//	tfjs-bench serve     — serving: micro-batched vs unbatched QPS and latency
 //	tfjs-bench all       — everything above
 //
 // Flags -alpha, -size and -runs scale the MobileNet workload; the defaults
@@ -54,6 +55,8 @@ func main() {
 		cacheExperiment()
 	case "webgpu":
 		webgpuExperiment()
+	case "serve":
+		serveExperiment(*alpha, *size, 10**runs)
 	case "all":
 		table1(*alpha, *size, *runs)
 		fig23()

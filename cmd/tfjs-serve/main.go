@@ -1,0 +1,134 @@
+// Command tfjs-serve serves converted models over a KServe-V1-style HTTP
+// API with dynamic micro-batching — the server-side deployment story the
+// paper sketches for the "node" backend (§4.2, §7).
+//
+//	tfjs-serve -model mnist=./artifacts/mnist -model mobilenet=./m:webgl
+//	tfjs-serve -demo
+//
+// Each -model flag names a model and points it at a converted artifact
+// directory (the output of tfjs-convert), optionally suffixed with
+// ":backend" (cpu, webgl, node; default node). -demo synthesizes a
+// MobileNet v1 α=0.25 model in memory and serves it as "mobilenet" so the
+// API can be exercised without artifacts on disk:
+//
+//	curl localhost:8500/v1/models
+//	curl localhost:8500/v1/models/mobilenet
+//	curl -d '{"instances": [[...]]}' localhost:8500/v1/models/mobilenet:predict
+//	curl localhost:8500/metrics
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/converter"
+	"repro/internal/serving"
+	"repro/tf"
+)
+
+// modelFlags accumulates repeated -model name=dir[:backend] flags.
+type modelFlags []modelSpec
+
+type modelSpec struct {
+	name    string
+	dir     string
+	backend string
+}
+
+func (f *modelFlags) String() string { return fmt.Sprint(*f) }
+
+func (f *modelFlags) Set(v string) error {
+	name, rest, ok := strings.Cut(v, "=")
+	if !ok || name == "" || rest == "" {
+		return fmt.Errorf("want name=dir[:backend], got %q", v)
+	}
+	spec := modelSpec{name: name, dir: rest}
+	if dir, backend, ok := strings.Cut(rest, ":"); ok {
+		spec.dir, spec.backend = dir, backend
+	}
+	*f = append(*f, spec)
+	return nil
+}
+
+func main() {
+	var models modelFlags
+	flag.Var(&models, "model", "serve a model: name=dir[:backend] (repeatable)")
+	addr := flag.String("addr", ":8500", "listen address")
+	maxBatch := flag.Int("max-batch", 16, "micro-batcher: max examples per batch")
+	batchTimeout := flag.Duration("batch-timeout", 2*time.Millisecond, "micro-batcher: max wait after first request")
+	queueSize := flag.Int("queue-size", 128, "scheduler: bounded queue size (overflow → 429)")
+	workers := flag.Int("workers", 1, "scheduler: workers per model")
+	reqTimeout := flag.Duration("request-timeout", 30*time.Second, "server-side request deadline")
+	demo := flag.Bool("demo", false, "serve a synthetic in-memory MobileNet v1 α=0.25 as \"mobilenet\"")
+	flag.Parse()
+
+	if len(models) == 0 && !*demo {
+		fmt.Fprintln(os.Stderr, "nothing to serve: pass -model name=dir[:backend] or -demo")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	cfg := serving.Config{
+		MaxBatchSize:   *maxBatch,
+		BatchTimeout:   *batchTimeout,
+		QueueSize:      *queueSize,
+		Workers:        *workers,
+		RequestTimeout: *reqTimeout,
+	}
+	reg := serving.NewRegistry()
+	defer reg.Close()
+
+	if *demo {
+		store, err := demoStore()
+		if err != nil {
+			log.Fatalf("building demo model: %v", err)
+		}
+		if _, err := reg.Load("mobilenet", store, serving.ModelOptions{Batching: cfg}); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("loading model %q (demo MobileNet v1 α=0.25, input 96x96x3) on backend node", "mobilenet")
+	}
+	for _, spec := range models {
+		if _, err := reg.Load(spec.name, converter.FSStore{Dir: spec.dir}, serving.ModelOptions{
+			Backend:  spec.backend,
+			Batching: cfg,
+		}); err != nil {
+			log.Fatal(err)
+		}
+		backend := spec.backend
+		if backend == "" {
+			backend = "node"
+		}
+		log.Printf("loading model %q from %s on backend %s", spec.name, spec.dir, backend)
+	}
+
+	log.Printf("serving on %s (batch ≤%d, timeout %v, queue %d, %d worker(s))",
+		*addr, cfg.MaxBatchSize, cfg.BatchTimeout, cfg.QueueSize, cfg.Workers)
+	log.Fatal(http.ListenAndServe(*addr, serving.NewServer(reg)))
+}
+
+// demoStore converts a synthetic MobileNet into an in-memory artifact
+// store, exercising the full tfjs-convert pipeline.
+func demoStore() (converter.Store, error) {
+	model, err := tf.MobileNetV1(tf.MobileNetConfig{
+		Alpha: 0.25, InputSize: 96, NumClasses: 10, IncludeTop: true, Seed: 42,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer model.Dispose()
+	g, err := tf.ExportSavedModel(model, false)
+	if err != nil {
+		return nil, err
+	}
+	store := converter.NewMemStore()
+	if _, err := converter.Convert(g, store, converter.Options{}); err != nil {
+		return nil, err
+	}
+	return store, nil
+}

@@ -27,15 +27,31 @@ type Store interface {
 	List() ([]string, error)
 }
 
-// FSStore stores artifacts under a directory.
+// FSStore stores artifacts under a directory. Paths are confined to the
+// base directory: the serving registry exposes store paths to remote
+// callers, so absolute paths and ../ traversal are rejected.
 type FSStore struct {
 	// Dir is the base directory.
 	Dir string
 }
 
+// resolve confines a relative artifact path to the store root.
+func (s FSStore) resolve(path string) (string, error) {
+	if path == "" {
+		return "", fmt.Errorf("converter: empty artifact path")
+	}
+	if filepath.IsAbs(path) || !filepath.IsLocal(filepath.FromSlash(path)) {
+		return "", fmt.Errorf("converter: artifact path %q escapes store root", path)
+	}
+	return filepath.Join(s.Dir, filepath.FromSlash(path)), nil
+}
+
 // Write implements Store.
 func (s FSStore) Write(path string, data []byte) error {
-	full := filepath.Join(s.Dir, path)
+	full, err := s.resolve(path)
+	if err != nil {
+		return err
+	}
 	if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
 		return fmt.Errorf("converter: %w", err)
 	}
@@ -44,7 +60,11 @@ func (s FSStore) Write(path string, data []byte) error {
 
 // Read implements Store.
 func (s FSStore) Read(path string) ([]byte, error) {
-	return os.ReadFile(filepath.Join(s.Dir, path))
+	full, err := s.resolve(path)
+	if err != nil {
+		return nil, err
+	}
+	return os.ReadFile(full)
 }
 
 // List implements Store.

@@ -1,0 +1,47 @@
+package converter
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestFSStoreRejectsTraversal(t *testing.T) {
+	dir := t.TempDir()
+	s := FSStore{Dir: filepath.Join(dir, "store")}
+
+	if err := s.Write("model.json", []byte("{}")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Read("model.json"); err != nil {
+		t.Fatal(err)
+	}
+	// Nested relative paths stay allowed.
+	if err := s.Write("sub/shard.bin", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+
+	secret := filepath.Join(dir, "secret.txt")
+	if err := os.WriteFile(secret, []byte("keep out"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	bad := []string{
+		"",
+		"../secret.txt",
+		"sub/../../secret.txt",
+		"..",
+		secret, // absolute
+	}
+	for _, p := range bad {
+		if _, err := s.Read(p); err == nil {
+			t.Errorf("Read(%q): want error, got nil", p)
+		}
+		if err := s.Write(p, []byte("pwn")); err == nil {
+			t.Errorf("Write(%q): want error, got nil", p)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, "pwn")); err == nil {
+		t.Fatal("traversal write escaped the store root")
+	}
+}

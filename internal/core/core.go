@@ -83,6 +83,12 @@ type Engine struct {
 	kernelListeners []func(KernelRecord)
 
 	autoFinalize bool
+
+	// execMu serializes whole-model execution sections (RunExclusive).
+	// The tidy scope stack above is process-global, not per-goroutine:
+	// two goroutines interleaving StartScope/EndScope would adopt each
+	// other's intermediates and dispose tensors out from under the other.
+	execMu sync.Mutex
 }
 
 // scope is one tidy frame (Section 3.7).
@@ -605,6 +611,21 @@ func (e *Engine) Tidy(name string, fn func() []*tensor.Tensor) []*tensor.Tensor 
 	defer func() { e.EndScope(out) }()
 	out = fn()
 	return out
+}
+
+// RunExclusive runs fn while holding the engine's execution lock, which
+// serializes whole-model execution sections across goroutines. The tidy
+// scope stack is process-global, so a tensor created by goroutine A while
+// goroutine B is inside a tidy scope would be tracked — and disposed — by
+// B's scope. Any code that creates or reads tensors concurrently with
+// model execution (the serving worker pool, concurrent graphmodel.Execute)
+// must run its tensor-touching sections under this lock. The lock is not
+// reentrant: fn must not call RunExclusive or an API that does (such as
+// graphmodel.Execute).
+func (e *Engine) RunExclusive(fn func()) {
+	e.execMu.Lock()
+	defer e.execMu.Unlock()
+	fn()
 }
 
 // ---------------------------------------------------------------------------

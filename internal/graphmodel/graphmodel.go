@@ -49,17 +49,32 @@ func New(g *savedmodel.GraphDef) (*Model, error) {
 	m.order = order
 	m.weights = map[string]*tensor.Tensor{}
 	e := core.Global()
-	for name, w := range g.Weights {
-		t := e.MakeTensor(w.Values, w.Shape, tensor.Float32)
-		// Weights outlive every tidy scope.
-		m.weights[name] = e.NewVariable(t, "graph/"+name, false).Value()
-		t.Dispose()
-	}
+	// Upload under the execution lock: loading may race with another
+	// model's Execute (the serving registry loads while serving), and the
+	// intermediate upload tensor must not be adopted by a foreign scope.
+	e.RunExclusive(func() {
+		for name, w := range g.Weights {
+			t := e.MakeTensor(w.Values, w.Shape, tensor.Float32)
+			// Weights outlive every tidy scope.
+			m.weights[name] = e.NewVariable(t, "graph/"+name, false).Value()
+			t.Dispose()
+		}
+	})
 	return m, nil
 }
 
 // Graph exposes the underlying graph definition.
 func (m *Model) Graph() *savedmodel.GraphDef { return m.graph }
+
+// Dispose releases the model's uploaded weights. The model must not be
+// executed afterwards. Callers racing with concurrent Execute must hold
+// the engine's execution lock.
+func (m *Model) Dispose() {
+	for _, w := range m.weights {
+		w.Dispose()
+	}
+	m.weights = map[string]*tensor.Tensor{}
+}
 
 func topoSort(g *savedmodel.GraphDef) ([]string, error) {
 	state := map[string]int{} // 0 unvisited, 1 visiting, 2 done
@@ -95,6 +110,10 @@ func topoSort(g *savedmodel.GraphDef) ([]string, error) {
 // Predict executes the graph on a single input tensor (models with one
 // serving input). Intermediates are tidied; the caller owns the result.
 func (m *Model) Predict(x *tensor.Tensor) (*tensor.Tensor, error) {
+	if len(m.graph.Inputs) == 0 || len(m.graph.Outputs) == 0 {
+		return nil, fmt.Errorf("graphmodel: model declares no serving signature (%d inputs, %d outputs); Predict needs at least one of each",
+			len(m.graph.Inputs), len(m.graph.Outputs))
+	}
 	outs, err := m.Execute(map[string]*tensor.Tensor{m.graph.Inputs[0]: x})
 	if err != nil {
 		return nil, err
@@ -104,6 +123,12 @@ func (m *Model) Predict(x *tensor.Tensor) (*tensor.Tensor, error) {
 
 // Execute runs the graph with the given input feeds and returns the output
 // tensors by name.
+//
+// Execute is safe for concurrent use from multiple goroutines sharing one
+// Model: executions serialize on the engine's execution lock (the tidy
+// scope stack is process-global). Feed tensors must be created under
+// core.Engine.RunExclusive when other goroutines may be executing
+// concurrently, and output readback likewise.
 func (m *Model) Execute(feeds map[string]*tensor.Tensor) (map[string]*tensor.Tensor, error) {
 	for _, in := range m.graph.Inputs {
 		if _, ok := feeds[in]; !ok {
@@ -111,6 +136,16 @@ func (m *Model) Execute(feeds map[string]*tensor.Tensor) (map[string]*tensor.Ten
 		}
 	}
 	e := core.Global()
+	var results map[string]*tensor.Tensor
+	var err error
+	e.RunExclusive(func() {
+		results, err = m.executeLocked(e, feeds)
+	})
+	return results, err
+}
+
+// executeLocked is the Execute body; the caller holds the execution lock.
+func (m *Model) executeLocked(e *core.Engine, feeds map[string]*tensor.Tensor) (map[string]*tensor.Tensor, error) {
 	results := map[string]*tensor.Tensor{}
 	var execErr error
 	outs := e.Tidy("graph-execute", func() []*tensor.Tensor {

@@ -1,0 +1,166 @@
+package serving
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// request is one queued single-example prediction.
+type request struct {
+	ctx  context.Context
+	inst Instance
+	resp chan response // buffered(1): workers never block on delivery
+}
+
+// response carries the per-example result back to the submitter.
+type response struct {
+	inst Instance
+	err  error
+}
+
+// scheduler owns one model's bounded request queue, worker pool and
+// dynamic micro-batcher. Submissions beyond QueueSize fail fast with
+// ErrQueueFull (backpressure, 429); each worker coalesces up to
+// MaxBatchSize queued requests, waiting at most BatchTimeout after the
+// first arrival, and executes them as one batch.
+type scheduler struct {
+	cfg     Config
+	run     runner
+	metrics *Metrics
+
+	queue chan *request
+	stop  chan struct{}
+	wg    sync.WaitGroup
+
+	closeOnce sync.Once
+}
+
+// newScheduler starts the worker pool.
+func newScheduler(cfg Config, run runner, metrics *Metrics) *scheduler {
+	s := &scheduler{
+		cfg:     cfg,
+		run:     run,
+		metrics: metrics,
+		queue:   make(chan *request, cfg.QueueSize),
+		stop:    make(chan struct{}),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Close stops the workers and waits for in-flight batches to finish.
+func (s *scheduler) Close() {
+	s.closeOnce.Do(func() { close(s.stop) })
+	s.wg.Wait()
+}
+
+// QueueDepth samples the number of pending requests.
+func (s *scheduler) QueueDepth() int { return len(s.queue) }
+
+// Submit enqueues one example and blocks until its result, the context's
+// deadline, or shutdown. The request's deadline is capped server-side at
+// RequestTimeout.
+func (s *scheduler) Submit(ctx context.Context, inst Instance) (Instance, error) {
+	if _, ok := ctx.Deadline(); !ok {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
+		defer cancel()
+	}
+	req := &request{ctx: ctx, inst: inst, resp: make(chan response, 1)}
+	select {
+	case s.queue <- req:
+	default:
+		return Instance{}, ErrQueueFull
+	}
+	select {
+	case r := <-req.resp:
+		return r.inst, r.err
+	case <-ctx.Done():
+		return Instance{}, ctx.Err()
+	case <-s.stop:
+		return Instance{}, ErrShuttingDown
+	}
+}
+
+// worker drains the queue: block for the first request, coalesce a batch,
+// execute, deliver.
+func (s *scheduler) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case first := <-s.queue:
+			s.execute(s.gather(first))
+		}
+	}
+}
+
+// gather coalesces queued requests behind first into a batch: up to
+// MaxBatchSize, waiting at most BatchTimeout past the first arrival.
+func (s *scheduler) gather(first *request) []*request {
+	batch := []*request{first}
+	if s.cfg.MaxBatchSize <= 1 {
+		return batch
+	}
+	timer := time.NewTimer(s.cfg.BatchTimeout)
+	defer timer.Stop()
+	for len(batch) < s.cfg.MaxBatchSize {
+		select {
+		case r := <-s.queue:
+			batch = append(batch, r)
+		case <-timer.C:
+			return batch
+		case <-s.stop:
+			return batch
+		}
+	}
+	return batch
+}
+
+// execute drops expired requests, groups the rest by instance shape
+// (only same-shaped examples can share a Concat), and runs each group as
+// one batched execution.
+func (s *scheduler) execute(batch []*request) {
+	var live []*request
+	for _, r := range batch {
+		if err := r.ctx.Err(); err != nil {
+			r.resp <- response{err: err}
+			continue
+		}
+		live = append(live, r)
+	}
+	groups := map[string][]*request{}
+	var order []string
+	for _, r := range live {
+		key := r.inst.shapeKey()
+		if _, ok := groups[key]; !ok {
+			order = append(order, key)
+		}
+		groups[key] = append(groups[key], r)
+	}
+	for _, key := range order {
+		group := groups[key]
+		insts := make([]Instance, len(group))
+		for i, r := range group {
+			insts[i] = r.inst
+		}
+		s.metrics.ObserveBatch(len(group))
+		outs, err := s.run.run(insts)
+		if err == nil && len(outs) != len(group) {
+			err = fmt.Errorf("serving: runner returned %d results for a batch of %d", len(outs), len(group))
+		}
+		for i, r := range group {
+			if err != nil {
+				r.resp <- response{err: err}
+				continue
+			}
+			r.resp <- response{inst: outs[i]}
+		}
+	}
+}

@@ -1,0 +1,181 @@
+package serving
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// maxBodyBytes bounds a predict request body (64 MiB of JSON).
+const maxBodyBytes = 64 << 20
+
+// Server exposes a Registry over the KServe-V1-style HTTP surface:
+//
+//	GET  /v1/models                     → {"models": [...]}
+//	GET  /v1/models/{name}              → readiness + state
+//	POST /v1/models/{name}:predict      → {"instances": [...]} → {"predictions": [...]}
+//	GET  /healthz                       → liveness
+//	GET  /metrics                       → Prometheus-style text
+type Server struct {
+	reg *Registry
+	mux *http.ServeMux
+}
+
+// NewServer wraps a registry in the HTTP API.
+func NewServer(reg *Registry) *Server {
+	s := &Server{reg: reg, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/healthz", s.handleHealth)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/v1/models", s.handleList)
+	s.mux.HandleFunc("/v1/models/", s.handleModel)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, renderMetrics(s.reg.Snapshots()))
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"models": s.reg.Names()})
+}
+
+// handleModel routes /v1/models/{name} (status) and
+// /v1/models/{name}:predict (inference). The verb rides the last path
+// segment after a colon, as in KServe/TF-Serving V1.
+func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/v1/models/")
+	name, verb := rest, ""
+	if i := strings.LastIndex(rest, ":"); i >= 0 {
+		name, verb = rest[:i], rest[i+1:]
+	}
+	if name == "" || strings.Contains(name, "/") {
+		http.Error(w, "bad model path", http.StatusNotFound)
+		return
+	}
+	m, ok := s.reg.Get(name)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, map[string]any{"error": fmt.Sprintf("model %q not found", name)})
+		return
+	}
+	switch {
+	case verb == "" && r.Method == http.MethodGet:
+		st := m.Status()
+		code := http.StatusOK
+		if !st.Ready {
+			code = http.StatusServiceUnavailable
+		}
+		writeJSON(w, code, st)
+	case verb == "predict" && r.Method == http.MethodPost:
+		s.handlePredict(w, r, m)
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+// predictRequest is the KServe V1 request body.
+type predictRequest struct {
+	Instances []json.RawMessage `json:"instances"`
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request, m *Model) {
+	var req predictRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]any{"error": "malformed request body: " + err.Error()})
+		return
+	}
+	if len(req.Instances) == 0 {
+		writeJSON(w, http.StatusBadRequest, map[string]any{"error": "no instances in request"})
+		return
+	}
+	insts := make([]Instance, len(req.Instances))
+	for i, raw := range req.Instances {
+		var v any
+		if err := json.Unmarshal(raw, &v); err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]any{"error": err.Error()})
+			return
+		}
+		inst, err := ParseInstance(v)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]any{"error": err.Error()})
+			return
+		}
+		insts[i] = inst
+	}
+
+	// Each instance is its own schedulable unit so the micro-batcher can
+	// coalesce across requests; a multi-instance request fans out here
+	// and joins below.
+	outs := make([]Instance, len(insts))
+	errs := make([]error, len(insts))
+	if len(insts) == 1 {
+		outs[0], errs[0] = m.Predict(r.Context(), insts[0])
+	} else {
+		var wg sync.WaitGroup
+		for i := range insts {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				outs[i], errs[i] = m.Predict(r.Context(), insts[i])
+			}(i)
+		}
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			writeJSON(w, statusFor(err), map[string]any{"error": err.Error()})
+			return
+		}
+	}
+	preds := make([]any, len(outs))
+	for i, out := range outs {
+		preds[i] = out.Render()
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"predictions": preds})
+}
+
+// statusFor maps serving errors onto HTTP status codes: queue-full is
+// backpressure (429), not-ready is 503, deadline is 504, and op errors
+// (bad instance shapes) are the client's fault (400).
+func statusFor(err error) int {
+	var opErr *core.OpError
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrNotReady), errors.Is(err, ErrShuttingDown):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.As(err, &opErr):
+		return http.StatusBadRequest
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}

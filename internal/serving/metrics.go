@@ -1,0 +1,169 @@
+package serving
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// latencySamples bounds the sliding window used for percentile estimates.
+const latencySamples = 4096
+
+// Metrics collects one model's serving statistics: request counts by
+// outcome, a sliding-window latency distribution, and the batch-size
+// histogram that demonstrates (or falsifies) micro-batching.
+type Metrics struct {
+	mu sync.Mutex
+
+	requests map[string]int64 // outcome → count ("ok", "queue_full", ...)
+
+	// latencyMS is a ring of recent end-to-end request latencies.
+	latencyMS []float64
+	latencyAt int
+
+	// batchSizes histograms executed batch sizes (size → executions).
+	batchSizes map[int]int64
+}
+
+// NewMetrics returns an empty metrics collector.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		requests:   map[string]int64{},
+		batchSizes: map[int]int64{},
+	}
+}
+
+// ObserveRequest records one finished request: its outcome label and, for
+// successful requests, the end-to-end latency in milliseconds.
+func (m *Metrics) ObserveRequest(outcome string, latencyMS float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.requests[outcome]++
+	if outcome != "ok" {
+		return
+	}
+	if len(m.latencyMS) < latencySamples {
+		m.latencyMS = append(m.latencyMS, latencyMS)
+	} else {
+		m.latencyMS[m.latencyAt] = latencyMS
+		m.latencyAt = (m.latencyAt + 1) % latencySamples
+	}
+}
+
+// ObserveBatch records one executed batch of the given size.
+func (m *Metrics) ObserveBatch(size int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.batchSizes[size]++
+}
+
+// Requests returns the count for one outcome label.
+func (m *Metrics) Requests(outcome string) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.requests[outcome]
+}
+
+// MaxBatchObserved returns the largest executed batch size.
+func (m *Metrics) MaxBatchObserved() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	max := 0
+	for size := range m.batchSizes {
+		if size > max {
+			max = size
+		}
+	}
+	return max
+}
+
+// Percentiles returns the p50/p95/p99 of the recent latency window, in
+// milliseconds. Zeroes when no requests completed yet.
+func (m *Metrics) Percentiles() (p50, p95, p99 float64) {
+	m.mu.Lock()
+	samples := make([]float64, len(m.latencyMS))
+	copy(samples, m.latencyMS)
+	m.mu.Unlock()
+	if len(samples) == 0 {
+		return 0, 0, 0
+	}
+	sort.Float64s(samples)
+	at := func(p float64) float64 {
+		i := int(p * float64(len(samples)-1))
+		return samples[i]
+	}
+	return at(0.50), at(0.95), at(0.99)
+}
+
+// Snapshot is one model's metrics in exportable form.
+type Snapshot struct {
+	Requests   map[string]int64 `json:"requests"`
+	LatencyP50 float64          `json:"latency_ms_p50"`
+	LatencyP95 float64          `json:"latency_ms_p95"`
+	LatencyP99 float64          `json:"latency_ms_p99"`
+	BatchSizes map[int]int64    `json:"batch_sizes"`
+	QueueDepth int              `json:"queue_depth"`
+}
+
+// snapshot captures the current state; queueDepth is sampled by the caller.
+func (m *Metrics) snapshot(queueDepth int) Snapshot {
+	p50, p95, p99 := m.Percentiles()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := Snapshot{
+		Requests:   make(map[string]int64, len(m.requests)),
+		LatencyP50: p50, LatencyP95: p95, LatencyP99: p99,
+		BatchSizes: make(map[int]int64, len(m.batchSizes)),
+		QueueDepth: queueDepth,
+	}
+	for k, v := range m.requests {
+		s.Requests[k] = v
+	}
+	for k, v := range m.batchSizes {
+		s.BatchSizes[k] = v
+	}
+	return s
+}
+
+// renderMetrics emits the Prometheus-style text exposition for every
+// model plus the engine's tensor/byte counters.
+func renderMetrics(models map[string]Snapshot) string {
+	var b strings.Builder
+	names := make([]string, 0, len(models))
+	for name := range models {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		s := models[name]
+		outcomes := make([]string, 0, len(s.Requests))
+		for o := range s.Requests {
+			outcomes = append(outcomes, o)
+		}
+		sort.Strings(outcomes)
+		for _, o := range outcomes {
+			fmt.Fprintf(&b, "serving_requests_total{model=%q,outcome=%q} %d\n", name, o, s.Requests[o])
+		}
+		fmt.Fprintf(&b, "serving_request_latency_ms{model=%q,quantile=\"0.5\"} %.3f\n", name, s.LatencyP50)
+		fmt.Fprintf(&b, "serving_request_latency_ms{model=%q,quantile=\"0.95\"} %.3f\n", name, s.LatencyP95)
+		fmt.Fprintf(&b, "serving_request_latency_ms{model=%q,quantile=\"0.99\"} %.3f\n", name, s.LatencyP99)
+		sizes := make([]int, 0, len(s.BatchSizes))
+		for size := range s.BatchSizes {
+			sizes = append(sizes, size)
+		}
+		sort.Ints(sizes)
+		for _, size := range sizes {
+			fmt.Fprintf(&b, "serving_batch_size_total{model=%q,size=\"%d\"} %d\n", name, size, s.BatchSizes[size])
+		}
+		fmt.Fprintf(&b, "serving_queue_depth{model=%q} %d\n", name, s.QueueDepth)
+	}
+	mem := core.Global().Memory()
+	fmt.Fprintf(&b, "engine_num_tensors %d\n", mem.NumTensors)
+	fmt.Fprintf(&b, "engine_num_data_buffers %d\n", mem.NumDataBuffers)
+	fmt.Fprintf(&b, "engine_num_bytes %d\n", mem.NumBytes)
+	fmt.Fprintf(&b, "engine_peak_bytes %d\n", mem.PeakBytes)
+	return b.String()
+}

@@ -1,0 +1,358 @@
+package serving
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/converter"
+	"repro/internal/core"
+	"repro/internal/graphmodel"
+)
+
+// State is a model's lifecycle phase.
+type State int
+
+// Lifecycle states: Load is asynchronous, so a model is visible (and
+// reports 503) while loading; Unload stops the scheduler and frees
+// weights.
+const (
+	StateLoading State = iota
+	StateReady
+	StateFailed
+	StateUnloaded
+)
+
+// String renders the state for status endpoints.
+func (s State) String() string {
+	switch s {
+	case StateLoading:
+		return "loading"
+	case StateReady:
+		return "ready"
+	case StateFailed:
+		return "failed"
+	case StateUnloaded:
+		return "unloaded"
+	}
+	return "unknown"
+}
+
+// ModelOptions configures one registry entry.
+type ModelOptions struct {
+	// Backend names the engine backend this model executes on ("cpu",
+	// "webgl", "node", ...). Empty means "node", the native server-side
+	// backend (§4.2).
+	Backend string
+	// Batching tunes the scheduler and micro-batcher.
+	Batching Config
+}
+
+// Model is one served model: scheduler, metrics and lifecycle state.
+type Model struct {
+	name    string
+	backend string
+	cfg     Config
+	metrics *Metrics
+
+	mu      sync.Mutex
+	state   State
+	loadErr error
+	format  string
+	sched   *scheduler
+	disp    func()
+
+	ready chan struct{} // closed when loading finishes either way
+}
+
+// Name returns the registry name.
+func (m *Model) Name() string { return m.name }
+
+// Backend returns the backend this model executes on.
+func (m *Model) Backend() string { return m.backend }
+
+// Metrics returns the model's metrics collector.
+func (m *Model) Metrics() *Metrics { return m.metrics }
+
+// State returns the current lifecycle state.
+func (m *Model) State() State {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.state
+}
+
+// Ready reports whether the model accepts predictions.
+func (m *Model) Ready() bool { return m.State() == StateReady }
+
+// WaitReady blocks until loading finishes or ctx expires, then reports
+// the load error if any.
+func (m *Model) WaitReady(ctx context.Context) error {
+	select {
+	case <-m.ready:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.state != StateReady {
+		if m.loadErr != nil {
+			return m.loadErr
+		}
+		return ErrNotReady
+	}
+	return nil
+}
+
+// QueueDepth samples the pending-request queue.
+func (m *Model) QueueDepth() int {
+	m.mu.Lock()
+	sched := m.sched
+	m.mu.Unlock()
+	if sched == nil {
+		return 0
+	}
+	return sched.QueueDepth()
+}
+
+// Status is the JSON shape of GET /v1/models/{name} (KServe V1 readiness
+// plus diagnostics).
+type Status struct {
+	Name    string `json:"name"`
+	Ready   bool   `json:"ready"`
+	State   string `json:"state"`
+	Backend string `json:"backend"`
+	Format  string `json:"format,omitempty"`
+	Error   string `json:"error,omitempty"`
+}
+
+// Status snapshots the model's lifecycle for the status endpoint.
+func (m *Model) Status() Status {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := Status{
+		Name:    m.name,
+		Ready:   m.state == StateReady,
+		State:   m.state.String(),
+		Backend: m.backend,
+		Format:  m.format,
+	}
+	if m.loadErr != nil {
+		s.Error = m.loadErr.Error()
+	}
+	return s
+}
+
+// Predict runs one example through the scheduler and records metrics.
+func (m *Model) Predict(ctx context.Context, inst Instance) (Instance, error) {
+	start := time.Now()
+	m.mu.Lock()
+	state := m.state
+	sched := m.sched
+	m.mu.Unlock()
+	if state != StateReady || sched == nil {
+		m.metrics.ObserveRequest("not_ready", 0)
+		return Instance{}, ErrNotReady
+	}
+	out, err := sched.Submit(ctx, inst)
+	m.metrics.ObserveRequest(outcomeLabel(err), float64(time.Since(start))/float64(time.Millisecond))
+	return out, err
+}
+
+// outcomeLabel maps a Submit error to its metrics label.
+func outcomeLabel(err error) string {
+	switch {
+	case err == nil:
+		return "ok"
+	case err == ErrQueueFull:
+		return "queue_full"
+	case err == context.DeadlineExceeded || err == context.Canceled:
+		return "timeout"
+	case err == ErrShuttingDown:
+		return "shutdown"
+	default:
+		return "error"
+	}
+}
+
+// load resolves the artifact format, builds the runner and flips state.
+func (m *Model) load(store converter.Store) {
+	run, format, dispose, err := loadRunner(store, m.backend)
+	m.mu.Lock()
+	if m.state == StateUnloaded {
+		// Unloaded while loading: discard.
+		m.mu.Unlock()
+		if dispose != nil {
+			dispose()
+		}
+		close(m.ready)
+		return
+	}
+	if err != nil {
+		m.state = StateFailed
+		m.loadErr = err
+	} else {
+		m.format = format
+		m.sched = newScheduler(m.cfg, run, m.metrics)
+		m.disp = dispose
+		m.state = StateReady
+	}
+	m.mu.Unlock()
+	close(m.ready)
+}
+
+// loadRunner reads model.json to pick the loader: graph models execute
+// through graphmodel, layers models through the restored Sequential.
+func loadRunner(store converter.Store, backend string) (runner, string, func(), error) {
+	data, err := store.Read("model.json")
+	if err != nil {
+		return nil, "", nil, fmt.Errorf("serving: reading model.json: %w", err)
+	}
+	var meta struct {
+		Format string `json:"format"`
+	}
+	if err := json.Unmarshal(data, &meta); err != nil {
+		return nil, "", nil, fmt.Errorf("serving: parsing model.json: %w", err)
+	}
+	switch meta.Format {
+	case "graph-model":
+		gm, err := graphmodel.Load(store)
+		if err != nil {
+			return nil, "", nil, err
+		}
+		run, err := newGraphRunner(gm, backend)
+		if err != nil {
+			return nil, "", nil, err
+		}
+		dispose := func() { core.Global().RunExclusive(gm.Dispose) }
+		return run, meta.Format, dispose, nil
+	case "layers-model":
+		lm, err := converter.LoadLayersModel(store)
+		if err != nil {
+			return nil, "", nil, err
+		}
+		dispose := func() { core.Global().RunExclusive(lm.Dispose) }
+		return &layersRunner{model: lm, backend: backend}, meta.Format, dispose, nil
+	default:
+		return nil, "", nil, fmt.Errorf("serving: model.json format %q is neither graph-model nor layers-model", meta.Format)
+	}
+}
+
+// unload stops the scheduler and frees the model's weights.
+func (m *Model) unload() {
+	m.mu.Lock()
+	prev := m.state
+	m.state = StateUnloaded
+	sched := m.sched
+	disp := m.disp
+	m.sched = nil
+	m.disp = nil
+	m.mu.Unlock()
+	if prev == StateUnloaded {
+		return
+	}
+	if sched != nil {
+		sched.Close()
+	}
+	if disp != nil {
+		disp()
+	}
+}
+
+// Registry holds the named models a server exposes. Multiple models may
+// be loaded concurrently, each with its own backend and batching config.
+type Registry struct {
+	mu     sync.Mutex
+	models map[string]*Model
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{models: map[string]*Model{}}
+}
+
+// Load registers name and starts loading its artifacts asynchronously;
+// the returned model reports StateLoading until done (WaitReady blocks).
+func (r *Registry) Load(name string, store converter.Store, opts ModelOptions) (*Model, error) {
+	if name == "" {
+		return nil, fmt.Errorf("serving: empty model name")
+	}
+	backend := opts.Backend
+	if backend == "" {
+		backend = "node"
+	}
+	m := &Model{
+		name:    name,
+		backend: backend,
+		cfg:     opts.Batching.withDefaults(),
+		metrics: NewMetrics(),
+		state:   StateLoading,
+		ready:   make(chan struct{}),
+	}
+	r.mu.Lock()
+	if _, dup := r.models[name]; dup {
+		r.mu.Unlock()
+		return nil, fmt.Errorf("serving: model %q already loaded", name)
+	}
+	r.models[name] = m
+	r.mu.Unlock()
+	go m.load(store)
+	return m, nil
+}
+
+// Unload stops and removes a model.
+func (r *Registry) Unload(name string) error {
+	r.mu.Lock()
+	m, ok := r.models[name]
+	delete(r.models, name)
+	r.mu.Unlock()
+	if !ok {
+		return ErrNotFound
+	}
+	m.unload()
+	return nil
+}
+
+// Get returns the named model.
+func (r *Registry) Get(name string) (*Model, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m, ok := r.models[name]
+	return m, ok
+}
+
+// Names lists loaded model names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.models))
+	for name := range r.models {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Snapshots collects per-model metrics for the /metrics endpoint.
+func (r *Registry) Snapshots() map[string]Snapshot {
+	r.mu.Lock()
+	models := make([]*Model, 0, len(r.models))
+	for _, m := range r.models {
+		models = append(models, m)
+	}
+	r.mu.Unlock()
+	out := make(map[string]Snapshot, len(models))
+	for _, m := range models {
+		out[m.name] = m.metrics.snapshot(m.QueueDepth())
+	}
+	return out
+}
+
+// Close unloads every model.
+func (r *Registry) Close() {
+	for _, name := range r.Names() {
+		_ = r.Unload(name)
+	}
+}
