@@ -1,22 +1,28 @@
 // Command tfjs-profile is the debugging/profiling tool of Section 3.8 as a
-// CLI: it runs one MobileNet inference with per-kernel instrumentation and
-// prints, for every kernel, the output shape, the memory footprint and the
-// device-specific timing — the information the paper's in-browser debug
-// mode overlays on the page. With -debug it also downloads every output
-// and reports the first kernel that introduces a NaN.
+// CLI. It is a thin formatter over the telemetry subsystem: it registers a
+// kernel-stats aggregator and a trace recorder on the engine's hub, runs
+// MobileNet inferences, and prints the per-kernel breakdown (calls,
+// total/p50/p95 wall time, device time, bytes added) plus the data-movement
+// counters. With -trace it also writes the recorded events as Chrome
+// trace-event JSON — validated against the schema before writing — which
+// loads directly in chrome://tracing or perfetto. With -debug it downloads
+// every output and reports the first kernel that introduces a NaN.
 //
 //	tfjs-profile -backend webgl -alpha 0.25 -size 96
+//	tfjs-profile -backend webgl -trace trace.json
 //	tfjs-profile -backend webgl -debug -inject-nan
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"log"
-	"sort"
+	"os"
+	"time"
 
-	"repro/internal/core"
 	"repro/internal/data"
+	"repro/internal/telemetry"
 	"repro/tf"
 )
 
@@ -24,7 +30,9 @@ func main() {
 	backend := flag.String("backend", "webgl", "backend: cpu, webgl or node")
 	alpha := flag.Float64("alpha", 0.25, "MobileNet width multiplier")
 	size := flag.Int("size", 96, "input resolution")
+	runs := flag.Int("runs", 1, "profiled inferences (after one warmup)")
 	top := flag.Int("top", 15, "show the N slowest kernels")
+	tracePath := flag.String("trace", "", "write Chrome trace-event JSON to this file")
 	debug := flag.Bool("debug", false, "enable NaN-checking debug mode")
 	injectNaN := flag.Bool("inject-nan", false, "inject a NaN to demonstrate debug mode")
 	flag.Parse()
@@ -53,73 +61,73 @@ func main() {
 	x := tf.FromPixelsBatch(img)
 	defer x.Dispose()
 
-	// Warmup, then profile one inference.
-	out := model.Predict(x)
-	out.DataSync()
-	out.Dispose()
-
-	var records []core.KernelRecord
-	remove := tf.EngineOf().AddKernelListener(func(r core.KernelRecord) {
-		records = append(records, r)
-	})
-	info := tf.Profile(func() {
+	infer := func() {
 		out := model.Predict(x)
 		out.DataSync()
 		out.Dispose()
-	})
+	}
+	infer() // warmup: first call pays upload + shader-compile analogues
+
+	// The whole profile is two telemetry consumers over one hub: the stats
+	// aggregator feeds the tables, the recorder feeds -trace.
+	stats := tf.NewKernelStats()
+	rec := tf.NewTraceRecorder(0)
+	remove := tf.WithTelemetry(stats, rec)
+	span := fmt.Sprintf("mobilenet_a%.2f_%d:predict", *alpha, *size)
+	for i := 0; i < *runs; i++ {
+		end := tf.EngineOf().Telemetry().BeginSpan(span)
+		infer()
+		end()
+	}
 	remove()
-	if len(records) == 0 {
-		records = info.Kernels
-	}
 
-	fmt.Printf("profiled 1 inference of MobileNet α=%.2f @%dx%d on %q: %d kernels\n\n",
-		*alpha, *size, *size, tf.GetBackendName(), len(records))
-	fmt.Printf("peak memory: %.2f MiB, net new tensors: %d, net new bytes: %d\n\n",
-		float64(info.PeakBytes)/(1<<20), info.NewTensors, info.NewBytes)
+	kernels := stats.Kernels()
+	fmt.Printf("profiled %d inference(s) of MobileNet α=%.2f @%dx%d on %q: %d kernel names\n\n",
+		*runs, *alpha, *size, *size, tf.GetBackendName(), len(kernels))
 
-	// Aggregate per kernel name.
-	type agg struct {
-		name    string
-		count   int
-		wallMS  float64
-		gpuMS   float64
-		hasGPU  bool
-		example string
-	}
-	byName := map[string]*agg{}
-	for _, r := range records {
-		a, ok := byName[r.Name]
-		if !ok {
-			a = &agg{name: r.Name}
-			byName[r.Name] = a
-		}
-		a.count++
-		a.wallMS += r.WallMS
-		if r.HasKernelMS {
-			a.gpuMS += r.KernelMS
-			a.hasGPU = true
-		}
-		if len(r.OutputShapes) > 0 {
-			a.example = fmt.Sprint(r.OutputShapes[0])
-		}
-	}
-	aggs := make([]*agg, 0, len(byName))
-	for _, a := range byName {
-		aggs = append(aggs, a)
-	}
-	sort.Slice(aggs, func(i, j int) bool { return aggs[i].wallMS > aggs[j].wallMS })
-	if *top > len(aggs) {
-		*top = len(aggs)
-	}
+	mem := tf.Memory()
+	fmt.Printf("engine memory: %.2f MiB live, peak %.2f MiB, %d tensors\n",
+		float64(mem.NumBytes)/(1<<20), float64(mem.PeakBytes)/(1<<20), mem.NumTensors)
+	tr := stats.Transfers()
+	fmt.Printf("transfers: %d uploads (%.2f MiB), %d downloads (%.2f MiB), %d fences, paged %.2f MiB out / %.2f MiB in\n\n",
+		tr.UploadCount, float64(tr.UploadBytes)/(1<<20),
+		tr.DownloadCount, float64(tr.DownloadBytes)/(1<<20),
+		tr.FenceCount, float64(tr.PageOutBytes)/(1<<20), float64(tr.PageInBytes)/(1<<20))
 
-	fmt.Printf("%-26s %6s %12s %12s %18s\n", "Kernel", "Calls", "Wall (ms)", "GPU (ms)", "Example out shape")
-	for _, a := range aggs[:*top] {
+	if *top > len(kernels) {
+		*top = len(kernels)
+	}
+	fmt.Printf("%-26s %6s %11s %10s %10s %11s %14s\n",
+		"Kernel", "Calls", "Total (ms)", "p50 (ms)", "p95 (ms)", "GPU (ms)", "Bytes added")
+	for _, k := range kernels[:*top] {
 		gpu := "-"
-		if a.hasGPU {
-			gpu = fmt.Sprintf("%.3f", a.gpuMS)
+		if k.HasKernel {
+			gpu = fmt.Sprintf("%.3f", k.KernelMS)
 		}
-		fmt.Printf("%-26s %6d %12.3f %12s %18s\n", a.name, a.count, a.wallMS, gpu, a.example)
+		fmt.Printf("%-26s %6d %11.3f %10.3f %10.3f %11s %14d\n",
+			k.Name, k.Count, k.TotalMS, k.P50MS, k.P95MS, gpu, k.BytesAdded)
 	}
+
+	if *tracePath != "" {
+		if err := writeTrace(*tracePath, rec); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nwrote %d trace events to %s (load in chrome://tracing)\n", rec.Len(), *tracePath)
+	}
+}
+
+// writeTrace renders the recorder as Chrome trace JSON, self-validates it
+// against the trace-event schema, and writes it out — a malformed trace
+// fails loudly here rather than silently in the browser.
+func writeTrace(path string, rec *tf.TraceRecorder) error {
+	var buf bytes.Buffer
+	if err := rec.WriteChromeTrace(&buf, time.Time{}); err != nil {
+		return fmt.Errorf("rendering trace: %w", err)
+	}
+	if err := telemetry.ValidateChromeTrace(buf.Bytes()); err != nil {
+		return fmt.Errorf("generated trace fails schema validation: %w", err)
+	}
+	return os.WriteFile(path, buf.Bytes(), 0o644)
 }
 
 // demonstrateNaNCatch shows the §3.8 behaviour: with debug mode on, the

@@ -21,9 +21,12 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/jsenv"
 	"repro/internal/kernels"
+	"repro/internal/telemetry"
 	"repro/internal/tensor"
 )
 
@@ -75,12 +78,17 @@ type Engine struct {
 	gradDepth  int
 	tapePaused bool
 
-	debugMode     bool
-	debugKernels  []KernelRecord
-	profiling     bool
-	profileRecord *ProfileInfo
+	// hub is the telemetry fan-out the engine emits into: kernel
+	// dispatches, tensor uploads/downloads and tidy-scope closes (§3.8).
+	// Profiling, debug records and kernel listeners are all observers on
+	// this hub; the engine itself keeps no profiling state beyond the
+	// debug-mode NaN check.
+	hub *telemetry.Hub
 
-	kernelListeners []func(KernelRecord)
+	// debugOn gates the NaN-checking debug mode on the dispatch hot path
+	// without taking the engine lock.
+	debugOn      atomic.Bool
+	debugKernels []KernelRecord
 
 	autoFinalize bool
 
@@ -105,8 +113,14 @@ func NewEngine() *Engine {
 		backendFactories: map[string]func() (kernels.Backend, error){},
 		backends:         map[string]kernels.Backend{},
 		data:             map[tensor.DataID]*dataEntry{},
+		hub:              telemetry.Default(),
 	}
 }
+
+// Telemetry returns the hub the engine emits observability events into.
+// Register a telemetry.Observer on it (or use tf.WithTelemetry) to receive
+// kernel dispatches, transfers, scope closes and model spans.
+func (e *Engine) Telemetry() *telemetry.Hub { return e.hub }
 
 var (
 	globalOnce sync.Once
@@ -213,7 +227,20 @@ func (e *Engine) MakeTensor(values []float32, shape []int, dtype tensor.DataType
 	}
 	b := e.Backend()
 	id := tensor.NewDataID()
-	b.Write(id, values, shape, dtype)
+	if e.hub.Active() {
+		start := time.Now()
+		b.Write(id, values, shape, dtype)
+		e.hub.Emit(telemetry.Event{
+			Kind:    telemetry.KindUpload,
+			Name:    "upload",
+			Backend: b.Name(),
+			Start:   start,
+			DurMS:   float64(time.Since(start)) / float64(time.Millisecond),
+			Bytes:   int64(len(values)) * 4,
+		})
+	} else {
+		b.Write(id, values, shape, dtype)
+	}
 	t := tensor.New(id, shape, dtype)
 	e.registerTensor(t, b)
 	return t
@@ -291,6 +318,19 @@ func (e *Engine) ReadSync(t *tensor.Tensor) []float32 {
 	if !ok {
 		opPanic("DataSync", fmt.Errorf("tensor %d has no data (already disposed?)", t.ID))
 	}
+	if e.hub.Active() {
+		start := time.Now()
+		vals := entry.backend.ReadSync(t.DataID)
+		e.hub.Emit(telemetry.Event{
+			Kind:    telemetry.KindDownload,
+			Name:    "dataSync",
+			Backend: entry.backend.Name(),
+			Start:   start,
+			DurMS:   float64(time.Since(start)) / float64(time.Millisecond),
+			Bytes:   entry.bytes,
+		})
+		return vals
+	}
 	return entry.backend.ReadSync(t.DataID)
 }
 
@@ -303,6 +343,16 @@ func (e *Engine) Read(t *tensor.Tensor) *jsenv.Future[[]float32] {
 		f := jsenv.NewFuture[[]float32]()
 		f.Resolve(nil, fmt.Errorf("core: tensor %d has no data (already disposed?)", t.ID))
 		return f
+	}
+	if e.hub.Active() {
+		// The async download's duration belongs to the device (fence
+		// latency); the engine records the request itself.
+		e.hub.Emit(telemetry.Event{
+			Kind:    telemetry.KindDownload,
+			Name:    "data",
+			Backend: entry.backend.Name(),
+			Bytes:   entry.bytes,
+		})
 	}
 	return entry.backend.Read(t.DataID)
 }
@@ -394,7 +444,9 @@ func (e *Engine) RunKernel(name string, inputs []*tensor.Tensor, attrs kernels.A
 		outs = e.dispatch(name, b, inputs, attrs)
 	}
 
-	if e.isProfiling() || e.isDebug() || len(e.kernelListeners) > 0 {
+	// One atomic load each: with no observer registered and debug off,
+	// dispatch pays only this branch.
+	if e.hub.Active() || e.debugOn.Load() {
 		e.instrumentedRun(name, b, inputs, attrs, run, func() []*tensor.Tensor { return outs })
 	} else {
 		run()
@@ -601,6 +653,19 @@ func (e *Engine) EndScope(escaping []*tensor.Tensor) {
 	for _, t := range toDispose {
 		t.Dispose()
 	}
+	if e.hub.Active() {
+		// Sample the engine memory gauges at the scope boundary — the
+		// memory-timeline points of the §3.7 accounting.
+		e.mu.Lock()
+		numTensors, numBytes := e.numTensors, e.numBytes
+		e.mu.Unlock()
+		e.hub.Emit(telemetry.Event{
+			Kind:       telemetry.KindScope,
+			Name:       s.name,
+			NumTensors: numTensors,
+			TotalBytes: numBytes,
+		})
+	}
 }
 
 // Tidy runs fn inside a scope and disposes all intermediate tensors except
@@ -650,7 +715,7 @@ type KernelRecord struct {
 func (e *Engine) SetDebugMode(on bool) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	e.debugMode = on
+	e.debugOn.Store(on)
 	if !on {
 		e.debugKernels = nil
 	}
@@ -666,78 +731,65 @@ func (e *Engine) DebugKernels() []KernelRecord {
 	return out
 }
 
-// AddKernelListener registers a callback invoked with every kernel record;
-// used by tooling. Returns a remove function.
+// AddKernelListener registers a callback invoked with every kernel record.
+//
+// Deprecated: this is a thin compatibility wrapper over the telemetry hub;
+// register a telemetry.Observer on Telemetry() (or via tf.WithTelemetry)
+// instead. Returns a remove function.
 func (e *Engine) AddKernelListener(fn func(KernelRecord)) (remove func()) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.kernelListeners = append(e.kernelListeners, fn)
-	idx := len(e.kernelListeners) - 1
-	return func() {
-		e.mu.Lock()
-		defer e.mu.Unlock()
-		e.kernelListeners[idx] = nil
+	return e.hub.Register(telemetry.ObserverFunc(func(ev telemetry.Event) {
+		if ev.Kind == telemetry.KindKernel {
+			fn(recordFromEvent(ev))
+		}
+	}))
+}
+
+// recordFromEvent converts a telemetry kernel event back into the legacy
+// KernelRecord shape used by the compatibility wrappers.
+func recordFromEvent(ev telemetry.Event) KernelRecord {
+	return KernelRecord{
+		Name:         ev.Name,
+		InputShapes:  ev.InputShapes,
+		OutputShapes: ev.OutputShapes,
+		BytesAdded:   ev.Bytes,
+		TotalBytes:   ev.TotalBytes,
+		WallMS:       ev.DurMS,
+		KernelMS:     ev.KernelMS,
+		HasKernelMS:  ev.HasKernelMS,
 	}
-}
-
-func (e *Engine) isDebug() bool {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.debugMode
-}
-
-func (e *Engine) isProfiling() bool {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.profiling
 }
 
 // instrumentedRun wraps a kernel execution with timing, memory accounting,
-// NaN checking and listener notification.
+// telemetry emission and the debug-mode NaN check.
 func (e *Engine) instrumentedRun(name string, b kernels.Backend, inputs []*tensor.Tensor, attrs kernels.Attrs, run func(), outs func() []*tensor.Tensor) {
 	before := e.Memory()
+	start := time.Now()
 	ti := b.Time(run)
 	after := e.Memory()
 
-	rec := KernelRecord{
+	ev := telemetry.Event{
+		Kind:        telemetry.KindKernel,
 		Name:        name,
-		BytesAdded:  after.NumBytes - before.NumBytes,
-		TotalBytes:  after.NumBytes,
-		WallMS:      ti.WallMS,
+		Backend:     b.Name(),
+		Start:       start,
+		DurMS:       ti.WallMS,
 		KernelMS:    ti.KernelMS,
 		HasKernelMS: ti.HasKernelMS,
+		Bytes:       after.NumBytes - before.NumBytes,
+		TotalBytes:  after.NumBytes,
 	}
 	for _, in := range inputs {
-		rec.InputShapes = append(rec.InputShapes, tensor.CopyShape(in.Shape))
+		ev.InputShapes = append(ev.InputShapes, tensor.CopyShape(in.Shape))
 	}
 	for _, out := range outs() {
-		rec.OutputShapes = append(rec.OutputShapes, tensor.CopyShape(out.Shape))
+		ev.OutputShapes = append(ev.OutputShapes, tensor.CopyShape(out.Shape))
 	}
+	e.hub.Emit(ev)
 
-	e.mu.Lock()
-	debug := e.debugMode
-	if debug {
-		e.debugKernels = append(e.debugKernels, rec)
-	}
-	if e.profiling && e.profileRecord != nil {
-		e.profileRecord.Kernels = append(e.profileRecord.Kernels, rec)
-		if after.NumBytes > e.profileRecord.PeakBytes {
-			e.profileRecord.PeakBytes = after.NumBytes
-		}
-	}
-	listeners := make([]func(KernelRecord), 0, len(e.kernelListeners))
-	for _, l := range e.kernelListeners {
-		if l != nil {
-			listeners = append(listeners, l)
-		}
-	}
-	e.mu.Unlock()
-
-	for _, l := range listeners {
-		l(rec)
-	}
-
-	if debug {
+	if e.debugOn.Load() {
+		e.mu.Lock()
+		e.debugKernels = append(e.debugKernels, recordFromEvent(ev))
+		e.mu.Unlock()
 		// Download every output and throw at the first NaN (Section 3.8).
 		for _, out := range outs() {
 			vals := b.ReadSync(out.DataID)
@@ -774,20 +826,31 @@ func (p ProfileInfo) KernelNames() []string {
 }
 
 // Profile runs f and reports its memory and kernel effects (Section 3.8).
+//
+// Profile is a thin compatibility wrapper over the telemetry subsystem: it
+// registers a temporary observer on the engine's hub for the duration of f
+// and folds the kernel events into the legacy ProfileInfo shape. New code
+// should register a telemetry.Stats or telemetry.Recorder observer instead
+// (tf.WithTelemetry), which also yields percentiles, per-model spans and
+// Chrome traces.
 func (e *Engine) Profile(f func()) ProfileInfo {
 	before := e.Memory()
-	e.mu.Lock()
-	e.profiling = true
-	e.profileRecord = &ProfileInfo{PeakBytes: before.NumBytes}
-	e.mu.Unlock()
+	var mu sync.Mutex
+	info := ProfileInfo{PeakBytes: before.NumBytes}
+	remove := e.hub.Register(telemetry.ObserverFunc(func(ev telemetry.Event) {
+		if ev.Kind != telemetry.KindKernel {
+			return
+		}
+		mu.Lock()
+		info.Kernels = append(info.Kernels, recordFromEvent(ev))
+		if ev.TotalBytes > info.PeakBytes {
+			info.PeakBytes = ev.TotalBytes
+		}
+		mu.Unlock()
+	}))
 
 	f()
-
-	e.mu.Lock()
-	info := *e.profileRecord
-	e.profiling = false
-	e.profileRecord = nil
-	e.mu.Unlock()
+	remove()
 
 	after := e.Memory()
 	info.NewBytes = after.NumBytes - before.NumBytes

@@ -6,6 +6,7 @@ package graphmodel
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/converter"
 	"repro/internal/core"
@@ -22,6 +23,12 @@ type Model struct {
 
 	// weights are uploaded once at load time and shared across calls.
 	weights map[string]*tensor.Tensor
+
+	// span is the telemetry span name every Execute opens: model name plus
+	// serving signature, so concurrent serving traces are attributable per
+	// model. Recomputed by SetName.
+	span string
+	name string
 }
 
 // Load reads artifacts from a converter.Store and prepares the model.
@@ -47,6 +54,7 @@ func New(g *savedmodel.GraphDef) (*Model, error) {
 		return nil, err
 	}
 	m.order = order
+	m.span = spanName("graphmodel", g)
 	m.weights = map[string]*tensor.Tensor{}
 	e := core.Global()
 	// Upload under the execution lock: loading may race with another
@@ -65,6 +73,28 @@ func New(g *savedmodel.GraphDef) (*Model, error) {
 
 // Graph exposes the underlying graph definition.
 func (m *Model) Graph() *savedmodel.GraphDef { return m.graph }
+
+// spanName builds the model-scoped telemetry span label: the model name
+// plus the serving signature (inputs → outputs).
+func spanName(name string, g *savedmodel.GraphDef) string {
+	return fmt.Sprintf("%s:%s->%s",
+		name, strings.Join(g.Inputs, ","), strings.Join(g.Outputs, ","))
+}
+
+// SetName names the model for telemetry: every Execute opens a span
+// "<name>:<inputs>-><outputs>" on the engine's hub. The serving registry
+// calls this with the registry name so per-model traces and kernel
+// breakdowns are attributable.
+func (m *Model) SetName(name string) {
+	m.name = name
+	m.span = spanName(name, m.graph)
+}
+
+// Name returns the telemetry name set with SetName ("" until named).
+func (m *Model) Name() string { return m.name }
+
+// Span returns the telemetry span label Execute opens.
+func (m *Model) Span() string { return m.span }
 
 // Dispose releases the model's uploaded weights. The model must not be
 // executed afterwards. Callers racing with concurrent Execute must hold
@@ -139,6 +169,11 @@ func (m *Model) Execute(feeds map[string]*tensor.Tensor) (map[string]*tensor.Ten
 	var results map[string]*tensor.Tensor
 	var err error
 	e.RunExclusive(func() {
+		// The span opens inside the execution lock, so exactly one model
+		// span is in flight at a time and every kernel dispatched here is
+		// attributed to this model.
+		end := e.Telemetry().BeginSpan(m.span)
+		defer end()
 		results, err = m.executeLocked(e, feeds)
 	})
 	return results, err

@@ -13,12 +13,30 @@
 package native
 
 import (
+	"os"
 	"runtime"
+	"strconv"
 	"sync"
 
 	"repro/internal/cpu"
 	"repro/internal/kernels"
 )
+
+// EnvWorkers is the environment variable overriding the worker-pool size,
+// mirroring how the Node.js backend respects the libuv/OMP thread knobs
+// instead of hardcoding the host core count.
+const EnvWorkers = "TFJS_NUM_WORKERS"
+
+// DefaultWorkers resolves the initial worker count: TFJS_NUM_WORKERS when
+// set to a positive integer, else the host core count.
+func DefaultWorkers() int {
+	if s := os.Getenv(EnvWorkers); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return runtime.NumCPU()
+}
 
 // Backend is the optimized host backend. It embeds the plain CPU storage
 // plane; only kernel execution differs.
@@ -32,11 +50,24 @@ type Backend struct {
 func New() *Backend {
 	b := &Backend{
 		Backend: cpu.NewNamed("node"),
-		workers: runtime.NumCPU(),
+		workers: DefaultWorkers(),
 	}
 	b.initKernels()
 	return b
 }
+
+// SetWorkers sets the goroutine fan-out for parallel kernels. Values < 1
+// reset to the environment/core-count default. Call before issuing work;
+// the engine configures this through tf.Configure.
+func (b *Backend) SetWorkers(n int) {
+	if n < 1 {
+		n = DefaultWorkers()
+	}
+	b.workers = n
+}
+
+// Workers reports the current worker-pool size.
+func (b *Backend) Workers() int { return b.workers }
 
 // KernelOverride implements kernels.Overrider.
 func (b *Backend) KernelOverride(name string) (kernels.OverrideKernel, bool) {

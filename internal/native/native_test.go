@@ -161,3 +161,24 @@ func TestNativeTrainingParity(t *testing.T) {
 		}
 	}
 }
+
+func TestWorkersConfiguration(t *testing.T) {
+	t.Setenv(native.EnvWorkers, "3")
+	b := native.New()
+	if got := b.Workers(); got != 3 {
+		t.Fatalf("TFJS_NUM_WORKERS=3: Workers() = %d, want 3", got)
+	}
+	b.SetWorkers(7)
+	if got := b.Workers(); got != 7 {
+		t.Fatalf("SetWorkers(7): Workers() = %d, want 7", got)
+	}
+	b.SetWorkers(-1) // reset to env default
+	if got := b.Workers(); got != 3 {
+		t.Fatalf("SetWorkers(-1): Workers() = %d, want env default 3", got)
+	}
+
+	t.Setenv(native.EnvWorkers, "bogus")
+	if got := native.DefaultWorkers(); got < 1 {
+		t.Fatalf("DefaultWorkers() with bogus env = %d, want >= 1", got)
+	}
+}

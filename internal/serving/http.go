@@ -6,10 +6,13 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/telemetry"
 )
 
 // maxBodyBytes bounds a predict request body (64 MiB of JSON).
@@ -22,20 +25,53 @@ const maxBodyBytes = 64 << 20
 //	POST /v1/models/{name}:predict      → {"instances": [...]} → {"predictions": [...]}
 //	GET  /healthz                       → liveness
 //	GET  /metrics                       → Prometheus-style text
+//	GET  /debug/trace?seconds=N         → Chrome trace-event JSON download
+//
+// The server registers a trace recorder and a stats aggregator on the
+// engine's telemetry hub, so /metrics carries per-model per-kernel
+// breakdowns and /debug/trace serves the last seconds of execution as a
+// chrome://tracing-loadable file. Close unregisters both.
 type Server struct {
-	reg *Registry
-	mux *http.ServeMux
+	reg        *Registry
+	mux        *http.ServeMux
+	trace      *telemetry.Recorder
+	stats      *telemetry.Stats
+	unregister func()
 }
 
-// NewServer wraps a registry in the HTTP API.
+// NewServer wraps a registry in the HTTP API and attaches the telemetry
+// collectors to the global engine's hub.
 func NewServer(reg *Registry) *Server {
-	s := &Server{reg: reg, mux: http.NewServeMux()}
+	s := &Server{
+		reg:   reg,
+		mux:   http.NewServeMux(),
+		trace: telemetry.NewRecorder(0),
+		stats: telemetry.NewStats(),
+	}
+	hub := core.Global().Telemetry()
+	removeTrace := hub.Register(s.trace)
+	removeStats := hub.Register(s.stats)
+	s.unregister = func() {
+		removeTrace()
+		removeStats()
+	}
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/debug/trace", s.handleTrace)
 	s.mux.HandleFunc("/v1/models", s.handleList)
 	s.mux.HandleFunc("/v1/models/", s.handleModel)
 	return s
 }
+
+// Close detaches the server's telemetry collectors from the engine hub.
+// Idempotent; the registry is left running (close it separately).
+func (s *Server) Close() { s.unregister() }
+
+// Stats exposes the server's kernel-stats aggregator (tests, embedding).
+func (s *Server) Stats() *telemetry.Stats { return s.stats }
+
+// Trace exposes the server's trace recorder.
+func (s *Server) Trace() *telemetry.Recorder { return s.trace }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -47,7 +83,31 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprint(w, renderMetrics(s.reg.Snapshots()))
+	fmt.Fprint(w, renderMetrics(s.reg.Snapshots(), s.stats))
+}
+
+// handleTrace downloads the retained trace ring as Chrome trace-event
+// JSON. ?seconds=N restricts the download to events from the last N
+// seconds; absent or 0 downloads the whole ring.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	var since time.Time
+	if q := r.URL.Query().Get("seconds"); q != "" {
+		sec, err := strconv.ParseFloat(q, 64)
+		if err != nil || sec < 0 {
+			http.Error(w, "bad seconds parameter", http.StatusBadRequest)
+			return
+		}
+		if sec > 0 {
+			since = time.Now().Add(-time.Duration(sec * float64(time.Second)))
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Disposition", `attachment; filename="trace.json"`)
+	_ = s.trace.WriteChromeTrace(w, since)
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {

@@ -7,22 +7,21 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/telemetry"
 )
 
-// latencySamples bounds the sliding window used for percentile estimates.
-const latencySamples = 4096
-
 // Metrics collects one model's serving statistics: request counts by
-// outcome, a sliding-window latency distribution, and the batch-size
-// histogram that demonstrates (or falsifies) micro-batching.
+// outcome, a sliding-window latency distribution (the telemetry
+// Distribution primitive, the same estimator backing per-kernel p50/p95),
+// and the batch-size histogram that demonstrates (or falsifies)
+// micro-batching.
 type Metrics struct {
 	mu sync.Mutex
 
 	requests map[string]int64 // outcome → count ("ok", "queue_full", ...)
 
-	// latencyMS is a ring of recent end-to-end request latencies.
-	latencyMS []float64
-	latencyAt int
+	// latency is the sliding window of end-to-end request latencies (ms).
+	latency *telemetry.Distribution
 
 	// batchSizes histograms executed batch sizes (size → executions).
 	batchSizes map[int]int64
@@ -32,6 +31,7 @@ type Metrics struct {
 func NewMetrics() *Metrics {
 	return &Metrics{
 		requests:   map[string]int64{},
+		latency:    telemetry.NewDistribution(),
 		batchSizes: map[int]int64{},
 	}
 }
@@ -40,16 +40,10 @@ func NewMetrics() *Metrics {
 // successful requests, the end-to-end latency in milliseconds.
 func (m *Metrics) ObserveRequest(outcome string, latencyMS float64) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	m.requests[outcome]++
-	if outcome != "ok" {
-		return
-	}
-	if len(m.latencyMS) < latencySamples {
-		m.latencyMS = append(m.latencyMS, latencyMS)
-	} else {
-		m.latencyMS[m.latencyAt] = latencyMS
-		m.latencyAt = (m.latencyAt + 1) % latencySamples
+	m.mu.Unlock()
+	if outcome == "ok" {
+		m.latency.Observe(latencyMS)
 	}
 }
 
@@ -83,19 +77,8 @@ func (m *Metrics) MaxBatchObserved() int {
 // Percentiles returns the p50/p95/p99 of the recent latency window, in
 // milliseconds. Zeroes when no requests completed yet.
 func (m *Metrics) Percentiles() (p50, p95, p99 float64) {
-	m.mu.Lock()
-	samples := make([]float64, len(m.latencyMS))
-	copy(samples, m.latencyMS)
-	m.mu.Unlock()
-	if len(samples) == 0 {
-		return 0, 0, 0
-	}
-	sort.Float64s(samples)
-	at := func(p float64) float64 {
-		i := int(p * float64(len(samples)-1))
-		return samples[i]
-	}
-	return at(0.50), at(0.95), at(0.99)
+	qs := m.latency.Quantiles(0.50, 0.95, 0.99)
+	return qs[0], qs[1], qs[2]
 }
 
 // Snapshot is one model's metrics in exportable form.
@@ -128,9 +111,20 @@ func (m *Metrics) snapshot(queueDepth int) Snapshot {
 	return s
 }
 
-// renderMetrics emits the Prometheus-style text exposition for every
-// model plus the engine's tensor/byte counters.
-func renderMetrics(models map[string]Snapshot) string {
+// modelOfSpan extracts the model label from a telemetry span name; spans
+// are named "<model>:<signature>" by the registry.
+func modelOfSpan(span string) string {
+	if i := strings.Index(span, ":"); i >= 0 {
+		return span[:i]
+	}
+	return span
+}
+
+// renderMetrics emits the Prometheus-style text exposition: per-model
+// request/latency/batch series, per-model per-kernel breakdowns from the
+// telemetry aggregator (nil skips them), and the engine's tensor/byte
+// counters.
+func renderMetrics(models map[string]Snapshot, stats *telemetry.Stats) string {
 	var b strings.Builder
 	names := make([]string, 0, len(models))
 	for name := range models {
@@ -160,10 +154,35 @@ func renderMetrics(models map[string]Snapshot) string {
 		}
 		fmt.Fprintf(&b, "serving_queue_depth{model=%q} %d\n", name, s.QueueDepth)
 	}
+	if stats != nil {
+		renderKernelMetrics(&b, stats)
+	}
 	mem := core.Global().Memory()
 	fmt.Fprintf(&b, "engine_num_tensors %d\n", mem.NumTensors)
 	fmt.Fprintf(&b, "engine_num_data_buffers %d\n", mem.NumDataBuffers)
 	fmt.Fprintf(&b, "engine_num_bytes %d\n", mem.NumBytes)
 	fmt.Fprintf(&b, "engine_peak_bytes %d\n", mem.PeakBytes)
 	return b.String()
+}
+
+// renderKernelMetrics emits the per-model per-kernel series sourced from
+// the telemetry aggregator — the same numbers tfjs-profile prints, so the
+// two surfaces agree by construction.
+func renderKernelMetrics(b *strings.Builder, stats *telemetry.Stats) {
+	for _, span := range stats.Spans() {
+		model := modelOfSpan(span)
+		for _, ks := range stats.KernelsForSpan(span) {
+			fmt.Fprintf(b, "serving_kernel_invocations_total{model=%q,kernel=%q} %d\n", model, ks.Name, ks.Count)
+			fmt.Fprintf(b, "serving_kernel_time_ms_total{model=%q,kernel=%q} %.3f\n", model, ks.Name, ks.TotalMS)
+			fmt.Fprintf(b, "serving_kernel_time_ms{model=%q,kernel=%q,quantile=\"0.5\"} %.3f\n", model, ks.Name, ks.P50MS)
+			fmt.Fprintf(b, "serving_kernel_time_ms{model=%q,kernel=%q,quantile=\"0.95\"} %.3f\n", model, ks.Name, ks.P95MS)
+			fmt.Fprintf(b, "serving_kernel_bytes_added_total{model=%q,kernel=%q} %d\n", model, ks.Name, ks.BytesAdded)
+		}
+	}
+	tr := stats.Transfers()
+	fmt.Fprintf(b, "telemetry_upload_bytes_total %d\n", tr.UploadBytes)
+	fmt.Fprintf(b, "telemetry_download_bytes_total %d\n", tr.DownloadBytes)
+	fmt.Fprintf(b, "telemetry_page_out_bytes_total %d\n", tr.PageOutBytes)
+	fmt.Fprintf(b, "telemetry_page_in_bytes_total %d\n", tr.PageInBytes)
+	fmt.Fprintf(b, "telemetry_fence_total %d\n", tr.FenceCount)
 }

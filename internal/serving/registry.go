@@ -179,7 +179,7 @@ func outcomeLabel(err error) string {
 
 // load resolves the artifact format, builds the runner and flips state.
 func (m *Model) load(store converter.Store) {
-	run, format, dispose, err := loadRunner(store, m.backend)
+	run, format, dispose, err := loadRunner(m.name, store, m.backend)
 	m.mu.Lock()
 	if m.state == StateUnloaded {
 		// Unloaded while loading: discard.
@@ -204,8 +204,10 @@ func (m *Model) load(store converter.Store) {
 }
 
 // loadRunner reads model.json to pick the loader: graph models execute
-// through graphmodel, layers models through the restored Sequential.
-func loadRunner(store converter.Store, backend string) (runner, string, func(), error) {
+// through graphmodel, layers models through the restored Sequential. The
+// registry name becomes the model's telemetry span prefix, so traces and
+// kernel breakdowns attribute per model.
+func loadRunner(name string, store converter.Store, backend string) (runner, string, func(), error) {
 	data, err := store.Read("model.json")
 	if err != nil {
 		return nil, "", nil, fmt.Errorf("serving: reading model.json: %w", err)
@@ -222,6 +224,7 @@ func loadRunner(store converter.Store, backend string) (runner, string, func(), 
 		if err != nil {
 			return nil, "", nil, err
 		}
+		gm.SetName(name)
 		run, err := newGraphRunner(gm, backend)
 		if err != nil {
 			return nil, "", nil, err
@@ -234,7 +237,7 @@ func loadRunner(store converter.Store, backend string) (runner, string, func(), 
 			return nil, "", nil, err
 		}
 		dispose := func() { core.Global().RunExclusive(lm.Dispose) }
-		return &layersRunner{model: lm, backend: backend}, meta.Format, dispose, nil
+		return &layersRunner{model: lm, backend: backend, span: name + ":predict"}, meta.Format, dispose, nil
 	default:
 		return nil, "", nil, fmt.Errorf("serving: model.json format %q is neither graph-model nor layers-model", meta.Format)
 	}

@@ -121,12 +121,17 @@ func (r *graphRunner) run(batch []Instance) (out []Instance, err error) {
 type layersRunner struct {
 	model   *layers.Sequential
 	backend string
+	span    string // telemetry span label ("<name>:predict")
 }
 
 func (r *layersRunner) run(batch []Instance) (out []Instance, err error) {
 	defer recoverOpError(&err)
 	e := core.Global()
 	e.RunExclusive(func() {
+		if r.span != "" {
+			end := e.Telemetry().BeginSpan(r.span)
+			defer end()
+		}
 		if serr := e.SetBackend(r.backend); serr != nil {
 			err = serr
 			return

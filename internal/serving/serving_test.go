@@ -20,6 +20,7 @@ import (
 	"repro/internal/models"
 	"repro/internal/native"
 	"repro/internal/savedmodel"
+	"repro/internal/telemetry"
 )
 
 func init() {
@@ -97,7 +98,9 @@ func TestServeEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	srv := httptest.NewServer(NewServer(reg))
+	api := NewServer(reg)
+	defer api.Close()
+	srv := httptest.NewServer(api)
 	defer srv.Close()
 
 	// One shared instance payload: a [96,96,3] image.
@@ -211,7 +214,9 @@ func TestQueueFullReturns429(t *testing.T) {
 	reg := NewRegistry()
 	reg.models["stuck"] = m
 
-	srv := httptest.NewServer(NewServer(reg))
+	api := NewServer(reg)
+	defer api.Close()
+	srv := httptest.NewServer(api)
 	defer srv.Close()
 
 	inst := Instance{Values: []float32{1}, Shape: []int{1}}
@@ -268,7 +273,9 @@ func TestNotReadyAndNotFound(t *testing.T) {
 	}
 	reg.models["slow"] = loading
 
-	srv := httptest.NewServer(NewServer(reg))
+	api := NewServer(reg)
+	defer api.Close()
+	srv := httptest.NewServer(api)
 	defer srv.Close()
 
 	resp, err := http.Post(srv.URL+"/v1/models/slow:predict", "application/json", strings.NewReader(`{"instances": [1]}`))
@@ -349,7 +356,9 @@ func TestUnload(t *testing.T) {
 	if err := reg.Unload("gone"); err != ErrNotFound {
 		t.Errorf("double unload: %v, want ErrNotFound", err)
 	}
-	srv := httptest.NewServer(NewServer(reg))
+	api := NewServer(reg)
+	defer api.Close()
+	srv := httptest.NewServer(api)
 	defer srv.Close()
 	resp, err := http.Post(srv.URL+"/v1/models/gone:predict", "application/json", strings.NewReader(`{"instances": [1]}`))
 	if err != nil {
@@ -404,5 +413,100 @@ func TestLoadFailure(t *testing.T) {
 	st := m.Status()
 	if st.State != "failed" || st.Error == "" {
 		t.Errorf("status = %+v, want failed with error", st)
+	}
+}
+
+// TestTraceAndKernelBreakdown exercises the telemetry-backed surfaces: a
+// predict request must populate per-model per-kernel series on /metrics
+// that agree with the server's stats aggregator, and /debug/trace must
+// download schema-valid Chrome trace JSON containing kernel events.
+func TestTraceAndKernelBreakdown(t *testing.T) {
+	store := buildMobileNetStore(t, 96, 10)
+	reg := NewRegistry()
+	defer reg.Close()
+	m, err := reg.Load("mnet", store, ModelOptions{Backend: "node"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := m.WaitReady(ctx); err != nil {
+		t.Fatal(err)
+	}
+	api := NewServer(reg)
+	defer api.Close()
+	srv := httptest.NewServer(api)
+	defer srv.Close()
+
+	img := Instance{Values: make([]float32, 96*96*3), Shape: []int{96, 96, 3}}
+	body, err := json.Marshal(map[string]any{"instances": []any{img.Render()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(srv.URL+"/v1/models/mnet:predict", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("predict status %d", resp.StatusCode)
+	}
+
+	// /metrics carries the per-model kernel breakdown, and every rendered
+	// line agrees with the stats aggregator by construction.
+	resp, err = http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(metrics), `serving_kernel_invocations_total{model="mnet"`) {
+		t.Fatalf("/metrics missing per-model kernel series:\n%.2000s", metrics)
+	}
+	agreed := 0
+	for _, span := range api.Stats().Spans() {
+		if modelOfSpan(span) != "mnet" {
+			continue
+		}
+		for _, ks := range api.Stats().KernelsForSpan(span) {
+			line := fmt.Sprintf("serving_kernel_invocations_total{model=%q,kernel=%q} %d\n", "mnet", ks.Name, ks.Count)
+			if !strings.Contains(string(metrics), line) {
+				t.Errorf("/metrics disagrees with aggregator: missing %q", strings.TrimSpace(line))
+			}
+			agreed++
+		}
+	}
+	if agreed == 0 {
+		t.Fatalf("no kernels attributed to span of model mnet; spans: %v", api.Stats().Spans())
+	}
+
+	// /debug/trace downloads schema-valid Chrome trace JSON with kernel
+	// events inside.
+	resp, err = http.Get(srv.URL + "/debug/trace?seconds=120")
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/trace status %d", resp.StatusCode)
+	}
+	if err := telemetry.ValidateChromeTrace(trace); err != nil {
+		t.Fatalf("trace fails schema validation: %v", err)
+	}
+	if !strings.Contains(string(trace), `"cat":"kernel"`) {
+		t.Errorf("trace has no kernel events:\n%.500s", trace)
+	}
+
+	// Malformed window → 400.
+	resp, err = http.Get(srv.URL + "/debug/trace?seconds=nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad seconds: status %d, want 400", resp.StatusCode)
 	}
 }

@@ -1,0 +1,247 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// recorderShards spreads the trace ring across independently locked
+// shards so concurrent emitters (serving workers, async readbacks, the
+// device goroutine) rarely contend on the same lock. Each shard's critical
+// section is one slot write.
+const recorderShards = 8
+
+// DefaultRecorderCapacity is the trace ring size when NewRecorder is
+// given a non-positive capacity: enough for several seconds of MobileNet
+// inference at full kernel rate.
+const DefaultRecorderCapacity = 16384
+
+// Recorder is the lock-light ring-buffer trace recorder: an Observer that
+// keeps the last N events and renders them as Chrome trace-event JSON
+// loadable in chrome://tracing (or perfetto). Old events are overwritten,
+// so memory is bounded regardless of how long tracing stays enabled.
+type Recorder struct {
+	shards  [recorderShards]recorderShard
+	cursor  atomic.Uint64 // round-robins emissions across shards
+	dropped atomic.Int64  // events overwritten since creation
+}
+
+type recorderShard struct {
+	mu   sync.Mutex
+	buf  []Event
+	next uint64 // total events written to this shard
+}
+
+// NewRecorder returns a recorder keeping at most capacity events
+// (DefaultRecorderCapacity when capacity <= 0).
+func NewRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultRecorderCapacity
+	}
+	per := (capacity + recorderShards - 1) / recorderShards
+	if per < 1 {
+		per = 1
+	}
+	r := &Recorder{}
+	for i := range r.shards {
+		r.shards[i].buf = make([]Event, 0, per)
+	}
+	return r
+}
+
+// Observe implements Observer: append the event to one shard's ring.
+func (r *Recorder) Observe(ev Event) {
+	s := &r.shards[r.cursor.Add(1)%recorderShards]
+	s.mu.Lock()
+	if len(s.buf) < cap(s.buf) {
+		s.buf = append(s.buf, ev)
+	} else {
+		s.buf[s.next%uint64(cap(s.buf))] = ev
+		r.dropped.Add(1)
+	}
+	s.next++
+	s.mu.Unlock()
+}
+
+// Dropped reports how many events were overwritten by ring wraparound.
+func (r *Recorder) Dropped() int64 { return r.dropped.Load() }
+
+// Len reports the number of retained events.
+func (r *Recorder) Len() int {
+	n := 0
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.Lock()
+		n += len(s.buf)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Events returns the retained events starting at or after since (the zero
+// time returns everything), in chronological order.
+func (r *Recorder) Events(since time.Time) []Event {
+	var out []Event
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.Lock()
+		for _, ev := range s.buf {
+			if since.IsZero() || !ev.Start.Before(since) {
+				out = append(out, ev)
+			}
+		}
+		s.mu.Unlock()
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Start.Before(out[j].Start) })
+	return out
+}
+
+// Reset discards all retained events.
+func (r *Recorder) Reset() {
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.Lock()
+		s.buf = s.buf[:0]
+		s.next = 0
+		s.mu.Unlock()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace-event JSON
+
+// traceEvent is one entry of the Chrome trace-event format (JSON Array
+// Format / "traceEvents" object form), the schema chrome://tracing and
+// perfetto load.
+type traceEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat"`
+	Phase string         `json:"ph"`
+	TS    int64          `json:"ts"`            // microseconds
+	Dur   *int64         `json:"dur,omitempty"` // microseconds, X events
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"` // instant-event scope
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the object form of the trace file.
+type chromeTrace struct {
+	TraceEvents     []traceEvent   `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
+	Metadata        map[string]any `json:"metadata,omitempty"`
+}
+
+// Trace-track tids: one logical thread per event family so the tracks
+// stack cleanly in the viewer.
+const (
+	tidKernels   = 1
+	tidTransfers = 2
+	tidDevice    = 3
+	tidSpans     = 4
+)
+
+func micros(t time.Time) int64 { return t.UnixNano() / int64(time.Microsecond) }
+func durMicros(ms float64) *int64 {
+	d := int64(ms * 1000)
+	if d < 0 {
+		d = 0
+	}
+	return &d
+}
+func shapesString(shapes [][]int) string { return fmt.Sprint(shapes) }
+
+// toTraceEvent lowers one telemetry event onto the Chrome schema.
+func toTraceEvent(ev Event) traceEvent {
+	te := traceEvent{
+		Name:  ev.Name,
+		Cat:   ev.Kind.String(),
+		Phase: "X",
+		TS:    micros(ev.Start),
+		PID:   1,
+		Args:  map[string]any{},
+	}
+	if ev.Span != "" {
+		te.Args["span"] = ev.Span
+	}
+	if ev.Backend != "" {
+		te.Args["backend"] = ev.Backend
+	}
+	switch ev.Kind {
+	case KindKernel:
+		te.TID = tidKernels
+		te.Dur = durMicros(ev.DurMS)
+		te.Args["bytes_added"] = ev.Bytes
+		te.Args["total_bytes"] = ev.TotalBytes
+		if len(ev.InputShapes) > 0 {
+			te.Args["input_shapes"] = shapesString(ev.InputShapes)
+		}
+		if len(ev.OutputShapes) > 0 {
+			te.Args["output_shapes"] = shapesString(ev.OutputShapes)
+		}
+		if ev.HasKernelMS {
+			te.Args["kernel_ms"] = ev.KernelMS
+		}
+	case KindUpload, KindDownload:
+		te.TID = tidTransfers
+		te.Dur = durMicros(ev.DurMS)
+		te.Args["bytes"] = ev.Bytes
+	case KindSpan:
+		te.TID = tidSpans
+		te.Dur = durMicros(ev.DurMS)
+	case KindFence:
+		te.TID = tidDevice
+		te.Phase = "i"
+		te.Scope = "t"
+		if ev.DurMS > 0 {
+			te.Args["wait_ms"] = ev.DurMS
+		}
+	case KindPageOut, KindPageIn:
+		te.TID = tidDevice
+		te.Dur = durMicros(ev.DurMS)
+		te.Args["bytes"] = ev.Bytes
+	case KindScope:
+		// Scope closes become counter samples of the engine memory
+		// timeline: chrome://tracing renders "C" events as stacked area
+		// charts.
+		te.TID = tidKernels
+		te.Phase = "C"
+		te.Name = "engine.memory"
+		te.Args = map[string]any{
+			"num_tensors": ev.NumTensors,
+			"num_bytes":   ev.TotalBytes,
+		}
+	}
+	if len(te.Args) == 0 {
+		te.Args = nil
+	}
+	return te
+}
+
+// WriteChromeTrace renders events at or after since (zero time = all) as
+// Chrome trace-event JSON.
+func (r *Recorder) WriteChromeTrace(w io.Writer, since time.Time) error {
+	return WriteChromeTrace(w, r.Events(since))
+}
+
+// WriteChromeTrace renders the given events as Chrome trace-event JSON
+// (object form with a traceEvents array), loadable in chrome://tracing.
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	out := chromeTrace{
+		TraceEvents:     make([]traceEvent, 0, len(events)),
+		DisplayTimeUnit: "ms",
+		Metadata:        map[string]any{"producer": "tfjs-go telemetry"},
+	}
+	for _, ev := range events {
+		out.TraceEvents = append(out.TraceEvents, toTraceEvent(ev))
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+var _ Observer = (*Recorder)(nil)

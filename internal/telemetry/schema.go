@@ -1,0 +1,91 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// validPhases are the Chrome trace-event phase codes this library emits or
+// accepts: complete (X), duration begin/end (B/E), instant (i/I), counter
+// (C), and metadata (M).
+var validPhases = map[string]bool{
+	"X": true, "B": true, "E": true,
+	"i": true, "I": true, "C": true, "M": true,
+}
+
+// ValidateChromeTrace checks data against the Chrome trace-event schema:
+// either a bare JSON array of events or an object with a traceEvents
+// array, where every event has a name, a known phase, a non-negative
+// numeric ts, pid/tid fields, a non-negative dur on complete events and an
+// args object on counter events. It returns nil for a loadable trace and a
+// descriptive error for the first violation — the check the CI trace job
+// and the round-trip test run.
+func ValidateChromeTrace(data []byte) error {
+	var events []json.RawMessage
+
+	// Object form first: {"traceEvents": [...], ...}.
+	var obj struct {
+		TraceEvents *[]json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &obj); err == nil && obj.TraceEvents != nil {
+		events = *obj.TraceEvents
+	} else {
+		if err := json.Unmarshal(data, &events); err != nil {
+			return fmt.Errorf("telemetry: trace is neither a traceEvents object nor an event array: %w", err)
+		}
+	}
+	if len(events) == 0 {
+		return fmt.Errorf("telemetry: trace contains no events")
+	}
+
+	for i, raw := range events {
+		var ev struct {
+			Name  *string        `json:"name"`
+			Phase *string        `json:"ph"`
+			TS    *float64       `json:"ts"`
+			Dur   *float64       `json:"dur"`
+			PID   *json.Number   `json:"pid"`
+			TID   *json.Number   `json:"tid"`
+			Args  map[string]any `json:"args"`
+		}
+		dec := json.NewDecoder(bytes.NewReader(raw))
+		dec.UseNumber()
+		if err := dec.Decode(&ev); err != nil {
+			return fmt.Errorf("telemetry: event %d is not an object: %w", i, err)
+		}
+		if ev.Phase == nil || *ev.Phase == "" {
+			return fmt.Errorf("telemetry: event %d has no ph field", i)
+		}
+		if !validPhases[*ev.Phase] {
+			return fmt.Errorf("telemetry: event %d has unknown phase %q", i, *ev.Phase)
+		}
+		if *ev.Phase == "M" {
+			continue // metadata events only need ph + name
+		}
+		if ev.Name == nil || *ev.Name == "" {
+			return fmt.Errorf("telemetry: event %d has no name", i)
+		}
+		if ev.TS == nil {
+			return fmt.Errorf("telemetry: event %d (%s) has no ts", i, *ev.Name)
+		}
+		if *ev.TS < 0 {
+			return fmt.Errorf("telemetry: event %d (%s) has negative ts %v", i, *ev.Name, *ev.TS)
+		}
+		if ev.PID == nil || ev.TID == nil {
+			return fmt.Errorf("telemetry: event %d (%s) is missing pid/tid", i, *ev.Name)
+		}
+		if *ev.Phase == "X" {
+			if ev.Dur == nil {
+				return fmt.Errorf("telemetry: complete event %d (%s) has no dur", i, *ev.Name)
+			}
+			if *ev.Dur < 0 {
+				return fmt.Errorf("telemetry: complete event %d (%s) has negative dur %v", i, *ev.Name, *ev.Dur)
+			}
+		}
+		if *ev.Phase == "C" && len(ev.Args) == 0 {
+			return fmt.Errorf("telemetry: counter event %d (%s) has no args", i, *ev.Name)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,254 @@
+// Package telemetry is the unified observability layer of the library: one
+// Observer surface behind which op-level tracing, per-kernel statistics and
+// the engine memory timeline are implemented (Sections 3.7–3.8 of the
+// paper, made a first-class subsystem the way the TensorFlow whitepaper
+// treats tracing rather than a debug afterthought).
+//
+// Producers — the engine (kernel dispatch, tensor upload/download,
+// tidy-scope close), the graph executor (model spans) and the simulated
+// WebGL device layer (fences, texture paging) — emit flat Event values into
+// a Hub. Consumers register Observers on the hub: the ring-buffer trace
+// Recorder (Chrome trace-event JSON), the Stats aggregator (count /
+// total / p50 / p95 per kernel, bytes moved, memory timeline), or any
+// user-supplied hook via tf.WithTelemetry.
+//
+// The hub is engineered for zero cost when nothing observes: producers
+// gate every emission on Hub.Active(), a single atomic load, so an
+// unobserved process pays one predictable branch per kernel.
+package telemetry
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// EventKind discriminates the event types flowing through a Hub.
+type EventKind uint8
+
+// Event kinds. Kernel/Span carry durations; Upload/Download/Page carry
+// bytes moved; Scope carries the engine memory gauges; Fence marks device
+// sync points.
+const (
+	// KindKernel is one kernel dispatch on a backend.
+	KindKernel EventKind = iota
+	// KindUpload is host→device tensor data movement (Engine.MakeTensor).
+	KindUpload
+	// KindDownload is device→host data movement (DataSync / Data).
+	KindDownload
+	// KindScope is a tidy-scope close, sampling numTensors/numBytes.
+	KindScope
+	// KindSpan is a model-scoped execution section (graphmodel.Execute).
+	KindSpan
+	// KindFence is a device fence/readback-signal event (webgl sim).
+	KindFence
+	// KindPageOut is a texture paged from device to host memory.
+	KindPageOut
+	// KindPageIn is a texture paged back onto the device.
+	KindPageIn
+)
+
+// String names the kind for trace output.
+func (k EventKind) String() string {
+	switch k {
+	case KindKernel:
+		return "kernel"
+	case KindUpload:
+		return "upload"
+	case KindDownload:
+		return "download"
+	case KindScope:
+		return "scope"
+	case KindSpan:
+		return "span"
+	case KindFence:
+		return "fence"
+	case KindPageOut:
+		return "page_out"
+	case KindPageIn:
+		return "page_in"
+	}
+	return "unknown"
+}
+
+// Event is the single flat record all producers emit. Fields are populated
+// per kind; unused fields are zero. A flat struct (no per-kind interfaces)
+// keeps emission allocation-free on the hot path.
+type Event struct {
+	Kind EventKind
+	// Name is the kernel name, scope name, span name, or device event
+	// label.
+	Name string
+	// Span is the enclosing model span, when a model execution is in
+	// flight (set by the hub, not the producer).
+	Span string
+	// Backend names the backend involved, when known.
+	Backend string
+	// Start is the event start time.
+	Start time.Time
+	// DurMS is the wall duration in milliseconds (Kernel, Span, Upload,
+	// Download, Fence).
+	DurMS float64
+	// KernelMS is device-measured kernel time when the backend can
+	// measure it (webgl's modeled GPU time).
+	KernelMS float64
+	// HasKernelMS reports whether KernelMS is meaningful.
+	HasKernelMS bool
+	// Bytes is the payload size: bytes added by a kernel, moved by a
+	// transfer, or paged.
+	Bytes int64
+	// TotalBytes is the engine's numBytes after the event (Kernel, Scope).
+	TotalBytes int64
+	// NumTensors is the engine's live-tensor count (Scope).
+	NumTensors int
+	// InputShapes / OutputShapes describe kernel operands (Kernel only).
+	InputShapes  [][]int
+	OutputShapes [][]int
+}
+
+// Observer receives telemetry events. Implementations must be safe for
+// concurrent calls and must not block: they run inline on the emitting
+// goroutine (the kernel dispatch path).
+type Observer interface {
+	Observe(Event)
+}
+
+// ObserverFunc adapts a function to the Observer interface.
+type ObserverFunc func(Event)
+
+// Observe implements Observer.
+func (f ObserverFunc) Observe(ev Event) { f(ev) }
+
+// Hub fans events out to registered observers. Registration is
+// copy-on-write so emission reads the observer list with one atomic load
+// and never takes a lock.
+type Hub struct {
+	mu        sync.Mutex // guards writes to observers
+	observers atomic.Pointer[[]*registration]
+	span      atomic.Pointer[spanFrame]
+	clock     func() time.Time // test seam; nil means time.Now
+}
+
+// registration gives each registered observer a unique identity so removal
+// works for uncomparable observer types (funcs).
+type registration struct{ obs Observer }
+
+// spanFrame is one entry of the model-span stack (spans nest when a model
+// executes inside another's scope).
+type spanFrame struct {
+	name   string
+	start  time.Time
+	parent *spanFrame
+}
+
+// NewHub returns an empty hub.
+func NewHub() *Hub { return &Hub{} }
+
+var defaultHub = NewHub()
+
+// Default returns the process-wide hub, the one the global engine and the
+// backends emit into.
+func Default() *Hub { return defaultHub }
+
+// Active reports whether any observer is registered — the producer-side
+// gate, a single atomic load.
+func (h *Hub) Active() bool {
+	obs := h.observers.Load()
+	return obs != nil && len(*obs) > 0
+}
+
+// Register adds an observer and returns its removal function. Safe for
+// concurrent use.
+func (h *Hub) Register(o Observer) (remove func()) {
+	reg := &registration{obs: o}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	old := h.observers.Load()
+	var next []*registration
+	if old != nil {
+		next = append(next, *old...)
+	}
+	next = append(next, reg)
+	h.observers.Store(&next)
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			h.mu.Lock()
+			defer h.mu.Unlock()
+			cur := h.observers.Load()
+			if cur == nil {
+				return
+			}
+			pruned := make([]*registration, 0, len(*cur))
+			for _, x := range *cur {
+				if x != reg {
+					pruned = append(pruned, x)
+				}
+			}
+			h.observers.Store(&pruned)
+		})
+	}
+}
+
+// now returns the hub's notion of time.
+func (h *Hub) now() time.Time {
+	if h.clock != nil {
+		return h.clock()
+	}
+	return time.Now()
+}
+
+// Emit delivers the event to every registered observer, stamping the start
+// time when unset and tagging the event with the current model span. A hub
+// with no observers drops the event after one atomic load.
+func (h *Hub) Emit(ev Event) {
+	obs := h.observers.Load()
+	if obs == nil || len(*obs) == 0 {
+		return
+	}
+	if ev.Start.IsZero() {
+		ev.Start = h.now()
+	}
+	if ev.Span == "" {
+		if f := h.span.Load(); f != nil {
+			ev.Span = f.name
+		}
+	}
+	for _, r := range *obs {
+		r.obs.Observe(ev)
+	}
+}
+
+// BeginSpan opens a model-scoped span: until the returned end function
+// runs, kernel and transfer events are tagged with name, which makes
+// concurrent serving traces attributable per model. Spans may nest; the
+// innermost wins. The end function emits a KindSpan event spanning the
+// section.
+//
+// Model executions serialize on the engine's execution lock, so there is
+// one span writer at a time; concurrent emitters on other goroutines
+// observe the span pointer with an atomic load.
+func (h *Hub) BeginSpan(name string) (end func()) {
+	frame := &spanFrame{name: name, start: h.now(), parent: h.span.Load()}
+	h.span.Store(frame)
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			h.span.Store(frame.parent)
+			h.Emit(Event{
+				Kind:  KindSpan,
+				Name:  name,
+				Start: frame.start,
+				DurMS: float64(h.now().Sub(frame.start)) / float64(time.Millisecond),
+			})
+		})
+	}
+}
+
+// CurrentSpan returns the innermost open span name, or "".
+func (h *Hub) CurrentSpan() string {
+	if f := h.span.Load(); f != nil {
+		return f.name
+	}
+	return ""
+}

@@ -10,6 +10,7 @@ import (
 	"repro/internal/glsim"
 	"repro/internal/jsenv"
 	"repro/internal/kernels"
+	"repro/internal/telemetry"
 	"repro/internal/tensor"
 )
 
@@ -190,6 +191,12 @@ func (b *Backend) touch(td *texData) *glsim.Texture {
 	b.pagedBytes.Add(-td.bytes())
 	td.paged = nil
 	b.pageIns.Add(1)
+	if hub := telemetry.Default(); hub.Active() {
+		hub.Emit(telemetry.Event{
+			Kind: telemetry.KindPageIn, Name: "page_in",
+			Backend: "webgl", Bytes: td.bytes(),
+		})
+	}
 	return tex
 }
 
@@ -238,12 +245,21 @@ func (b *Backend) maybePage(justAllocated *texData) {
 // the texture is deleted (not recycled — the point is to free device
 // memory).
 func (b *Backend) pageOut(td *texData) {
+	start := time.Now()
 	vals := b.device.ReadPixels(td.tex)
 	td.paged = vals[:td.size]
 	b.device.DeleteTexture(td.tex)
 	td.tex = nil
 	b.pagedBytes.Add(td.bytes())
 	b.pageOuts.Add(1)
+	if hub := telemetry.Default(); hub.Active() {
+		hub.Emit(telemetry.Event{
+			Kind: telemetry.KindPageOut, Name: "page_out",
+			Backend: "webgl", Start: start,
+			DurMS: float64(time.Since(start)) / float64(time.Millisecond),
+			Bytes: td.bytes(),
+		})
+	}
 }
 
 // ReadSync implements kernels.Backend: it blocks until all pending device
@@ -296,8 +312,18 @@ func (b *Backend) Read(d tensor.DataID) *jsenv.Future[[]float32] {
 
 	if b.cfg.Device.WebGLVersion >= 2 {
 		fence := b.device.FenceSync()
+		issued := time.Now()
 		go func() {
 			<-fence
+			if hub := telemetry.Default(); hub.Active() {
+				// The fence event records how long the device took to
+				// signal — the async-readback latency of §4.1.1.
+				hub.Emit(telemetry.Event{
+					Kind: telemetry.KindFence, Name: "fenceSync",
+					Backend: "webgl", Start: issued,
+					DurMS: float64(time.Since(issued)) / float64(time.Millisecond),
+				})
+			}
 			finish()
 		}()
 		return fut

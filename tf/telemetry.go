@@ -1,0 +1,115 @@
+package tf
+
+import (
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/native"
+	"repro/internal/telemetry"
+)
+
+// TelemetryEvent is one record emitted by the engine and the backends:
+// kernel dispatches, tensor uploads/downloads, tidy-scope memory samples,
+// model spans and simulated-device fence/page events.
+type TelemetryEvent = telemetry.Event
+
+// TelemetryObserver receives telemetry events. Observers run inline on the
+// emitting goroutine and must not block.
+type TelemetryObserver = telemetry.Observer
+
+// TelemetryObserverFunc adapts a function to TelemetryObserver.
+type TelemetryObserverFunc = telemetry.ObserverFunc
+
+// TraceRecorder is the bounded ring-buffer trace recorder; register it
+// with WithTelemetry and render via WriteChromeTrace.
+type TraceRecorder = telemetry.Recorder
+
+// KernelStats aggregates per-kernel counts, total/p50/p95 times and bytes
+// moved; register it with WithTelemetry.
+type KernelStats = telemetry.Stats
+
+// NewTraceRecorder returns a trace recorder keeping the last capacity
+// events (<= 0 selects the default capacity).
+func NewTraceRecorder(capacity int) *TraceRecorder { return telemetry.NewRecorder(capacity) }
+
+// NewKernelStats returns an empty kernel-stats aggregator.
+func NewKernelStats() *KernelStats { return telemetry.NewStats() }
+
+// WithTelemetry registers observers on the global engine's telemetry hub
+// and returns a function removing them. This is the one instrumentation
+// surface: tracing, kernel statistics, memory timelines and custom hooks
+// all attach here. With no observer registered the engine's hot path pays
+// a single atomic load per kernel.
+//
+//	rec := tf.NewTraceRecorder(0)
+//	defer tf.WithTelemetry(rec)()
+//	// ... run model ...
+//	rec.WriteChromeTrace(f, time.Time{})
+func WithTelemetry(obs ...TelemetryObserver) (remove func()) {
+	hub := core.Global().Telemetry()
+	removes := make([]func(), 0, len(obs))
+	for _, o := range obs {
+		removes = append(removes, hub.Register(o))
+	}
+	return func() {
+		for _, r := range removes {
+			r()
+		}
+	}
+}
+
+// Config carries process-wide tuning knobs applied by Configure.
+type Config struct {
+	// Workers sets the goroutine fan-out of the "node" backend's parallel
+	// kernels. 0 leaves the current value; negative resets to the default
+	// (TFJS_NUM_WORKERS env, else the host core count).
+	Workers int
+}
+
+var (
+	nodeMu         sync.Mutex
+	nodeBackend    *native.Backend
+	pendingWorkers int
+)
+
+// newNodeBackend builds the "node" backend, applying any worker count
+// configured before the backend was first activated.
+func newNodeBackend() *native.Backend {
+	nodeMu.Lock()
+	defer nodeMu.Unlock()
+	b := native.New()
+	if pendingWorkers != 0 {
+		b.SetWorkers(pendingWorkers)
+	}
+	nodeBackend = b
+	return b
+}
+
+// Configure applies the config to the process: the worker count takes
+// effect on the live "node" backend immediately and is remembered for a
+// backend instantiated later. The TFJS_NUM_WORKERS environment variable
+// provides the same knob without code changes.
+func Configure(c Config) {
+	nodeMu.Lock()
+	defer nodeMu.Unlock()
+	if c.Workers != 0 {
+		pendingWorkers = c.Workers
+		if nodeBackend != nil {
+			nodeBackend.SetWorkers(c.Workers)
+		}
+	}
+}
+
+// NumWorkers reports the "node" backend's current worker-pool size (the
+// configured value when the backend has not been instantiated yet).
+func NumWorkers() int {
+	nodeMu.Lock()
+	defer nodeMu.Unlock()
+	if nodeBackend != nil {
+		return nodeBackend.Workers()
+	}
+	if pendingWorkers > 0 {
+		return pendingWorkers
+	}
+	return native.DefaultWorkers()
+}

@@ -21,7 +21,6 @@ import (
 	"repro/internal/cpu"
 	"repro/internal/jsenv"
 	"repro/internal/kernels"
-	"repro/internal/native"
 	"repro/internal/tensor"
 	"repro/internal/webgl"
 	"repro/internal/webgpu"
@@ -65,7 +64,7 @@ func init() {
 	// when available, with CPU as the universal fallback; "node" is the
 	// server-side native binding (Figure 1).
 	e.RegisterBackend("webgl", func() (kernels.Backend, error) { return webgl.New(webgl.DefaultConfig()), nil })
-	e.RegisterBackend("node", func() (kernels.Backend, error) { return native.New(), nil })
+	e.RegisterBackend("node", func() (kernels.Backend, error) { return newNodeBackend(), nil })
 	e.RegisterBackend("cpu", func() (kernels.Backend, error) { return cpu.NewNaive(), nil })
 
 	// Ablation variants used by benchmarks and tests.
