@@ -1,0 +1,102 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+)
+
+// ModeResult is one serving mode's measured numbers, the JSON shape
+// shared by the BENCH_serving.json baseline and the -out artifact.
+type ModeResult struct {
+	QPS      float64 `json:"qps"`
+	P50MS    float64 `json:"p50_ms"`
+	P95MS    float64 `json:"p95_ms"`
+	P99MS    float64 `json:"p99_ms"`
+	MaxBatch int     `json:"max_batch"`
+}
+
+// ServingBench is a captured serving-benchmark run: the workload config
+// plus per-mode results. BENCH_serving.json at the repo root holds the
+// committed baseline; `tfjs-bench serve -baseline BENCH_serving.json`
+// compares a fresh run against it and exits nonzero on a QPS regression
+// beyond regressionTolerance.
+type ServingBench struct {
+	Benchmark  string                `json:"benchmark"`
+	Alpha      float64               `json:"alpha"`
+	Size       int                   `json:"size"`
+	Requests   int                   `json:"requests"`
+	Clients    int                   `json:"clients"`
+	GoMaxProcs int                   `json:"gomaxprocs"`
+	Modes      map[string]ModeResult `json:"modes"`
+}
+
+// regressionTolerance is the accepted QPS drop versus baseline before
+// the compare mode fails (machines differ; CI runs this non-blocking).
+const regressionTolerance = 0.20
+
+// newServingBench stamps a result set with the run's workload config.
+func newServingBench(alpha float64, size, requests, clients int) *ServingBench {
+	return &ServingBench{
+		Benchmark:  "serving",
+		Alpha:      alpha,
+		Size:       size,
+		Requests:   requests,
+		Clients:    clients,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Modes:      map[string]ModeResult{},
+	}
+}
+
+// writeJSON persists the results (the CI comparison artifact, or a new
+// baseline when seeding BENCH_serving.json).
+func (sb *ServingBench) writeJSON(path string) error {
+	data, err := json.MarshalIndent(sb, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// loadBaseline reads a previously captured ServingBench.
+func loadBaseline(path string) (*ServingBench, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("reading baseline: %w", err)
+	}
+	var sb ServingBench
+	if err := json.Unmarshal(data, &sb); err != nil {
+		return nil, fmt.Errorf("parsing baseline %s: %w", path, err)
+	}
+	return &sb, nil
+}
+
+// compareBaseline prints current-vs-baseline QPS per mode and reports
+// whether any mode regressed more than regressionTolerance. Modes absent
+// from either side are skipped (a baseline from an older layout still
+// compares what it can).
+func compareBaseline(current, baseline *ServingBench) (regressed bool) {
+	fmt.Printf("\nbaseline comparison (tolerance %.0f%% QPS):\n", regressionTolerance*100)
+	fmt.Printf("%-12s %12s %12s %9s %s\n", "Mode", "base QPS", "now QPS", "delta", "verdict")
+	for _, mode := range []string{"batched", "unbatched"} {
+		base, okB := baseline.Modes[mode]
+		now, okN := current.Modes[mode]
+		if !okB || !okN {
+			fmt.Printf("%-12s %12s\n", mode, "(not in both runs, skipped)")
+			continue
+		}
+		delta := now.QPS/base.QPS - 1
+		verdict := "ok"
+		if delta < -regressionTolerance {
+			verdict = "REGRESSED"
+			regressed = true
+		}
+		fmt.Printf("%-12s %12.1f %12.1f %8.1f%% %s\n", mode, base.QPS, now.QPS, delta*100, verdict)
+	}
+	if baseline.GoMaxProcs != current.GoMaxProcs {
+		fmt.Printf("(baseline captured at GOMAXPROCS=%d, this run at %d — absolute QPS shifts with cores)\n",
+			baseline.GoMaxProcs, current.GoMaxProcs)
+	}
+	return regressed
+}

@@ -14,6 +14,14 @@
 // keep the plain-CPU baseline tractable. Absolute times differ from the
 // paper (the WebGL device is simulated; see EXPERIMENTS.md), but the
 // orderings and ratios are the reproduction targets.
+//
+// For the serve command, -out writes the measured QPS/latency numbers as
+// JSON and -baseline compares the run against a committed baseline
+// (BENCH_serving.json at the repo root), exiting nonzero when either
+// mode's QPS regressed more than 20% — the CI regression tripwire:
+//
+//	tfjs-bench serve -out BENCH_serving.json            # (re)seed baseline
+//	tfjs-bench serve -baseline BENCH_serving.json       # compare
 package main
 
 import (
@@ -32,6 +40,8 @@ func main() {
 	alpha := flag.Float64("alpha", 0.25, "MobileNet width multiplier (paper: 1.0)")
 	size := flag.Int("size", 96, "MobileNet input resolution (paper: 224)")
 	runs := flag.Int("runs", 10, "inference runs to average (paper: 100)")
+	baseline := flag.String("baseline", "", "serve: compare QPS against this baseline JSON, exit nonzero on >20% regression")
+	out := flag.String("out", "", "serve: write measured results as JSON to this file")
 	flag.Parse()
 
 	cmd := "all"
@@ -56,7 +66,7 @@ func main() {
 	case "webgpu":
 		webgpuExperiment()
 	case "serve":
-		serveExperiment(*alpha, *size, 10**runs)
+		serveExperiment(*alpha, *size, 10**runs, *baseline, *out)
 	case "all":
 		table1(*alpha, *size, *runs)
 		fig23()

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"os"
 	"runtime"
 	"sync"
 	"time"
@@ -22,7 +23,12 @@ import (
 // dispatch, goroutine fan-out) across the batch; the native backend splits
 // each batched kernel across runtime.NumCPU() workers, so the throughput
 // gap widens with core count.
-func serveExperiment(alpha float64, size, runs int) {
+//
+// outPath, when set, writes the measured numbers as JSON (the CI
+// artifact, or a new BENCH_serving.json baseline). baselinePath compares
+// the run against a committed baseline and exits nonzero on a QPS
+// regression beyond the tolerance.
+func serveExperiment(alpha float64, size, runs int, baselinePath, outPath string) {
 	fmt.Printf("\n=== Serving: dynamic micro-batching throughput ===\n")
 	fmt.Printf("MobileNet v1 alpha=%.2f input=%dx%dx3, native backend, %d CPU core(s), 32 concurrent clients, %d requests per mode\n\n",
 		alpha, size, size, runtime.NumCPU(), runs)
@@ -48,6 +54,7 @@ func serveExperiment(alpha float64, size, runs int) {
 		inst.Values[i] = float32(i%251) / 251
 	}
 
+	results := newServingBench(alpha, size, runs, 32)
 	fmt.Printf("%-12s %10s %10s %10s %10s %10s\n", "Mode", "QPS", "p50 (ms)", "p95 (ms)", "p99 (ms)", "max batch")
 	for _, mode := range []struct {
 		label    string
@@ -58,9 +65,27 @@ func serveExperiment(alpha float64, size, runs int) {
 	} {
 		qps, p50, p95, p99, maxBatch := serveThroughput(store, size, mode.maxBatch, runs)
 		fmt.Printf("%-12s %10.1f %10.1f %10.1f %10.1f %10d\n", mode.label, qps, p50, p95, p99, maxBatch)
+		results.Modes[mode.label] = ModeResult{QPS: qps, P50MS: p50, P95MS: p95, P99MS: p99, MaxBatch: maxBatch}
 	}
 	fmt.Println("\n(single-core hosts show ~1x: the batched speedup comes from parallelizing the")
 	fmt.Println(" coalesced batch across cores and amortizing dispatch; see bench_serving_test.go)")
+
+	if outPath != "" {
+		if err := results.writeJSON(outPath); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nwrote results to %s\n", outPath)
+	}
+	if baselinePath != "" {
+		baseline, err := loadBaseline(baselinePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if compareBaseline(results, baseline) {
+			fmt.Println("\nserving QPS regressed beyond tolerance; failing")
+			os.Exit(1)
+		}
+	}
 }
 
 // serveThroughput drives total requests through one registry model from 32

@@ -8,9 +8,17 @@
 // loads directly in chrome://tracing or perfetto. With -debug it downloads
 // every output and reports the first kernel that introduces a NaN.
 //
+// With -leaks it instead runs the inferences under a tensor-lifetime
+// tracker and prints the leak report: tensors allocated and never
+// disposed, attributed to the source line that allocated them, plus
+// device-memory pressure (texture residency, recycler occupancy,
+// paging) on the webgl backend. -inject-leak deliberately leaks one
+// tensor to demonstrate the attribution.
+//
 //	tfjs-profile -backend webgl -alpha 0.25 -size 96
 //	tfjs-profile -backend webgl -trace trace.json
 //	tfjs-profile -backend webgl -debug -inject-nan
+//	tfjs-profile -backend webgl -leaks -inject-leak
 package main
 
 import (
@@ -35,6 +43,8 @@ func main() {
 	tracePath := flag.String("trace", "", "write Chrome trace-event JSON to this file")
 	debug := flag.Bool("debug", false, "enable NaN-checking debug mode")
 	injectNaN := flag.Bool("inject-nan", false, "inject a NaN to demonstrate debug mode")
+	leaks := flag.Bool("leaks", false, "run under the tensor-lifetime tracker and print the leak report")
+	injectLeak := flag.Bool("inject-leak", false, "deliberately leak one tensor to demonstrate -leaks attribution")
 	flag.Parse()
 
 	if err := tf.SetBackend(*backend); err != nil {
@@ -67,6 +77,11 @@ func main() {
 		out.Dispose()
 	}
 	infer() // warmup: first call pays upload + shader-compile analogues
+
+	if *leaks {
+		runLeakCheck(infer, *runs, *injectLeak)
+		return
+	}
 
 	// The whole profile is two telemetry consumers over one hub: the stats
 	// aggregator feeds the tables, the recorder feeds -trace.
@@ -113,6 +128,29 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("\nwrote %d trace events to %s (load in chrome://tracing)\n", rec.Len(), *tracePath)
+	}
+}
+
+// runLeakCheck runs the inferences under tf.LeakCheck and prints the
+// report. A clean run reports zero live tensors — every intermediate
+// was tidied or disposed; -inject-leak shows what a real leak looks
+// like: the report names this file and line as the allocation site.
+func runLeakCheck(infer func(), runs int, injectLeak bool) {
+	rep, err := tf.LeakCheck(func() {
+		for i := 0; i < runs; i++ {
+			infer()
+		}
+		if injectLeak {
+			leaked := tf.Tensor1D([]float32{1, 2, 3}) // deliberately never disposed
+			_ = leaked
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("leak check over %d inference(s) on %q:\n\n%s", runs, tf.GetBackendName(), rep)
+	if rep.LiveTensors == 0 {
+		fmt.Println("\nno leaks: every tensor allocated during the run was disposed")
 	}
 }
 

@@ -85,10 +85,19 @@ type Engine struct {
 	// debug-mode NaN check.
 	hub *telemetry.Hub
 
-	// debugOn gates the NaN-checking debug mode on the dispatch hot path
-	// without taking the engine lock.
+	// debugOn gates the NaN-checking debug mode inside the instrumented
+	// path. The dispatch-time gate itself is hub.Active() alone: enabling
+	// debug mode registers a no-op observer on the hub (debugRemove), so
+	// the unobserved hot path pays exactly one atomic load per kernel.
 	debugOn      atomic.Bool
+	debugRemove  func()
 	debugKernels []KernelRecord
+
+	// lifetime is the optional tensor-lifetime tracker (TrackLifetimes):
+	// while installed, every tensor-handle registration, disposal and
+	// finalizer reclaim is reported to it with scope/span attribution and
+	// sampled allocation-site stacks. One atomic pointer load when absent.
+	lifetime atomic.Pointer[telemetry.LifetimeTracker]
 
 	autoFinalize bool
 
@@ -262,18 +271,30 @@ func (e *Engine) registerTensor(t *tensor.Tensor, b kernels.Backend) {
 	}
 	entry.refCount++
 	e.numTensors++
+	var scopeName string
 	if n := len(e.scopes); n > 0 {
 		s := e.scopes[n-1]
 		s.track = append(s.track, t)
+		scopeName = s.name
 	}
 	finalize := e.autoFinalize
 	e.mu.Unlock()
+	if lt := e.lifetime.Load(); lt != nil {
+		lt.OnAlloc(t.ID, int64(t.Bytes()), scopeName, e.hub.CurrentSpan())
+	}
 	if finalize {
 		// Finalizer-based cleanup, the Node.js behaviour of Section 4.2:
 		// "Node.js and Google's V8 JS engine exposes finalization APIs,
 		// [which] eliminates the need for manual memory management."
-		// Dispose is idempotent, so explicit disposal still composes.
-		runtime.SetFinalizer(t, (*tensor.Tensor).Dispose)
+		// Dispose is idempotent, so explicit disposal still composes. A
+		// finalizer that actually fires means the user never disposed the
+		// tensor — the lifetime tracker records it as a reclaimed leak.
+		runtime.SetFinalizer(t, func(t *tensor.Tensor) {
+			if lt := e.lifetime.Load(); lt != nil {
+				lt.OnFinalize(t.ID)
+			}
+			t.Dispose()
+		})
 	}
 }
 
@@ -290,6 +311,9 @@ func (e *Engine) SetAutoFinalize(on bool) {
 // Dispose implements tensor.Handler: it decrements the tensor's data
 // container reference count and frees the container at zero (Section 3.4).
 func (e *Engine) Dispose(t *tensor.Tensor) {
+	if lt := e.lifetime.Load(); lt != nil {
+		lt.OnDispose(t.ID)
+	}
 	e.mu.Lock()
 	entry, ok := e.data[t.DataID]
 	if !ok {
@@ -444,9 +468,11 @@ func (e *Engine) RunKernel(name string, inputs []*tensor.Tensor, attrs kernels.A
 		outs = e.dispatch(name, b, inputs, attrs)
 	}
 
-	// One atomic load each: with no observer registered and debug off,
-	// dispatch pays only this branch.
-	if e.hub.Active() || e.debugOn.Load() {
+	// Exactly one atomic load: debug mode registers a (no-op) hub observer
+	// when enabled, so hub.Active() alone gates both instrumentation and
+	// the NaN check, and the unobserved dispatch path pays one predictable
+	// branch per kernel.
+	if e.hub.Active() {
 		e.instrumentedRun(name, b, inputs, attrs, run, func() []*tensor.Tensor { return outs })
 	} else {
 		run()
@@ -711,14 +737,25 @@ type KernelRecord struct {
 
 // SetDebugMode toggles the paper's debug mode: every kernel is profiled and
 // its outputs downloaded and scanned for NaNs, panicking at the first
-// kernel that introduces one.
+// kernel that introduces one. Enabling it registers a no-op observer on the
+// telemetry hub so the single dispatch-time gate (hub.Active) routes
+// kernels through the instrumented path even with no real observer.
 func (e *Engine) SetDebugMode(on bool) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	e.debugOn.Store(on)
-	if !on {
-		e.debugKernels = nil
+	if on == e.debugOn.Load() {
+		return
 	}
+	e.debugOn.Store(on)
+	if on {
+		e.debugRemove = e.hub.Register(telemetry.ObserverFunc(func(telemetry.Event) {}))
+		return
+	}
+	if e.debugRemove != nil {
+		e.debugRemove()
+		e.debugRemove = nil
+	}
+	e.debugKernels = nil
 }
 
 // DebugKernels returns the kernel records accumulated while debug mode was
@@ -863,6 +900,26 @@ func (e *Engine) Profile(f func()) ProfileInfo {
 // upload and download.
 func (e *Engine) Time(f func()) kernels.TimeInfo {
 	return e.Backend().Time(f)
+}
+
+// ---------------------------------------------------------------------------
+// Tensor-lifetime tracking
+
+// TrackLifetimes installs a tensor-lifetime tracker: until the returned
+// remove function runs, every tensor-handle registration is reported to lt
+// with its tidy scope, open model span and (sampled) allocation-site
+// stack, every disposal clears it, and a finalizer that fires on an
+// undisposed tensor marks it finalizer-reclaimed. Only one tracker may be
+// installed at a time; a second installation fails. The unobserved
+// allocation path pays one atomic pointer load.
+func (e *Engine) TrackLifetimes(lt *telemetry.LifetimeTracker) (remove func(), err error) {
+	if lt == nil {
+		return nil, fmt.Errorf("core: nil lifetime tracker")
+	}
+	if !e.lifetime.CompareAndSwap(nil, lt) {
+		return nil, fmt.Errorf("core: a lifetime tracker is already installed")
+	}
+	return func() { e.lifetime.CompareAndSwap(lt, nil) }, nil
 }
 
 var _ tensor.Handler = (*Engine)(nil)

@@ -82,6 +82,7 @@ type Device struct {
 	mu           sync.Mutex
 	textureBytes int64
 	numTextures  int
+	peakTexBytes int64
 
 	stats struct {
 		programs atomic.Int64
@@ -201,6 +202,9 @@ func (d *Device) CreateTexture(width, height int, format TextureFormat) (*Textur
 	d.mu.Lock()
 	d.textureBytes += t.Bytes()
 	d.numTextures++
+	if d.textureBytes > d.peakTexBytes {
+		d.peakTexBytes = d.textureBytes
+	}
 	d.mu.Unlock()
 	d.stats.created.Add(1)
 	return t, nil
@@ -429,6 +433,15 @@ func (d *Device) NumTextures() int {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return d.numTextures
+}
+
+// PeakTextureBytes returns the high-water mark of device texture memory —
+// the paging-pressure gauge the leak diagnostics report alongside the
+// recycler's occupancy.
+func (d *Device) PeakTextureBytes() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.peakTexBytes
 }
 
 // Stats returns a snapshot of device activity counters.

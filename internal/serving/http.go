@@ -26,6 +26,13 @@ const maxBodyBytes = 64 << 20
 //	GET  /healthz                       → liveness
 //	GET  /metrics                       → Prometheus-style text
 //	GET  /debug/trace?seconds=N         → Chrome trace-event JSON download
+//	GET  /debug/memory                  → engine + device memory JSON
+//	GET  /debug/memory?leaks=N          → + N-second tensor-leak capture
+//
+// Every predict response echoes an X-Request-ID header — honored from
+// the inbound request or minted here — and the same ID tags the
+// request's stage events in /debug/trace, so one slow HTTP response can
+// be traced to its queue wait, batch, and execution.
 //
 // The server registers a trace recorder and a stats aggregator on the
 // engine's telemetry hub, so /metrics carries per-model per-kernel
@@ -58,6 +65,7 @@ func NewServer(reg *Registry) *Server {
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/debug/trace", s.handleTrace)
+	s.mux.HandleFunc("/debug/memory", s.handleMemory)
 	s.mux.HandleFunc("/v1/models", s.handleList)
 	s.mux.HandleFunc("/v1/models/", s.handleModel)
 	return s
@@ -108,6 +116,66 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("Content-Disposition", `attachment; filename="trace.json"`)
 	_ = s.trace.WriteChromeTrace(w, since)
+}
+
+// memoryReport is the JSON shape of GET /debug/memory.
+type memoryReport struct {
+	Backend string                  `json:"backend"`
+	Engine  core.MemoryInfo         `json:"engine"`
+	Device  *telemetry.DeviceMemory `json:"device,omitempty"`
+	Leaks   *telemetry.LeakReport   `json:"leaks,omitempty"`
+}
+
+// maxLeakCaptureSeconds caps how long /debug/memory?leaks=N holds the
+// engine's single lifetime-tracker slot.
+const maxLeakCaptureSeconds = 30
+
+// handleMemory reports the engine's tensor/byte counters and, when the
+// active backend exposes device memory (webgl/glsim texture residency,
+// recycler occupancy, paging pressure), that too. ?leaks=N additionally
+// installs a tensor-lifetime tracker for N seconds (capped) and attaches
+// a LeakReport attributing the tensors allocated-and-not-disposed during
+// the window to their allocation sites — leak triage against a live
+// server, no restart required.
+func (s *Server) handleMemory(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	eng := core.Global()
+	rep := memoryReport{Backend: eng.BackendName(), Engine: eng.Memory()}
+	if dm, ok := eng.Backend().(interface {
+		DeviceMemory() *telemetry.DeviceMemory
+	}); ok {
+		rep.Device = dm.DeviceMemory()
+	}
+	if q := r.URL.Query().Get("leaks"); q != "" {
+		sec, err := strconv.ParseFloat(q, 64)
+		if err != nil || sec <= 0 {
+			http.Error(w, "bad leaks parameter", http.StatusBadRequest)
+			return
+		}
+		if sec > maxLeakCaptureSeconds {
+			sec = maxLeakCaptureSeconds
+		}
+		lt := telemetry.NewLifetimeTracker(1)
+		remove, err := eng.TrackLifetimes(lt)
+		if err != nil {
+			// One capture at a time: the tracker slot is already taken
+			// (another capture, or a tfjs-profile -leaks run).
+			writeJSON(w, http.StatusConflict, map[string]any{"error": err.Error()})
+			return
+		}
+		select {
+		case <-time.After(time.Duration(sec * float64(time.Second))):
+		case <-r.Context().Done():
+		}
+		remove()
+		leaks := lt.Report()
+		leaks.Device = rep.Device
+		rep.Leaks = leaks
+	}
+	writeJSON(w, http.StatusOK, rep)
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
@@ -182,20 +250,31 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request, m *Model)
 		insts[i] = inst
 	}
 
+	// Trace ID: honor the caller's X-Request-ID, mint one otherwise, and
+	// echo it on the response so the caller can correlate this HTTP
+	// exchange with the request's stage events in /debug/trace.
+	reqID := r.Header.Get("X-Request-ID")
+	if reqID == "" {
+		reqID = generateRequestID()
+	}
+	w.Header().Set("X-Request-ID", reqID)
+
 	// Each instance is its own schedulable unit so the micro-batcher can
 	// coalesce across requests; a multi-instance request fans out here
-	// and joins below.
+	// and joins below. Fanned-out instances get a per-instance suffix so
+	// their spans stay distinguishable under one trace ID.
 	outs := make([]Instance, len(insts))
 	errs := make([]error, len(insts))
 	if len(insts) == 1 {
-		outs[0], errs[0] = m.Predict(r.Context(), insts[0])
+		outs[0], errs[0] = m.Predict(WithRequestID(r.Context(), reqID), insts[0])
 	} else {
 		var wg sync.WaitGroup
 		for i := range insts {
 			wg.Add(1)
 			go func(i int) {
 				defer wg.Done()
-				outs[i], errs[i] = m.Predict(r.Context(), insts[i])
+				ctx := WithRequestID(r.Context(), fmt.Sprintf("%s#%d", reqID, i))
+				outs[i], errs[i] = m.Predict(ctx, insts[i])
 			}(i)
 		}
 		wg.Wait()

@@ -25,6 +25,15 @@ type Metrics struct {
 
 	// batchSizes histograms executed batch sizes (size → executions).
 	batchSizes map[int]int64
+
+	// rejected counts submissions refused at the queue (ErrQueueFull) —
+	// the backpressure signal operators alert on.
+	rejected int64
+
+	// stages holds per-stage latency distributions: queue_wait, gather,
+	// execute, split — the request-flow breakdown behind the end-to-end
+	// latency number.
+	stages map[string]*telemetry.Distribution
 }
 
 // NewMetrics returns an empty metrics collector.
@@ -33,6 +42,7 @@ func NewMetrics() *Metrics {
 		requests:   map[string]int64{},
 		latency:    telemetry.NewDistribution(),
 		batchSizes: map[int]int64{},
+		stages:     map[string]*telemetry.Distribution{},
 	}
 }
 
@@ -52,6 +62,46 @@ func (m *Metrics) ObserveBatch(size int) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.batchSizes[size]++
+}
+
+// ObserveRejected counts one queue-full rejection.
+func (m *Metrics) ObserveRejected() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.rejected++
+}
+
+// Rejected returns the queue-full rejection count.
+func (m *Metrics) Rejected() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.rejected
+}
+
+// ObserveStage records one request's latency through a named serving
+// stage (queue_wait, gather, execute, split).
+func (m *Metrics) ObserveStage(stage string, ms float64) {
+	m.mu.Lock()
+	d, ok := m.stages[stage]
+	if !ok {
+		d = telemetry.NewDistribution()
+		m.stages[stage] = d
+	}
+	m.mu.Unlock()
+	d.Observe(ms)
+}
+
+// StagePercentiles returns the p50/p95/p99 of one stage's recent latency
+// window. Zeroes when the stage has not been observed.
+func (m *Metrics) StagePercentiles(stage string) (p50, p95, p99 float64) {
+	m.mu.Lock()
+	d := m.stages[stage]
+	m.mu.Unlock()
+	if d == nil {
+		return 0, 0, 0
+	}
+	qs := d.Quantiles(0.50, 0.95, 0.99)
+	return qs[0], qs[1], qs[2]
 }
 
 // Requests returns the count for one outcome label.
@@ -81,32 +131,51 @@ func (m *Metrics) Percentiles() (p50, p95, p99 float64) {
 	return qs[0], qs[1], qs[2]
 }
 
+// StageLatency is one serving stage's quantile summary.
+type StageLatency struct {
+	P50 float64 `json:"p50_ms"`
+	P95 float64 `json:"p95_ms"`
+	P99 float64 `json:"p99_ms"`
+}
+
 // Snapshot is one model's metrics in exportable form.
 type Snapshot struct {
-	Requests   map[string]int64 `json:"requests"`
-	LatencyP50 float64          `json:"latency_ms_p50"`
-	LatencyP95 float64          `json:"latency_ms_p95"`
-	LatencyP99 float64          `json:"latency_ms_p99"`
-	BatchSizes map[int]int64    `json:"batch_sizes"`
-	QueueDepth int              `json:"queue_depth"`
+	Requests      map[string]int64        `json:"requests"`
+	LatencyP50    float64                 `json:"latency_ms_p50"`
+	LatencyP95    float64                 `json:"latency_ms_p95"`
+	LatencyP99    float64                 `json:"latency_ms_p99"`
+	BatchSizes    map[int]int64           `json:"batch_sizes"`
+	QueueDepth    int                     `json:"queue_depth"`
+	QueueRejected int64                   `json:"queue_rejected"`
+	Stages        map[string]StageLatency `json:"stages,omitempty"`
 }
 
 // snapshot captures the current state; queueDepth is sampled by the caller.
 func (m *Metrics) snapshot(queueDepth int) Snapshot {
 	p50, p95, p99 := m.Percentiles()
 	m.mu.Lock()
-	defer m.mu.Unlock()
+	stages := make(map[string]*telemetry.Distribution, len(m.stages))
+	for k, d := range m.stages {
+		stages[k] = d
+	}
 	s := Snapshot{
 		Requests:   make(map[string]int64, len(m.requests)),
 		LatencyP50: p50, LatencyP95: p95, LatencyP99: p99,
-		BatchSizes: make(map[int]int64, len(m.batchSizes)),
-		QueueDepth: queueDepth,
+		BatchSizes:    make(map[int]int64, len(m.batchSizes)),
+		QueueDepth:    queueDepth,
+		QueueRejected: m.rejected,
+		Stages:        make(map[string]StageLatency, len(m.stages)),
 	}
 	for k, v := range m.requests {
 		s.Requests[k] = v
 	}
 	for k, v := range m.batchSizes {
 		s.BatchSizes[k] = v
+	}
+	m.mu.Unlock()
+	for k, d := range stages {
+		qs := d.Quantiles(0.50, 0.95, 0.99)
+		s.Stages[k] = StageLatency{P50: qs[0], P95: qs[1], P99: qs[2]}
 	}
 	return s
 }
@@ -153,6 +222,18 @@ func renderMetrics(models map[string]Snapshot, stats *telemetry.Stats) string {
 			fmt.Fprintf(&b, "serving_batch_size_total{model=%q,size=\"%d\"} %d\n", name, size, s.BatchSizes[size])
 		}
 		fmt.Fprintf(&b, "serving_queue_depth{model=%q} %d\n", name, s.QueueDepth)
+		fmt.Fprintf(&b, "serving_queue_rejected_total{model=%q} %d\n", name, s.QueueRejected)
+		stages := make([]string, 0, len(s.Stages))
+		for stage := range s.Stages {
+			stages = append(stages, stage)
+		}
+		sort.Strings(stages)
+		for _, stage := range stages {
+			sl := s.Stages[stage]
+			fmt.Fprintf(&b, "serving_stage_latency_ms{model=%q,stage=%q,quantile=\"0.5\"} %.3f\n", name, stage, sl.P50)
+			fmt.Fprintf(&b, "serving_stage_latency_ms{model=%q,stage=%q,quantile=\"0.95\"} %.3f\n", name, stage, sl.P95)
+			fmt.Fprintf(&b, "serving_stage_latency_ms{model=%q,stage=%q,quantile=\"0.99\"} %.3f\n", name, stage, sl.P99)
+		}
 	}
 	if stats != nil {
 		renderKernelMetrics(&b, stats)

@@ -195,7 +195,7 @@ func (m *Model) load(store converter.Store) {
 		m.loadErr = err
 	} else {
 		m.format = format
-		m.sched = newScheduler(m.cfg, run, m.metrics)
+		m.sched = newScheduler(m.cfg, m.name, run, m.metrics)
 		m.disp = dispose
 		m.state = StateReady
 	}

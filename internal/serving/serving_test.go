@@ -63,7 +63,7 @@ func stubModel(name string, cfg Config, run runner) *Model {
 		ready:   make(chan struct{}),
 	}
 	close(m.ready)
-	m.sched = newScheduler(m.cfg, run, m.metrics)
+	m.sched = newScheduler(m.cfg, name, run, m.metrics)
 	return m
 }
 

@@ -1,0 +1,45 @@
+package serving
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+)
+
+// Request-flow tracing (Dapper-style): the HTTP layer mints (or accepts)
+// one request ID per schedulable unit, the context carries it into the
+// scheduler, and the batcher emits per-request stage events tagged with
+// it. A separate numeric flow ID — unique per request — draws the Chrome
+// flow arrow from the request's span into the batched execution it was
+// coalesced into, making the N-requests-into-one-batch fan-in visible in
+// chrome://tracing.
+
+// requestIDKey is the context key carrying the request/trace ID.
+type requestIDKey struct{}
+
+// WithRequestID returns a context carrying the given request/trace ID;
+// the scheduler tags all per-request telemetry events with it.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, requestIDKey{}, id)
+}
+
+// RequestID extracts the request/trace ID from a context, or "" when the
+// request arrived untagged.
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}
+
+// idCounter feeds both generated request IDs and flow IDs. Monotonic per
+// process; uniqueness is all the trace viewer needs.
+var idCounter atomic.Uint64
+
+// nextID reserves one fresh ID.
+func nextID() uint64 { return idCounter.Add(1) }
+
+// generateRequestID mints an ID for requests that arrived without an
+// inbound X-Request-ID.
+func generateRequestID() string { return fmt.Sprintf("req-%d", nextID()) }

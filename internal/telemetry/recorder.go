@@ -126,7 +126,9 @@ type traceEvent struct {
 	Dur   *int64         `json:"dur,omitempty"` // microseconds, X events
 	PID   int            `json:"pid"`
 	TID   int            `json:"tid"`
-	Scope string         `json:"s,omitempty"` // instant-event scope
+	Scope string         `json:"s,omitempty"`   // instant-event scope
+	ID    string         `json:"id,omitempty"`  // flow-event chain id
+	BP    string         `json:"bp,omitempty"`  // flow binding point ("e")
 	Args  map[string]any `json:"args,omitempty"`
 }
 
@@ -144,7 +146,18 @@ const (
 	tidTransfers = 2
 	tidDevice    = 3
 	tidSpans     = 4
+	tidBatches   = 5
+	// tidRequestBase starts the per-request track range: concurrent
+	// request spans spread across requestTracks tids (keyed by flow ID) so
+	// overlapping requests don't stack on one another in the viewer.
+	tidRequestBase = 16
+	requestTracks  = 16
 )
+
+// requestTID spreads request spans across the request track range.
+func requestTID(flowID uint64) int {
+	return tidRequestBase + int(flowID%requestTracks)
+}
 
 func micros(t time.Time) int64 { return t.UnixNano() / int64(time.Microsecond) }
 func durMicros(ms float64) *int64 {
@@ -155,6 +168,55 @@ func durMicros(ms float64) *int64 {
 	return &d
 }
 func shapesString(shapes [][]int) string { return fmt.Sprint(shapes) }
+
+// flowIDString renders a flow chain id; Chrome accepts string ids.
+func flowIDString(id uint64) string { return fmt.Sprintf("flow-%d", id) }
+
+// expandTraceEvents lowers one telemetry event onto the Chrome schema.
+// Request-flow events expand to more than one trace event: a request span
+// also opens a flow (ph "s") and its execute stage closes it (ph "f",
+// bp "e") inside the batch slice, which is what draws the fan-in arrows
+// from N request tracks into one batched execution in chrome://tracing.
+func expandTraceEvents(ev Event) []traceEvent {
+	te := toTraceEvent(ev)
+	switch ev.Kind {
+	case KindRequest:
+		if ev.FlowID == 0 {
+			return []traceEvent{te}
+		}
+		// The flow starts at the request span's start, on its track.
+		return []traceEvent{te, {
+			Name:  "request-flow",
+			Cat:   "flow",
+			Phase: "s",
+			TS:    te.TS,
+			PID:   te.PID,
+			TID:   te.TID,
+			ID:    flowIDString(ev.FlowID),
+		}}
+	case KindStage:
+		if ev.Name != "execute" || ev.FlowID == 0 {
+			return []traceEvent{te}
+		}
+		// The flow finishes inside the batch slice (bp "e" binds the event
+		// to the slice enclosing its timestamp on the batch track).
+		mid := te.TS
+		if te.Dur != nil {
+			mid += *te.Dur / 2
+		}
+		return []traceEvent{te, {
+			Name:  "request-flow",
+			Cat:   "flow",
+			Phase: "f",
+			TS:    mid,
+			PID:   te.PID,
+			TID:   tidBatches,
+			ID:    flowIDString(ev.FlowID),
+			BP:    "e",
+		}}
+	}
+	return []traceEvent{te}
+}
 
 // toTraceEvent lowers one telemetry event onto the Chrome schema.
 func toTraceEvent(ev Event) traceEvent {
@@ -216,6 +278,23 @@ func toTraceEvent(ev Event) traceEvent {
 			"num_tensors": ev.NumTensors,
 			"num_bytes":   ev.TotalBytes,
 		}
+	case KindRequest:
+		te.TID = requestTID(ev.FlowID)
+		te.Dur = durMicros(ev.DurMS)
+		if ev.Trace != "" {
+			te.Args["trace"] = ev.Trace
+		}
+	case KindStage:
+		te.TID = requestTID(ev.FlowID)
+		te.Dur = durMicros(ev.DurMS)
+		if ev.Trace != "" {
+			te.Args["trace"] = ev.Trace
+		}
+	case KindBatch:
+		te.TID = tidBatches
+		te.Dur = durMicros(ev.DurMS)
+		te.Args["batch_size"] = ev.Count
+		te.Args["batch_id"] = ev.FlowID
 	}
 	if len(te.Args) == 0 {
 		te.Args = nil
@@ -238,7 +317,7 @@ func WriteChromeTrace(w io.Writer, events []Event) error {
 		Metadata:        map[string]any{"producer": "tfjs-go telemetry"},
 	}
 	for _, ev := range events {
-		out.TraceEvents = append(out.TraceEvents, toTraceEvent(ev))
+		out.TraceEvents = append(out.TraceEvents, expandTraceEvents(ev)...)
 	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(out)

@@ -8,11 +8,16 @@ import (
 
 // validPhases are the Chrome trace-event phase codes this library emits or
 // accepts: complete (X), duration begin/end (B/E), instant (i/I), counter
-// (C), and metadata (M).
+// (C), metadata (M), and flow start/step/finish (s/t/f).
 var validPhases = map[string]bool{
 	"X": true, "B": true, "E": true,
 	"i": true, "I": true, "C": true, "M": true,
+	"s": true, "t": true, "f": true,
 }
+
+// flowPhases are the flow-event phases, which additionally require an id
+// binding the arrows of one flow chain together.
+var flowPhases = map[string]bool{"s": true, "t": true, "f": true}
 
 // ValidateChromeTrace checks data against the Chrome trace-event schema:
 // either a bare JSON array of events or an object with a traceEvents
@@ -47,6 +52,7 @@ func ValidateChromeTrace(data []byte) error {
 			Dur   *float64       `json:"dur"`
 			PID   *json.Number   `json:"pid"`
 			TID   *json.Number   `json:"tid"`
+			ID    *string        `json:"id"`
 			Args  map[string]any `json:"args"`
 		}
 		dec := json.NewDecoder(bytes.NewReader(raw))
@@ -85,6 +91,9 @@ func ValidateChromeTrace(data []byte) error {
 		}
 		if *ev.Phase == "C" && len(ev.Args) == 0 {
 			return fmt.Errorf("telemetry: counter event %d (%s) has no args", i, *ev.Name)
+		}
+		if flowPhases[*ev.Phase] && (ev.ID == nil || *ev.ID == "") {
+			return fmt.Errorf("telemetry: flow event %d (%s) has no id", i, *ev.Name)
 		}
 	}
 	return nil

@@ -46,6 +46,16 @@ const (
 	KindPageOut
 	// KindPageIn is a texture paged back onto the device.
 	KindPageIn
+	// KindRequest is one serving request's end-to-end span, carrying the
+	// request's trace ID and flow ID (request-flow tracing).
+	KindRequest
+	// KindStage is one per-request serving stage: queue_wait, gather,
+	// execute or split. The execute stage carries the flow ID linking the
+	// request into its batched execution.
+	KindStage
+	// KindBatch is one batched serving execution — the fan-in target the
+	// coalesced requests' flow events point at. Count is the batch size.
+	KindBatch
 )
 
 // String names the kind for trace output.
@@ -67,6 +77,12 @@ func (k EventKind) String() string {
 		return "page_out"
 	case KindPageIn:
 		return "page_in"
+	case KindRequest:
+		return "request"
+	case KindStage:
+		return "stage"
+	case KindBatch:
+		return "batch"
 	}
 	return "unknown"
 }
@@ -104,6 +120,18 @@ type Event struct {
 	// InputShapes / OutputShapes describe kernel operands (Kernel only).
 	InputShapes  [][]int
 	OutputShapes [][]int
+	// Trace is the request/trace ID of serving request-flow events
+	// (Request, Stage). It is minted by the HTTP layer (honoring an
+	// inbound X-Request-ID) or by the scheduler for direct submitters.
+	Trace string
+	// FlowID links a request span to the batched execution that served it:
+	// the Request event and its execute Stage event share a FlowID, which
+	// the trace renderer turns into a Chrome flow (ph "s"/"f") so N
+	// coalesced requests visibly fan into one batch slice. On Batch events
+	// it is the batch's own sequence number.
+	FlowID uint64
+	// Count is a generic cardinality: the batch size on Batch events.
+	Count int
 }
 
 // Observer receives telemetry events. Implementations must be safe for

@@ -385,6 +385,23 @@ func (b *Backend) PagingStats() (outs, ins int64) {
 	return b.pageOuts.Load(), b.pageIns.Load()
 }
 
+// DeviceMemory renders the backend's device-side memory picture for leak
+// diagnostics: texture residency, recycler occupancy (free textures
+// awaiting reuse, §4.1.2) and paging pressure (bytes parked on the host
+// plus page-out/in counts and the device's texture high-water mark).
+func (b *Backend) DeviceMemory() *telemetry.DeviceMemory {
+	return &telemetry.DeviceMemory{
+		Backend:          b.Name(),
+		NumTextures:      b.device.NumTextures(),
+		TextureBytes:     b.device.TextureBytes(),
+		FreeTextures:     b.manager.freeCount(),
+		PagedBytes:       b.pagedBytes.Load(),
+		PageOuts:         b.pageOuts.Load(),
+		PageIns:          b.pageIns.Load(),
+		PeakTextureBytes: b.device.PeakTextureBytes(),
+	}
+}
+
 // RecyclingStats reports texture acquisitions and recycle hits.
 func (b *Backend) RecyclingStats() (acquires, hits int64) { return b.manager.stats() }
 

@@ -1,0 +1,90 @@
+package tf_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/tf"
+)
+
+// leakOneTensor allocates a tensor and never disposes it; the leak
+// report must name this function and file as the allocation site.
+func leakOneTensor() *tf.Tensor {
+	return tf.Tensor1D([]float32{1, 2, 3})
+}
+
+// TestLeakCheckReportsLeakedTensor is the facade acceptance check: a
+// function leaking exactly one tensor is reported with exactly that
+// tensor and a resolvable allocation site, while tidy-disposed tensors
+// stay out of the report.
+func TestLeakCheckReportsLeakedTensor(t *testing.T) {
+	if err := tf.SetBackend("cpu"); err != nil {
+		t.Fatal(err)
+	}
+	var leaked *tf.Tensor
+	rep, err := tf.LeakCheck(func() {
+		// Net-zero work: everything inside the tidy is reclaimed.
+		tf.Tidy(func() []*tf.Tensor {
+			a := tf.Tensor1D([]float32{4, 5})
+			b := tf.Add(a, a)
+			b.DataSync()
+			return nil
+		})
+		leaked = leakOneTensor()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer leaked.Dispose()
+
+	if rep.LiveTensors != 1 {
+		t.Fatalf("LiveTensors = %d, want exactly 1:\n%s", rep.LiveTensors, rep)
+	}
+	if rep.LiveBytes != int64(leaked.Bytes()) {
+		t.Errorf("LiveBytes = %d, want %d (the leaked tensor's payload)", rep.LiveBytes, leaked.Bytes())
+	}
+	if len(rep.Sites) != 1 {
+		t.Fatalf("Sites = %+v, want exactly one", rep.Sites)
+	}
+	site := rep.Sites[0]
+	if !strings.Contains(site.Site, "leak_test.go") || !strings.Contains(site.Site, "leakOneTensor") {
+		t.Errorf("allocation site %q does not resolve to leakOneTensor in this file", site.Site)
+	}
+	if rep.Disposes == 0 {
+		t.Error("report saw no disposals; the tidy-reclaimed tensors should have been tracked")
+	}
+}
+
+// TestLeakCheckCleanRun verifies the converse: a function that disposes
+// everything it allocates reports zero leaks.
+func TestLeakCheckCleanRun(t *testing.T) {
+	if err := tf.SetBackend("cpu"); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := tf.LeakCheck(func() {
+		tf.Tidy(func() []*tf.Tensor {
+			a := tf.Tensor1D([]float32{1, 2})
+			tf.Mul(a, a).DataSync()
+			return nil
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.LiveTensors != 0 || len(rep.Sites) != 0 {
+		t.Fatalf("clean run reported leaks:\n%s", rep)
+	}
+}
+
+// TestLeakCheckSingleTracker verifies the one-tracker contract: a nested
+// LeakCheck fails instead of silently corrupting the outer capture.
+func TestLeakCheckSingleTracker(t *testing.T) {
+	_, err := tf.LeakCheck(func() {
+		if _, nested := tf.LeakCheck(func() {}); nested == nil {
+			t.Error("nested LeakCheck succeeded; want an already-installed error")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

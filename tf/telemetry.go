@@ -58,6 +58,56 @@ func WithTelemetry(obs ...TelemetryObserver) (remove func()) {
 	}
 }
 
+// LeakReport attributes live (undisposed) tensors to their allocation
+// sites, tidy scopes and model spans, and separates tensors the garbage
+// collector had to finalize from those disposed deterministically.
+type LeakReport = telemetry.LeakReport
+
+// LifetimeTracker records tensor allocate/dispose/finalize lifecycles
+// with sampled allocation-site stacks; install it on the engine with
+// EngineOf().TrackLifetimes for long-window captures, or use LeakCheck
+// for the common run-and-report case.
+type LifetimeTracker = telemetry.LifetimeTracker
+
+// NewLifetimeTracker returns a tracker capturing an allocation-site
+// stack every sampleEvery-th allocation (1 = every allocation).
+func NewLifetimeTracker(sampleEvery int) *LifetimeTracker {
+	return telemetry.NewLifetimeTracker(sampleEvery)
+}
+
+// LeakCheck runs fn under a tensor-lifetime tracker and reports every
+// tensor fn allocated and failed to dispose, each attributed to the
+// source line that allocated it and the tidy scope it escaped from:
+//
+//	rep, _ := tf.LeakCheck(func() {
+//	    a := tf.Tensor1D(1, 2, 3)   // leaked: no Dispose, no tidy
+//	    _ = a
+//	})
+//	fmt.Print(rep)                  // 1 live tensor @ main.go:42
+//
+// Tensors fn returns on purpose count as leaks too — run the check
+// around code that should be net-zero (a tidy body, one serving
+// request). Allocation sites are captured for every allocation
+// (sampling 1), so a nonempty report always names lines. The engine
+// holds at most one tracker; LeakCheck errors if another capture (e.g.
+// a serving /debug/memory?leaks=N window) is in flight.
+func LeakCheck(fn func()) (*LeakReport, error) {
+	lt := telemetry.NewLifetimeTracker(1)
+	remove, err := core.Global().TrackLifetimes(lt)
+	if err != nil {
+		return nil, err
+	}
+	defer remove()
+	fn()
+	rep := lt.Report()
+	if dm, ok := core.Global().Backend().(interface {
+		DeviceMemory() *telemetry.DeviceMemory
+	}); ok {
+		rep.Device = dm.DeviceMemory()
+	}
+	return rep, nil
+}
+
 // Config carries process-wide tuning knobs applied by Configure.
 type Config struct {
 	// Workers sets the goroutine fan-out of the "node" backend's parallel
