@@ -5,16 +5,27 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 )
 
-// ModeResult is one serving mode's measured numbers, the JSON shape
-// shared by the BENCH_serving.json baseline and the -out artifact.
+// ModeResult is one benchmark mode's measured numbers, the JSON shape
+// shared by the BENCH_serving.json baseline and the -out artifacts. The
+// serving modes fill the latency percentiles; the fusion A/B modes fill
+// the per-inference fields (PredictMS, PeakBytes). KernelDispatches is the
+// average kernel launches per request — the graph-optimizer's primary
+// observable; KernelCounts breaks that down by kernel name (per inference
+// for the fusion modes, totals across the run for the serving modes, where
+// micro-batching makes per-request counts fractional).
 type ModeResult struct {
-	QPS      float64 `json:"qps"`
-	P50MS    float64 `json:"p50_ms"`
-	P95MS    float64 `json:"p95_ms"`
-	P99MS    float64 `json:"p99_ms"`
-	MaxBatch int     `json:"max_batch"`
+	QPS              float64          `json:"qps"`
+	P50MS            float64          `json:"p50_ms,omitempty"`
+	P95MS            float64          `json:"p95_ms,omitempty"`
+	P99MS            float64          `json:"p99_ms,omitempty"`
+	MaxBatch         int              `json:"max_batch,omitempty"`
+	PredictMS        float64          `json:"predict_ms,omitempty"`
+	PeakBytes        int64            `json:"peak_bytes,omitempty"`
+	KernelDispatches int64            `json:"kernel_dispatches,omitempty"`
+	KernelCounts     map[string]int64 `json:"kernel_counts,omitempty"`
 }
 
 // ServingBench is a captured serving-benchmark run: the workload config
@@ -79,7 +90,7 @@ func loadBaseline(path string) (*ServingBench, error) {
 func compareBaseline(current, baseline *ServingBench) (regressed bool) {
 	fmt.Printf("\nbaseline comparison (tolerance %.0f%% QPS):\n", regressionTolerance*100)
 	fmt.Printf("%-12s %12s %12s %9s %s\n", "Mode", "base QPS", "now QPS", "delta", "verdict")
-	for _, mode := range []string{"batched", "unbatched"} {
+	for _, mode := range modeUnion(current, baseline) {
 		base, okB := baseline.Modes[mode]
 		now, okN := current.Modes[mode]
 		if !okB || !okN {
@@ -99,4 +110,23 @@ func compareBaseline(current, baseline *ServingBench) (regressed bool) {
 			baseline.GoMaxProcs, current.GoMaxProcs)
 	}
 	return regressed
+}
+
+// modeUnion returns the sorted union of mode names across two runs, so a
+// baseline from an older layout still compares what it can and new modes
+// show up as skipped rather than vanishing silently.
+func modeUnion(a, b *ServingBench) []string {
+	set := map[string]bool{}
+	for m := range a.Modes {
+		set[m] = true
+	}
+	for m := range b.Modes {
+		set[m] = true
+	}
+	out := make([]string, 0, len(set))
+	for m := range set {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
 }

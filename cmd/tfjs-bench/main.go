@@ -8,6 +8,7 @@
 //	tfjs-bench recycling — §4.1.2: texture recycler ablation
 //	tfjs-bench census    — §4.1.3: device support shares (WebGLStats analogue)
 //	tfjs-bench serve     — serving: micro-batched vs unbatched QPS and latency
+//	tfjs-bench fusion    — graph optimizer A/B: operator fusion on vs off
 //	tfjs-bench all       — everything above
 //
 // Flags -alpha, -size and -runs scale the MobileNet workload; the defaults
@@ -22,6 +23,13 @@
 //
 //	tfjs-bench serve -out BENCH_serving.json            # (re)seed baseline
 //	tfjs-bench serve -baseline BENCH_serving.json       # compare
+//
+// The fusion command is the graph-optimizer A/B: it loads the same
+// converted MobileNet with the optimizer on and off, reports kernel
+// dispatches, Predict latency and peak memory per arm, verifies the arms
+// agree to 1e-5, and (with -tracedir) writes a Chrome trace per arm.
+// -fusion=off also lets the serve command run unoptimized graphs for
+// before/after comparisons.
 package main
 
 import (
@@ -40,9 +48,15 @@ func main() {
 	alpha := flag.Float64("alpha", 0.25, "MobileNet width multiplier (paper: 1.0)")
 	size := flag.Int("size", 96, "MobileNet input resolution (paper: 224)")
 	runs := flag.Int("runs", 10, "inference runs to average (paper: 100)")
-	baseline := flag.String("baseline", "", "serve: compare QPS against this baseline JSON, exit nonzero on >20% regression")
-	out := flag.String("out", "", "serve: write measured results as JSON to this file")
+	baseline := flag.String("baseline", "", "serve/fusion: compare QPS against this baseline JSON, exit nonzero on >20% regression")
+	out := flag.String("out", "", "serve/fusion: write measured results as JSON to this file")
+	fusion := flag.String("fusion", "on", "graph optimizer for the serve command: on or off")
+	traceDir := flag.String("tracedir", "", "fusion: write trace_fusion_{on,off}.json Chrome traces to this directory")
 	flag.Parse()
+	if *fusion != "on" && *fusion != "off" {
+		fmt.Fprintf(os.Stderr, "-fusion must be on or off, got %q\n", *fusion)
+		os.Exit(2)
+	}
 
 	cmd := "all"
 	if flag.NArg() > 0 {
@@ -66,7 +80,9 @@ func main() {
 	case "webgpu":
 		webgpuExperiment()
 	case "serve":
-		serveExperiment(*alpha, *size, 10**runs, *baseline, *out)
+		serveExperiment(*alpha, *size, 10**runs, *baseline, *out, *fusion == "on")
+	case "fusion":
+		fusionExperiment(*alpha, *size, *runs, *baseline, *out, *traceDir)
 	case "all":
 		table1(*alpha, *size, *runs)
 		fig23()

@@ -28,10 +28,10 @@ import (
 // artifact, or a new BENCH_serving.json baseline). baselinePath compares
 // the run against a committed baseline and exits nonzero on a QPS
 // regression beyond the tolerance.
-func serveExperiment(alpha float64, size, runs int, baselinePath, outPath string) {
+func serveExperiment(alpha float64, size, runs int, baselinePath, outPath string, fusion bool) {
 	fmt.Printf("\n=== Serving: dynamic micro-batching throughput ===\n")
-	fmt.Printf("MobileNet v1 alpha=%.2f input=%dx%dx3, native backend, %d CPU core(s), 32 concurrent clients, %d requests per mode\n\n",
-		alpha, size, size, runtime.NumCPU(), runs)
+	fmt.Printf("MobileNet v1 alpha=%.2f input=%dx%dx3, native backend, %d CPU core(s), 32 concurrent clients, %d requests per mode, fusion=%v\n\n",
+		alpha, size, size, runtime.NumCPU(), runs, fusion)
 
 	store := converter.NewMemStore()
 	model, err := tf.MobileNetV1(tf.MobileNetConfig{
@@ -55,7 +55,7 @@ func serveExperiment(alpha float64, size, runs int, baselinePath, outPath string
 	}
 
 	results := newServingBench(alpha, size, runs, 32)
-	fmt.Printf("%-12s %10s %10s %10s %10s %10s\n", "Mode", "QPS", "p50 (ms)", "p95 (ms)", "p99 (ms)", "max batch")
+	fmt.Printf("%-12s %10s %10s %10s %10s %10s %12s\n", "Mode", "QPS", "p50 (ms)", "p95 (ms)", "p99 (ms)", "max batch", "dispatch/req")
 	for _, mode := range []struct {
 		label    string
 		maxBatch int
@@ -63,9 +63,10 @@ func serveExperiment(alpha float64, size, runs int, baselinePath, outPath string
 		{"batched", 16},
 		{"unbatched", 1},
 	} {
-		qps, p50, p95, p99, maxBatch := serveThroughput(store, size, mode.maxBatch, runs)
-		fmt.Printf("%-12s %10.1f %10.1f %10.1f %10.1f %10d\n", mode.label, qps, p50, p95, p99, maxBatch)
-		results.Modes[mode.label] = ModeResult{QPS: qps, P50MS: p50, P95MS: p95, P99MS: p99, MaxBatch: maxBatch}
+		r := serveThroughput(store, size, mode.maxBatch, runs, fusion)
+		fmt.Printf("%-12s %10.1f %10.1f %10.1f %10.1f %10d %12d\n",
+			mode.label, r.QPS, r.P50MS, r.P95MS, r.P99MS, r.MaxBatch, r.KernelDispatches)
+		results.Modes[mode.label] = r
 	}
 	fmt.Println("\n(single-core hosts show ~1x: the batched speedup comes from parallelizing the")
 	fmt.Println(" coalesced batch across cores and amortizing dispatch; see bench_serving_test.go)")
@@ -89,12 +90,14 @@ func serveExperiment(alpha float64, size, runs int, baselinePath, outPath string
 }
 
 // serveThroughput drives total requests through one registry model from 32
-// concurrent clients and reports QPS plus latency percentiles.
-func serveThroughput(store converter.Store, size, maxBatch, total int) (qps, p50, p95, p99 float64, maxObserved int) {
+// concurrent clients and reports QPS, latency percentiles and the kernel
+// dispatches the telemetry hub attributes to each request on average.
+func serveThroughput(store converter.Store, size, maxBatch, total int, fusion bool) ModeResult {
 	reg := serving.NewRegistry()
 	defer reg.Close()
 	m, err := reg.Load("mobilenet", store, serving.ModelOptions{
-		Backend: "node",
+		Backend:         "node",
+		DisableOptimize: !fusion,
 		Batching: serving.Config{
 			MaxBatchSize: maxBatch,
 			BatchTimeout: 2 * time.Millisecond,
@@ -112,6 +115,12 @@ func serveThroughput(store converter.Store, size, maxBatch, total int) (qps, p50
 	if _, err := m.Predict(ctx, inst); err != nil { // warmup
 		log.Fatal(err)
 	}
+
+	// Count kernel dispatches per served request: micro-batching and
+	// operator fusion both shrink this number, from opposite directions
+	// (amortization across the batch vs fewer launches per graph).
+	stats := tf.NewKernelStats()
+	removeStats := tf.WithTelemetry(stats)
 
 	const clients = 32
 	var wg sync.WaitGroup
@@ -134,7 +143,25 @@ func serveThroughput(store converter.Store, size, maxBatch, total int) (qps, p50
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
+	removeStats()
 
-	p50, p95, p99 = m.Metrics().Percentiles()
-	return float64(total) / elapsed.Seconds(), p50, p95, p99, m.Metrics().MaxBatchObserved()
+	var dispatches int64
+	counts := map[string]int64{}
+	for _, k := range stats.Kernels() {
+		dispatches += k.Count
+		counts[k.Name] = k.Count
+	}
+	p50, p95, p99 := m.Metrics().Percentiles()
+	return ModeResult{
+		QPS:              float64(total) / elapsed.Seconds(),
+		P50MS:            p50,
+		P95MS:            p95,
+		P99MS:            p99,
+		MaxBatch:         m.Metrics().MaxBatchObserved(),
+		KernelDispatches: dispatches / int64(total),
+		// Totals for the whole run: micro-batching amortizes launches
+		// across coalesced requests, so per-request tallies would truncate
+		// to zero for most kernels.
+		KernelCounts: counts,
+	}
 }

@@ -15,10 +15,16 @@
 // paging) on the webgl backend. -inject-leak deliberately leaks one
 // tensor to demonstrate the attribution.
 //
+// With -fusion-report it instead runs the graph-optimizer A/B on a
+// converted MobileNet and prints the patterns the optimizer fired at load,
+// the per-kernel dispatch and byte deltas between the unoptimized and
+// optimized graphs, and the peak engine memory of each arm.
+//
 //	tfjs-profile -backend webgl -alpha 0.25 -size 96
 //	tfjs-profile -backend webgl -trace trace.json
 //	tfjs-profile -backend webgl -debug -inject-nan
 //	tfjs-profile -backend webgl -leaks -inject-leak
+//	tfjs-profile -backend node -fusion-report
 package main
 
 import (
@@ -45,10 +51,16 @@ func main() {
 	injectNaN := flag.Bool("inject-nan", false, "inject a NaN to demonstrate debug mode")
 	leaks := flag.Bool("leaks", false, "run under the tensor-lifetime tracker and print the leak report")
 	injectLeak := flag.Bool("inject-leak", false, "deliberately leak one tensor to demonstrate -leaks attribution")
+	fusionRep := flag.Bool("fusion-report", false, "print the graph-optimizer report: patterns fired, per-kernel dispatch/byte deltas, peak memory")
 	flag.Parse()
 
 	if err := tf.SetBackend(*backend); err != nil {
 		log.Fatal(err)
+	}
+
+	if *fusionRep {
+		fusionReport(*alpha, *size, *runs)
+		return
 	}
 
 	if *debug {

@@ -1,7 +1,11 @@
 // Package graphmodel executes converted models — the inference engine
-// behind tf.loadModel(url) for graph-format models (Section 5.1). It
-// topologically sorts the graph once at load time and evaluates nodes with
-// the ops API, so a converted model runs on whichever backend is active.
+// behind tf.loadModel(url) for graph-format models (Section 5.1). Loading
+// runs a Grappler-style graph optimizer (operator fusion, batch-norm and
+// constant folding, pruning; see optimize.go) and compiles the result into
+// an execution plan (typed steps over integer slots with liveness-based
+// disposal; see plan.go), so Execute does no graph traversal, no attribute
+// decoding and no rewriting — and a converted model runs on whichever
+// backend is active.
 package graphmodel
 
 import (
@@ -10,16 +14,38 @@ import (
 
 	"repro/internal/converter"
 	"repro/internal/core"
-	"repro/internal/ops"
 	"repro/internal/savedmodel"
 	"repro/internal/tensor"
 )
 
+// config carries load-time options.
+type config struct {
+	optimize bool
+}
+
+// Option configures Load/New.
+type Option func(*config)
+
+// WithOptimize enables or disables the load-time graph optimizer
+// (enabled by default). Disabling it executes the graph exactly as
+// converted — the A/B switch behind `tfjs-bench -fusion=off` and the
+// serving registry's DisableOptimize.
+func WithOptimize(enabled bool) Option {
+	return func(c *config) { c.optimize = enabled }
+}
+
 // Model is an executable converted model.
 type Model struct {
-	graph *savedmodel.GraphDef
-	order []string // topological execution order
+	graph *savedmodel.GraphDef // original graph, as converted
+	exec  *savedmodel.GraphDef // execution graph (optimized unless disabled)
+	order []string             // topological execution order over exec
 	nodes map[string]*savedmodel.NodeDef
+
+	// plan is the compiled execution plan: attrs decoded once, steps
+	// flattened, liveness annotated. Immutable after New; shared by
+	// concurrent Execute calls.
+	plan     *plan
+	optStats OptimizeStats
 
 	// weights are uploaded once at load time and shared across calls.
 	weights map[string]*tensor.Tensor
@@ -32,36 +58,49 @@ type Model struct {
 }
 
 // Load reads artifacts from a converter.Store and prepares the model.
-func Load(store converter.Store) (*Model, error) {
+func Load(store converter.Store, opts ...Option) (*Model, error) {
 	g, err := converter.LoadArtifacts(store)
 	if err != nil {
 		return nil, err
 	}
-	return New(g)
+	return New(g, opts...)
 }
 
-// New prepares a model from an in-memory graph.
-func New(g *savedmodel.GraphDef) (*Model, error) {
+// New prepares a model from an in-memory graph: validates, optimizes
+// (unless disabled), compiles the execution plan and uploads the weights.
+// The caller's graph is never mutated; the optimizer works on a clone.
+func New(g *savedmodel.GraphDef, opts ...Option) (*Model, error) {
+	cfg := config{optimize: true}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
-	m := &Model{graph: g, nodes: map[string]*savedmodel.NodeDef{}}
-	for i := range g.Nodes {
-		m.nodes[g.Nodes[i].Name] = &g.Nodes[i]
+	m := &Model{graph: g, exec: g}
+	m.span = spanName("graphmodel", g)
+	if cfg.optimize {
+		m.exec, m.optStats = optimize(g, core.Global().Telemetry(), m.span)
 	}
-	order, err := topoSort(g)
+	m.nodes = map[string]*savedmodel.NodeDef{}
+	for i := range m.exec.Nodes {
+		m.nodes[m.exec.Nodes[i].Name] = &m.exec.Nodes[i]
+	}
+	order, err := topoSort(m.exec)
 	if err != nil {
 		return nil, err
 	}
 	m.order = order
-	m.span = spanName("graphmodel", g)
+	m.plan = compilePlan(m.exec, m.order, m.nodes)
 	m.weights = map[string]*tensor.Tensor{}
 	e := core.Global()
 	// Upload under the execution lock: loading may race with another
 	// model's Execute (the serving registry loads while serving), and the
 	// intermediate upload tensor must not be adopted by a foreign scope.
+	// Only the execution graph's weights upload — weights the optimizer
+	// folded away never reach the backend.
 	e.RunExclusive(func() {
-		for name, w := range g.Weights {
+		for name, w := range m.exec.Weights {
 			t := e.MakeTensor(w.Values, w.Shape, tensor.Float32)
 			// Weights outlive every tidy scope.
 			m.weights[name] = e.NewVariable(t, "graph/"+name, false).Value()
@@ -71,8 +110,17 @@ func New(g *savedmodel.GraphDef) (*Model, error) {
 	return m, nil
 }
 
-// Graph exposes the underlying graph definition.
+// Graph exposes the underlying graph definition as converted, before any
+// optimization.
 func (m *Model) Graph() *savedmodel.GraphDef { return m.graph }
+
+// OptimizedGraph exposes the execution graph: the optimizer's output, or
+// the original graph when optimization was disabled.
+func (m *Model) OptimizedGraph() *savedmodel.GraphDef { return m.exec }
+
+// OptimizeStats reports what the load-time optimizer did (zero-valued with
+// Enabled=false when loaded via WithOptimize(false)).
+func (m *Model) OptimizeStats() OptimizeStats { return m.optStats }
 
 // spanName builds the model-scoped telemetry span label: the model name
 // plus the serving signature (inputs → outputs).
@@ -179,34 +227,55 @@ func (m *Model) Execute(feeds map[string]*tensor.Tensor) (map[string]*tensor.Ten
 	return results, err
 }
 
-// executeLocked is the Execute body; the caller holds the execution lock.
+// executeLocked runs the compiled plan; the caller holds the execution
+// lock. Each execution owns its slot array, so concurrent Execute calls
+// share the immutable plan safely. Intermediates are disposed at their
+// statically-computed last use (the liveness analysis in compilePlan), so
+// peak engine memory tracks the live set; the surrounding tidy scope
+// remains as the safety net for the error paths.
 func (m *Model) executeLocked(e *core.Engine, feeds map[string]*tensor.Tensor) (map[string]*tensor.Tensor, error) {
 	results := map[string]*tensor.Tensor{}
 	var execErr error
+	p := m.plan
 	outs := e.Tidy("graph-execute", func() []*tensor.Tensor {
-		env := map[string]*tensor.Tensor{}
+		env := make([]*tensor.Tensor, p.numSlots)
+		fed := make([]bool, p.numSlots)
 		for name, t := range feeds {
-			env[name] = t
-		}
-		for name, w := range m.weights {
-			env[name] = w
-		}
-		for _, name := range m.order {
-			if _, ok := env[name]; ok {
-				continue
+			if s, ok := p.slots[name]; ok {
+				env[s] = t
+				fed[s] = true
 			}
-			node := m.nodes[name]
-			out, err := m.evalNode(node, env)
-			if err != nil {
-				execErr = err
-				return nil
+		}
+		for _, ws := range p.weightSlots {
+			if !fed[ws.slot] {
+				env[ws.slot] = m.weights[ws.name]
 			}
-			env[name] = out
+		}
+		for i := range p.steps {
+			st := &p.steps[i]
+			// A feed for any node short-circuits its step, as the lazy
+			// executor's env pre-population did.
+			if !fed[st.out] {
+				out, err := st.run(env)
+				if err != nil {
+					execErr = err
+					return nil
+				}
+				env[st.out] = out
+			}
+			for _, s := range st.dispose {
+				// Never dispose caller-owned feeds; the liveness analysis
+				// already excludes weights and outputs.
+				if !fed[s] && env[s] != nil {
+					env[s].Dispose()
+					env[s] = nil
+				}
+			}
 		}
 		var escape []*tensor.Tensor
-		for _, out := range m.graph.Outputs {
-			results[out] = env[out]
-			escape = append(escape, env[out])
+		for i, out := range m.exec.Outputs {
+			results[out] = env[p.outSlots[i]]
+			escape = append(escape, env[p.outSlots[i]])
 		}
 		return escape
 	})
@@ -215,208 +284,6 @@ func (m *Model) executeLocked(e *core.Engine, feeds map[string]*tensor.Tensor) (
 	}
 	_ = outs
 	return results, nil
-}
-
-// evalNode lowers one graph node onto the ops API.
-func (m *Model) evalNode(n *savedmodel.NodeDef, env map[string]*tensor.Tensor) (*tensor.Tensor, error) {
-	in := func(i int) (*tensor.Tensor, error) {
-		if i >= len(n.Inputs) {
-			return nil, fmt.Errorf("graphmodel: node %q (%s) missing input %d", n.Name, n.Op, i)
-		}
-		t, ok := env[n.Inputs[i]]
-		if !ok {
-			return nil, fmt.Errorf("graphmodel: node %q input %q not evaluated", n.Name, n.Inputs[i])
-		}
-		return t, nil
-	}
-	attrs := n.Attrs
-
-	switch n.Op {
-	case "Placeholder", "Const":
-		return nil, fmt.Errorf("graphmodel: node %q (%s) must be fed", n.Name, n.Op)
-	case "Identity":
-		x, err := in(0)
-		if err != nil {
-			return nil, err
-		}
-		return x.Clone(), nil
-	case "MatMul":
-		a, err := in(0)
-		if err != nil {
-			return nil, err
-		}
-		b, err := in(1)
-		if err != nil {
-			return nil, err
-		}
-		return ops.MatMul(a, b, attrBool(attrs, "transpose_a"), attrBool(attrs, "transpose_b")), nil
-	case "Add", "BiasAdd":
-		a, err := in(0)
-		if err != nil {
-			return nil, err
-		}
-		b, err := in(1)
-		if err != nil {
-			return nil, err
-		}
-		return ops.Add(a, b), nil
-	case "Sub":
-		a, err := in(0)
-		if err != nil {
-			return nil, err
-		}
-		b, err := in(1)
-		if err != nil {
-			return nil, err
-		}
-		return ops.Sub(a, b), nil
-	case "Mul":
-		a, err := in(0)
-		if err != nil {
-			return nil, err
-		}
-		b, err := in(1)
-		if err != nil {
-			return nil, err
-		}
-		return ops.Mul(a, b), nil
-	case "Relu":
-		x, err := in(0)
-		if err != nil {
-			return nil, err
-		}
-		return ops.Relu(x), nil
-	case "Relu6":
-		x, err := in(0)
-		if err != nil {
-			return nil, err
-		}
-		return ops.Relu6(x), nil
-	case "Sigmoid":
-		x, err := in(0)
-		if err != nil {
-			return nil, err
-		}
-		return ops.Sigmoid(x), nil
-	case "Tanh":
-		x, err := in(0)
-		if err != nil {
-			return nil, err
-		}
-		return ops.Tanh(x), nil
-	case "Elu":
-		x, err := in(0)
-		if err != nil {
-			return nil, err
-		}
-		return ops.Elu(x), nil
-	case "Softplus":
-		x, err := in(0)
-		if err != nil {
-			return nil, err
-		}
-		return ops.Softplus(x), nil
-	case "Softmax":
-		x, err := in(0)
-		if err != nil {
-			return nil, err
-		}
-		return ops.Softmax(x), nil
-	case "Conv2D":
-		x, err := in(0)
-		if err != nil {
-			return nil, err
-		}
-		w, err := in(1)
-		if err != nil {
-			return nil, err
-		}
-		return ops.Conv2D(x, w, ops.ConvOpts{
-			Strides: attrInts(attrs, "strides", []int{1, 1}),
-			Pad:     attrString(attrs, "padding", "valid"),
-		}), nil
-	case "DepthwiseConv2dNative":
-		x, err := in(0)
-		if err != nil {
-			return nil, err
-		}
-		w, err := in(1)
-		if err != nil {
-			return nil, err
-		}
-		return ops.DepthwiseConv2D(x, w, ops.ConvOpts{
-			Strides: attrInts(attrs, "strides", []int{1, 1}),
-			Pad:     attrString(attrs, "padding", "valid"),
-		}), nil
-	case "MaxPool", "AvgPool":
-		x, err := in(0)
-		if err != nil {
-			return nil, err
-		}
-		opts := ops.PoolOpts{
-			FilterSize: attrInts(attrs, "ksize", []int{2, 2}),
-			Strides:    attrInts(attrs, "strides", nil),
-			Pad:        attrString(attrs, "padding", "valid"),
-		}
-		if n.Op == "MaxPool" {
-			return ops.MaxPool(x, opts), nil
-		}
-		return ops.AvgPool(x, opts), nil
-	case "Mean":
-		x, err := in(0)
-		if err != nil {
-			return nil, err
-		}
-		return ops.Mean(x, attrInts(attrs, "axes", nil), attrBool(attrs, "keep_dims")), nil
-	case "FusedBatchNorm":
-		x, err := in(0)
-		if err != nil {
-			return nil, err
-		}
-		mean, err := in(1)
-		if err != nil {
-			return nil, err
-		}
-		variance, err := in(2)
-		if err != nil {
-			return nil, err
-		}
-		offset, err := in(3)
-		if err != nil {
-			return nil, err
-		}
-		scale, err := in(4)
-		if err != nil {
-			return nil, err
-		}
-		return ops.BatchNorm(x, mean, variance, offset, scale, attrFloat(attrs, "epsilon", 1e-3)), nil
-	case "Reshape":
-		x, err := in(0)
-		if err != nil {
-			return nil, err
-		}
-		target := attrInts(attrs, "shape", nil)
-		shape := append([]int{x.Shape[0]}, target...)
-		return ops.Reshape(x, shape...), nil
-	case "Pad":
-		x, err := in(0)
-		if err != nil {
-			return nil, err
-		}
-		p := attrInts(attrs, "padding", nil)
-		if len(p) != 4 {
-			return nil, fmt.Errorf("graphmodel: Pad node %q needs [top bottom left right], got %v", n.Name, p)
-		}
-		return ops.Pad(x, [][2]int{{0, 0}, {p[0], p[1]}, {p[2], p[3]}, {0, 0}}, 0), nil
-	case "Flatten":
-		x, err := in(0)
-		if err != nil {
-			return nil, err
-		}
-		return ops.Reshape(x, x.Shape[0], x.Size()/x.Shape[0]), nil
-	default:
-		return nil, fmt.Errorf("graphmodel: unsupported op %q (node %q)", n.Op, n.Name)
-	}
 }
 
 func attrBool(attrs map[string]any, key string) bool {

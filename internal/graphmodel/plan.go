@@ -1,0 +1,260 @@
+package graphmodel
+
+import (
+	"fmt"
+
+	"repro/internal/ops"
+	"repro/internal/savedmodel"
+	"repro/internal/tensor"
+)
+
+// This file compiles the (optimized) graph into an execution plan: a flat
+// step slice over integer tensor slots, with every attribute decoded once
+// at load time and a liveness analysis recording where each intermediate
+// dies. Execute then runs the plan with no map lookups, no attr parsing and
+// no graph traversal — and disposes each intermediate at its last use, so
+// peak engine memory tracks the graph's live set instead of its node count.
+
+// planStep executes one node: run consumes the slot array and produces the
+// tensor for slot out. ins lists the input slots (kept for the runtime
+// nil-guard); dispose lists the slots whose last use this step is.
+type planStep struct {
+	name    string // node name, for error attribution
+	op      string
+	ins     []int
+	out     int
+	dispose []int
+	run     func(env []*tensor.Tensor) (*tensor.Tensor, error)
+}
+
+// plan is a compiled model: shared, immutable after compile, and safe for
+// concurrent Execute calls (each execution owns its slot array).
+type plan struct {
+	steps    []planStep
+	slots    map[string]int // node name → slot
+	numSlots int
+	// weightSlots pairs each Const node's slot with its weight name, for
+	// seeding the slot array from the uploaded weights.
+	weightSlots []weightSlot
+	outSlots    []int
+}
+
+type weightSlot struct {
+	slot int
+	name string
+}
+
+// compilePlan builds the plan for graph g in execution order.
+func compilePlan(g *savedmodel.GraphDef, order []string, nodes map[string]*savedmodel.NodeDef) *plan {
+	p := &plan{slots: make(map[string]int, len(order))}
+	for _, name := range order {
+		p.slots[name] = p.numSlots
+		p.numSlots++
+	}
+	persistent := make([]bool, p.numSlots)
+	for _, name := range order {
+		n, ok := nodes[name]
+		if !ok {
+			continue
+		}
+		slot := p.slots[name]
+		if n.Op == "Const" {
+			// Weight slots are seeded from the uploaded weights, not
+			// executed. (Validate guarantees every Const has a weight.)
+			p.weightSlots = append(p.weightSlots, weightSlot{slot: slot, name: name})
+			persistent[slot] = true
+			continue
+		}
+		if n.Op == "Placeholder" {
+			// Placeholders are fed at Execute time; the step only fires if
+			// the feed is missing, preserving the executor's error.
+			persistent[slot] = true
+		}
+		p.steps = append(p.steps, compileStep(n, slot, p.slots))
+	}
+	for _, out := range g.Outputs {
+		s := p.slots[out]
+		persistent[s] = true
+		p.outSlots = append(p.outSlots, s)
+	}
+	// Liveness: the step at which each non-persistent slot is last read is
+	// where its tensor is disposed. A reverse scan finds last uses.
+	seen := make([]bool, p.numSlots)
+	for i := len(p.steps) - 1; i >= 0; i-- {
+		st := &p.steps[i]
+		for _, s := range st.ins {
+			if !seen[s] && !persistent[s] {
+				st.dispose = append(st.dispose, s)
+			}
+			seen[s] = true
+		}
+	}
+	return p
+}
+
+// errStep defers a compile-time problem to execution, preserving the lazy
+// executor's behavior: a broken node only fails the Execute that reaches
+// it (and a feed for that node still short-circuits it entirely).
+func errStep(n *savedmodel.NodeDef, slot int, err error) planStep {
+	return planStep{name: n.Name, op: n.Op, out: slot,
+		run: func([]*tensor.Tensor) (*tensor.Tensor, error) { return nil, err }}
+}
+
+// compileStep lowers one node: attributes are decoded and validated here,
+// once, into typed closure state; the returned run does only tensor work.
+func compileStep(n *savedmodel.NodeDef, slot int, slots map[string]int) planStep {
+	// Resolve input names to slots up front.
+	ins := make([]int, len(n.Inputs))
+	for i, in := range n.Inputs {
+		s, ok := slots[in]
+		if !ok {
+			return errStep(n, slot, fmt.Errorf("graphmodel: node %q input %q not evaluated", n.Name, in))
+		}
+		ins[i] = s
+	}
+	// in(i) mirrors the lazy executor's operand accessor as a compile-time
+	// arity check.
+	need := func(i int) error {
+		if i >= len(ins) {
+			return fmt.Errorf("graphmodel: node %q (%s) missing input %d", n.Name, n.Op, i)
+		}
+		return nil
+	}
+	step := func(arity int, run func(in []*tensor.Tensor) *tensor.Tensor) planStep {
+		if err := need(arity - 1); err != nil {
+			return errStep(n, slot, err)
+		}
+		name, inputs := n.Name, n.Inputs
+		return planStep{name: n.Name, op: n.Op, ins: ins, out: slot,
+			run: func(env []*tensor.Tensor) (*tensor.Tensor, error) {
+				operands := make([]*tensor.Tensor, len(ins))
+				for i, s := range ins {
+					t := env[s]
+					if t == nil {
+						return nil, fmt.Errorf("graphmodel: node %q input %q not evaluated", name, inputs[i])
+					}
+					operands[i] = t
+				}
+				return run(operands), nil
+			}}
+	}
+	attrs := n.Attrs
+
+	switch n.Op {
+	case "Placeholder", "Const":
+		return errStep(n, slot, fmt.Errorf("graphmodel: node %q (%s) must be fed", n.Name, n.Op))
+	case "Identity":
+		return step(1, func(in []*tensor.Tensor) *tensor.Tensor { return in[0].Clone() })
+	case "MatMul":
+		ta, tb := attrBool(attrs, "transpose_a"), attrBool(attrs, "transpose_b")
+		return step(2, func(in []*tensor.Tensor) *tensor.Tensor { return ops.MatMul(in[0], in[1], ta, tb) })
+	case "Add", "BiasAdd":
+		return step(2, func(in []*tensor.Tensor) *tensor.Tensor { return ops.Add(in[0], in[1]) })
+	case "Sub":
+		return step(2, func(in []*tensor.Tensor) *tensor.Tensor { return ops.Sub(in[0], in[1]) })
+	case "Mul":
+		return step(2, func(in []*tensor.Tensor) *tensor.Tensor { return ops.Mul(in[0], in[1]) })
+	case "Relu":
+		return step(1, func(in []*tensor.Tensor) *tensor.Tensor { return ops.Relu(in[0]) })
+	case "Relu6":
+		return step(1, func(in []*tensor.Tensor) *tensor.Tensor { return ops.Relu6(in[0]) })
+	case "Sigmoid":
+		return step(1, func(in []*tensor.Tensor) *tensor.Tensor { return ops.Sigmoid(in[0]) })
+	case "Tanh":
+		return step(1, func(in []*tensor.Tensor) *tensor.Tensor { return ops.Tanh(in[0]) })
+	case "Elu":
+		return step(1, func(in []*tensor.Tensor) *tensor.Tensor { return ops.Elu(in[0]) })
+	case "Softplus":
+		return step(1, func(in []*tensor.Tensor) *tensor.Tensor { return ops.Softplus(in[0]) })
+	case "Softmax":
+		return step(1, func(in []*tensor.Tensor) *tensor.Tensor { return ops.Softmax(in[0]) })
+	case "Conv2D":
+		opts := convOpts(attrs)
+		return step(2, func(in []*tensor.Tensor) *tensor.Tensor { return ops.Conv2D(in[0], in[1], opts) })
+	case "DepthwiseConv2dNative":
+		opts := convOpts(attrs)
+		return step(2, func(in []*tensor.Tensor) *tensor.Tensor { return ops.DepthwiseConv2D(in[0], in[1], opts) })
+	case "FusedConv2D", "FusedDepthwiseConv2dNative":
+		if len(n.Inputs) != 2 && len(n.Inputs) != 3 {
+			return errStep(n, slot, fmt.Errorf("graphmodel: node %q (%s) needs 2 or 3 inputs, got %d", n.Name, n.Op, len(n.Inputs)))
+		}
+		opts := convOpts(attrs)
+		activation := attrString(attrs, "activation", "")
+		depthwise := n.Op == "FusedDepthwiseConv2dNative"
+		return step(len(n.Inputs), func(in []*tensor.Tensor) *tensor.Tensor {
+			var bias *tensor.Tensor
+			if len(in) == 3 {
+				bias = in[2]
+			}
+			if depthwise {
+				return ops.FusedDepthwiseConv2D(in[0], in[1], bias, opts, activation)
+			}
+			return ops.FusedConv2D(in[0], in[1], bias, opts, activation)
+		})
+	case "_FusedMatMul":
+		if len(n.Inputs) != 2 && len(n.Inputs) != 3 {
+			return errStep(n, slot, fmt.Errorf("graphmodel: node %q (%s) needs 2 or 3 inputs, got %d", n.Name, n.Op, len(n.Inputs)))
+		}
+		ta, tb := attrBool(attrs, "transpose_a"), attrBool(attrs, "transpose_b")
+		activation := attrString(attrs, "activation", "")
+		return step(len(n.Inputs), func(in []*tensor.Tensor) *tensor.Tensor {
+			var bias *tensor.Tensor
+			if len(in) == 3 {
+				bias = in[2]
+			}
+			return ops.FusedMatMul(in[0], in[1], bias, ta, tb, activation)
+		})
+	case "MaxPool", "AvgPool":
+		opts := ops.PoolOpts{
+			FilterSize: attrInts(attrs, "ksize", []int{2, 2}),
+			Strides:    attrInts(attrs, "strides", nil),
+			Pad:        attrString(attrs, "padding", "valid"),
+		}
+		isMax := n.Op == "MaxPool"
+		return step(1, func(in []*tensor.Tensor) *tensor.Tensor {
+			if isMax {
+				return ops.MaxPool(in[0], opts)
+			}
+			return ops.AvgPool(in[0], opts)
+		})
+	case "Mean":
+		axes, keep := attrInts(attrs, "axes", nil), attrBool(attrs, "keep_dims")
+		return step(1, func(in []*tensor.Tensor) *tensor.Tensor { return ops.Mean(in[0], axes, keep) })
+	case "FusedBatchNorm":
+		eps := attrFloat(attrs, "epsilon", 1e-3)
+		return step(5, func(in []*tensor.Tensor) *tensor.Tensor {
+			return ops.BatchNorm(in[0], in[1], in[2], in[3], in[4], eps)
+		})
+	case "Reshape":
+		target := attrInts(attrs, "shape", nil)
+		return step(1, func(in []*tensor.Tensor) *tensor.Tensor {
+			shape := append([]int{in[0].Shape[0]}, target...)
+			return ops.Reshape(in[0], shape...)
+		})
+	case "Pad":
+		p := attrInts(attrs, "padding", nil)
+		if len(p) != 4 {
+			// The arity check runs first, like the lazy executor's in(0).
+			if err := need(0); err != nil {
+				return errStep(n, slot, err)
+			}
+			return errStep(n, slot, fmt.Errorf("graphmodel: Pad node %q needs [top bottom left right], got %v", n.Name, p))
+		}
+		paddings := [][2]int{{0, 0}, {p[0], p[1]}, {p[2], p[3]}, {0, 0}}
+		return step(1, func(in []*tensor.Tensor) *tensor.Tensor { return ops.Pad(in[0], paddings, 0) })
+	case "Flatten":
+		return step(1, func(in []*tensor.Tensor) *tensor.Tensor {
+			return ops.Reshape(in[0], in[0].Shape[0], in[0].Size()/in[0].Shape[0])
+		})
+	default:
+		return errStep(n, slot, fmt.Errorf("graphmodel: unsupported op %q (node %q)", n.Op, n.Name))
+	}
+}
+
+// convOpts decodes the conv attributes shared by the plain and fused convs.
+func convOpts(attrs map[string]any) ops.ConvOpts {
+	return ops.ConvOpts{
+		Strides: attrInts(attrs, "strides", []int{1, 1}),
+		Pad:     attrString(attrs, "padding", "valid"),
+	}
+}

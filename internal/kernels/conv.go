@@ -24,44 +24,13 @@ func init() {
 			return nil, errIn("Conv2D", "%v", err)
 		}
 		out := NewBuffer(info.OutShape(), tensor.Float32)
-		inC, outC := info.InChannels, info.OutChannels
-		inRow := info.InWidth * inC
-		inImg := info.InHeight * inRow
-		outRow := info.OutWidth * outC
-		outImg := info.OutHeight * outRow
-		for b := 0; b < info.BatchSize; b++ {
-			for oy := 0; oy < info.OutHeight; oy++ {
-				yCorner := oy*info.StrideHeight - info.PadTop
-				for ox := 0; ox < info.OutWidth; ox++ {
-					xCorner := ox*info.StrideWidth - info.PadLeft
-					outBase := b*outImg + oy*outRow + ox*outC
-					for fy := 0; fy < info.FilterHeight; fy++ {
-						iy := yCorner + fy*info.DilationHeight
-						if iy < 0 || iy >= info.InHeight {
-							continue
-						}
-						for fx := 0; fx < info.FilterWidth; fx++ {
-							ix := xCorner + fx*info.DilationWidth
-							if ix < 0 || ix >= info.InWidth {
-								continue
-							}
-							inBase := b*inImg + iy*inRow + ix*inC
-							wBase := (fy*info.FilterWidth + fx) * inC * outC
-							for ic := 0; ic < inC; ic++ {
-								xv := x.Data[inBase+ic]
-								if xv == 0 {
-									continue
-								}
-								wOff := wBase + ic*outC
-								for oc := 0; oc < outC; oc++ {
-									out.Data[outBase+oc] += xv * w.Data[wOff+oc]
-								}
-							}
-						}
-					}
-				}
-			}
-		}
+		// Dense inner loop, no per-element zero-skip: the old
+		// `if xv == 0 { continue }` paid a data-dependent branch per
+		// multiply, which mispredicts on dense inputs (images, the common
+		// case for a forward conv). The skip survives only where zeros are
+		// structural: the gradient kernels below, whose dy/x operands are
+		// post-ReLU sparse (see EXPERIMENTS.md for the benchmark note).
+		convolve2D(out.Data, x.Data, w.Data, info)
 		return []Buffer{out}, nil
 	})
 
@@ -196,41 +165,7 @@ func init() {
 			return nil, errIn("DepthwiseConv2dNative", "%v", err)
 		}
 		out := NewBuffer(info.OutShape(), tensor.Float32)
-		inC, mult := info.InChannels, info.ChannelMultiplier
-		outC := info.OutChannels
-		inRow := info.InWidth * inC
-		inImg := info.InHeight * inRow
-		outRow := info.OutWidth * outC
-		outImg := info.OutHeight * outRow
-		for b := 0; b < info.BatchSize; b++ {
-			for oy := 0; oy < info.OutHeight; oy++ {
-				yCorner := oy*info.StrideHeight - info.PadTop
-				for ox := 0; ox < info.OutWidth; ox++ {
-					xCorner := ox*info.StrideWidth - info.PadLeft
-					outBase := b*outImg + oy*outRow + ox*outC
-					for fy := 0; fy < info.FilterHeight; fy++ {
-						iy := yCorner + fy*info.DilationHeight
-						if iy < 0 || iy >= info.InHeight {
-							continue
-						}
-						for fx := 0; fx < info.FilterWidth; fx++ {
-							ix := xCorner + fx*info.DilationWidth
-							if ix < 0 || ix >= info.InWidth {
-								continue
-							}
-							inBase := b*inImg + iy*inRow + ix*inC
-							wBase := (fy*info.FilterWidth + fx) * inC * mult
-							for ic := 0; ic < inC; ic++ {
-								xv := x.Data[inBase+ic]
-								for q := 0; q < mult; q++ {
-									out.Data[outBase+ic*mult+q] += xv * w.Data[wBase+ic*mult+q]
-								}
-							}
-						}
-					}
-				}
-			}
-		}
+		depthwiseConvolve2D(out.Data, x.Data, w.Data, info)
 		return []Buffer{out}, nil
 	})
 

@@ -41,30 +41,16 @@ func init() {
 		out := NewBuffer([]int{batch, m, n}, tensor.Float32)
 		aMat := a.Shape[1] * a.Shape[2]
 		bMat := b.Shape[1] * b.Shape[2]
+		// The transpose flags are resolved once per batch into one of four
+		// specialized loop nests (matmul2D) instead of branching on them
+		// per element — this kernel is the fallback for every backend and
+		// was branch-bound in its innermost loop.
 		for p := 0; p < batch; p++ {
 			aOff := (p % batchA) * aMat
 			bOff := (p % batchB) * bMat
 			oOff := p * m * n
-			for i := 0; i < m; i++ {
-				for j := 0; j < n; j++ {
-					var sum float32
-					for kk := 0; kk < k; kk++ {
-						var av, bv float32
-						if transposeA {
-							av = a.Data[aOff+kk*m+i]
-						} else {
-							av = a.Data[aOff+i*k+kk]
-						}
-						if transposeB {
-							bv = b.Data[bOff+j*k+kk]
-						} else {
-							bv = b.Data[bOff+kk*n+j]
-						}
-						sum += av * bv
-					}
-					out.Data[oOff+i*n+j] = sum
-				}
-			}
+			matmul2D(out.Data[oOff:oOff+m*n], a.Data[aOff:aOff+aMat], b.Data[bOff:bOff+bMat],
+				m, k, n, transposeA, transposeB)
 		}
 		return []Buffer{out}, nil
 	})

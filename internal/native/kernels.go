@@ -18,6 +18,7 @@ func (b *Backend) initKernels() {
 	b.registerConv()
 	b.registerElementwise()
 	b.registerReduce()
+	b.registerFused()
 }
 
 // in returns the raw buffer of an input.

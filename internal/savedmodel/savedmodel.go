@@ -100,6 +100,50 @@ func (g *GraphDef) Node(name string) (*NodeDef, bool) {
 	return nil, false
 }
 
+// Clone deep-copies the graph structure: nodes (with their input lists and
+// attr maps) and weight records (shape slices copied, value slices shared —
+// weight data is immutable once loaded, and a rewrite pass that folds values
+// installs a fresh slice rather than mutating in place). Rewriting passes
+// work on a clone so the caller's GraphDef is never mutated.
+func (g *GraphDef) Clone() *GraphDef {
+	c := &GraphDef{
+		Nodes:   make([]NodeDef, len(g.Nodes)),
+		Weights: make(map[string]*Weight, len(g.Weights)),
+		Inputs:  append([]string(nil), g.Inputs...),
+		Outputs: append([]string(nil), g.Outputs...),
+	}
+	for i, n := range g.Nodes {
+		cn := n
+		cn.Inputs = append([]string(nil), n.Inputs...)
+		if n.Attrs != nil {
+			cn.Attrs = make(map[string]any, len(n.Attrs))
+			for k, v := range n.Attrs {
+				cn.Attrs[k] = v
+			}
+		}
+		c.Nodes[i] = cn
+	}
+	for name, w := range g.Weights {
+		cw := *w
+		cw.Shape = append([]int(nil), w.Shape...)
+		c.Weights[name] = &cw
+	}
+	return c
+}
+
+// Consumers maps each node name to the names of the nodes consuming it. A
+// node feeding the same consumer twice is counted once per edge; graph
+// outputs are not counted (rewriters must check Outputs separately).
+func (g *GraphDef) Consumers() map[string][]string {
+	consumers := make(map[string][]string, len(g.Nodes))
+	for _, n := range g.Nodes {
+		for _, in := range n.Inputs {
+			consumers[in] = append(consumers[in], n.Name)
+		}
+	}
+	return consumers
+}
+
 // NumParams counts total weight elements.
 func (g *GraphDef) NumParams() int {
 	n := 0

@@ -49,14 +49,20 @@ type ModelOptions struct {
 	Backend string
 	// Batching tunes the scheduler and micro-batcher.
 	Batching Config
+	// DisableOptimize loads graph models with the load-time graph
+	// optimizer off (graphmodel.WithOptimize(false)): no operator fusion,
+	// no folding, no compiled-plan rewrites beyond attr decoding. The A/B
+	// switch for fusion benchmarks.
+	DisableOptimize bool
 }
 
 // Model is one served model: scheduler, metrics and lifecycle state.
 type Model struct {
-	name    string
-	backend string
-	cfg     Config
-	metrics *Metrics
+	name       string
+	backend    string
+	noOptimize bool
+	cfg        Config
+	metrics    *Metrics
 
 	mu      sync.Mutex
 	state   State
@@ -179,7 +185,7 @@ func outcomeLabel(err error) string {
 
 // load resolves the artifact format, builds the runner and flips state.
 func (m *Model) load(store converter.Store) {
-	run, format, dispose, err := loadRunner(m.name, store, m.backend)
+	run, format, dispose, err := loadRunner(m.name, store, m.backend, m.noOptimize)
 	m.mu.Lock()
 	if m.state == StateUnloaded {
 		// Unloaded while loading: discard.
@@ -207,7 +213,7 @@ func (m *Model) load(store converter.Store) {
 // through graphmodel, layers models through the restored Sequential. The
 // registry name becomes the model's telemetry span prefix, so traces and
 // kernel breakdowns attribute per model.
-func loadRunner(name string, store converter.Store, backend string) (runner, string, func(), error) {
+func loadRunner(name string, store converter.Store, backend string, noOptimize bool) (runner, string, func(), error) {
 	data, err := store.Read("model.json")
 	if err != nil {
 		return nil, "", nil, fmt.Errorf("serving: reading model.json: %w", err)
@@ -220,7 +226,7 @@ func loadRunner(name string, store converter.Store, backend string) (runner, str
 	}
 	switch meta.Format {
 	case "graph-model":
-		gm, err := graphmodel.Load(store)
+		gm, err := graphmodel.Load(store, graphmodel.WithOptimize(!noOptimize))
 		if err != nil {
 			return nil, "", nil, err
 		}
@@ -287,12 +293,13 @@ func (r *Registry) Load(name string, store converter.Store, opts ModelOptions) (
 		backend = "node"
 	}
 	m := &Model{
-		name:    name,
-		backend: backend,
-		cfg:     opts.Batching.withDefaults(),
-		metrics: NewMetrics(),
-		state:   StateLoading,
-		ready:   make(chan struct{}),
+		name:       name,
+		backend:    backend,
+		noOptimize: opts.DisableOptimize,
+		cfg:        opts.Batching.withDefaults(),
+		metrics:    NewMetrics(),
+		state:      StateLoading,
+		ready:      make(chan struct{}),
 	}
 	r.mu.Lock()
 	if _, dup := r.models[name]; dup {

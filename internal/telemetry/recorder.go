@@ -295,6 +295,18 @@ func toTraceEvent(ev Event) traceEvent {
 		te.Dur = durMicros(ev.DurMS)
 		te.Args["batch_size"] = ev.Count
 		te.Args["batch_id"] = ev.FlowID
+	case KindRewrite:
+		// Rewrites happen at compile time, before any kernel runs; an
+		// instant event on the kernel track marks each one.
+		te.TID = tidKernels
+		te.Phase = "i"
+		te.Scope = "t"
+		if ev.Trace != "" {
+			te.Args["node"] = ev.Trace
+		}
+		if ev.Count > 0 {
+			te.Args["nodes_removed"] = ev.Count
+		}
 	}
 	if len(te.Args) == 0 {
 		te.Args = nil

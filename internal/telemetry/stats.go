@@ -133,13 +133,15 @@ type Stats struct {
 	transfer TransferStat
 	timeline []MemorySample
 	tlAt     int
+	rewrites map[string]int64 // optimizer pattern label → fire count
 }
 
 // NewStats returns an empty aggregator.
 func NewStats() *Stats {
 	return &Stats{
-		kernels: map[string]*kernelAgg{},
-		bySpan:  map[string]map[string]*kernelAgg{},
+		kernels:  map[string]*kernelAgg{},
+		bySpan:   map[string]map[string]*kernelAgg{},
+		rewrites: map[string]int64{},
 	}
 }
 
@@ -174,6 +176,8 @@ func (s *Stats) Observe(ev Event) {
 		s.transfer.PageInBytes += ev.Bytes
 	case KindFence:
 		s.transfer.FenceCount++
+	case KindRewrite:
+		s.rewrites[ev.Name]++
 	case KindScope:
 		sample := MemorySample{
 			Time:       ev.Start,
@@ -287,6 +291,17 @@ func (s *Stats) Timeline() []MemorySample {
 	return out
 }
 
+// Rewrites returns the graph-optimizer rewrite counts by pattern label.
+func (s *Stats) Rewrites() map[string]int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]int64, len(s.rewrites))
+	for k, v := range s.rewrites {
+		out[k] = v
+	}
+	return out
+}
+
 // Reset clears all aggregates.
 func (s *Stats) Reset() {
 	s.mu.Lock()
@@ -296,6 +311,7 @@ func (s *Stats) Reset() {
 	s.transfer = TransferStat{}
 	s.timeline = nil
 	s.tlAt = 0
+	s.rewrites = map[string]int64{}
 }
 
 var _ Observer = (*Stats)(nil)

@@ -56,6 +56,11 @@ const (
 	// KindBatch is one batched serving execution — the fan-in target the
 	// coalesced requests' flow events point at. Count is the batch size.
 	KindBatch
+	// KindRewrite is one graph-optimizer rewrite (a fusion, a fold, a prune)
+	// applied while compiling a model. Name is the pattern label
+	// ("fuse:Conv2D+BiasAdd+Relu6"), Trace the rewritten node, Span the
+	// model, Count the nodes removed.
+	KindRewrite
 )
 
 // String names the kind for trace output.
@@ -83,6 +88,8 @@ func (k EventKind) String() string {
 		return "stage"
 	case KindBatch:
 		return "batch"
+	case KindRewrite:
+		return "rewrite"
 	}
 	return "unknown"
 }

@@ -31,6 +31,7 @@ func (b *Backend) initKernels() {
 	b.registerShape()
 	b.registerGather()
 	b.registerConvGrad()
+	b.registerFused()
 }
 
 // input resolves a kernel input to its live texture (paging it back in when

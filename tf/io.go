@@ -44,10 +44,20 @@ func Convert(g *GraphDef, store ArtifactStore, opts ConvertOptions) (*ConvertRes
 	return converter.Convert(g, store, opts)
 }
 
+// GraphModelOption configures LoadModel.
+type GraphModelOption = graphmodel.Option
+
+// OptimizeStats reports what the load-time graph optimizer did.
+type OptimizeStats = graphmodel.OptimizeStats
+
+// WithGraphOptimize enables or disables the load-time graph optimizer
+// (operator fusion, batch-norm/constant folding, pruning); on by default.
+func WithGraphOptimize(enabled bool) GraphModelOption { return graphmodel.WithOptimize(enabled) }
+
 // LoadModel loads a converted model from an artifact store —
 // tf.loadModel(url) (Section 5.1).
-func LoadModel(store ArtifactStore) (*GraphModel, error) {
-	return graphmodel.Load(store)
+func LoadModel(store ArtifactStore, opts ...GraphModelOption) (*GraphModel, error) {
+	return graphmodel.Load(store, opts...)
 }
 
 // ---------------------------------------------------------------------------
