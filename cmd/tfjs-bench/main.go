@@ -187,6 +187,7 @@ func fig23(args ...string) {
 			if sync {
 				// Figure 2: the main thread blocks inside dataSync()
 				// until the GPU finishes.
+				//lint:ignore syncread deliberate: the sync arm of the Figure 2/3 A/B measures the blocking cost dataSync imposes
 				t.DataSync()
 				t.Dispose()
 				close(done)

@@ -24,6 +24,7 @@ func main() {
 	quantize := flag.Int("quantize", 0, "quantization bytes: 0 (none), 1 (uint8, 4x) or 2 (uint16, 2x)")
 	out := flag.String("out", "./artifacts", "output directory")
 	verify := flag.Bool("verify", true, "reload the converted model and compare predictions")
+	staticVerify := flag.Bool("static-verify", true, "statically verify graph shapes/dtypes before writing artifacts (tfjs-vet tier 2)")
 	flag.Parse()
 
 	if err := tf.SetBackend("node"); err != nil {
@@ -65,9 +66,17 @@ func main() {
 	}
 
 	store := tf.NewFSStore(*out)
-	res, err := tf.Convert(graph, store, tf.ConvertOptions{QuantizationBytes: *quantize})
+	res, err := tf.Convert(graph, store, tf.ConvertOptions{
+		QuantizationBytes: *quantize, SkipVerify: !*staticVerify,
+	})
 	if err != nil {
+		// With static verification on, a rank- or dtype-inconsistent graph
+		// dies here with a node-and-edge diagnostic — at conversion time,
+		// not at the client's first predict.
 		log.Fatal(err)
+	}
+	if *staticVerify {
+		fmt.Printf("static verify: OK — %d nodes shape/dtype-checked before writing\n", res.NodesAfter)
 	}
 	fmt.Printf("pruned %d -> %d nodes (dropped %d training-only/unreachable nodes)\n",
 		res.NodesBefore, res.NodesAfter, len(res.PrunedNodes))

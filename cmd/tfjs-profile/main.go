@@ -13,7 +13,9 @@
 // disposed, attributed to the source line that allocated them, plus
 // device-memory pressure (texture residency, recycler occupancy,
 // paging) on the webgl backend. -inject-leak deliberately leaks one
-// tensor to demonstrate the attribution.
+// tensor to demonstrate the attribution. The static tensorleak analyzer
+// (tfjs-vet) reports the same bug class at vet time with the same
+// "func (file:line)" site naming, so the two reports cross-reference.
 //
 // With -fusion-report it instead runs the graph-optimizer A/B on a
 // converted MobileNet and prints the patterns the optimizer fired at load,

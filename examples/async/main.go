@@ -42,6 +42,7 @@ func main() {
 	loop.PostAndWait(func() {
 		t := workload()
 		start := time.Now()
+		//lint:ignore syncread deliberate: this arm reproduces Figure 2, measuring exactly how long dataSync blocks the main thread
 		t.DataSync() // blocks the main thread until the GPU is done
 		fmt.Printf("DataSync(): main thread blocked for %8.1f ms (Fig 2)\n",
 			float64(time.Since(start))/float64(time.Millisecond))

@@ -1,0 +1,306 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package: the parsed files plus the
+// go/types artifacts every analyzer consumes.
+type Package struct {
+	// Path is the package's import path within the module (or the synthetic
+	// path assigned to fixture packages under testdata).
+	Path string
+	// Dir is the directory the sources were read from.
+	Dir string
+	// Files holds the parsed non-test sources, parse order matching
+	// Filenames.
+	Files []*ast.File
+	// Types is the type-checked package.
+	Types *types.Package
+	// Info carries the type-checker's fact tables (Uses, Defs, Types,
+	// Selections) for the files above.
+	Info *types.Info
+}
+
+// Program is the unit analyzers run over: every package the loader was
+// asked for, sharing one FileSet so positions interleave correctly.
+type Program struct {
+	Fset *token.FileSet
+	// Pkgs lists the requested packages in load order (dependencies loaded
+	// on demand are included only if they were also requested).
+	Pkgs []*Package
+	// ModulePath is the module path from go.mod ("repro").
+	ModulePath string
+	// ModuleRoot is the directory containing go.mod.
+	ModuleRoot string
+}
+
+// Loader parses and type-checks packages of the enclosing module using
+// only the standard library: module-internal imports resolve recursively
+// from disk, standard-library imports through the source importer. There
+// is no dependency on go/packages or on invoking the go tool, which keeps
+// tfjs-vet a plain `go run`-able stdlib program.
+type Loader struct {
+	fset       *token.FileSet
+	moduleRoot string
+	modulePath string
+	std        types.ImporterFrom
+	cache      map[string]*Package // by import path
+	loading    map[string]bool     // import-cycle guard
+}
+
+// NewLoader returns a loader rooted at the module containing dir: it walks
+// up from dir to the nearest go.mod and reads the module path from it.
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root := abs
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return nil, fmt.Errorf("analysis: no go.mod found above %s", abs)
+		}
+		root = parent
+	}
+	modPath, err := modulePathFromGoMod(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	std, ok := importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	if !ok {
+		return nil, fmt.Errorf("analysis: source importer unavailable")
+	}
+	return &Loader{
+		fset:       fset,
+		moduleRoot: root,
+		modulePath: modPath,
+		std:        std,
+		cache:      map[string]*Package{},
+		loading:    map[string]bool{},
+	}, nil
+}
+
+// modulePathFromGoMod extracts the module path from a go.mod file.
+func modulePathFromGoMod(path string) (string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	return "", fmt.Errorf("analysis: no module directive in %s", path)
+}
+
+// Fset exposes the loader's shared FileSet.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// ModuleRoot returns the directory containing go.mod.
+func (l *Loader) ModuleRoot() string { return l.moduleRoot }
+
+// ModulePath returns the module path from go.mod.
+func (l *Loader) ModulePath() string { return l.modulePath }
+
+// importPathFor maps a directory inside the module onto its import path.
+func (l *Loader) importPathFor(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	rel, err := filepath.Rel(l.moduleRoot, abs)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("analysis: %s is outside module %s", dir, l.moduleRoot)
+	}
+	if rel == "." {
+		return l.modulePath, nil
+	}
+	return l.modulePath + "/" + filepath.ToSlash(rel), nil
+}
+
+// LoadDir parses and type-checks the package in dir (non-test files only)
+// and returns it. Results are cached by import path, so shared dependencies
+// type-check once per Loader.
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	path, err := l.importPathFor(dir)
+	if err != nil {
+		return nil, err
+	}
+	return l.loadPath(path)
+}
+
+// loadPath loads the module-internal package with the given import path.
+func (l *Loader) loadPath(path string) (*Package, error) {
+	if pkg, ok := l.cache[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("analysis: import cycle through %q", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	rel := strings.TrimPrefix(strings.TrimPrefix(path, l.modulePath), "/")
+	dir := filepath.Join(l.moduleRoot, filepath.FromSlash(rel))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: package %q: %w", path, err)
+	}
+	var filenames []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		filenames = append(filenames, filepath.Join(dir, name))
+	}
+	sort.Strings(filenames)
+	if len(filenames) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+	var files []*ast.File
+	for _, fn := range filenames {
+		f, err := parser.ParseFile(l.fset, fn, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: l,
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, _ := conf.Check(path, l.fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("analysis: type-checking %q: %v", path, typeErrs[0])
+	}
+	pkg := &Package{Path: path, Dir: dir, Files: files, Types: tpkg, Info: info}
+	l.cache[path] = pkg
+	return pkg, nil
+}
+
+// Import implements types.Importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, "", 0)
+}
+
+// ImportFrom implements types.ImporterFrom: module-internal paths resolve
+// from disk through this loader; everything else (the standard library)
+// goes to the source importer.
+func (l *Loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if path == l.modulePath || strings.HasPrefix(path, l.modulePath+"/") {
+		pkg, err := l.loadPath(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.ImportFrom(path, dir, mode)
+}
+
+// LoadPatterns expands go-style package patterns (a directory, or a
+// directory suffixed with /... for a recursive walk) relative to baseDir
+// and loads every matched package into one Program. Directories named
+// testdata, vendor, or starting with "." or "_" are skipped during
+// recursive walks, mirroring the go tool.
+func (l *Loader) LoadPatterns(baseDir string, patterns []string) (*Program, error) {
+	var dirs []string
+	seen := map[string]bool{}
+	addDir := func(dir string) {
+		abs, err := filepath.Abs(dir)
+		if err != nil {
+			return
+		}
+		if !seen[abs] && hasGoFiles(abs) {
+			seen[abs] = true
+			dirs = append(dirs, abs)
+		}
+	}
+	for _, pat := range patterns {
+		if rest, ok := strings.CutSuffix(pat, "..."); ok {
+			root := filepath.Join(baseDir, strings.TrimSuffix(rest, "/"))
+			if rest == "" {
+				root = baseDir
+			}
+			err := filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if !d.IsDir() {
+					return nil
+				}
+				name := d.Name()
+				if p != root && (name == "testdata" || name == "vendor" ||
+					strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+					return filepath.SkipDir
+				}
+				addDir(p)
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			continue
+		}
+		addDir(filepath.Join(baseDir, pat))
+	}
+	if len(dirs) == 0 {
+		return nil, fmt.Errorf("analysis: no packages match %v", patterns)
+	}
+	prog := &Program{Fset: l.fset, ModulePath: l.modulePath, ModuleRoot: l.moduleRoot}
+	for _, dir := range dirs {
+		pkg, err := l.LoadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		prog.Pkgs = append(prog.Pkgs, pkg)
+	}
+	return prog, nil
+}
+
+// hasGoFiles reports whether dir directly contains at least one non-test
+// Go source file.
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") &&
+			!strings.HasSuffix(name, "_test.go") &&
+			!strings.HasPrefix(name, ".") && !strings.HasPrefix(name, "_") {
+			return true
+		}
+	}
+	return false
+}

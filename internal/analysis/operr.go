@@ -1,0 +1,139 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// OpErr enforces the library's error discipline (the gonum-style
+// convention the engine documents on core.OpError):
+//
+//  1. In kernel/op/backend packages, panic values must be typed
+//     *core.OpError naming the failing kernel — a bare panic(err) or
+//     panic("...") loses the kernel attribution that recover-based
+//     callers and the serving layer depend on. Engine-invariant panics
+//     (corrupted internal state with no kernel to blame) are expected to
+//     carry a //lint:ignore operr justification.
+//  2. Anywhere in the module, an error returned by module-internal code
+//     may not be discarded — neither by calling for effect nor by
+//     blank-assignment.
+var OpErr = &Analyzer{
+	Name: "operr",
+	Doc: "kernel/op code panics with typed *core.OpError; module-internal " +
+		"errors may not be discarded",
+	Run: runOpErr,
+}
+
+// opErrPanicScope lists the path segments of packages under the typed-panic
+// rule: the op surface and every backend.
+var opErrPanicScope = map[string]bool{
+	"ops": true, "kernels": true, "native": true,
+	"webgl": true, "webgpu": true, "cpu": true,
+}
+
+func runOpErr(pass *Pass) error {
+	inPanicScope := false
+	for _, seg := range strings.Split(pass.Pkg.Path, "/") {
+		if opErrPanicScope[seg] {
+			inPanicScope = true
+			break
+		}
+	}
+
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch stmt := n.(type) {
+			case *ast.CallExpr:
+				if inPanicScope {
+					checkPanicValue(pass, stmt)
+				}
+			case *ast.ExprStmt:
+				checkDroppedCall(pass, stmt)
+			case *ast.AssignStmt:
+				checkBlankError(pass, stmt)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkPanicValue flags panic(x) where x is not a *core.OpError.
+func checkPanicValue(pass *Pass, call *ast.CallExpr) {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "panic" || len(call.Args) != 1 {
+		return
+	}
+	if b, ok := pass.Pkg.Info.Uses[id].(*types.Builtin); !ok || b.Name() != "panic" {
+		return
+	}
+	argType := pass.Pkg.Info.Types[call.Args[0]].Type
+	if argType == nil || isNamed(argType, "internal/core", "OpError") {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"panic with untyped value (%s); kernel and op code must panic a *core.OpError naming the kernel",
+		types.TypeString(argType, types.RelativeTo(pass.Pkg.Types)))
+}
+
+// checkDroppedCall flags a statement-level call to module-internal code
+// whose error result is ignored.
+func checkDroppedCall(pass *Pass, stmt *ast.ExprStmt) {
+	call, ok := stmt.X.(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	fn := moduleFunc(pass, call)
+	if fn == nil {
+		return
+	}
+	sig := fn.Type().(*types.Signature)
+	if errorResultIndex(sig) < 0 {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"error result of %s is discarded; handle it or carry a justified //lint:ignore",
+		selectorName(call))
+}
+
+// checkBlankError flags x, _ := f() where the blank slot is f's error.
+func checkBlankError(pass *Pass, stmt *ast.AssignStmt) {
+	if len(stmt.Rhs) != 1 {
+		return
+	}
+	call, ok := stmt.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	fn := moduleFunc(pass, call)
+	if fn == nil {
+		return
+	}
+	sig := fn.Type().(*types.Signature)
+	idx := errorResultIndex(sig)
+	if idx < 0 || idx >= len(stmt.Lhs) {
+		return
+	}
+	if id, ok := stmt.Lhs[idx].(*ast.Ident); ok && id.Name == "_" {
+		pass.Reportf(stmt.Pos(),
+			"error result of %s is discarded via _; handle it or carry a justified //lint:ignore",
+			selectorName(call))
+	}
+}
+
+// moduleFunc resolves call to a function declared inside this module, or
+// nil — the error-discipline checks do not second-guess the standard
+// library.
+func moduleFunc(pass *Pass, call *ast.CallExpr) *types.Func {
+	fn := calleeFunc(pass.Pkg.Info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return nil
+	}
+	path := fn.Pkg().Path()
+	mod := pass.Prog.ModulePath
+	if path != mod && !strings.HasPrefix(path, mod+"/") {
+		return nil
+	}
+	return fn
+}

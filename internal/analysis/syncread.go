@@ -1,0 +1,139 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SyncRead flags synchronous tensor readbacks reachable from jsenv
+// event-loop callbacks. DataSync/ReadSync block the calling goroutine
+// until the device pipeline drains, and Future.Await parks it outright —
+// on the simulated browser main thread (jsenv.Loop) that is exactly the
+// "blocks the UI thread" hazard the paper's async Data() path exists to
+// avoid, and Await from the loop goroutine deadlocks. The analyzer roots
+// at every closure or function handed to Loop.Post/PostAndWait or
+// Future.Then/ThenOn, follows package-local calls, and reports each
+// blocking read it can reach.
+var SyncRead = &Analyzer{
+	Name: "syncread",
+	Doc: "no DataSync/ReadSync/Await reachable from a jsenv event-loop " +
+		"callback; use the async Data()/Then path",
+	Run: runSyncRead,
+}
+
+// loopEntryPoints are the methods whose function argument runs on the
+// event loop.
+var loopEntryPoints = map[string]string{
+	"Post":        "Loop",
+	"PostAndWait": "Loop",
+	"Then":        "Future",
+	"ThenOn":      "Future",
+}
+
+func runSyncRead(pass *Pass) error {
+	info := pass.Pkg.Info
+
+	// Map every package-level function/method to its declaration so the
+	// reachability walk can follow package-local calls.
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, file := range pass.Pkg.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := info.Defs[fd.Name].(*types.Func); ok {
+				decls[fn] = fd
+			}
+		}
+	}
+
+	visited := map[ast.Node]bool{}
+	var visit func(body ast.Node, rootPos ast.Node, rootDesc string)
+	visit = func(body ast.Node, rootPos ast.Node, rootDesc string) {
+		if visited[body] {
+			return
+		}
+		visited[body] = true
+		ast.Inspect(body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if kind := syncReadKind(info, call); kind != "" {
+				root := pass.Prog.Fset.Position(rootPos.Pos())
+				pass.Reportf(call.Pos(),
+					"%s blocks the event loop inside a callback posted at line %d (%s); use the async Data()/Then path instead",
+					kind, root.Line, rootDesc)
+				return true
+			}
+			// Follow package-local calls.
+			if fn := calleeFunc(info, call); fn != nil {
+				if fd, ok := decls[fn]; ok {
+					visit(fd.Body, rootPos, rootDesc)
+				}
+			}
+			return true
+		})
+	}
+
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			recvType, wanted := loopEntryPoints[sel.Sel.Name]
+			if !wanted {
+				return true
+			}
+			s, ok := info.Selections[sel]
+			if !ok || !isNamed(s.Recv(), "internal/jsenv", recvType) {
+				return true
+			}
+			desc := recvType + "." + sel.Sel.Name
+			for _, arg := range call.Args {
+				switch a := ast.Unparen(arg).(type) {
+				case *ast.FuncLit:
+					visit(a.Body, call, desc)
+				case *ast.Ident:
+					if fn, ok := info.Uses[a].(*types.Func); ok {
+						if fd, ok := decls[fn]; ok {
+							visit(fd.Body, call, desc)
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// syncReadKind classifies a call as a blocking read: "DataSync"/"ReadSync"
+// on a tensor, or "Await" on a jsenv Future. Returns "" otherwise.
+func syncReadKind(info *types.Info, call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	s, ok := info.Selections[sel]
+	if !ok {
+		return ""
+	}
+	switch sel.Sel.Name {
+	case "DataSync", "ReadSync":
+		if isNamed(s.Recv(), "internal/tensor", "Tensor") {
+			return "synchronous " + sel.Sel.Name + "()"
+		}
+	case "Await":
+		if isNamed(s.Recv(), "internal/jsenv", "Future") {
+			return "Future.Await()"
+		}
+	}
+	return ""
+}

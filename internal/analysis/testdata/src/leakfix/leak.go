@@ -1,0 +1,64 @@
+// Package leakfix seeds tensorleak violations: a constructor result
+// dropped on the floor, a tensor that is never released, and the classic
+// one-branch leak where Dispose runs on only one path.
+package leakfix
+
+import (
+	"repro/internal/core"
+	"repro/internal/ops"
+	"repro/internal/tensor"
+)
+
+// Dropped discards the constructor result entirely.
+func Dropped() {
+	ops.Ones(2, 2) // want: result dropped
+}
+
+// Never binds the tensor but no path ever releases it.
+func Never() float32 {
+	t := ops.Zeros(4) // want: never disposed
+	return t.DataSync()[0]
+}
+
+// OneBranch leaks t whenever big is false: the Dispose is guarded.
+func OneBranch(big bool) float32 {
+	t := ops.Zeros(4) // want: disposed only on some paths
+	if big {
+		v := t.DataSync()[0]
+		t.Dispose()
+		return v
+	}
+	return t.DataSync()[0]
+}
+
+// CleanReturn hands the tensor to the caller: not a leak.
+func CleanReturn() *tensor.Tensor {
+	t := ops.Ones(3)
+	return t
+}
+
+// CleanDefer releases unconditionally: not a leak.
+func CleanDefer() float32 {
+	t := ops.Fill([]int{2}, 7)
+	defer t.Dispose()
+	return t.DataSync()[0]
+}
+
+// CleanTidy creates inside a tidy scope, which adopts everything: not a
+// leak even though nothing is disposed explicitly.
+func CleanTidy() {
+	core.Global().Tidy("demo", func() []*tensor.Tensor {
+		ops.Ones(2, 2)
+		return nil
+	})
+}
+
+// CleanBranches disposes in the guard but also escapes unconditionally.
+func CleanBranches(big bool) *tensor.Tensor {
+	t := ops.Zeros(2)
+	if big {
+		t.Dispose()
+		return nil
+	}
+	return t
+}

@@ -1,0 +1,47 @@
+// Package kernels (under operrfix) seeds operr violations: an untyped
+// panic in kernel-scope code, a dropped module-internal error, and a
+// blank-assigned one. The path deliberately contains the "kernels" segment
+// so the typed-panic rule applies.
+package kernels
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Validate panics untyped instead of raising a *core.OpError.
+func Validate(size int) {
+	if size < 0 {
+		panic(fmt.Errorf("negative size %d", size)) // want: untyped panic
+	}
+}
+
+// ValidateTyped is the compliant form.
+func ValidateTyped(size int) {
+	if size < 0 {
+		panic(&core.OpError{Kernel: "Validate", Err: fmt.Errorf("negative size %d", size)})
+	}
+}
+
+// Run discards doWork's error by calling for effect.
+func Run() {
+	doWork() // want: error discarded
+}
+
+// RunBlank discards it explicitly via the blank identifier.
+func RunBlank() int {
+	n, _ := doWork() // want: error discarded via _
+	return n
+}
+
+// RunChecked handles the error: compliant.
+func RunChecked() (int, error) {
+	n, err := doWork()
+	if err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+func doWork() (int, error) { return 1, nil }

@@ -1,0 +1,20 @@
+// Package suppressfix exercises the suppression machinery: a justified
+// directive silences its finding; a directive without a reason silences
+// nothing and is itself reported.
+package suppressfix
+
+import "repro/internal/ops"
+
+// Justified carries a reasoned suppression: the leak stays, the finding
+// is marked suppressed.
+func Justified() {
+	//lint:ignore tensorleak demo allocation left leaking on purpose for the suppression golden test
+	ops.Ones(1)
+}
+
+// Unjustified has a bare directive: the leak is still reported, and so is
+// the malformed directive.
+func Unjustified() {
+	//lint:ignore tensorleak
+	ops.Zeros(1)
+}

@@ -1,0 +1,41 @@
+// Package syncfix seeds syncread violations: blocking reads reachable
+// from event-loop callbacks, both directly and through a package-local
+// helper call.
+package syncfix
+
+import (
+	"repro/internal/jsenv"
+	"repro/internal/tensor"
+)
+
+// Direct blocks the loop right inside the posted closure.
+func Direct(loop *jsenv.Loop, t *tensor.Tensor) {
+	loop.PostAndWait(func() {
+		t.DataSync() // want: blocks the event loop
+	})
+}
+
+// Indirect reaches the blocking read through a helper, exercising the
+// intra-package call graph.
+func Indirect(loop *jsenv.Loop, t *tensor.Tensor) {
+	loop.Post(func() {
+		helper(t)
+	})
+}
+
+func helper(t *tensor.Tensor) float32 {
+	return t.DataSync()[0] // want: reachable from Loop.Post
+}
+
+// Clean reads asynchronously: the callback only schedules, never blocks.
+func Clean(loop *jsenv.Loop, t *tensor.Tensor) {
+	loop.Post(func() {
+		t.Data().Then(func(vals []float32, err error) {})
+	})
+}
+
+// OffLoop reads synchronously outside any loop callback, which is fine on
+// a worker goroutine.
+func OffLoop(t *tensor.Tensor) []float32 {
+	return t.DataSync()
+}

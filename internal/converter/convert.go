@@ -23,6 +23,12 @@ type Options struct {
 	ShardBytes int
 	// SkipPruning disables the training-op pruning pass (for tests).
 	SkipPruning bool
+	// SkipVerify disables the static shape/dtype verification pass run on
+	// the pruned graph before artifacts are written (the convert-time tier
+	// of the tfjs-vet suite). With verification on — the default — a rank-
+	// or dtype-inconsistent model is rejected at conversion time with a
+	// node-and-edge diagnostic instead of at the client's first predict.
+	SkipVerify bool
 }
 
 // WeightQuant records the affine dequantization parameters of one weight.
@@ -91,6 +97,14 @@ func Convert(g *savedmodel.GraphDef, store Store, opts Options) (*Result, error)
 		res.PrunedNodes = prunedNames
 	}
 	res.NodesAfter = len(pruned.Nodes)
+
+	if !opts.SkipVerify {
+		// Static shape/dtype verification over the graph being shipped:
+		// malformed artifacts are rejected here, not at first predict.
+		if err := savedmodel.VerifyGraph(pruned); err != nil {
+			return nil, fmt.Errorf("converter: refusing to write artifacts: %w", err)
+		}
+	}
 
 	// Pack weights in deterministic (node) order.
 	var specs []WeightSpec

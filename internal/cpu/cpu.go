@@ -48,6 +48,7 @@ func (b *Backend) Write(d tensor.DataID, values []float32, shape []int, dtype te
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if _, dup := b.bufs[d]; dup {
+		//lint:ignore operr engine-invariant corruption (data id reused); no kernel to attribute
 		panic(fmt.Sprintf("cpu: duplicate write for data id %d", d))
 	}
 	b.bufs[d] = buf
@@ -60,6 +61,7 @@ func (b *Backend) WriteOwned(d tensor.DataID, buf []float32) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if _, dup := b.bufs[d]; dup {
+		//lint:ignore operr engine-invariant corruption (data id reused); no kernel to attribute
 		panic(fmt.Sprintf("cpu: duplicate write for data id %d", d))
 	}
 	b.bufs[d] = buf
@@ -74,6 +76,7 @@ func (b *Backend) Raw(d tensor.DataID) []float32 {
 	defer b.mu.Unlock()
 	buf, ok := b.bufs[d]
 	if !ok {
+		//lint:ignore operr engine-invariant corruption (read of unregistered data id); no kernel to attribute
 		panic(fmt.Sprintf("cpu: read of unknown data id %d", d))
 	}
 	return buf

@@ -21,6 +21,7 @@ import (
 // config carries load-time options.
 type config struct {
 	optimize bool
+	verify   bool
 }
 
 // Option configures Load/New.
@@ -70,7 +71,7 @@ func Load(store converter.Store, opts ...Option) (*Model, error) {
 // (unless disabled), compiles the execution plan and uploads the weights.
 // The caller's graph is never mutated; the optimizer works on a clone.
 func New(g *savedmodel.GraphDef, opts ...Option) (*Model, error) {
-	cfg := config{optimize: true}
+	cfg := config{optimize: true, verify: true}
 	for _, opt := range opts {
 		opt(&cfg)
 	}
@@ -81,6 +82,15 @@ func New(g *savedmodel.GraphDef, opts ...Option) (*Model, error) {
 	m.span = spanName("graphmodel", g)
 	if cfg.optimize {
 		m.exec, m.optStats = optimize(g, core.Global().Telemetry(), m.span)
+	}
+	if cfg.verify {
+		// Verify the execution graph — the one the plan compiles — so the
+		// optimizer's fused nodes are checked too, and a rank- or
+		// dtype-inconsistent model is rejected here rather than at the
+		// first Execute (see verify.go).
+		if err := verifyGraph(m.exec, core.Global().Telemetry(), m.span); err != nil {
+			return nil, err
+		}
 	}
 	m.nodes = map[string]*savedmodel.NodeDef{}
 	for i := range m.exec.Nodes {

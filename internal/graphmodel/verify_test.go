@@ -1,0 +1,112 @@
+package graphmodel_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/converter"
+	"repro/internal/core"
+	"repro/internal/graphmodel"
+	"repro/internal/savedmodel"
+	"repro/internal/telemetry"
+)
+
+// badMatMul is structurally valid (passes Validate) but statically
+// inconsistent: the [1 8] placeholder feeds a MatMul whose weight is
+// [16 4] — inner dims 8 vs 16.
+func badMatMul() *savedmodel.GraphDef {
+	w := make([]float32, 16*4)
+	return &savedmodel.GraphDef{
+		Nodes: []savedmodel.NodeDef{
+			{Name: "x", Op: "Placeholder",
+				Attrs: map[string]any{"dtype": "float32", "shape": []int{-1, 8}}},
+			{Name: "W", Op: "Const"},
+			{Name: "mm", Op: "MatMul", Inputs: []string{"x", "W"}},
+		},
+		Weights: map[string]*savedmodel.Weight{
+			"W": {Name: "W", Shape: []int{16, 4}, DType: "float32", Values: w},
+		},
+		Inputs:  []string{"x"},
+		Outputs: []string{"mm"},
+	}
+}
+
+// TestNewRejectsInconsistentGraph: the verifier runs by default at load
+// time and turns a would-be first-predict failure into a load-time error
+// naming the node and edge.
+func TestNewRejectsInconsistentGraph(t *testing.T) {
+	_, err := graphmodel.New(badMatMul())
+	if err == nil {
+		t.Fatal("New must reject a shape-inconsistent graph by default")
+	}
+	for _, want := range []string{`node "mm"`, "inner dims"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("diagnostic should contain %q: %v", want, err)
+		}
+	}
+}
+
+// TestWithVerifyOffRestoresLazyFailure: the escape hatch loads the model
+// anyway; the inconsistency then surfaces at Execute, as before the
+// verifier existed.
+func TestWithVerifyOffRestoresLazyFailure(t *testing.T) {
+	m, err := graphmodel.New(badMatMul(), graphmodel.WithVerify(false))
+	if err != nil {
+		t.Fatalf("WithVerify(false) must bypass the verifier: %v", err)
+	}
+	m.Dispose()
+}
+
+// TestVerifyTelemetry: each load emits one KindVerify event with the
+// outcome as Name and the checked node count.
+func TestVerifyTelemetry(t *testing.T) {
+	var events []telemetry.Event
+	remove := core.Global().Telemetry().Register(telemetry.ObserverFunc(func(ev telemetry.Event) {
+		if ev.Kind == telemetry.KindVerify {
+			events = append(events, ev)
+		}
+	}))
+	defer remove()
+
+	g := badMatMul()
+	if _, err := graphmodel.New(g); err == nil {
+		t.Fatal("want rejection")
+	}
+	if len(events) != 1 || events[0].Name != "reject" {
+		t.Fatalf("want one reject event, got %+v", events)
+	}
+	if events[0].Count != len(g.Nodes) {
+		t.Fatalf("event Count = %d, want node count %d", events[0].Count, len(g.Nodes))
+	}
+
+	events = nil
+	g.Weights["W"].Shape = []int{8, 4}
+	g.Weights["W"].Values = make([]float32, 8*4)
+	m, err := graphmodel.New(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Dispose()
+	if len(events) != 1 || events[0].Name != "ok" {
+		t.Fatalf("want one ok event, got %+v", events)
+	}
+}
+
+// TestConvertRefusesInconsistentGraph: the converter runs the same
+// verifier before writing artifacts, so a malformed model is rejected at
+// conversion time and nothing reaches the store.
+func TestConvertRefusesInconsistentGraph(t *testing.T) {
+	store := converter.NewMemStore()
+	_, err := converter.Convert(badMatMul(), store, converter.Options{})
+	if err == nil || !strings.Contains(err.Error(), "refusing to write artifacts") {
+		t.Fatalf("want conversion refusal, got %v", err)
+	}
+	if paths, _ := store.List(); len(paths) != 0 {
+		t.Fatalf("refused conversion must write nothing, wrote %v", paths)
+	}
+
+	// The explicit bypass still converts (for debugging malformed models).
+	if _, err := converter.Convert(badMatMul(), store, converter.Options{SkipVerify: true}); err != nil {
+		t.Fatalf("SkipVerify must bypass the verifier: %v", err)
+	}
+}

@@ -28,6 +28,7 @@ func (a Attrs) Int(key string, def int) int {
 	}
 	i, ok := v.(int)
 	if !ok {
+		//lint:ignore operr kernels is imported by core and cannot name *core.OpError; the dispatching op attributes this attr-decode invariant
 		panic(fmt.Sprintf("kernels: attr %q is %T, want int", key, v))
 	}
 	return i
@@ -41,6 +42,7 @@ func (a Attrs) Ints(key string, def []int) []int {
 	}
 	i, ok := v.([]int)
 	if !ok {
+		//lint:ignore operr kernels is imported by core and cannot name *core.OpError; the dispatching op attributes this attr-decode invariant
 		panic(fmt.Sprintf("kernels: attr %q is %T, want []int", key, v))
 	}
 	return i
@@ -54,6 +56,7 @@ func (a Attrs) Float(key string, def float64) float64 {
 	}
 	f, ok := v.(float64)
 	if !ok {
+		//lint:ignore operr kernels is imported by core and cannot name *core.OpError; the dispatching op attributes this attr-decode invariant
 		panic(fmt.Sprintf("kernels: attr %q is %T, want float64", key, v))
 	}
 	return f
@@ -67,6 +70,7 @@ func (a Attrs) String(key, def string) string {
 	}
 	s, ok := v.(string)
 	if !ok {
+		//lint:ignore operr kernels is imported by core and cannot name *core.OpError; the dispatching op attributes this attr-decode invariant
 		panic(fmt.Sprintf("kernels: attr %q is %T, want string", key, v))
 	}
 	return s
@@ -80,6 +84,7 @@ func (a Attrs) Bool(key string, def bool) bool {
 	}
 	b, ok := v.(bool)
 	if !ok {
+		//lint:ignore operr kernels is imported by core and cannot name *core.OpError; the dispatching op attributes this attr-decode invariant
 		panic(fmt.Sprintf("kernels: attr %q is %T, want bool", key, v))
 	}
 	return b
@@ -126,6 +131,7 @@ func RegisterRef(name string, k RefKernel) {
 	refMu.Lock()
 	defer refMu.Unlock()
 	if _, dup := refRegistry[name]; dup {
+		//lint:ignore operr init-time registration invariant: two files claiming one kernel name, no dispatch in flight to attribute
 		panic(fmt.Sprintf("kernels: duplicate reference kernel %q", name))
 	}
 	refRegistry[name] = k

@@ -51,6 +51,17 @@ func (m *Sequential) Add(l Layer) *Sequential {
 // to specifying InputShape on the first layer.
 func (m *Sequential) SetInputShape(shape []int) { m.inputShape = tensor.CopyShape(shape) }
 
+// InputShape returns the per-example input shape (without the batch
+// dimension), building the model first if needed. Exporters use it to stamp
+// the serving Placeholder with a static shape so load-time graph
+// verification can propagate real dimensions.
+func (m *Sequential) InputShape() ([]int, error) {
+	if err := m.Build(); err != nil {
+		return nil, err
+	}
+	return tensor.CopyShape(m.inputShape), nil
+}
+
 // inputShapeFromLayers extracts InputShape from the first layer's config.
 func (m *Sequential) inputShapeFromLayers() []int {
 	if len(m.layers) == 0 {
@@ -129,7 +140,10 @@ func (m *Sequential) TrainableWeights() []*core.Variable {
 // CountParams returns the total number of weight elements, building the
 // model if needed.
 func (m *Sequential) CountParams() int {
-	_ = m.Build()
+	if err := m.Build(); err != nil {
+		// An unbuildable model has no weights to count.
+		return 0
+	}
 	n := 0
 	for _, v := range m.Weights() {
 		n += tensor.ShapeSize(v.Shape())

@@ -19,7 +19,17 @@ func FromSequential(m *layers.Sequential, addTrainingOps bool) (*GraphDef, error
 	}
 	g := &GraphDef{Weights: map[string]*Weight{}}
 	input := "serving_input"
-	g.Nodes = append(g.Nodes, NodeDef{Name: input, Op: "Placeholder"})
+	// Stamp the Placeholder with its static shape (batch dimension unknown)
+	// so the load-time verifier can propagate concrete dimensions through
+	// the whole graph instead of starting from an unknown rank.
+	inShape, err := m.InputShape()
+	if err != nil {
+		return nil, err
+	}
+	g.Nodes = append(g.Nodes, NodeDef{
+		Name: input, Op: "Placeholder",
+		Attrs: map[string]any{"dtype": "float32", "shape": append([]int{-1}, inShape...)},
+	})
 	g.Inputs = []string{input}
 
 	prev := input

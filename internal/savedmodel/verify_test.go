@@ -1,0 +1,194 @@
+package savedmodel
+
+import (
+	"strings"
+	"testing"
+)
+
+// ramp fills n ascending values.
+func ramp(n int) []float32 {
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = float32(i)
+	}
+	return out
+}
+
+// chainGraph builds placeholder(shape) → MatMul(W[wr, wc]) → Softmax.
+func chainGraph(inShape []int, wr, wc int) *GraphDef {
+	return &GraphDef{
+		Nodes: []NodeDef{
+			{Name: "x", Op: "Placeholder",
+				Attrs: map[string]any{"dtype": "float32", "shape": inShape}},
+			{Name: "W", Op: "Const"},
+			{Name: "mm", Op: "MatMul", Inputs: []string{"x", "W"}},
+			{Name: "probs", Op: "Softmax", Inputs: []string{"mm"}},
+		},
+		Weights: map[string]*Weight{
+			"W": {Name: "W", Shape: []int{wr, wc}, DType: "float32", Values: ramp(wr * wc)},
+		},
+		Inputs:  []string{"x"},
+		Outputs: []string{"probs"},
+	}
+}
+
+func TestVerifyGraphAccepts(t *testing.T) {
+	cases := map[string]*GraphDef{
+		"static-shapes":   chainGraph([]int{-1, 8}, 8, 4),
+		"unknown-batch":   chainGraph([]int{DimUnknown, 8}, 8, 4),
+		"shapeless-input": chainGraph(nil, 8, 4),
+	}
+	// A placeholder with no shape attr at all must also pass: unknown rank
+	// matches anything.
+	noShape := chainGraph(nil, 8, 4)
+	noShape.Nodes[0].Attrs = nil
+	cases["no-shape-attr"] = noShape
+
+	for name, g := range cases {
+		if err := VerifyGraph(g); err != nil {
+			t.Errorf("%s: unexpected rejection: %v", name, err)
+		}
+	}
+}
+
+// wantIssue runs VerifyGraph and asserts one issue mentions node and text.
+func wantIssue(t *testing.T, g *GraphDef, node, text string) {
+	t.Helper()
+	err := VerifyGraph(g)
+	if err == nil {
+		t.Fatalf("want rejection mentioning node %q / %q, got nil", node, text)
+	}
+	ve, ok := err.(*VerifyError)
+	if !ok {
+		t.Fatalf("want *VerifyError, got %T: %v", err, err)
+	}
+	for _, issue := range ve.Issues {
+		if issue.Node == node && strings.Contains(issue.String(), text) {
+			return
+		}
+	}
+	t.Fatalf("no issue on node %q containing %q; got: %v", node, text, ve.Issues)
+}
+
+func TestVerifyGraphRankMismatch(t *testing.T) {
+	// Rank-3 input into a rank-2-only MatMul.
+	wantIssue(t, chainGraph([]int{-1, 4, 8}, 8, 4), "mm", "rank mismatch")
+}
+
+func TestVerifyGraphInnerDimMismatch(t *testing.T) {
+	// Inner dims 8 vs 16.
+	wantIssue(t, chainGraph([]int{-1, 8}, 16, 4), "mm", "inner dims")
+}
+
+func TestVerifyGraphDTypeMismatch(t *testing.T) {
+	g := chainGraph([]int{-1, 8}, 8, 4)
+	g.Weights["W"].DType = "int32"
+	wantIssue(t, g, "mm", "dtype mismatch")
+}
+
+func TestVerifyGraphDanglingInput(t *testing.T) {
+	g := chainGraph([]int{-1, 8}, 8, 4)
+	g.Nodes[2].Inputs[1] = "missing"
+	wantIssue(t, g, "mm", "undeclared node")
+}
+
+func TestVerifyGraphCycle(t *testing.T) {
+	g := &GraphDef{
+		Nodes: []NodeDef{
+			{Name: "a", Op: "Relu", Inputs: []string{"b"}},
+			{Name: "b", Op: "Relu", Inputs: []string{"a"}},
+		},
+		Weights: map[string]*Weight{},
+		Inputs:  []string{"a"},
+		Outputs: []string{"b"},
+	}
+	err := VerifyGraph(g)
+	if err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("want cycle issue, got %v", err)
+	}
+}
+
+func TestVerifyGraphBroadcastConflict(t *testing.T) {
+	g := &GraphDef{
+		Nodes: []NodeDef{
+			{Name: "x", Op: "Placeholder",
+				Attrs: map[string]any{"shape": []int{-1, 4}}},
+			{Name: "b", Op: "Const"},
+			{Name: "sum", Op: "Add", Inputs: []string{"x", "b"}},
+		},
+		Weights: map[string]*Weight{
+			"b": {Name: "b", Shape: []int{3}, DType: "float32", Values: ramp(3)},
+		},
+		Inputs:  []string{"x"},
+		Outputs: []string{"sum"},
+	}
+	wantIssue(t, g, "sum", "cannot broadcast")
+}
+
+func TestVerifyGraphConvShapes(t *testing.T) {
+	conv := func(filterShape []int) *GraphDef {
+		return &GraphDef{
+			Nodes: []NodeDef{
+				{Name: "x", Op: "Placeholder",
+					Attrs: map[string]any{"shape": []int{-1, 8, 8, 3}}},
+				{Name: "W", Op: "Const"},
+				{Name: "conv", Op: "Conv2D", Inputs: []string{"x", "W"},
+					Attrs: map[string]any{"strides": []int{1, 1}, "padding": "same"}},
+			},
+			Weights: map[string]*Weight{
+				"W": {Name: "W", Shape: filterShape, DType: "float32",
+					Values: ramp(shapeSizeFor(filterShape))},
+			},
+			Inputs:  []string{"x"},
+			Outputs: []string{"conv"},
+		}
+	}
+	if err := VerifyGraph(conv([]int{3, 3, 3, 8})); err != nil {
+		t.Fatalf("consistent conv rejected: %v", err)
+	}
+	// Filter expects 4 input channels, image has 3.
+	wantIssue(t, conv([]int{3, 3, 4, 8}), "conv", "in-channels")
+}
+
+func shapeSizeFor(shape []int) int {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	return n
+}
+
+// TestVerifyGraphUnknownOpIsSilent pins the optimistic contract: ops the
+// executor does not decode statically (a feed may short-circuit them) are
+// unknown-shape producers, not errors — graphmodel.New must keep accepting
+// graphs with exotic ops, failing only at Execute.
+func TestVerifyGraphUnknownOpIsSilent(t *testing.T) {
+	g := &GraphDef{
+		Nodes: []NodeDef{
+			{Name: "x", Op: "Placeholder"},
+			{Name: "fft", Op: "FFT", Inputs: []string{"x"}},
+			{Name: "out", Op: "Relu", Inputs: []string{"fft"}},
+		},
+		Weights: map[string]*Weight{},
+		Inputs:  []string{"x"},
+		Outputs: []string{"out"},
+	}
+	if err := VerifyGraph(g); err != nil {
+		t.Fatalf("unknown op must verify silently, got %v", err)
+	}
+}
+
+// TestVerifyGraphMultipleIssues: every provable inconsistency is reported,
+// not only the first.
+func TestVerifyGraphMultipleIssues(t *testing.T) {
+	g := chainGraph([]int{-1, 8}, 16, 4) // inner-dim mismatch
+	g.Nodes[3].Inputs[0] = "missing"     // plus a dangling edge
+	err := VerifyGraph(g)
+	ve, ok := err.(*VerifyError)
+	if !ok || len(ve.Issues) < 2 {
+		t.Fatalf("want >= 2 issues, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "more)") {
+		t.Fatalf("aggregate error should count extra issues: %v", err)
+	}
+}

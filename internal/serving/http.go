@@ -115,6 +115,7 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("Content-Disposition", `attachment; filename="trace.json"`)
+	//lint:ignore operr headers are already written; a streaming failure here means the client went away and has no recovery
 	_ = s.trace.WriteChromeTrace(w, since)
 }
 

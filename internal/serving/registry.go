@@ -54,6 +54,11 @@ type ModelOptions struct {
 	// no folding, no compiled-plan rewrites beyond attr decoding. The A/B
 	// switch for fusion benchmarks.
 	DisableOptimize bool
+	// DisableVerify loads graph models with the load-time static
+	// shape/dtype verifier off (graphmodel.WithVerify(false)):
+	// inconsistent models surface errors at the first request instead of
+	// being rejected at Load with a node-and-edge diagnostic.
+	DisableVerify bool
 }
 
 // Model is one served model: scheduler, metrics and lifecycle state.
@@ -61,6 +66,7 @@ type Model struct {
 	name       string
 	backend    string
 	noOptimize bool
+	noVerify   bool
 	cfg        Config
 	metrics    *Metrics
 
@@ -185,7 +191,7 @@ func outcomeLabel(err error) string {
 
 // load resolves the artifact format, builds the runner and flips state.
 func (m *Model) load(store converter.Store) {
-	run, format, dispose, err := loadRunner(m.name, store, m.backend, m.noOptimize)
+	run, format, dispose, err := loadRunner(m.name, store, m.backend, m.noOptimize, m.noVerify)
 	m.mu.Lock()
 	if m.state == StateUnloaded {
 		// Unloaded while loading: discard.
@@ -213,7 +219,7 @@ func (m *Model) load(store converter.Store) {
 // through graphmodel, layers models through the restored Sequential. The
 // registry name becomes the model's telemetry span prefix, so traces and
 // kernel breakdowns attribute per model.
-func loadRunner(name string, store converter.Store, backend string, noOptimize bool) (runner, string, func(), error) {
+func loadRunner(name string, store converter.Store, backend string, noOptimize, noVerify bool) (runner, string, func(), error) {
 	data, err := store.Read("model.json")
 	if err != nil {
 		return nil, "", nil, fmt.Errorf("serving: reading model.json: %w", err)
@@ -226,7 +232,7 @@ func loadRunner(name string, store converter.Store, backend string, noOptimize b
 	}
 	switch meta.Format {
 	case "graph-model":
-		gm, err := graphmodel.Load(store, graphmodel.WithOptimize(!noOptimize))
+		gm, err := graphmodel.Load(store, graphmodel.WithOptimize(!noOptimize), graphmodel.WithVerify(!noVerify))
 		if err != nil {
 			return nil, "", nil, err
 		}
@@ -296,6 +302,7 @@ func (r *Registry) Load(name string, store converter.Store, opts ModelOptions) (
 		name:       name,
 		backend:    backend,
 		noOptimize: opts.DisableOptimize,
+		noVerify:   opts.DisableVerify,
 		cfg:        opts.Batching.withDefaults(),
 		metrics:    NewMetrics(),
 		state:      StateLoading,
@@ -363,6 +370,7 @@ func (r *Registry) Snapshots() map[string]Snapshot {
 // Close unloads every model.
 func (r *Registry) Close() {
 	for _, name := range r.Names() {
+		//lint:ignore operr best-effort shutdown; Unload fails only for unknown names, which Names() just enumerated
 		_ = r.Unload(name)
 	}
 }

@@ -307,6 +307,12 @@ func toTraceEvent(ev Event) traceEvent {
 		if ev.Count > 0 {
 			te.Args["nodes_removed"] = ev.Count
 		}
+	case KindVerify:
+		// One slice per load-time graph verification pass, on the kernel
+		// track (it runs before any kernel of the model dispatches).
+		te.TID = tidKernels
+		te.Dur = durMicros(ev.DurMS)
+		te.Args["nodes_checked"] = ev.Count
 	}
 	if len(te.Args) == 0 {
 		te.Args = nil

@@ -61,6 +61,10 @@ const (
 	// ("fuse:Conv2D+BiasAdd+Relu6"), Trace the rewritten node, Span the
 	// model, Count the nodes removed.
 	KindRewrite
+	// KindVerify is one load-time static shape/dtype verification pass over
+	// a model graph (graphmodel's verifier). Name is the outcome ("ok" or
+	// "reject"), Count the number of nodes checked, Span the model.
+	KindVerify
 )
 
 // String names the kind for trace output.
@@ -90,6 +94,8 @@ func (k EventKind) String() string {
 		return "batch"
 	case KindRewrite:
 		return "rewrite"
+	case KindVerify:
+		return "verify"
 	}
 	return "unknown"
 }

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/glsim"
 	"repro/internal/jsenv"
 	"repro/internal/kernels"
@@ -148,7 +149,7 @@ func (b *Backend) newTexData(id tensor.DataID, shape []int, dtype tensor.DataTyp
 func (b *Backend) Write(d tensor.DataID, values []float32, shape []int, dtype tensor.DataType) {
 	td, err := b.newTexData(d, shape, dtype)
 	if err != nil {
-		panic(err)
+		panic(&core.OpError{Kernel: "webgl.Write", Err: err})
 	}
 	vals := make([]float32, len(values))
 	copy(vals, values)
@@ -161,6 +162,7 @@ func (b *Backend) lookup(d tensor.DataID) *texData {
 	td, ok := b.data[d]
 	b.mu.Unlock()
 	if !ok {
+		//lint:ignore operr engine-invariant corruption (lookup of unregistered data id); no kernel to attribute
 		panic(fmt.Sprintf("webgl: unknown data id %d", d))
 	}
 	return td
@@ -176,7 +178,7 @@ func (b *Backend) touch(td *texData) *glsim.Texture {
 	// Page back in (Section 4.1.2).
 	w, h, err := texShape(td.size, td.packed, b.cfg.Device.MaxTextureSize)
 	if err != nil {
-		panic(err)
+		panic(&core.OpError{Kernel: "webgl.PageIn", Err: err})
 	}
 	format := glsim.R32F
 	if td.packed {
@@ -184,7 +186,7 @@ func (b *Backend) touch(td *texData) *glsim.Texture {
 	}
 	tex, err := b.manager.acquire(w, h, format)
 	if err != nil {
-		panic(err)
+		panic(&core.OpError{Kernel: "webgl.PageIn", Err: err})
 	}
 	b.device.Upload(tex, td.paged)
 	td.tex = tex

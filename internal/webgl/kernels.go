@@ -16,6 +16,7 @@ import (
 // register installs one kernel override.
 func (b *Backend) register(name string, k kernels.OverrideKernel) {
 	if _, dup := b.kernelsTable[name]; dup {
+		//lint:ignore operr init-time registration invariant (duplicate override); no dispatch in flight to attribute
 		panic(fmt.Sprintf("webgl: duplicate kernel %q", name))
 	}
 	b.kernelsTable[name] = k

@@ -54,6 +54,12 @@ type OptimizeStats = graphmodel.OptimizeStats
 // (operator fusion, batch-norm/constant folding, pruning); on by default.
 func WithGraphOptimize(enabled bool) GraphModelOption { return graphmodel.WithOptimize(enabled) }
 
+// WithGraphVerify enables or disables load-time static shape/dtype
+// verification of the execution graph (on by default): rank- or
+// dtype-inconsistent models are rejected with a node-and-edge diagnostic
+// at LoadModel instead of failing at the first Predict.
+func WithGraphVerify(enabled bool) GraphModelOption { return graphmodel.WithVerify(enabled) }
+
 // LoadModel loads a converted model from an artifact store —
 // tf.loadModel(url) (Section 5.1).
 func LoadModel(store ArtifactStore, opts ...GraphModelOption) (*GraphModel, error) {

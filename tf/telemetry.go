@@ -91,6 +91,11 @@ func NewLifetimeTracker(sampleEvery int) *LifetimeTracker {
 // (sampling 1), so a nonempty report always names lines. The engine
 // holds at most one tracker; LeakCheck errors if another capture (e.g.
 // a serving /debug/memory?leaks=N window) is in flight.
+//
+// The static tensorleak analyzer (go run ./cmd/tfjs-vet) catches the
+// same bug class at vet time and names allocation sites in the same
+// "func (file:line)" format, so a runtime report and a static finding
+// for one leak point at the same line.
 func LeakCheck(fn func()) (*LeakReport, error) {
 	lt := telemetry.NewLifetimeTracker(1)
 	remove, err := core.Global().TrackLifetimes(lt)
