@@ -51,6 +51,7 @@ func main() {
 	baseline := flag.String("baseline", "", "serve/fusion: compare QPS against this baseline JSON, exit nonzero on >20% regression")
 	out := flag.String("out", "", "serve/fusion: write measured results as JSON to this file")
 	fusion := flag.String("fusion", "on", "graph optimizer for the serve command: on or off")
+	replicas := flag.Int("replicas", 1, "serve: also measure an N-replica engine pool (adds a replicasN mode)")
 	traceDir := flag.String("tracedir", "", "fusion: write trace_fusion_{on,off}.json Chrome traces to this directory")
 	flag.Parse()
 	if *fusion != "on" && *fusion != "off" {
@@ -80,7 +81,7 @@ func main() {
 	case "webgpu":
 		webgpuExperiment()
 	case "serve":
-		serveExperiment(*alpha, *size, 10**runs, *baseline, *out, *fusion == "on")
+		serveExperiment(*alpha, *size, 10**runs, *baseline, *out, *fusion == "on", *replicas)
 	case "fusion":
 		fusionExperiment(*alpha, *size, *runs, *baseline, *out, *traceDir)
 	case "all":

@@ -28,7 +28,7 @@ import (
 // artifact, or a new BENCH_serving.json baseline). baselinePath compares
 // the run against a committed baseline and exits nonzero on a QPS
 // regression beyond the tolerance.
-func serveExperiment(alpha float64, size, runs int, baselinePath, outPath string, fusion bool) {
+func serveExperiment(alpha float64, size, runs int, baselinePath, outPath string, fusion bool, replicas int) {
 	fmt.Printf("\n=== Serving: dynamic micro-batching throughput ===\n")
 	fmt.Printf("MobileNet v1 alpha=%.2f input=%dx%dx3, native backend, %d CPU core(s), 32 concurrent clients, %d requests per mode, fusion=%v\n\n",
 		alpha, size, size, runtime.NumCPU(), runs, fusion)
@@ -55,21 +55,35 @@ func serveExperiment(alpha float64, size, runs int, baselinePath, outPath string
 	}
 
 	results := newServingBench(alpha, size, runs, 32)
-	fmt.Printf("%-12s %10s %10s %10s %10s %10s %12s\n", "Mode", "QPS", "p50 (ms)", "p95 (ms)", "p99 (ms)", "max batch", "dispatch/req")
-	for _, mode := range []struct {
+	modes := []struct {
 		label    string
 		maxBatch int
+		replicas int
 	}{
-		{"batched", 16},
-		{"unbatched", 1},
-	} {
-		r := serveThroughput(store, size, mode.maxBatch, runs, fusion)
+		{"batched", 16, 1},
+		{"unbatched", 1, 1},
+	}
+	if replicas > 1 {
+		// The replica-pool mode: same batched config, N independent
+		// engines behind the scheduler. On a multi-core host this is the
+		// serving control plane's headline number — concurrent batches
+		// execute in parallel instead of serializing on one engine lock.
+		modes = append(modes, struct {
+			label    string
+			maxBatch int
+			replicas int
+		}{fmt.Sprintf("replicas%d", replicas), 16, replicas})
+	}
+	fmt.Printf("%-12s %10s %10s %10s %10s %10s %12s\n", "Mode", "QPS", "p50 (ms)", "p95 (ms)", "p99 (ms)", "max batch", "dispatch/req")
+	for _, mode := range modes {
+		r := serveThroughput(store, size, mode.maxBatch, runs, fusion, mode.replicas)
 		fmt.Printf("%-12s %10.1f %10.1f %10.1f %10.1f %10d %12d\n",
 			mode.label, r.QPS, r.P50MS, r.P95MS, r.P99MS, r.MaxBatch, r.KernelDispatches)
 		results.Modes[mode.label] = r
 	}
 	fmt.Println("\n(single-core hosts show ~1x: the batched speedup comes from parallelizing the")
-	fmt.Println(" coalesced batch across cores and amortizing dispatch; see bench_serving_test.go)")
+	fmt.Println(" coalesced batch across cores and amortizing dispatch; the replicasN mode needs")
+	fmt.Println(" GOMAXPROCS ≥ N to overlap batch executions; see bench_serving_test.go)")
 
 	if outPath != "" {
 		if err := results.writeJSON(outPath); err != nil {
@@ -92,12 +106,13 @@ func serveExperiment(alpha float64, size, runs int, baselinePath, outPath string
 // serveThroughput drives total requests through one registry model from 32
 // concurrent clients and reports QPS, latency percentiles and the kernel
 // dispatches the telemetry hub attributes to each request on average.
-func serveThroughput(store converter.Store, size, maxBatch, total int, fusion bool) ModeResult {
+func serveThroughput(store converter.Store, size, maxBatch, total int, fusion bool, replicas int) ModeResult {
 	reg := serving.NewRegistry()
 	defer reg.Close()
 	m, err := reg.Load("mobilenet", store, serving.ModelOptions{
 		Backend:         "node",
 		DisableOptimize: !fusion,
+		Replicas:        replicas,
 		Batching: serving.Config{
 			MaxBatchSize: maxBatch,
 			BatchTimeout: 2 * time.Millisecond,

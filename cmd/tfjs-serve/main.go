@@ -3,27 +3,44 @@
 // paper sketches for the "node" backend (§4.2, §7).
 //
 //	tfjs-serve -model mnist=./artifacts/mnist -model mobilenet=./m:webgl
-//	tfjs-serve -demo
+//	tfjs-serve -demo -replicas 4
 //
-// Each -model flag names a model and points it at a converted artifact
-// directory (the output of tfjs-convert), optionally suffixed with
-// ":backend" (cpu, webgl, node; default node). -demo synthesizes a
-// MobileNet v1 α=0.25 model in memory and serves it as "mobilenet" so the
-// API can be exercised without artifacts on disk:
+// Each -model flag names a model (optionally "name@version" for
+// versioned rollout) and points it at a converted artifact directory
+// (the output of tfjs-convert), optionally suffixed with ":backend"
+// (cpu, webgl, node; default node). -demo synthesizes a MobileNet v1
+// α=0.25 model in memory and serves it as "mobilenet" so the API can be
+// exercised without artifacts on disk:
 //
 //	curl localhost:8500/v1/models
 //	curl localhost:8500/v1/models/mobilenet
 //	curl -d '{"instances": [[...]]}' localhost:8500/v1/models/mobilenet:predict
 //	curl localhost:8500/metrics
+//
+// -replicas N loads N independent engine replicas per graph model, so
+// concurrent batches execute in parallel (set GOMAXPROCS ≥ N to realize
+// the speedup). -tenant id=weight (repeatable) enables weighted-fair
+// admission control keyed on the X-Tenant-ID header. -graph name=file
+// registers an inference graph from a JSON GraphSpec. Versioned models
+// roll out via POST /v1/models/{base}:promote|:canary|:shadow|:evict.
+//
+// On SIGTERM/SIGINT the server drains gracefully: /readyz flips to 503,
+// new predicts are refused, in-flight requests get -drain-timeout to
+// finish, then the process exits.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/converter"
@@ -55,15 +72,61 @@ func (f *modelFlags) Set(v string) error {
 	return nil
 }
 
+// tenantFlags accumulates repeated -tenant id=weight flags.
+type tenantFlags map[string]int
+
+func (f *tenantFlags) String() string { return fmt.Sprint(*f) }
+
+func (f *tenantFlags) Set(v string) error {
+	id, weight, ok := strings.Cut(v, "=")
+	if !ok || id == "" {
+		return fmt.Errorf("want id=weight, got %q", v)
+	}
+	w, err := strconv.Atoi(weight)
+	if err != nil || w < 1 {
+		return fmt.Errorf("bad tenant weight %q", weight)
+	}
+	if *f == nil {
+		*f = tenantFlags{}
+	}
+	(*f)[id] = w
+	return nil
+}
+
+// graphFlags accumulates repeated -graph name=specfile flags.
+type graphFlags []graphSpecFile
+
+type graphSpecFile struct {
+	name string
+	path string
+}
+
+func (f *graphFlags) String() string { return fmt.Sprint(*f) }
+
+func (f *graphFlags) Set(v string) error {
+	name, path, ok := strings.Cut(v, "=")
+	if !ok || name == "" || path == "" {
+		return fmt.Errorf("want name=specfile.json, got %q", v)
+	}
+	*f = append(*f, graphSpecFile{name: name, path: path})
+	return nil
+}
+
 func main() {
 	var models modelFlags
-	flag.Var(&models, "model", "serve a model: name=dir[:backend] (repeatable)")
+	var tenants tenantFlags
+	var graphs graphFlags
+	flag.Var(&models, "model", "serve a model: name[@version]=dir[:backend] (repeatable)")
+	flag.Var(&tenants, "tenant", "weighted-fair admission: id=weight (repeatable; enables X-Tenant-ID quotas)")
+	flag.Var(&graphs, "graph", "register an inference graph: name=specfile.json (repeatable)")
 	addr := flag.String("addr", ":8500", "listen address")
 	maxBatch := flag.Int("max-batch", 16, "micro-batcher: max examples per batch")
 	batchTimeout := flag.Duration("batch-timeout", 2*time.Millisecond, "micro-batcher: max wait after first request")
 	queueSize := flag.Int("queue-size", 128, "scheduler: bounded queue size (overflow → 429)")
-	workers := flag.Int("workers", 1, "scheduler: workers per model")
+	workers := flag.Int("workers", 1, "scheduler: workers per model (raised to -replicas when lower)")
+	replicas := flag.Int("replicas", 1, "engine replicas per graph model (parallel batch execution)")
 	reqTimeout := flag.Duration("request-timeout", 30*time.Second, "server-side request deadline")
+	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "graceful shutdown: max wait for in-flight requests")
 	demo := flag.Bool("demo", false, "serve a synthetic in-memory MobileNet v1 α=0.25 as \"mobilenet\"")
 	flag.Parse()
 
@@ -80,6 +143,11 @@ func main() {
 		Workers:        *workers,
 		RequestTimeout: *reqTimeout,
 	}
+	opts := serving.ModelOptions{
+		Batching: cfg,
+		Replicas: *replicas,
+		Tenants:  tenants,
+	}
 	reg := serving.NewRegistry()
 	defer reg.Close()
 
@@ -88,28 +156,68 @@ func main() {
 		if err != nil {
 			log.Fatalf("building demo model: %v", err)
 		}
-		if _, err := reg.Load("mobilenet", store, serving.ModelOptions{Batching: cfg}); err != nil {
+		if _, err := reg.Load("mobilenet", store, opts); err != nil {
 			log.Fatal(err)
 		}
-		log.Printf("loading model %q (demo MobileNet v1 α=0.25, input 96x96x3) on backend node", "mobilenet")
+		log.Printf("loading model %q (demo MobileNet v1 α=0.25, input 96x96x3) on backend node, %d replica(s)",
+			"mobilenet", *replicas)
 	}
 	for _, spec := range models {
-		if _, err := reg.Load(spec.name, converter.FSStore{Dir: spec.dir}, serving.ModelOptions{
-			Backend:  spec.backend,
-			Batching: cfg,
-		}); err != nil {
+		specOpts := opts
+		specOpts.Backend = spec.backend
+		if _, err := reg.Load(spec.name, converter.FSStore{Dir: spec.dir}, specOpts); err != nil {
 			log.Fatal(err)
 		}
 		backend := spec.backend
 		if backend == "" {
 			backend = "node"
 		}
-		log.Printf("loading model %q from %s on backend %s", spec.name, spec.dir, backend)
+		log.Printf("loading model %q from %s on backend %s, %d replica(s)",
+			spec.name, spec.dir, backend, *replicas)
 	}
 
-	log.Printf("serving on %s (batch ≤%d, timeout %v, queue %d, %d worker(s))",
-		*addr, cfg.MaxBatchSize, cfg.BatchTimeout, cfg.QueueSize, cfg.Workers)
-	log.Fatal(http.ListenAndServe(*addr, serving.NewServer(reg)))
+	api := serving.NewServer(reg)
+	defer api.Close()
+	for _, g := range graphs {
+		data, err := os.ReadFile(g.path)
+		if err != nil {
+			log.Fatalf("reading graph spec %s: %v", g.path, err)
+		}
+		var spec serving.GraphSpec
+		if err := json.Unmarshal(data, &spec); err != nil {
+			log.Fatalf("parsing graph spec %s: %v", g.path, err)
+		}
+		spec.Name = g.name
+		if err := api.RegisterGraph(spec); err != nil {
+			log.Fatalf("registering graph %q: %v", g.name, err)
+		}
+		log.Printf("registered inference graph %q from %s", g.name, g.path)
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: api}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	log.Printf("serving on %s (batch ≤%d, timeout %v, queue %d, %d worker(s), %d replica(s))",
+		*addr, cfg.MaxBatchSize, cfg.BatchTimeout, cfg.QueueSize, cfg.Workers, *replicas)
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case sig := <-sigCh:
+		// Graceful drain: readiness flips first so load balancers stop
+		// routing here, new predicts 503, in-flight requests finish, then
+		// the listener closes and models unload.
+		log.Printf("%v: draining (max %v)", sig, *drainTimeout)
+		api.BeginDrain()
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+		log.Printf("drained; unloading models")
+	}
 }
 
 // demoStore converts a synthetic MobileNet into an in-memory artifact

@@ -24,6 +24,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/gid"
 	"repro/internal/jsenv"
 	"repro/internal/kernels"
 	"repro/internal/telemetry"
@@ -102,10 +103,21 @@ type Engine struct {
 	autoFinalize bool
 
 	// execMu serializes whole-model execution sections (RunExclusive).
-	// The tidy scope stack above is process-global, not per-goroutine:
-	// two goroutines interleaving StartScope/EndScope would adopt each
-	// other's intermediates and dispose tensors out from under the other.
+	// The tidy scope stack above is per-engine, not per-goroutine: two
+	// goroutines interleaving StartScope/EndScope on one engine would
+	// adopt each other's intermediates and dispose tensors out from under
+	// the other. Concurrency across engines is safe — that is what
+	// replica pools exploit.
 	execMu sync.Mutex
+
+	// isGlobalEngine marks the process-global engine. Set once inside
+	// Global()'s sync.Once before the engine is published, so it needs no
+	// synchronization. Non-global engines stamp themselves as the owner
+	// of the tensors they register (tensor.SetOwner) and bind themselves
+	// to the executing goroutine in RunExclusive; the global engine skips
+	// both, keeping the single-engine path identical to before replicas
+	// existed.
+	isGlobalEngine bool
 }
 
 // scope is one tidy frame (Section 3.7).
@@ -141,9 +153,88 @@ var (
 func Global() *Engine {
 	globalOnce.Do(func() {
 		global = NewEngine()
+		global.isGlobalEngine = true
 		tensor.SetHandler(global)
 	})
 	return global
+}
+
+// ---------------------------------------------------------------------------
+// Goroutine-bound engine resolution
+//
+// The ops package (and everything built on it: compiled graph plans, the
+// layers runtime) resolves "the current engine" ambiently rather than
+// threading an *Engine through every call. With a single global engine
+// that resolution is trivial; with replica engines it is goroutine-scoped:
+// RunExclusive on a non-global engine binds the engine to the calling
+// goroutine for the duration of the exclusive section, and Current()
+// consults that binding. The boundCount fast path keeps the common
+// single-engine process at one atomic load per resolution — no stack
+// parsing unless a replica is actually executing somewhere.
+
+var (
+	boundEngines sync.Map // goroutine id (uint64) -> *Engine
+	boundCount   atomic.Int64
+)
+
+// Current returns the engine bound to the calling goroutine, or the
+// global engine when none is bound.
+func Current() *Engine {
+	if boundCount.Load() == 0 {
+		return Global()
+	}
+	if v, ok := boundEngines.Load(gid.ID()); ok {
+		return v.(*Engine)
+	}
+	return Global()
+}
+
+// Bind associates the calling goroutine with e until the returned release
+// function runs. Ambient engine resolution (ops, compiled plans, layers)
+// on this goroutine targets e in between. Bindings nest: release restores
+// whatever was bound before. RunExclusive binds automatically; Bind is
+// for code that must create tensors on a specific engine outside an
+// exclusive section (model loading, weight upload).
+func (e *Engine) Bind() (release func()) {
+	id := gid.ID()
+	prev, hadPrev := boundEngines.Load(id)
+	boundEngines.Store(id, e)
+	if !hadPrev {
+		boundCount.Add(1)
+	}
+	return func() {
+		if hadPrev {
+			boundEngines.Store(id, prev)
+			return
+		}
+		boundEngines.Delete(id)
+		boundCount.Add(-1)
+	}
+}
+
+// SpawnReplica returns a fresh engine sharing this engine's backend
+// registry (factories and priority order) and telemetry hub, but with its
+// own backend instances, data-container registry, tidy-scope stack and
+// execution lock. Replicas are how the serving tier turns one registered
+// model into N independently executing copies: each replica's backend is
+// a separate instance, so two replicas never contend on kernel state or
+// data maps. The active backend choice carries over.
+func (e *Engine) SpawnReplica() *Engine {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	r := NewEngine()
+	for name, factory := range e.backendFactories {
+		r.backendFactories[name] = factory
+	}
+	r.backendOrder = append([]string(nil), e.backendOrder...)
+	r.hub = e.hub
+	r.autoFinalize = e.autoFinalize
+	if e.active != nil {
+		if b, err := r.backendLocked(e.active.Name()); err == nil {
+			r.active = b
+		}
+	}
+	return r
 }
 
 // RegisterBackend makes a backend available under name. The factory runs
@@ -259,6 +350,11 @@ func (e *Engine) MakeTensor(values []float32, shape []int, dtype tensor.DataType
 // incrementing its data container's reference count, and tracks it in the
 // current tidy scope.
 func (e *Engine) registerTensor(t *tensor.Tensor, b kernels.Backend) {
+	if !e.isGlobalEngine {
+		// Reads and disposal of this handle must reach this engine's data
+		// registry no matter which goroutine performs them later.
+		t.SetOwner(e)
+	}
 	e.mu.Lock()
 	entry, ok := e.data[t.DataID]
 	if !ok {
@@ -706,16 +802,25 @@ func (e *Engine) Tidy(name string, fn func() []*tensor.Tensor) []*tensor.Tensor 
 
 // RunExclusive runs fn while holding the engine's execution lock, which
 // serializes whole-model execution sections across goroutines. The tidy
-// scope stack is process-global, so a tensor created by goroutine A while
-// goroutine B is inside a tidy scope would be tracked — and disposed — by
-// B's scope. Any code that creates or reads tensors concurrently with
-// model execution (the serving worker pool, concurrent graphmodel.Execute)
-// must run its tensor-touching sections under this lock. The lock is not
-// reentrant: fn must not call RunExclusive or an API that does (such as
-// graphmodel.Execute).
+// scope stack is per-engine, so a tensor created by goroutine A while
+// goroutine B is inside a tidy scope on the same engine would be tracked
+// — and disposed — by B's scope. Any code that creates or reads tensors
+// concurrently with model execution (the serving worker pool, concurrent
+// graphmodel.Execute) must run its tensor-touching sections under this
+// lock. The lock is not reentrant: fn must not call RunExclusive or an
+// API that does (such as graphmodel.Execute).
+//
+// On a non-global engine, RunExclusive additionally binds the engine to
+// the calling goroutine (see Current), so ambient ops inside fn dispatch
+// to this engine. Two RunExclusive sections on different engines run
+// concurrently — that is the replica-serving concurrency model.
 func (e *Engine) RunExclusive(fn func()) {
 	e.execMu.Lock()
 	defer e.execMu.Unlock()
+	if !e.isGlobalEngine {
+		release := e.Bind()
+		defer release()
+	}
 	fn()
 }
 

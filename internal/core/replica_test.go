@@ -1,0 +1,122 @@
+package core_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ops"
+	"repro/internal/tensor"
+)
+
+// TestSpawnReplicaIsolation: a replica shares the backend registry but has
+// its own backend instance, data registry and memory accounting, so work
+// on the replica never shows up in the parent's books.
+func TestSpawnReplicaIsolation(t *testing.T) {
+	parent := core.Global()
+	before := parent.Memory()
+
+	r := parent.SpawnReplica()
+	if got, want := r.RegisteredBackends(), parent.RegisteredBackends(); len(got) != len(want) {
+		t.Fatalf("replica backends = %v, parent = %v", got, want)
+	}
+
+	var rt *tensor.Tensor
+	r.RunExclusive(func() {
+		rt = ops.FromValues([]float32{1, 2, 3, 4}, 2, 2)
+	})
+	if rt.Owner() == nil {
+		t.Fatal("replica-created tensor must carry its owning engine")
+	}
+	if parent.Memory().NumBytes != before.NumBytes {
+		t.Fatalf("replica allocation leaked into parent accounting: %d -> %d bytes",
+			before.NumBytes, parent.Memory().NumBytes)
+	}
+	if r.Memory().NumBytes == 0 {
+		t.Fatal("replica accounting missed its own allocation")
+	}
+
+	// Reads and disposal route to the replica from any goroutine, with no
+	// binding in effect.
+	done := make(chan []float32, 1)
+	go func() { done <- rt.DataSync() }()
+	vals := <-done
+	if len(vals) != 4 || vals[3] != 4 {
+		t.Fatalf("replica read through owner routing = %v", vals)
+	}
+	rt.Dispose()
+	if r.Memory().NumBytes != 0 {
+		t.Fatalf("replica bytes after dispose = %d", r.Memory().NumBytes)
+	}
+}
+
+// TestCurrentFollowsRunExclusive: ambient engine resolution targets the
+// replica inside its exclusive section and reverts afterwards, per
+// goroutine.
+func TestCurrentFollowsRunExclusive(t *testing.T) {
+	if core.Current() != core.Global() {
+		t.Fatal("unbound goroutine must resolve to the global engine")
+	}
+	r := core.Global().SpawnReplica()
+	r.RunExclusive(func() {
+		if core.Current() != r {
+			t.Error("inside RunExclusive, Current() must be the replica")
+		}
+		// Ops created here land on the replica.
+		x := ops.FromValues([]float32{5}, 1)
+		if x.Owner() == nil {
+			t.Error("op output inside replica section must be replica-owned")
+		}
+	})
+	if core.Current() != core.Global() {
+		t.Fatal("binding must be released when RunExclusive returns")
+	}
+}
+
+// TestReplicasRunConcurrently: two engines' exclusive sections overlap in
+// time — the property the serving replica pool is built on. Each section
+// sleeps 100ms; serialized execution would take ≥200ms.
+func TestReplicasRunConcurrently(t *testing.T) {
+	a := core.Global().SpawnReplica()
+	b := core.Global().SpawnReplica()
+	const hold = 100 * time.Millisecond
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for _, e := range []*core.Engine{a, b} {
+		wg.Add(1)
+		go func(e *core.Engine) {
+			defer wg.Done()
+			e.RunExclusive(func() {
+				x := ops.FromValues([]float32{1}, 1)
+				time.Sleep(hold)
+				x.Dispose()
+			})
+		}(e)
+	}
+	wg.Wait()
+	if elapsed := time.Since(start); elapsed >= 2*hold {
+		t.Fatalf("exclusive sections on different engines serialized: %v", elapsed)
+	}
+}
+
+// TestReplicaTidyScopesIndependent: a tidy scope open on one engine must
+// not adopt (and later dispose) tensors created on another.
+func TestReplicaTidyScopesIndependent(t *testing.T) {
+	r := core.Global().SpawnReplica()
+	var stray *tensor.Tensor
+	core.Global().Tidy("outer", func() []*tensor.Tensor {
+		r.RunExclusive(func() {
+			stray = ops.FromValues([]float32{7}, 1)
+		})
+		return nil
+	})
+	if stray.Disposed() {
+		t.Fatal("global tidy scope disposed a replica-owned tensor")
+	}
+	if got := stray.DataSync(); got[0] != 7 {
+		t.Fatalf("replica tensor corrupted: %v", got)
+	}
+	stray.Dispose()
+}

@@ -46,6 +46,9 @@ func (e *Engine) detachedClone(t *tensor.Tensor) *tensor.Tensor {
 		opPanic("Variable", fmt.Errorf("tensor %d has no data (already disposed?)", t.ID))
 	}
 	out := tensor.New(t.DataID, t.Shape, t.DType)
+	if !e.isGlobalEngine {
+		out.SetOwner(e)
+	}
 	entry.refCount++
 	e.numTensors++
 	e.mu.Unlock()

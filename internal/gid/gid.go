@@ -1,0 +1,62 @@
+// Package gid exposes the runtime's goroutine ID. The Go runtime
+// deliberately hides goroutine identity, so the only portable way to read
+// it is to parse the header of the goroutine's own stack dump —
+// "goroutine 123 [running]:". That costs on the order of a microsecond,
+// which is why callers (engine binding in internal/core, span scoping in
+// internal/telemetry) reserve it for per-operation paths, never
+// per-element ones, and gate it behind a cheap "is anything bound at all"
+// fast path where possible.
+//
+// Goroutine-scoped state is what lets several execution engines run
+// concurrently in one process: each engine binds itself to the goroutine
+// driving it for the duration of an exclusive section, and ambient APIs
+// (the ops package, telemetry span attribution) resolve "the current
+// engine/span" without threading it through every call signature — the
+// same role thread-local storage plays in TensorFlow's multi-session
+// runtime.
+package gid
+
+import (
+	"bytes"
+	"runtime"
+	"strconv"
+	"sync"
+)
+
+// stackPrefix precedes the goroutine ID in a stack dump header.
+var stackPrefix = []byte("goroutine ")
+
+// bufPool recycles the small buffers ID parses stack headers into.
+var bufPool = sync.Pool{New: func() any {
+	buf := make([]byte, 64)
+	return &buf
+}}
+
+// ID returns the calling goroutine's runtime ID. IDs are unique among
+// live goroutines and never reused while the goroutine runs, which is
+// all goroutine-scoped maps need.
+func ID() uint64 {
+	bp := bufPool.Get().(*[]byte)
+	buf := *bp
+	n := runtime.Stack(buf, false)
+	id := parse(buf[:n])
+	bufPool.Put(bp)
+	return id
+}
+
+// parse extracts the numeric ID from "goroutine 123 [running]:".
+func parse(header []byte) uint64 {
+	if !bytes.HasPrefix(header, stackPrefix) {
+		return 0
+	}
+	rest := header[len(stackPrefix):]
+	end := bytes.IndexByte(rest, ' ')
+	if end < 0 {
+		end = len(rest)
+	}
+	id, err := strconv.ParseUint(string(rest[:end]), 10, 64)
+	if err != nil {
+		return 0
+	}
+	return id
+}

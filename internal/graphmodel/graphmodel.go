@@ -22,6 +22,7 @@ import (
 type config struct {
 	optimize bool
 	verify   bool
+	eng      *core.Engine
 }
 
 // Option configures Load/New.
@@ -33,6 +34,14 @@ type Option func(*config)
 // serving registry's DisableOptimize.
 func WithOptimize(enabled bool) Option {
 	return func(c *config) { c.optimize = enabled }
+}
+
+// WithEngine binds the model to a specific engine: weights upload to it
+// and every Execute runs under its execution lock. This is how the
+// serving tier builds replica pools — N copies of one model, each on its
+// own engine, executing concurrently. Defaults to the global engine.
+func WithEngine(e *core.Engine) Option {
+	return func(c *config) { c.eng = e }
 }
 
 // Model is an executable converted model.
@@ -56,6 +65,10 @@ type Model struct {
 	// model. Recomputed by SetName.
 	span string
 	name string
+
+	// eng is the engine this model executes on (WithEngine); the global
+	// engine by default.
+	eng *core.Engine
 }
 
 // Load reads artifacts from a converter.Store and prepares the model.
@@ -78,17 +91,21 @@ func New(g *savedmodel.GraphDef, opts ...Option) (*Model, error) {
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
-	m := &Model{graph: g, exec: g}
+	eng := cfg.eng
+	if eng == nil {
+		eng = core.Global()
+	}
+	m := &Model{graph: g, exec: g, eng: eng}
 	m.span = spanName("graphmodel", g)
 	if cfg.optimize {
-		m.exec, m.optStats = optimize(g, core.Global().Telemetry(), m.span)
+		m.exec, m.optStats = optimize(g, eng.Telemetry(), m.span)
 	}
 	if cfg.verify {
 		// Verify the execution graph — the one the plan compiles — so the
 		// optimizer's fused nodes are checked too, and a rank- or
 		// dtype-inconsistent model is rejected here rather than at the
 		// first Execute (see verify.go).
-		if err := verifyGraph(m.exec, core.Global().Telemetry(), m.span); err != nil {
+		if err := verifyGraph(m.exec, eng.Telemetry(), m.span); err != nil {
 			return nil, err
 		}
 	}
@@ -103,7 +120,7 @@ func New(g *savedmodel.GraphDef, opts ...Option) (*Model, error) {
 	m.order = order
 	m.plan = compilePlan(m.exec, m.order, m.nodes)
 	m.weights = map[string]*tensor.Tensor{}
-	e := core.Global()
+	e := eng
 	// Upload under the execution lock: loading may race with another
 	// model's Execute (the serving registry loads while serving), and the
 	// intermediate upload tensor must not be adopted by a foreign scope.
@@ -213,28 +230,38 @@ func (m *Model) Predict(x *tensor.Tensor) (*tensor.Tensor, error) {
 // tensors by name.
 //
 // Execute is safe for concurrent use from multiple goroutines sharing one
-// Model: executions serialize on the engine's execution lock (the tidy
-// scope stack is process-global). Feed tensors must be created under
-// core.Engine.RunExclusive when other goroutines may be executing
-// concurrently, and output readback likewise.
+// Model: executions serialize on the model's engine's execution lock (the
+// tidy scope stack is per-engine). Feed tensors must be created under
+// that engine's RunExclusive when other goroutines may be executing
+// concurrently, and output readback likewise. Models bound to different
+// engines (WithEngine) execute concurrently with each other.
 func (m *Model) Execute(feeds map[string]*tensor.Tensor) (map[string]*tensor.Tensor, error) {
 	for _, in := range m.graph.Inputs {
 		if _, ok := feeds[in]; !ok {
 			return nil, fmt.Errorf("graphmodel: missing feed for input %q", in)
 		}
 	}
-	e := core.Global()
+	e := m.Engine()
 	var results map[string]*tensor.Tensor
 	var err error
 	e.RunExclusive(func() {
-		// The span opens inside the execution lock, so exactly one model
-		// span is in flight at a time and every kernel dispatched here is
-		// attributed to this model.
+		// The span opens inside the execution lock; spans are
+		// goroutine-scoped on the hub, so concurrent executions on other
+		// engines keep their own attribution while every kernel
+		// dispatched here is attributed to this model.
 		end := e.Telemetry().BeginSpan(m.span)
 		defer end()
 		results, err = m.executeLocked(e, feeds)
 	})
 	return results, err
+}
+
+// Engine returns the engine this model executes on.
+func (m *Model) Engine() *core.Engine {
+	if m.eng != nil {
+		return m.eng
+	}
+	return core.Global()
 }
 
 // executeLocked runs the compiled plan; the caller holds the execution

@@ -108,7 +108,12 @@ func (s *scheduler) Submit(ctx context.Context, inst Instance) (Instance, error)
 	case s.queue <- req:
 	default:
 		s.metrics.ObserveRejected()
-		return Instance{}, ErrQueueFull
+		// ShedError unwraps to ErrQueueFull, so errors.Is callers see the
+		// same contract as before; the wrapper adds the Retry-After hint.
+		return Instance{}, &ShedError{
+			Reason:     "queue_full",
+			RetryAfter: retryAfterHint(s.metrics, len(s.queue), s.cfg.MaxBatchSize),
+		}
 	}
 	select {
 	case r := <-req.resp:

@@ -5,10 +5,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -21,13 +23,28 @@ const maxBodyBytes = 64 << 20
 // Server exposes a Registry over the KServe-V1-style HTTP surface:
 //
 //	GET  /v1/models                     → {"models": [...]}
-//	GET  /v1/models/{name}              → readiness + state
+//	GET  /v1/models/{name}              → readiness + state ({name} may be base@version)
 //	POST /v1/models/{name}:predict      → {"instances": [...]} → {"predictions": [...]}
+//	GET  /v1/models/{base}:rollout      → version set + routing state
+//	POST /v1/models/{base}:promote      → ?version=v2: make v2 the default (hot swap)
+//	POST /v1/models/{base}:canary       → ?version=v2&percent=10: weighted canary split
+//	POST /v1/models/{base}:shadow       → ?version=v2: duplicate-and-discard mirror ("" clears)
+//	POST /v1/models/{base}:evict        → ?idle=5m: LRU-evict idle versions registry-wide
+//	GET  /v1/graphs                     → {"graphs": [...]}
+//	POST /v1/graphs/{name}:predict      → run an inference graph (sequence/ensemble/switch)
 //	GET  /healthz                       → liveness
+//	GET  /readyz                        → readiness (503 while loading or draining)
 //	GET  /metrics                       → Prometheus-style text
 //	GET  /debug/trace?seconds=N         → Chrome trace-event JSON download
 //	GET  /debug/memory                  → engine + device memory JSON
 //	GET  /debug/memory?leaks=N          → + N-second tensor-leak capture
+//
+// Predicting against a bare model name routes through the group's
+// rollout state (default/canary/shadow); base@version pins a version.
+// The chosen version and route ride back on X-Serving-Model and
+// X-Serving-Route headers. Requests carrying X-Tenant-ID are subject to
+// that model's weighted-fair admission control; shed requests get 429
+// with a Retry-After hint.
 //
 // Every predict response echoes an X-Request-ID header — honored from
 // the inbound request or minted here — and the same ID tags the
@@ -44,16 +61,21 @@ type Server struct {
 	trace      *telemetry.Recorder
 	stats      *telemetry.Stats
 	unregister func()
+	draining   atomic.Bool
+
+	graphMu sync.Mutex
+	graphs  map[string]*GraphSpec
 }
 
 // NewServer wraps a registry in the HTTP API and attaches the telemetry
 // collectors to the global engine's hub.
 func NewServer(reg *Registry) *Server {
 	s := &Server{
-		reg:   reg,
-		mux:   http.NewServeMux(),
-		trace: telemetry.NewRecorder(0),
-		stats: telemetry.NewStats(),
+		reg:    reg,
+		mux:    http.NewServeMux(),
+		trace:  telemetry.NewRecorder(0),
+		stats:  telemetry.NewStats(),
+		graphs: map[string]*GraphSpec{},
 	}
 	hub := core.Global().Telemetry()
 	removeTrace := hub.Register(s.trace)
@@ -63,13 +85,25 @@ func NewServer(reg *Registry) *Server {
 		removeStats()
 	}
 	s.mux.HandleFunc("/healthz", s.handleHealth)
+	s.mux.HandleFunc("/readyz", s.handleReady)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/debug/trace", s.handleTrace)
 	s.mux.HandleFunc("/debug/memory", s.handleMemory)
 	s.mux.HandleFunc("/v1/models", s.handleList)
 	s.mux.HandleFunc("/v1/models/", s.handleModel)
+	s.mux.HandleFunc("/v1/graphs", s.handleGraphList)
+	s.mux.HandleFunc("/v1/graphs/", s.handleGraph)
 	return s
 }
+
+// BeginDrain flips the server into draining: /readyz turns 503 so load
+// balancers stop sending traffic, and new predicts are refused with
+// ErrShuttingDown while in-flight requests finish. The SIGTERM half of
+// graceful shutdown; the caller then waits and closes the registry.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether BeginDrain was called.
+func (s *Server) Draining() bool { return s.draining.Load() }
 
 // Close detaches the server's telemetry collectors from the engine hub.
 // Idempotent; the registry is left running (close it separately).
@@ -87,6 +121,23 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintln(w, "ok")
+}
+
+// handleReady is the load-balancer readiness gate: 200 only when every
+// registered model version finished loading and the server is not
+// draining.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	switch {
+	case s.draining.Load():
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+	case !s.reg.AllReady():
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "loading")
+	default:
+		fmt.Fprintln(w, "ok")
+	}
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -187,9 +238,10 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"models": s.reg.Names()})
 }
 
-// handleModel routes /v1/models/{name} (status) and
-// /v1/models/{name}:predict (inference). The verb rides the last path
-// segment after a colon, as in KServe/TF-Serving V1.
+// handleModel routes /v1/models/{name} (status), {name}:predict
+// (inference) and the rollout verbs (rollout/promote/canary/shadow/
+// evict). The verb rides the last path segment after a colon, as in
+// KServe/TF-Serving V1.
 func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 	rest := strings.TrimPrefix(r.URL.Path, "/v1/models/")
 	name, verb := rest, ""
@@ -200,13 +252,13 @@ func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "bad model path", http.StatusNotFound)
 		return
 	}
-	m, ok := s.reg.Get(name)
-	if !ok {
-		writeJSON(w, http.StatusNotFound, map[string]any{"error": fmt.Sprintf("model %q not found", name)})
-		return
-	}
 	switch {
 	case verb == "" && r.Method == http.MethodGet:
+		m, ok := s.reg.Get(name)
+		if !ok {
+			writeJSON(w, http.StatusNotFound, map[string]any{"error": fmt.Sprintf("model %q not found", name)})
+			return
+		}
 		st := m.Status()
 		code := http.StatusOK
 		if !st.Ready {
@@ -214,10 +266,81 @@ func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 		}
 		writeJSON(w, code, st)
 	case verb == "predict" && r.Method == http.MethodPost:
-		s.handlePredict(w, r, m)
+		if s.draining.Load() {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{"error": ErrShuttingDown.Error()})
+			return
+		}
+		res, err := s.reg.Route(name)
+		if err != nil {
+			writeJSON(w, statusFor(err), map[string]any{"error": fmt.Sprintf("model %q not found", name)})
+			return
+		}
+		s.handlePredict(w, r, res)
+	case verb == "rollout" && r.Method == http.MethodGet:
+		st, err := s.reg.Rollout(name)
+		if err != nil {
+			writeJSON(w, statusFor(err), map[string]any{"error": err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	case r.Method == http.MethodPost &&
+		(verb == "promote" || verb == "canary" || verb == "shadow" || verb == "evict"):
+		s.handleRollout(w, r, name, verb)
 	default:
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 	}
+}
+
+// handleRollout executes one rollout mutation verb against a model group.
+func (s *Server) handleRollout(w http.ResponseWriter, r *http.Request, base, verb string) {
+	q := r.URL.Query()
+	version := q.Get("version")
+	var err error
+	switch verb {
+	case "promote":
+		if version == "" {
+			writeJSON(w, http.StatusBadRequest, map[string]any{"error": "promote requires ?version="})
+			return
+		}
+		err = s.reg.Promote(base, version)
+	case "canary":
+		percent := 0
+		if p := q.Get("percent"); p != "" {
+			percent, err = strconv.Atoi(p)
+			if err != nil {
+				writeJSON(w, http.StatusBadRequest, map[string]any{"error": "bad percent parameter"})
+				return
+			}
+		}
+		err = s.reg.SetCanary(base, version, percent)
+	case "shadow":
+		err = s.reg.SetShadow(base, version)
+	case "evict":
+		idle := time.Duration(0)
+		if d := q.Get("idle"); d != "" {
+			idle, err = time.ParseDuration(d)
+			if err != nil {
+				writeJSON(w, http.StatusBadRequest, map[string]any{"error": "bad idle parameter"})
+				return
+			}
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"evicted": s.reg.EvictIdle(idle)})
+		return
+	}
+	if err != nil {
+		code := http.StatusBadRequest
+		if errors.Is(err, ErrNotFound) {
+			code = http.StatusNotFound
+		}
+		writeJSON(w, code, map[string]any{"error": err.Error()})
+		return
+	}
+	st, rerr := s.reg.Rollout(base)
+	if rerr != nil {
+		writeJSON(w, statusFor(rerr), map[string]any{"error": rerr.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
 }
 
 // predictRequest is the KServe V1 request body.
@@ -225,7 +348,8 @@ type predictRequest struct {
 	Instances []json.RawMessage `json:"instances"`
 }
 
-func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request, m *Model) {
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request, res RouteResult) {
+	m := res.Model
 	var req predictRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	if err := dec.Decode(&req); err != nil {
@@ -259,6 +383,40 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request, m *Model)
 		reqID = generateRequestID()
 	}
 	w.Header().Set("X-Request-ID", reqID)
+	// Which version served this, and why — the observable half of a
+	// canary rollout.
+	w.Header().Set("X-Serving-Model", m.Name())
+	w.Header().Set("X-Serving-Route", res.Route)
+
+	baseCtx := r.Context()
+	if tenant := r.Header.Get("X-Tenant-ID"); tenant != "" {
+		baseCtx = WithTenant(baseCtx, tenant)
+	}
+
+	// A freshly resurrected (post-eviction) version is still pulling its
+	// artifacts; wait for the lazy reload within the request's deadline.
+	if res.Resurrected {
+		if err := m.WaitReady(baseCtx); err != nil {
+			s.writePredictError(w, err)
+			return
+		}
+	}
+
+	// Shadow traffic: duplicate the instances to the shadow version and
+	// discard its responses. Fire-and-forget on a detached context so a
+	// slow shadow never holds up (or gets cancelled by) the primary
+	// response — exactly the production-soak semantics.
+	if res.Shadow != nil {
+		shadow := res.Shadow
+		shadowCtx := context.WithoutCancel(baseCtx)
+		for i := range insts {
+			go func(i int) {
+				ctx := WithRequestID(shadowCtx, fmt.Sprintf("%s/shadow#%d", reqID, i))
+				//lint:ignore operr shadow responses are discarded by definition; errors surface via the shadow model's own metrics
+				_, _ = shadow.Predict(ctx, insts[i])
+			}(i)
+		}
+	}
 
 	// Each instance is its own schedulable unit so the micro-batcher can
 	// coalesce across requests; a multi-instance request fans out here
@@ -267,14 +425,14 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request, m *Model)
 	outs := make([]Instance, len(insts))
 	errs := make([]error, len(insts))
 	if len(insts) == 1 {
-		outs[0], errs[0] = m.Predict(WithRequestID(r.Context(), reqID), insts[0])
+		outs[0], errs[0] = m.Predict(WithRequestID(baseCtx, reqID), insts[0])
 	} else {
 		var wg sync.WaitGroup
 		for i := range insts {
 			wg.Add(1)
 			go func(i int) {
 				defer wg.Done()
-				ctx := WithRequestID(r.Context(), fmt.Sprintf("%s#%d", reqID, i))
+				ctx := WithRequestID(baseCtx, fmt.Sprintf("%s#%d", reqID, i))
 				outs[i], errs[i] = m.Predict(ctx, insts[i])
 			}(i)
 		}
@@ -282,7 +440,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request, m *Model)
 	}
 	for _, err := range errs {
 		if err != nil {
-			writeJSON(w, statusFor(err), map[string]any{"error": err.Error()})
+			s.writePredictError(w, err)
 			return
 		}
 	}
@@ -293,13 +451,25 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request, m *Model)
 	writeJSON(w, http.StatusOK, map[string]any{"predictions": preds})
 }
 
-// statusFor maps serving errors onto HTTP status codes: queue-full is
-// backpressure (429), not-ready is 503, deadline is 504, and op errors
-// (bad instance shapes) are the client's fault (400).
+// writePredictError maps a predict error to its status, attaching the
+// Retry-After backoff hint on shed (429) responses.
+func (s *Server) writePredictError(w http.ResponseWriter, err error) {
+	var shed *ShedError
+	if errors.As(err, &shed) && shed.RetryAfter > 0 {
+		w.Header().Set("Retry-After",
+			strconv.Itoa(int(math.Ceil(shed.RetryAfter.Seconds()))))
+	}
+	writeJSON(w, statusFor(err), map[string]any{"error": err.Error()})
+}
+
+// statusFor maps serving errors onto HTTP status codes: queue-full and
+// tenant sheds are backpressure (429), not-ready is 503, deadline is
+// 504, and op errors (bad instance shapes) are the client's fault (400).
 func statusFor(err error) int {
 	var opErr *core.OpError
+	var shed *ShedError
 	switch {
-	case errors.Is(err, ErrQueueFull):
+	case errors.Is(err, ErrQueueFull), errors.As(err, &shed):
 		return http.StatusTooManyRequests
 	case errors.Is(err, ErrNotReady), errors.Is(err, ErrShuttingDown):
 		return http.StatusServiceUnavailable

@@ -34,6 +34,10 @@ type Metrics struct {
 	// execute, split — the request-flow breakdown behind the end-to-end
 	// latency number.
 	stages map[string]*telemetry.Distribution
+
+	// routes counts routing decisions by label (stable, canary, shadow,
+	// pinned) — the observability behind a rollout's traffic split.
+	routes map[string]int64
 }
 
 // NewMetrics returns an empty metrics collector.
@@ -43,7 +47,23 @@ func NewMetrics() *Metrics {
 		latency:    telemetry.NewDistribution(),
 		batchSizes: map[int]int64{},
 		stages:     map[string]*telemetry.Distribution{},
+		routes:     map[string]int64{},
 	}
+}
+
+// ObserveRoute counts one routing decision (stable, canary, shadow,
+// pinned).
+func (m *Metrics) ObserveRoute(route string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.routes[route]++
+}
+
+// Routes returns the count for one routing label.
+func (m *Metrics) Routes(route string) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.routes[route]
 }
 
 // ObserveRequest records one finished request: its outcome label and, for
@@ -148,6 +168,9 @@ type Snapshot struct {
 	QueueDepth    int                     `json:"queue_depth"`
 	QueueRejected int64                   `json:"queue_rejected"`
 	Stages        map[string]StageLatency `json:"stages,omitempty"`
+	Routes        map[string]int64        `json:"routes,omitempty"`
+	Replicas      []ReplicaSnapshot       `json:"replicas,omitempty"`
+	Tenants       []TenantSnapshot        `json:"tenants,omitempty"`
 }
 
 // snapshot captures the current state; queueDepth is sampled by the caller.
@@ -171,6 +194,12 @@ func (m *Metrics) snapshot(queueDepth int) Snapshot {
 	}
 	for k, v := range m.batchSizes {
 		s.BatchSizes[k] = v
+	}
+	if len(m.routes) > 0 {
+		s.Routes = make(map[string]int64, len(m.routes))
+		for k, v := range m.routes {
+			s.Routes[k] = v
+		}
 	}
 	m.mu.Unlock()
 	for k, d := range stages {
@@ -223,6 +252,23 @@ func renderMetrics(models map[string]Snapshot, stats *telemetry.Stats) string {
 		}
 		fmt.Fprintf(&b, "serving_queue_depth{model=%q} %d\n", name, s.QueueDepth)
 		fmt.Fprintf(&b, "serving_queue_rejected_total{model=%q} %d\n", name, s.QueueRejected)
+		routeLabels := make([]string, 0, len(s.Routes))
+		for route := range s.Routes {
+			routeLabels = append(routeLabels, route)
+		}
+		sort.Strings(routeLabels)
+		for _, route := range routeLabels {
+			fmt.Fprintf(&b, "serving_route_total{model=%q,route=%q} %d\n", name, route, s.Routes[route])
+		}
+		for _, rs := range s.Replicas {
+			fmt.Fprintf(&b, "serving_replica_inflight{model=%q,replica=\"%d\"} %d\n", name, rs.ID, rs.Inflight)
+			fmt.Fprintf(&b, "serving_replica_batches_total{model=%q,replica=\"%d\"} %d\n", name, rs.ID, rs.Batches)
+			fmt.Fprintf(&b, "serving_replica_busy_ms_total{model=%q,replica=\"%d\"} %.3f\n", name, rs.ID, rs.BusyMS)
+		}
+		for _, ts := range s.Tenants {
+			fmt.Fprintf(&b, "serving_tenant_inflight{model=%q,tenant=%q} %d\n", name, ts.Tenant, ts.Inflight)
+			fmt.Fprintf(&b, "serving_tenant_shed_total{model=%q,tenant=%q} %d\n", name, ts.Tenant, ts.Shed)
+		}
 		stages := make([]string, 0, len(s.Stages))
 		for stage := range s.Stages {
 			stages = append(stages, stage)

@@ -1,0 +1,142 @@
+package serving
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/converter"
+	"repro/internal/core"
+	"repro/internal/graphmodel"
+)
+
+// replica is one independently executing copy of a model: its own engine
+// (own backend instance, data plane, tidy-scope stack, execution lock)
+// holding its own upload of the weights. Utilization counters feed the
+// per-replica gauges in /metrics.
+type replica struct {
+	id  int
+	eng *core.Engine
+	run runner
+
+	inflight atomic.Int64 // batches executing right now
+	batches  atomic.Int64 // total batches executed
+	busyNS   atomic.Int64 // total wall time spent executing
+}
+
+// ReplicaSnapshot is one replica's utilization for /metrics and the
+// Snapshot JSON.
+type ReplicaSnapshot struct {
+	ID       int     `json:"id"`
+	Inflight int64   `json:"inflight"`
+	Batches  int64   `json:"batches"`
+	BusyMS   float64 `json:"busy_ms"`
+}
+
+// pool routes batches across replicas. It implements runner, so the
+// scheduler is oblivious to replication: each worker's run() call lands
+// on the least-loaded replica, and two workers' calls on different
+// replicas execute concurrently — this is where the per-replica-engine
+// refactor cashes out as throughput.
+type pool struct {
+	replicas []*replica
+	rr       atomic.Uint64
+}
+
+// newPool loads size replicas of a graph model. Replica 0 runs on the
+// base engine; the rest on engines spawned from it. The graph is
+// verified once (it is the same graph N times); each replica optimizes
+// and compiles its own plan and uploads its own weight copy, so replicas
+// share no mutable state at all.
+func newPool(name string, store converter.Store, backend string, size int, noOptimize, noVerify bool) (*pool, error) {
+	g, err := converter.LoadArtifacts(store)
+	if err != nil {
+		return nil, err
+	}
+	base := core.Global()
+	p := &pool{}
+	for i := 0; i < size; i++ {
+		eng := base
+		if i > 0 {
+			eng = base.SpawnReplica()
+		}
+		gm, err := graphmodel.New(g,
+			graphmodel.WithEngine(eng),
+			graphmodel.WithOptimize(!noOptimize),
+			graphmodel.WithVerify(!noVerify && i == 0))
+		if err != nil {
+			p.Close()
+			return nil, fmt.Errorf("serving: loading replica %d: %w", i, err)
+		}
+		gm.SetName(name)
+		run, err := newGraphRunner(gm, backend)
+		if err != nil {
+			p.Close()
+			return nil, err
+		}
+		p.replicas = append(p.replicas, &replica{id: i, eng: eng, run: run})
+	}
+	return p, nil
+}
+
+// run implements runner: execute the batch on the least-loaded replica.
+func (p *pool) run(batch []Instance) ([]Instance, error) {
+	r := p.acquire()
+	r.inflight.Add(1)
+	start := time.Now()
+	out, err := r.run.run(batch)
+	r.busyNS.Add(int64(time.Since(start)))
+	r.batches.Add(1)
+	r.inflight.Add(-1)
+	return out, err
+}
+
+// acquire picks the replica with the fewest in-flight batches; ties break
+// round-robin so idle pools still spread work (and weights stay warm on
+// every replica). The counters race benignly with concurrent run() calls
+// — a stale read costs one suboptimal placement, never correctness.
+func (p *pool) acquire() *replica {
+	n := uint64(len(p.replicas))
+	if n == 1 {
+		return p.replicas[0]
+	}
+	start := p.rr.Add(1)
+	best := p.replicas[start%n]
+	bestLoad := best.inflight.Load()
+	for i := uint64(1); i < n && bestLoad > 0; i++ {
+		r := p.replicas[(start+i)%n]
+		if load := r.inflight.Load(); load < bestLoad {
+			best, bestLoad = r, load
+		}
+	}
+	return best
+}
+
+// size returns the replica count.
+func (p *pool) size() int { return len(p.replicas) }
+
+// snapshots samples per-replica utilization.
+func (p *pool) snapshots() []ReplicaSnapshot {
+	out := make([]ReplicaSnapshot, len(p.replicas))
+	for i, r := range p.replicas {
+		out[i] = ReplicaSnapshot{
+			ID:       r.id,
+			Inflight: r.inflight.Load(),
+			Batches:  r.batches.Load(),
+			BusyMS:   float64(r.busyNS.Load()) / float64(time.Millisecond),
+		}
+	}
+	return out
+}
+
+// Close disposes every replica's weights (including partially built
+// pools on the load error path).
+func (p *pool) Close() {
+	for _, r := range p.replicas {
+		if gr, ok := r.run.(*graphRunner); ok {
+			gm := gr.model
+			gm.Engine().RunExclusive(gm.Dispose)
+		}
+	}
+	p.replicas = nil
+}

@@ -93,7 +93,11 @@ func newGraphRunner(m *graphmodel.Model, backend string) (*graphRunner, error) {
 
 func (r *graphRunner) run(batch []Instance) (out []Instance, err error) {
 	defer recoverOpError(&err)
-	e := core.Global()
+	// The model's engine, not the global one: in a replica pool each
+	// graphRunner is bound to its own engine, and the upload, execute and
+	// split sections below all serialize on that engine alone — runs on
+	// sibling replicas proceed concurrently.
+	e := r.model.Engine()
 	var batched *tensor.Tensor
 	e.RunExclusive(func() {
 		if serr := e.SetBackend(r.backend); serr != nil {

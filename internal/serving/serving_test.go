@@ -212,7 +212,7 @@ func TestQueueFullReturns429(t *testing.T) {
 	m := stubModel("stuck", Config{MaxBatchSize: 1, QueueSize: 1, Workers: 1}, run)
 	defer m.unload()
 	reg := NewRegistry()
-	reg.models["stuck"] = m
+	reg.install(m)
 
 	api := NewServer(reg)
 	defer api.Close()
@@ -271,7 +271,7 @@ func TestNotReadyAndNotFound(t *testing.T) {
 		name: "slow", backend: "cpu", cfg: Config{}.withDefaults(),
 		metrics: NewMetrics(), state: StateLoading, ready: make(chan struct{}),
 	}
-	reg.models["slow"] = loading
+	reg.install(loading)
 
 	api := NewServer(reg)
 	defer api.Close()
@@ -348,7 +348,7 @@ func TestLayersModelServing(t *testing.T) {
 func TestUnload(t *testing.T) {
 	m := stubModel("gone", Config{}, runnerFunc(echoRunner))
 	reg := NewRegistry()
-	reg.models["gone"] = m
+	reg.install(m)
 
 	if err := reg.Unload("gone"); err != nil {
 		t.Fatal(err)

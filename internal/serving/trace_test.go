@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -31,7 +32,7 @@ func TestRequestFlowFanIn(t *testing.T) {
 	m := stubModel("flow", Config{MaxBatchSize: 8, BatchTimeout: 50 * time.Millisecond, Workers: 1}, run)
 	defer m.unload()
 	reg := NewRegistry()
-	reg.models["flow"] = m
+	reg.install(m)
 
 	api := NewServer(reg) // registers the trace recorder → hub active
 	defer api.Close()
@@ -149,7 +150,7 @@ func TestQueueRejectedCounter(t *testing.T) {
 	m := stubModel("rej", Config{MaxBatchSize: 1, QueueSize: 1, Workers: 1}, run)
 	defer m.unload()
 	reg := NewRegistry()
-	reg.models["rej"] = m
+	reg.install(m)
 
 	inst := Instance{Values: []float32{1}, Shape: []int{1}}
 	var wg sync.WaitGroup
@@ -166,7 +167,7 @@ func TestQueueRejectedCounter(t *testing.T) {
 		time.Sleep(time.Millisecond)
 	}
 
-	if _, err := m.Predict(context.Background(), inst); err != ErrQueueFull {
+	if _, err := m.Predict(context.Background(), inst); !errors.Is(err, ErrQueueFull) {
 		t.Fatalf("overflow submit returned %v, want ErrQueueFull", err)
 	}
 	if got := m.Metrics().Rejected(); got != 1 {

@@ -21,6 +21,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/gid"
 )
 
 // EventKind discriminates the event types flowing through a Hub.
@@ -166,8 +168,21 @@ func (f ObserverFunc) Observe(ev Event) { f(ev) }
 type Hub struct {
 	mu        sync.Mutex // guards writes to observers
 	observers atomic.Pointer[[]*registration]
-	span      atomic.Pointer[spanFrame]
-	clock     func() time.Time // test seam; nil means time.Now
+	// spans maps goroutine id -> innermost open *spanFrame. With replica
+	// engines, several model executions (each its own span) run
+	// concurrently on one hub; goroutine-keyed frames keep each
+	// execution's kernel events attributed to its own model. spanCount
+	// gates the map lookup so a span-free process never parses a stack.
+	spans     sync.Map
+	spanCount atomic.Int64
+	// span is the most-recently-opened frame, kept as a fallback for
+	// emitters running on goroutines that did not open the span
+	// themselves (backend worker pools, async download futures). With one
+	// execution at a time it is exact — the pre-replica behaviour; with
+	// concurrent spans it is an approximation for off-goroutine events
+	// only.
+	span  atomic.Pointer[spanFrame]
+	clock func() time.Time // test seam; nil means time.Now
 }
 
 // registration gives each registered observer a unique identity so removal
@@ -251,7 +266,7 @@ func (h *Hub) Emit(ev Event) {
 		ev.Start = h.now()
 	}
 	if ev.Span == "" {
-		if f := h.span.Load(); f != nil {
+		if f := h.currentFrame(); f != nil {
 			ev.Span = f.name
 		}
 	}
@@ -261,21 +276,44 @@ func (h *Hub) Emit(ev Event) {
 }
 
 // BeginSpan opens a model-scoped span: until the returned end function
-// runs, kernel and transfer events are tagged with name, which makes
-// concurrent serving traces attributable per model. Spans may nest; the
-// innermost wins. The end function emits a KindSpan event spanning the
-// section.
+// runs, kernel and transfer events emitted by this goroutine are tagged
+// with name, which makes concurrent serving traces attributable per
+// model. Spans may nest on one goroutine; the innermost wins. The end
+// function emits a KindSpan event spanning the section.
 //
-// Model executions serialize on the engine's execution lock, so there is
-// one span writer at a time; concurrent emitters on other goroutines
-// observe the span pointer with an atomic load.
+// Spans opened by different goroutines are independent: each replica
+// engine's execution tags its own events even while others run. Events
+// emitted from goroutines that did not open a span (device worker pools)
+// fall back to the most-recently-opened frame.
 func (h *Hub) BeginSpan(name string) (end func()) {
-	frame := &spanFrame{name: name, start: h.now(), parent: h.span.Load()}
+	id := gid.ID()
+	var parent *spanFrame
+	prev, hadPrev := h.spans.Load(id)
+	if hadPrev {
+		parent = prev.(*spanFrame)
+	}
+	frame := &spanFrame{name: name, start: h.now(), parent: parent}
+	h.spans.Store(id, frame)
+	if !hadPrev {
+		h.spanCount.Add(1)
+	}
 	h.span.Store(frame)
 	var once sync.Once
 	return func() {
 		once.Do(func() {
-			h.span.Store(frame.parent)
+			// end may run on a different goroutine than BeginSpan (a
+			// deferred close after a channel handoff); restore the entry
+			// under the opener's id either way.
+			if parent != nil {
+				h.spans.Store(id, parent)
+			} else {
+				h.spans.Delete(id)
+				h.spanCount.Add(-1)
+			}
+			// Only roll back the global fallback if no later span has
+			// replaced it; concurrent spans race here by design and the
+			// gid-keyed map stays exact regardless.
+			h.span.CompareAndSwap(frame, parent)
 			h.Emit(Event{
 				Kind:  KindSpan,
 				Name:  name,
@@ -286,9 +324,21 @@ func (h *Hub) BeginSpan(name string) (end func()) {
 	}
 }
 
+// currentFrame resolves the innermost span for the calling goroutine,
+// falling back to the most-recently-opened frame for goroutines that
+// opened none.
+func (h *Hub) currentFrame() *spanFrame {
+	if h.spanCount.Load() != 0 {
+		if v, ok := h.spans.Load(gid.ID()); ok {
+			return v.(*spanFrame)
+		}
+	}
+	return h.span.Load()
+}
+
 // CurrentSpan returns the innermost open span name, or "".
 func (h *Hub) CurrentSpan() string {
-	if f := h.span.Load(); f != nil {
+	if f := h.currentFrame(); f != nil {
 		return f.name
 	}
 	return ""

@@ -46,7 +46,10 @@ var handler atomic.Pointer[handlerBox]
 type handlerBox struct{ h Handler }
 
 // SetHandler installs the engine as the global tensor handler. It is called
-// once by internal/core during initialization.
+// once by internal/core during initialization. Tensors created by a
+// non-global engine carry their owning engine directly (SetOwner); the
+// global handler is the fallback for tensors that predate ownership
+// stamping and for the single-engine case.
 func SetHandler(h Handler) { handler.Store(&handlerBox{h: h}) }
 
 func getHandler() Handler {
@@ -74,6 +77,12 @@ type Tensor struct {
 	size     int
 	strides  []int
 	disposed atomic.Bool
+	// owner is the engine that registered this tensor, when that engine is
+	// not the process-global one. With several engines alive (replica
+	// serving), data containers live in per-engine maps, so reads and
+	// disposal must route back to the engine that holds the container —
+	// regardless of which goroutine touches the handle later.
+	owner Handler
 }
 
 // New constructs a tensor handle. It is intended for use by the engine and
@@ -88,6 +97,23 @@ func New(dataID DataID, shape []int, dtype DataType) *Tensor {
 		size:    ShapeSize(s),
 		strides: ComputeStrides(s),
 	}
+}
+
+// SetOwner binds the tensor to the engine that registered it. Called by
+// the engine while it holds its own lock, before the handle is visible to
+// any other goroutine; the subsequent mutex/channel handoff publishes the
+// write, so reads of owner need no further synchronization.
+func (t *Tensor) SetOwner(h Handler) { t.owner = h }
+
+// Owner returns the engine this tensor was bound to, or nil if it belongs
+// to the process-global engine.
+func (t *Tensor) Owner() Handler { return t.owner }
+
+func (t *Tensor) handler() Handler {
+	if t.owner != nil {
+		return t.owner
+	}
+	return getHandler()
 }
 
 // Size returns the number of elements.
@@ -106,14 +132,14 @@ func (t *Tensor) Bytes() int { return t.size * t.DType.BytesPerElement() }
 // setting this blocks the main thread until the GPU finishes (Figure 2).
 func (t *Tensor) DataSync() []float32 {
 	t.mustLive("DataSync")
-	return getHandler().ReadSync(t)
+	return t.handler().ReadSync(t)
 }
 
 // Data asynchronously downloads the tensor's values, returning a future
 // that resolves once the device has finished producing them (Figure 3).
 func (t *Tensor) Data() *jsenv.Future[[]float32] {
 	t.mustLive("Data")
-	return getHandler().Read(t)
+	return t.handler().Read(t)
 }
 
 // Dispose releases this tensor's claim on its data container. Disposing a
@@ -121,7 +147,7 @@ func (t *Tensor) Data() *jsenv.Future[[]float32] {
 // safe no-op so that tidy scopes and manual disposal compose.
 func (t *Tensor) Dispose() {
 	if t.disposed.CompareAndSwap(false, true) {
-		getHandler().Dispose(t)
+		t.handler().Dispose(t)
 	}
 }
 
@@ -131,7 +157,7 @@ func (t *Tensor) Disposed() bool { return t.disposed.Load() }
 // Keep marks the tensor to survive the enclosing tidy scope (tf.keep).
 func (t *Tensor) Keep() *Tensor {
 	t.mustLive("Keep")
-	getHandler().Keep(t)
+	t.handler().Keep(t)
 	return t
 }
 
@@ -139,7 +165,7 @@ func (t *Tensor) Keep() *Tensor {
 // Like reshape, this is free: no values are copied (Section 3.4).
 func (t *Tensor) Clone() *Tensor {
 	t.mustLive("Clone")
-	return getHandler().Clone(t)
+	return t.handler().Clone(t)
 }
 
 func (t *Tensor) mustLive(op string) {

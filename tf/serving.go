@@ -1,6 +1,8 @@
 package tf
 
 import (
+	"context"
+
 	"repro/internal/serving"
 )
 
@@ -20,6 +22,19 @@ type (
 	ServingModelOptions = serving.ModelOptions
 	// ServingInstance is one JSON-shaped example (values + shape).
 	ServingInstance = serving.Instance
+	// ServingRolloutStatus describes a versioned model group: default,
+	// canary and shadow versions plus evicted entries.
+	ServingRolloutStatus = serving.RolloutStatus
+	// ServingShedError is returned when admission control or the bounded
+	// queue rejects a request; it carries a Retry-After hint.
+	ServingShedError = serving.ShedError
+	// ServingGraphSpec is a named inference graph (sequence / ensemble /
+	// switch composition over served models).
+	ServingGraphSpec = serving.GraphSpec
+	// ServingGraphNode is one node of an inference graph.
+	ServingGraphNode = serving.GraphNode
+	// ServingSwitchCase routes a switch node by an input value.
+	ServingSwitchCase = serving.SwitchCase
 )
 
 // NewServingRegistry returns an empty model registry.
@@ -27,3 +42,9 @@ func NewServingRegistry() *ServingRegistry { return serving.NewRegistry() }
 
 // NewServingServer wraps a registry in the KServe-V1-style HTTP API.
 func NewServingServer(reg *ServingRegistry) *ServingServer { return serving.NewServer(reg) }
+
+// WithServingTenant tags ctx with a tenant ID for weighted-fair admission
+// control (the HTTP layer reads it from the X-Tenant-ID header).
+func WithServingTenant(ctx context.Context, tenant string) context.Context {
+	return serving.WithTenant(ctx, tenant)
+}
