@@ -141,7 +141,7 @@ type fusionArm struct {
 // per-kernel tallies from a Stats aggregator, peak engine memory from the
 // kernel events' live-byte gauge, and the event stream for the Chrome trace.
 func runFusionArm(store converter.Store, vals []float32, size, runs int, optimize bool) fusionArm {
-	m, err := tf.LoadModel(store, tf.WithGraphOptimize(optimize))
+	m, err := tf.LoadGraphModel(store, tf.WithOptimize(optimize))
 	if err != nil {
 		log.Fatal(err)
 	}

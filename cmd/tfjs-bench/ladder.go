@@ -1,0 +1,157 @@
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/converter"
+	"repro/tf"
+)
+
+// ladderExperiment measures the native backend's acceleration ladder on
+// single-image MobileNet inference — each rung enables one more piece of
+// the execution config, all through the unified options API:
+//
+//	naive  ×1   row-streaming GEMM, one worker (the seed baseline)
+//	packed ×1   cache-blocked packed GEMM, one worker
+//	packed ×N   same core sharded across GOMAXPROCS workers
+//	int8   ×N   quantized compute path on the int8-converted artifact
+//
+// The int8 rung doubles as the parity gate CI enforces: its class
+// probabilities must stay within 5% of the f32 output's dynamic range,
+// or the command exits nonzero. outPath, when set, writes the measured
+// numbers as JSON (the CI artifact behind the README ladder table).
+func ladderExperiment(alpha float64, size, runs int, outPath string) {
+	procs := runtime.GOMAXPROCS(0)
+	fmt.Printf("\n=== Native acceleration ladder: MobileNet v1 alpha=%.2f @%dx%d, %d runs, GOMAXPROCS=%d ===\n\n",
+		alpha, size, size, runs, procs)
+	if err := tf.SetBackend("node"); err != nil {
+		log.Fatal(err)
+	}
+
+	model, err := tf.MobileNetV1(tf.MobileNetConfig{
+		Alpha: alpha, InputSize: size, NumClasses: 1000, IncludeTop: true, Seed: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	g, err := tf.ExportSavedModel(model, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	model.Dispose()
+	f32Store := tf.NewMemStore()
+	if _, err := tf.Convert(g, f32Store, tf.ConvertOptions{}); err != nil {
+		log.Fatal(err)
+	}
+	int8Store := tf.NewMemStore()
+	if _, err := tf.Convert(g, int8Store, tf.ConvertOptions{
+		QuantizationScheme: converter.QuantizationInt8,
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	vals := make([]float32, size*size*3)
+	for i := range vals {
+		vals[i] = float32(i%251) / 251
+	}
+
+	rungs := []struct {
+		label   string
+		workers int
+		gemm    tf.GEMMMode
+		store   tf.ArtifactStore
+		int8    bool
+	}{
+		{"naive ×1", 1, tf.GEMMNaive, f32Store, false},
+		{"packed ×1", 1, tf.GEMMPacked, f32Store, false},
+		{fmt.Sprintf("packed ×%d", procs), procs, tf.GEMMPacked, f32Store, false},
+		{fmt.Sprintf("int8 ×%d", procs), procs, tf.GEMMPacked, int8Store, true},
+	}
+	defer func() {
+		if err := tf.ConfigureExec(tf.WithWorkers(-1), tf.WithGEMM(tf.GEMMPacked)); err != nil {
+			log.Fatal(err)
+		}
+	}()
+
+	results := map[string]ModeResult{}
+	outputs := map[string][]float32{}
+	var baseMS float64
+	fmt.Printf("%-12s %12s %10s\n", "Rung", "ms/infer", "speedup")
+	for _, r := range rungs {
+		if err := tf.ConfigureExec(tf.WithWorkers(r.workers), tf.WithGEMM(r.gemm)); err != nil {
+			log.Fatal(err)
+		}
+		var loadOpts []tf.ExecOption
+		if r.int8 {
+			loadOpts = append(loadOpts, tf.WithQuantizedCompute(true))
+		}
+		m, err := tf.LoadGraphModel(r.store, loadOpts...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if r.int8 && m.OptimizeStats().QuantizedOps == 0 {
+			log.Fatal("int8 rung: no op was rewritten to the quantized kernels")
+		}
+		infer := func() []float32 {
+			x := tf.Tensor4D(vals, 1, size, size, 3)
+			defer x.Dispose()
+			out, err := m.Predict(x)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer out.Dispose()
+			return append([]float32(nil), out.DataSync()...)
+		}
+		outputs[r.label] = infer() // warmup, and the parity sample
+		start := time.Now()
+		for i := 0; i < runs; i++ {
+			infer()
+		}
+		ms := float64(time.Since(start)) / float64(time.Millisecond) / float64(runs)
+		m.Dispose()
+		if baseMS == 0 {
+			baseMS = ms
+		}
+		fmt.Printf("%-12s %12.1f %9.2fx\n", r.label, ms, baseMS/ms)
+		results[r.label] = ModeResult{PredictMS: ms, QPS: 1000 / ms}
+	}
+	fmt.Println("\n(the ×N rung needs GOMAXPROCS physical cores to show its gain; on fewer")
+	fmt.Println(" cores the workers time-slice and the rung measures scheduling overhead)")
+
+	// Parity gate: the int8 rung against its f32 sibling at the same
+	// worker count. 5% of the f32 dynamic range is the same envelope the
+	// kernel- and model-level tests enforce.
+	want := outputs[rungs[2].label]
+	got := outputs[rungs[3].label]
+	var rangeF float64
+	for _, v := range want {
+		if a := math.Abs(float64(v)); a > rangeF {
+			rangeF = a
+		}
+	}
+	tol := 0.05 * rangeF
+	for i := range want {
+		if diff := math.Abs(float64(got[i] - want[i])); diff > tol {
+			fmt.Printf("\nint8 parity gate FAILED: class %d int8=%g f32=%g (diff %g > tol %g)\n",
+				i, got[i], want[i], diff, tol)
+			os.Exit(1)
+		}
+	}
+	fmt.Printf("\nint8 parity gate: all %d class probabilities within %.4f of f32 (5%% of range)\n",
+		len(want), tol)
+
+	if outPath != "" {
+		bench := newServingBench(alpha, size, runs, 1)
+		bench.Benchmark = "ladder"
+		bench.Modes = results
+		if err := bench.writeJSON(outPath); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote results to %s\n", outPath)
+	}
+}

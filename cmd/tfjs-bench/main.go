@@ -9,6 +9,8 @@
 //	tfjs-bench census    — §4.1.3: device support shares (WebGLStats analogue)
 //	tfjs-bench serve     — serving: micro-batched vs unbatched QPS and latency
 //	tfjs-bench fusion    — graph optimizer A/B: operator fusion on vs off
+//	tfjs-bench ladder    — native acceleration ladder: naive → packed →
+//	                       packed+multicore → int8, with the int8 parity gate
 //	tfjs-bench all       — everything above
 //
 // Flags -alpha, -size and -runs scale the MobileNet workload; the defaults
@@ -30,6 +32,16 @@
 // agree to 1e-5, and (with -tracedir) writes a Chrome trace per arm.
 // -fusion=off also lets the serve command run unoptimized graphs for
 // before/after comparisons.
+//
+// -gemm and -quant steer the native execution config for the serve
+// command (the CI A/B matrix runs serve under every combination):
+// -gemm selects the matmul core (packed, the cache-blocked default, or
+// naive), and -quant=int8 converts the model with the int8 scheme and
+// serves it on the quantized compute path. The ladder command measures
+// all four rungs in one run — naive ×1 worker, packed ×1, packed ×N
+// cores, int8 ×N — and enforces the int8-vs-f32 parity gate (exit
+// nonzero when any class probability drifts beyond 5% of the f32
+// output's dynamic range).
 package main
 
 import (
@@ -51,11 +63,21 @@ func main() {
 	baseline := flag.String("baseline", "", "serve/fusion: compare QPS against this baseline JSON, exit nonzero on >20% regression")
 	out := flag.String("out", "", "serve/fusion: write measured results as JSON to this file")
 	fusion := flag.String("fusion", "on", "graph optimizer for the serve command: on or off")
+	gemm := flag.String("gemm", "packed", "serve: native matmul core, packed or naive")
+	quant := flag.String("quant", "f32", "serve: compute precision, f32 or int8 (int8 converts with the int8 scheme and serves on the quantized path)")
 	replicas := flag.Int("replicas", 1, "serve: also measure an N-replica engine pool (adds a replicasN mode)")
 	traceDir := flag.String("tracedir", "", "fusion: write trace_fusion_{on,off}.json Chrome traces to this directory")
 	flag.Parse()
 	if *fusion != "on" && *fusion != "off" {
 		fmt.Fprintf(os.Stderr, "-fusion must be on or off, got %q\n", *fusion)
+		os.Exit(2)
+	}
+	if *gemm != string(tf.GEMMPacked) && *gemm != string(tf.GEMMNaive) {
+		fmt.Fprintf(os.Stderr, "-gemm must be packed or naive, got %q\n", *gemm)
+		os.Exit(2)
+	}
+	if *quant != "f32" && *quant != "int8" {
+		fmt.Fprintf(os.Stderr, "-quant must be f32 or int8, got %q\n", *quant)
 		os.Exit(2)
 	}
 
@@ -81,9 +103,11 @@ func main() {
 	case "webgpu":
 		webgpuExperiment()
 	case "serve":
-		serveExperiment(*alpha, *size, 10**runs, *baseline, *out, *fusion == "on", *replicas)
+		serveExperiment(*alpha, *size, 10**runs, *baseline, *out, *fusion == "on", *replicas, *gemm, *quant)
 	case "fusion":
 		fusionExperiment(*alpha, *size, *runs, *baseline, *out, *traceDir)
+	case "ladder":
+		ladderExperiment(*alpha, *size, *runs, *out)
 	case "all":
 		table1(*alpha, *size, *runs)
 		fig23()

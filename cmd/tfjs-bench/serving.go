@@ -28,10 +28,10 @@ import (
 // artifact, or a new BENCH_serving.json baseline). baselinePath compares
 // the run against a committed baseline and exits nonzero on a QPS
 // regression beyond the tolerance.
-func serveExperiment(alpha float64, size, runs int, baselinePath, outPath string, fusion bool, replicas int) {
+func serveExperiment(alpha float64, size, runs int, baselinePath, outPath string, fusion bool, replicas int, gemm, quant string) {
 	fmt.Printf("\n=== Serving: dynamic micro-batching throughput ===\n")
-	fmt.Printf("MobileNet v1 alpha=%.2f input=%dx%dx3, native backend, %d CPU core(s), 32 concurrent clients, %d requests per mode, fusion=%v\n\n",
-		alpha, size, size, runtime.NumCPU(), runs, fusion)
+	fmt.Printf("MobileNet v1 alpha=%.2f input=%dx%dx3, native backend, %d CPU core(s), 32 concurrent clients, %d requests per mode, fusion=%v gemm=%s quant=%s\n\n",
+		alpha, size, size, runtime.NumCPU(), runs, fusion, gemm, quant)
 
 	store := converter.NewMemStore()
 	model, err := tf.MobileNetV1(tf.MobileNetConfig{
@@ -44,10 +44,21 @@ func serveExperiment(alpha float64, size, runs int, baselinePath, outPath string
 	if err != nil {
 		log.Fatal(err)
 	}
-	if _, err := tf.Convert(g, store, tf.ConvertOptions{}); err != nil {
+	convOpts := tf.ConvertOptions{}
+	if quant == "int8" {
+		convOpts.QuantizationScheme = converter.QuantizationInt8
+	}
+	if _, err := tf.Convert(g, store, convOpts); err != nil {
 		log.Fatal(err)
 	}
 	model.Dispose()
+
+	// One exec-option list covers every knob the A/B matrix varies: the
+	// optimizer toggle, the GEMM core, and the int8 compute path.
+	execOpts := []tf.ExecOption{tf.WithOptimize(fusion), tf.WithGEMM(tf.GEMMMode(gemm))}
+	if quant == "int8" {
+		execOpts = append(execOpts, tf.WithQuantizedCompute(true))
+	}
 
 	inst := serving.Instance{Values: make([]float32, size*size*3), Shape: []int{size, size, 3}}
 	for i := range inst.Values {
@@ -76,7 +87,7 @@ func serveExperiment(alpha float64, size, runs int, baselinePath, outPath string
 	}
 	fmt.Printf("%-12s %10s %10s %10s %10s %10s %12s\n", "Mode", "QPS", "p50 (ms)", "p95 (ms)", "p99 (ms)", "max batch", "dispatch/req")
 	for _, mode := range modes {
-		r := serveThroughput(store, size, mode.maxBatch, runs, fusion, mode.replicas)
+		r := serveThroughput(store, size, mode.maxBatch, runs, execOpts, mode.replicas)
 		fmt.Printf("%-12s %10.1f %10.1f %10.1f %10.1f %10d %12d\n",
 			mode.label, r.QPS, r.P50MS, r.P95MS, r.P99MS, r.MaxBatch, r.KernelDispatches)
 		results.Modes[mode.label] = r
@@ -106,13 +117,13 @@ func serveExperiment(alpha float64, size, runs int, baselinePath, outPath string
 // serveThroughput drives total requests through one registry model from 32
 // concurrent clients and reports QPS, latency percentiles and the kernel
 // dispatches the telemetry hub attributes to each request on average.
-func serveThroughput(store converter.Store, size, maxBatch, total int, fusion bool, replicas int) ModeResult {
+func serveThroughput(store converter.Store, size, maxBatch, total int, execOpts []tf.ExecOption, replicas int) ModeResult {
 	reg := serving.NewRegistry()
 	defer reg.Close()
 	m, err := reg.Load("mobilenet", store, serving.ModelOptions{
-		Backend:         "node",
-		DisableOptimize: !fusion,
-		Replicas:        replicas,
+		Backend:  "node",
+		Exec:     execOpts,
+		Replicas: replicas,
 		Batching: serving.Config{
 			MaxBatchSize: maxBatch,
 			BatchTimeout: 2 * time.Millisecond,

@@ -3,7 +3,7 @@
 // model, prunes operations unnecessary for serving, packs weights into
 // 4 MB shards and optionally quantizes them, then writes the web-format
 // artifacts (model.json + binary shards) into an output directory. The
-// converted model can be loaded back with tf.LoadModel and verified.
+// converted model can be loaded back with tf.LoadGraphModel and verified.
 //
 //	tfjs-convert -model mobilenet -alpha 0.25 -size 96 -quantize 1 -out ./artifacts
 //	tfjs-convert -model convnet -out ./artifacts -verify
@@ -85,7 +85,7 @@ func main() {
 	fmt.Printf("artifacts written to %s\n", *out)
 
 	if *verify {
-		gm, err := tf.LoadModel(store)
+		gm, err := tf.LoadGraphModel(store)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -40,7 +40,7 @@ func fusionReport(alpha float64, size, runs int) {
 		stats  tf.OptimizeStats
 	}
 	measure := func(optimize bool) arm {
-		m, err := tf.LoadModel(store, tf.WithGraphOptimize(optimize))
+		m, err := tf.LoadGraphModel(store, tf.WithOptimize(optimize))
 		if err != nil {
 			log.Fatal(err)
 		}

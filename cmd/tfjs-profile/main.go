@@ -22,7 +22,12 @@
 // the per-kernel dispatch and byte deltas between the unoptimized and
 // optimized graphs, and the peak engine memory of each arm.
 //
+// -workers and -gemm set the node backend's execution config through the
+// same tf.ConfigureExec options API the library exposes, so a profile of
+// "-gemm naive -workers 1" measures exactly what that configuration runs.
+//
 //	tfjs-profile -backend webgl -alpha 0.25 -size 96
+//	tfjs-profile -backend node -gemm naive -workers 1
 //	tfjs-profile -backend webgl -trace trace.json
 //	tfjs-profile -backend webgl -debug -inject-nan
 //	tfjs-profile -backend webgl -leaks -inject-leak
@@ -54,9 +59,17 @@ func main() {
 	leaks := flag.Bool("leaks", false, "run under the tensor-lifetime tracker and print the leak report")
 	injectLeak := flag.Bool("inject-leak", false, "deliberately leak one tensor to demonstrate -leaks attribution")
 	fusionRep := flag.Bool("fusion-report", false, "print the graph-optimizer report: patterns fired, per-kernel dispatch/byte deltas, peak memory")
+	workers := flag.Int("workers", 0, "intra-op worker budget on the node backend (0 = leave default, <0 = reset)")
+	gemm := flag.String("gemm", "", "GEMM core on the node backend: packed or naive (empty = leave default)")
 	flag.Parse()
 
 	if err := tf.SetBackend(*backend); err != nil {
+		log.Fatal(err)
+	}
+	// Exec knobs route through the same options API as library callers
+	// (tf.ConfigureExec) — profiling a configuration means profiling
+	// exactly what that configuration runs.
+	if err := tf.ConfigureExec(tf.WithWorkers(*workers), tf.WithGEMM(tf.GEMMMode(*gemm))); err != nil {
 		log.Fatal(err)
 	}
 

@@ -1,6 +1,6 @@
 // Package analysis is the source-level tier of the tfjs-vet static-analysis
 // suite: a small analyzer framework (stdlib go/parser + go/types only, no
-// external driver) plus four repo-specific analyzers encoding the paper's
+// external driver) plus five repo-specific analyzers encoding the paper's
 // discipline for a GC-free tensor library:
 //
 //   - tensorleak: every ops.*/tf.* constructor result must be disposed,
@@ -14,6 +14,9 @@
 //     naming the kernel, and module-internal errors may not be discarded.
 //   - kernelparity: kernel registration strings stay consistent across the
 //     reference/native/webgl backends and the graph decoder.
+//   - deprecated: no new cross-package uses of "Deprecated:" symbols — the
+//     ratchet that keeps the repo on the unified exec-config surface while
+//     the legacy shims stay for downstream code.
 //
 // Findings can be silenced with a justified suppression on the offending
 // line (or the line above):
@@ -81,7 +84,7 @@ type Analyzer struct {
 }
 
 // All lists every registered analyzer in reporting order.
-var All = []*Analyzer{TensorLeak, SyncRead, OpErr, KernelParity}
+var All = []*Analyzer{TensorLeak, SyncRead, OpErr, KernelParity, Deprecated}
 
 // ByName resolves a comma-separated analyzer list; nil selects All.
 func ByName(names string) ([]*Analyzer, error) {

@@ -1,0 +1,116 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Deprecated flags cross-package references to symbols whose doc comment
+// carries a "Deprecated:" paragraph (the standard Go convention). The
+// execution-config redesign left several shims behind — tf.Configure,
+// tf.LoadModel, tf.WithGraphOptimize/WithGraphVerify, and serving's
+// ModelOptions.Disable* booleans — that keep old callers compiling but
+// must not gain new in-repo users; this analyzer is the ratchet that
+// keeps the repository itself on the replacement surface (ExecOption /
+// LoadGraphModel / ConfigureExec) while the shims remain for downstream
+// code.
+//
+// Same-package references are exempt: a deprecated shim's own wiring (the
+// shim forwarding to its replacement, the options struct reading its own
+// legacy fields) is exactly where such references belong.
+var Deprecated = &Analyzer{
+	Name:   "deprecated",
+	Doc:    "no new in-repo uses of Deprecated: symbols; use the documented replacement",
+	Module: true,
+	Run:    runDeprecated,
+}
+
+func runDeprecated(pass *Pass) error {
+	// Index every deprecated top-level symbol (functions, methods, types,
+	// consts, vars) and struct field declared in the loaded program.
+	deprecated := map[types.Object]string{}
+	record := func(info *types.Info, name *ast.Ident, doc *ast.CommentGroup) {
+		if msg, ok := deprecationMsg(doc); ok {
+			if obj := info.Defs[name]; obj != nil {
+				deprecated[obj] = msg
+			}
+		}
+	}
+	for _, pkg := range pass.Prog.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					record(pkg.Info, d.Name, d.Doc)
+				case *ast.GenDecl:
+					for _, spec := range d.Specs {
+						switch s := spec.(type) {
+						case *ast.TypeSpec:
+							doc := s.Doc
+							if doc == nil && len(d.Specs) == 1 {
+								doc = d.Doc
+							}
+							record(pkg.Info, s.Name, doc)
+							if st, ok := s.Type.(*ast.StructType); ok {
+								for _, fld := range st.Fields.List {
+									for _, nm := range fld.Names {
+										record(pkg.Info, nm, fld.Doc)
+									}
+								}
+							}
+						case *ast.ValueSpec:
+							doc := s.Doc
+							if doc == nil && len(d.Specs) == 1 {
+								doc = d.Doc
+							}
+							for _, nm := range s.Names {
+								record(pkg.Info, nm, doc)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	if len(deprecated) == 0 {
+		return nil
+	}
+	// Report every cross-package use.
+	for _, pkg := range pass.Prog.Pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				obj := pkg.Info.Uses[id]
+				if obj == nil {
+					return true
+				}
+				msg, ok := deprecated[obj]
+				if !ok || obj.Pkg() == pkg.Types {
+					return true
+				}
+				pass.Reportf(id.Pos(), "%s.%s is deprecated: %s",
+					obj.Pkg().Name(), obj.Name(), msg)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// deprecationMsg extracts the first "Deprecated:" line from a doc comment,
+// reporting whether the comment marks its symbol deprecated at all.
+func deprecationMsg(doc *ast.CommentGroup) (string, bool) {
+	if doc == nil {
+		return "", false
+	}
+	for _, line := range strings.Split(doc.Text(), "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "Deprecated:"); ok {
+			return strings.TrimSpace(rest), true
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,34 @@
+// Package deprfix exercises the deprecated analyzer: cross-package uses of
+// "Deprecated:" symbols are flagged, uses of the replacements are clean,
+// and a justified suppression silences a finding.
+package deprfix
+
+import "repro/internal/analysis/testdata/src/deprfix/oldapi"
+
+// BadCall uses the deprecated entry point: flagged.
+func BadCall() int {
+	return oldapi.Tune(4)
+}
+
+// BadField sets the deprecated struct field: flagged (the field write, not
+// the struct literal itself).
+func BadField() int {
+	return oldapi.Configure(oldapi.Options{LegacyWorkers: 2})
+}
+
+// BadTypeAndConst names the deprecated type and const: both flagged.
+func BadTypeAndConst() oldapi.Mode {
+	return oldapi.ModeFast
+}
+
+// GoodCall uses the replacement surface: clean.
+func GoodCall() int {
+	return oldapi.Configure(oldapi.Options{Workers: 4})
+}
+
+// Grandfathered carries a justified suppression for a call that must stay
+// on the old surface (e.g. mirroring an external example verbatim).
+func Grandfathered() int {
+	//lint:ignore deprecated mirrors the pre-redesign README example verbatim
+	return oldapi.Tune(1)
+}

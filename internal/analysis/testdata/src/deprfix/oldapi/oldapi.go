@@ -1,0 +1,42 @@
+// Package oldapi (under deprfix) declares a mix of deprecated and current
+// symbols. The deprecated analyzer must flag cross-package uses of the
+// deprecated ones, leave uses of the current ones alone, and exempt this
+// package's own shim wiring.
+package oldapi
+
+// Options is the current configuration surface.
+type Options struct {
+	// Workers is the current knob.
+	Workers int
+	// LegacyWorkers is the old knob.
+	//
+	// Deprecated: use Workers.
+	LegacyWorkers int
+}
+
+// Configure is the current entry point.
+func Configure(o Options) int {
+	if o.Workers == 0 {
+		// Same-package shim wiring: reading the legacy field here is the
+		// exemption the analyzer must honor.
+		o.Workers = o.LegacyWorkers
+	}
+	return o.Workers
+}
+
+// Tune is the old entry point.
+//
+// Deprecated: use Configure.
+func Tune(workers int) int {
+	return Configure(Options{Workers: workers})
+}
+
+// Mode selects a tuning mode.
+//
+// Deprecated: modes were folded into Options.
+type Mode string
+
+// ModeFast is the old default mode.
+//
+// Deprecated: modes were folded into Options.
+const ModeFast Mode = "fast"

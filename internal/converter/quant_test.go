@@ -1,0 +1,99 @@
+package converter_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/converter"
+	"repro/internal/kernels"
+)
+
+// TestInt8ConvertRoundTrip: the int8 scheme stores eligible weights as
+// per-channel symmetric codes and the round trip is exact in the sense
+// the compute path relies on — decoded values are code·scale, so
+// re-quantizing them with the artifact scales recovers the codes (and
+// hence the decoded values) bit-for-bit.
+func TestInt8ConvertRoundTrip(t *testing.T) {
+	_, g := buildModel(t)
+
+	full := converter.NewMemStore()
+	fullRes, err := converter.Convert(g, full, converter.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := converter.NewMemStore()
+	qRes, err := converter.Convert(g, q, converter.Options{QuantizationScheme: converter.QuantizationInt8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Filters and matmul weights shrink 4x; rank-1 biases stay f32, so the
+	// total lands between 4x smaller and full size — well under half.
+	if qRes.WeightBytes >= fullRes.WeightBytes/2 {
+		t.Fatalf("int8 artifacts should be much smaller: %d vs %d", qRes.WeightBytes, fullRes.WeightBytes)
+	}
+
+	loaded, err := converter.LoadArtifacts(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := converter.LoadArtifacts(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quantized := 0
+	for name, w := range loaded.Weights {
+		channels := 0
+		if len(w.Shape) >= 2 {
+			channels = w.Shape[len(w.Shape)-1]
+		}
+		if len(w.Shape) < 2 {
+			if w.Int8Scales != nil {
+				t.Fatalf("%s: rank-%d weight must stay float32", name, len(w.Shape))
+			}
+			continue
+		}
+		quantized++
+		if len(w.Int8Scales) != channels {
+			t.Fatalf("%s: Int8Scales has %d entries, want %d", name, len(w.Int8Scales), channels)
+		}
+		for c, s := range w.Int8Scales {
+			if !(s > 0) {
+				t.Fatalf("%s: scale[%d] = %g, want > 0", name, c, s)
+			}
+		}
+		// Exactness: re-quantize the decoded weights with the artifact
+		// scales; decoding those codes again must be bit-identical.
+		codes := kernels.QuantizeWeightsInt8(w.Values, channels, w.Int8Scales)
+		for i, code := range codes {
+			back := float32(code) * w.Int8Scales[i%channels]
+			if math.Float32bits(back) != math.Float32bits(w.Values[i]) {
+				t.Fatalf("%s: value %d not code·scale: %g vs %g", name, i, w.Values[i], back)
+			}
+		}
+		// Lossiness is bounded by half a quantization step per value.
+		orig := ref.Weights[name]
+		for i := range w.Values {
+			step := float64(w.Int8Scales[i%channels])
+			if diff := math.Abs(float64(w.Values[i] - orig.Values[i])); diff > step/2+1e-7 {
+				t.Fatalf("%s: value %d off by %g, more than half a step %g", name, i, diff, step)
+			}
+		}
+	}
+	if quantized == 0 {
+		t.Fatal("no weight was int8-quantized")
+	}
+}
+
+func TestInt8SchemeValidation(t *testing.T) {
+	_, g := buildModel(t)
+	_, err := converter.Convert(g, converter.NewMemStore(), converter.Options{QuantizationScheme: "int4"})
+	if err == nil || !strings.Contains(err.Error(), "unknown quantization scheme") {
+		t.Fatalf("want unknown-scheme error, got %v", err)
+	}
+	_, err = converter.Convert(g, converter.NewMemStore(),
+		converter.Options{QuantizationScheme: converter.QuantizationInt8, QuantizationBytes: 1})
+	if err == nil || !strings.Contains(err.Error(), "mutually exclusive") {
+		t.Fatalf("want mutual-exclusion error, got %v", err)
+	}
+}

@@ -1,0 +1,115 @@
+package exec_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/exec"
+)
+
+func TestZeroConfigMeansDefaults(t *testing.T) {
+	var c exec.Config
+	if !c.OptimizeOn() || !c.VerifyOn() {
+		t.Fatalf("zero config: OptimizeOn=%v VerifyOn=%v, want both true", c.OptimizeOn(), c.VerifyOn())
+	}
+	if c.QuantizedCompute {
+		t.Fatal("zero config must not enable quantized compute")
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("zero config must validate: %v", err)
+	}
+}
+
+func TestMakeResolvesOptions(t *testing.T) {
+	c := exec.Make(
+		exec.WithWorkers(4),
+		exec.WithGEMM(exec.GEMMNaive),
+		exec.WithQuantizedCompute(true),
+		exec.WithOptimize(false),
+		exec.WithVerify(false),
+		nil, // nil options are tolerated
+	)
+	if c.Workers != 4 || c.GEMM != exec.GEMMNaive || !c.QuantizedCompute {
+		t.Fatalf("unexpected config: %+v", c)
+	}
+	if c.OptimizeOn() || c.VerifyOn() {
+		t.Fatalf("explicit disables ignored: OptimizeOn=%v VerifyOn=%v", c.OptimizeOn(), c.VerifyOn())
+	}
+}
+
+// TestMergePrecedence: a per-model override wins for fields it sets and
+// inherits the rest — the precedence rule ConfigureExec, LoadGraphModel
+// and serving.ModelOptions all rely on.
+func TestMergePrecedence(t *testing.T) {
+	base := exec.Make(exec.WithWorkers(8), exec.WithGEMM(exec.GEMMNaive), exec.WithVerify(false))
+
+	over := exec.Make(exec.WithWorkers(2), exec.WithQuantizedCompute(true))
+	got := base.Merge(over)
+	if got.Workers != 2 {
+		t.Fatalf("override Workers must win: got %d", got.Workers)
+	}
+	if got.GEMM != exec.GEMMNaive {
+		t.Fatalf("unset GEMM must inherit: got %q", got.GEMM)
+	}
+	if !got.QuantizedCompute {
+		t.Fatal("override QuantizedCompute must win")
+	}
+	if got.VerifyOn() {
+		t.Fatal("inherited Verify=false lost in merge")
+	}
+
+	// An explicit re-enable in the override beats the base's disable.
+	got = base.Merge(exec.Make(exec.WithVerify(true)))
+	if !got.VerifyOn() {
+		t.Fatal("override Verify=true must win over base Verify=false")
+	}
+
+	// Merging a zero config changes nothing.
+	if got := base.Merge(exec.Config{}); got.Workers != 8 || got.GEMM != exec.GEMMNaive || got.VerifyOn() {
+		t.Fatalf("zero-config merge must be identity: %+v", got)
+	}
+}
+
+func TestValidateRejectsUnknownGEMM(t *testing.T) {
+	c := exec.Make(exec.WithGEMM("blocked"))
+	err := c.Validate()
+	if err == nil || !strings.Contains(err.Error(), "unknown GEMM mode") {
+		t.Fatalf("want unknown-GEMM error, got %v", err)
+	}
+	for _, mode := range []exec.GEMMMode{"", exec.GEMMPacked, exec.GEMMNaive} {
+		if err := exec.Make(exec.WithGEMM(mode)).Validate(); err != nil {
+			t.Fatalf("mode %q must validate: %v", mode, err)
+		}
+	}
+}
+
+// fakeBackend records what the interface-assertion plumbing delivers.
+type fakeBackend struct {
+	cfg   exec.Config
+	nCfg  int
+	cost  int
+	nCost int
+}
+
+func (f *fakeBackend) ApplyExecConfig(c exec.Config) { f.cfg = c; f.nCfg++ }
+func (f *fakeBackend) SetStepCost(n int)             { f.cost = n; f.nCost++ }
+
+func TestApplyAndHintDispatchViaInterfaces(t *testing.T) {
+	f := &fakeBackend{}
+	c := exec.Make(exec.WithWorkers(3))
+	if !exec.Apply(f, c) {
+		t.Fatal("Apply must report true for a Configurable backend")
+	}
+	if f.nCfg != 1 || f.cfg.Workers != 3 {
+		t.Fatalf("config not delivered: %+v", f)
+	}
+	exec.HintStepCost(f, 18)
+	if f.nCost != 1 || f.cost != 18 {
+		t.Fatalf("hint not delivered: %+v", f)
+	}
+	// Backends without the hooks are ignored, not crashed on.
+	if exec.Apply(struct{}{}, c) {
+		t.Fatal("Apply must report false for a plain backend")
+	}
+	exec.HintStepCost(struct{}{}, 5)
+}

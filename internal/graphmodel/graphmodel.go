@@ -14,15 +14,17 @@ import (
 
 	"repro/internal/converter"
 	"repro/internal/core"
+	"repro/internal/exec"
 	"repro/internal/savedmodel"
 	"repro/internal/tensor"
 )
 
-// config carries load-time options.
+// config carries load-time options. The execution knobs live in one
+// exec.Config so the tf facade and the serving registry hand the same
+// struct down unchanged.
 type config struct {
-	optimize bool
-	verify   bool
-	eng      *core.Engine
+	exec exec.Config
+	eng  *core.Engine
 }
 
 // Option configures Load/New.
@@ -30,10 +32,31 @@ type Option func(*config)
 
 // WithOptimize enables or disables the load-time graph optimizer
 // (enabled by default). Disabling it executes the graph exactly as
-// converted — the A/B switch behind `tfjs-bench -fusion=off` and the
-// serving registry's DisableOptimize.
+// converted — the A/B switch behind `tfjs-bench -fusion=off`.
 func WithOptimize(enabled bool) Option {
-	return func(c *config) { c.optimize = enabled }
+	return func(c *config) { c.exec.Optimize = &enabled }
+}
+
+// WithExecOptions applies execution options (worker budget, GEMM core,
+// quantized compute, optimize/verify gates) to the load. The backend-level
+// knobs are applied to the model's engine's backend at load time; the
+// graph-level knobs steer the optimizer and verifier.
+func WithExecOptions(opts ...exec.Option) Option {
+	return func(c *config) {
+		for _, o := range opts {
+			if o != nil {
+				o(&c.exec)
+			}
+		}
+	}
+}
+
+// WithExecConfig layers an already-resolved execution config onto the
+// load (fields set in cfg override earlier options; unset fields keep
+// their values). The serving registry uses this to pass one resolved
+// config per model to every replica.
+func WithExecConfig(cfg exec.Config) Option {
+	return func(c *config) { c.exec = c.exec.Merge(cfg) }
 }
 
 // WithEngine binds the model to a specific engine: weights upload to it
@@ -84,9 +107,12 @@ func Load(store converter.Store, opts ...Option) (*Model, error) {
 // (unless disabled), compiles the execution plan and uploads the weights.
 // The caller's graph is never mutated; the optimizer works on a clone.
 func New(g *savedmodel.GraphDef, opts ...Option) (*Model, error) {
-	cfg := config{optimize: true, verify: true}
+	var cfg config
 	for _, opt := range opts {
 		opt(&cfg)
+	}
+	if err := cfg.exec.Validate(); err != nil {
+		return nil, err
 	}
 	if err := g.Validate(); err != nil {
 		return nil, err
@@ -95,12 +121,15 @@ func New(g *savedmodel.GraphDef, opts ...Option) (*Model, error) {
 	if eng == nil {
 		eng = core.Global()
 	}
+	// Backend-level knobs (worker budget, GEMM core) apply to the engine
+	// this model executes on; backends without the hook ignore them.
+	exec.Apply(eng.Backend(), cfg.exec)
 	m := &Model{graph: g, exec: g, eng: eng}
 	m.span = spanName("graphmodel", g)
-	if cfg.optimize {
-		m.exec, m.optStats = optimize(g, eng.Telemetry(), m.span)
+	if cfg.exec.OptimizeOn() {
+		m.exec, m.optStats = optimize(g, eng.Telemetry(), m.span, cfg.exec.QuantizedCompute)
 	}
-	if cfg.verify {
+	if cfg.exec.VerifyOn() {
 		// Verify the execution graph — the one the plan compiles — so the
 		// optimizer's fused nodes are checked too, and a rank- or
 		// dtype-inconsistent model is rejected here rather than at the
@@ -288,11 +317,17 @@ func (m *Model) executeLocked(e *core.Engine, feeds map[string]*tensor.Tensor) (
 				env[ws.slot] = m.weights[ws.name]
 			}
 		}
+		// The plan carries each step's arithmetic intensity; hint it to
+		// the backend (if it listens) so the parallelism grain derives
+		// from the step's real per-element cost. Cleared on every exit.
+		bk := e.Backend()
+		defer exec.HintStepCost(bk, 0)
 		for i := range p.steps {
 			st := &p.steps[i]
 			// A feed for any node short-circuits its step, as the lazy
 			// executor's env pre-population did.
 			if !fed[st.out] {
+				exec.HintStepCost(bk, st.cost)
 				out, err := st.run(env)
 				if err != nil {
 					execErr = err
@@ -343,6 +378,24 @@ func attrFloat(attrs map[string]any, key string, def float64) float64 {
 		return float64(v)
 	}
 	return def
+}
+
+func attrFloats(attrs map[string]any, key string) []float32 {
+	switch v := attrs[key].(type) {
+	case []float32:
+		return v
+	case []any:
+		out := make([]float32, len(v))
+		for i, e := range v {
+			f, ok := e.(float64)
+			if !ok {
+				return nil
+			}
+			out[i] = float32(f)
+		}
+		return out
+	}
+	return nil
 }
 
 func attrInts(attrs map[string]any, key string, def []int) []int {

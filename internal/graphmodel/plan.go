@@ -24,7 +24,13 @@ type planStep struct {
 	ins     []int
 	out     int
 	dispose []int
-	run     func(env []*tensor.Tensor) (*tensor.Tensor, error)
+	// cost is the step's arithmetic intensity in flops per output element,
+	// derived from the const weight shapes at compile time (0 when the
+	// shape-dependent cost is unknown until runtime). executeLocked hints
+	// it to the backend before running the step, so the parallelism grain
+	// reflects the step's real per-element work.
+	cost int
+	run  func(env []*tensor.Tensor) (*tensor.Tensor, error)
 }
 
 // plan is a compiled model: shared, immutable after compile, and safe for
@@ -70,7 +76,9 @@ func compilePlan(g *savedmodel.GraphDef, order []string, nodes map[string]*saved
 			// the feed is missing, preserving the executor's error.
 			persistent[slot] = true
 		}
-		p.steps = append(p.steps, compileStep(n, slot, p.slots))
+		st := compileStep(n, slot, p.slots)
+		st.cost = stepCost(n, g)
+		p.steps = append(p.steps, st)
 	}
 	for _, out := range g.Outputs {
 		s := p.slots[out]
@@ -90,6 +98,42 @@ func compilePlan(g *savedmodel.GraphDef, order []string, nodes map[string]*saved
 		}
 	}
 	return p
+}
+
+// stepCost estimates a step's flops per output element from the const
+// weight shapes. Only the weight-bearing heavy ops get a compile-time
+// cost; everything else returns 0, which the backend maps to its
+// per-kernel default. The contraction ops count a multiply and an add per
+// reduced element (2·K); depthwise reduces only over the filter window.
+func stepCost(n *savedmodel.NodeDef, g *savedmodel.GraphDef) int {
+	wShape := func(i int) []int {
+		if i >= len(n.Inputs) {
+			return nil
+		}
+		if w, ok := g.Weights[n.Inputs[i]]; ok {
+			return w.Shape
+		}
+		return nil
+	}
+	switch n.Op {
+	case "MatMul", "_FusedMatMul", "_QuantizedFusedMatMul":
+		if s := wShape(1); len(s) == 2 {
+			k := s[0]
+			if attrBool(n.Attrs, "transpose_b") {
+				k = s[1]
+			}
+			return 2 * k
+		}
+	case "Conv2D", "FusedConv2D", "QuantizedFusedConv2D":
+		if s := wShape(1); len(s) == 4 {
+			return 2 * s[0] * s[1] * s[2]
+		}
+	case "DepthwiseConv2dNative", "FusedDepthwiseConv2dNative":
+		if s := wShape(1); len(s) == 4 {
+			return 2 * s[0] * s[1]
+		}
+	}
+	return 0
 }
 
 // errStep defers a compile-time problem to execution, preserving the lazy
@@ -203,6 +247,39 @@ func compileStep(n *savedmodel.NodeDef, slot int, slots map[string]int) planStep
 				bias = in[2]
 			}
 			return ops.FusedMatMul(in[0], in[1], bias, ta, tb, activation)
+		})
+	case "QuantizedFusedConv2D":
+		if len(n.Inputs) != 2 && len(n.Inputs) != 3 {
+			return errStep(n, slot, fmt.Errorf("graphmodel: node %q (%s) needs 2 or 3 inputs, got %d", n.Name, n.Op, len(n.Inputs)))
+		}
+		opts := convOpts(attrs)
+		activation := attrString(attrs, "activation", "")
+		wScales := attrFloats(attrs, "wScales")
+		if len(wScales) == 0 {
+			return errStep(n, slot, fmt.Errorf("graphmodel: node %q (%s) missing wScales attr", n.Name, n.Op))
+		}
+		return step(len(n.Inputs), func(in []*tensor.Tensor) *tensor.Tensor {
+			var bias *tensor.Tensor
+			if len(in) == 3 {
+				bias = in[2]
+			}
+			return ops.QuantizedFusedConv2D(in[0], in[1], bias, opts, activation, wScales)
+		})
+	case "_QuantizedFusedMatMul":
+		if len(n.Inputs) != 2 && len(n.Inputs) != 3 {
+			return errStep(n, slot, fmt.Errorf("graphmodel: node %q (%s) needs 2 or 3 inputs, got %d", n.Name, n.Op, len(n.Inputs)))
+		}
+		activation := attrString(attrs, "activation", "")
+		wScales := attrFloats(attrs, "wScales")
+		if len(wScales) == 0 {
+			return errStep(n, slot, fmt.Errorf("graphmodel: node %q (%s) missing wScales attr", n.Name, n.Op))
+		}
+		return step(len(n.Inputs), func(in []*tensor.Tensor) *tensor.Tensor {
+			var bias *tensor.Tensor
+			if len(in) == 3 {
+				bias = in[2]
+			}
+			return ops.QuantizedFusedMatMul(in[0], in[1], bias, activation, wScales)
 		})
 	case "MaxPool", "AvgPool":
 		opts := ops.PoolOpts{

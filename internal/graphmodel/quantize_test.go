@@ -1,0 +1,254 @@
+package graphmodel_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/graphmodel"
+	"repro/internal/kernels"
+	"repro/internal/ops"
+	"repro/internal/savedmodel"
+)
+
+// snapInt8 replaces a weight's values with their int8-decoded form
+// (code·scale) and attaches the scales — exactly what LoadArtifacts
+// produces for a converter.QuantizationInt8 artifact.
+func snapInt8(w *savedmodel.Weight) {
+	channels := w.Shape[len(w.Shape)-1]
+	scales := kernels.WeightScalesInt8(w.Values, channels)
+	codes := kernels.QuantizeWeightsInt8(w.Values, channels, scales)
+	for i, c := range codes {
+		w.Values[i] = float32(c) * scales[i%channels]
+	}
+	w.Int8Scales = scales
+}
+
+// quantOn loads g with the int8 compute path enabled.
+func quantOn(t *testing.T, g *savedmodel.GraphDef, extra ...graphmodel.Option) *graphmodel.Model {
+	t.Helper()
+	opts := append([]graphmodel.Option{graphmodel.WithExecOptions(exec.WithQuantizedCompute(true))}, extra...)
+	m, err := graphmodel.New(g, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestQuantizePassRewritesFusedOps: with int8-scaled weights and the
+// quantized path enabled, the optimizer rewrites the fused nodes onto
+// the quantized kernels and attaches the wScales attr.
+func TestQuantizePassRewritesFusedOps(t *testing.T) {
+	cases := []struct {
+		name    string
+		graph   *savedmodel.GraphDef
+		weight  string
+		wantOp  string
+		pattern string
+	}{
+		{"conv", convGraph("BiasAdd", "Relu6", false), "W",
+			"QuantizedFusedConv2D", "quantize:FusedConv2D"},
+		{"matmul", tinyGraph(), "W",
+			"_QuantizedFusedMatMul", "quantize:_FusedMatMul"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			snapInt8(tc.graph.Weights[tc.weight])
+			m := quantOn(t, tc.graph)
+			defer m.Dispose()
+			stats := m.OptimizeStats()
+			opt := countOps(m.OptimizedGraph())
+			if opt[tc.wantOp] != 1 {
+				t.Fatalf("want one %s, got ops %v", tc.wantOp, opt)
+			}
+			if stats.QuantizedOps != 1 {
+				t.Fatalf("QuantizedOps = %d, want 1", stats.QuantizedOps)
+			}
+			if stats.Patterns[tc.pattern] != 1 {
+				t.Fatalf("want pattern %q fired once, got %v", tc.pattern, stats.Patterns)
+			}
+			// The rewritten node must carry the scales the kernel needs.
+			channels := tc.graph.Weights[tc.weight].Shape[len(tc.graph.Weights[tc.weight].Shape)-1]
+			for _, n := range m.OptimizedGraph().Nodes {
+				if n.Op != tc.wantOp {
+					continue
+				}
+				scales, ok := n.Attrs["wScales"].([]float32)
+				if !ok || len(scales) != channels {
+					t.Fatalf("wScales attr missing or wrong length: %v", n.Attrs["wScales"])
+				}
+			}
+		})
+	}
+}
+
+// TestQuantizeOffByDefault: int8 scales in the artifact alone must not
+// switch compute — the graph stays on the f32 fused kernels unless
+// exec.WithQuantizedCompute(true) asks for the int8 path.
+func TestQuantizeOffByDefault(t *testing.T) {
+	g := convGraph("BiasAdd", "Relu6", false)
+	snapInt8(g.Weights["W"])
+	m, err := graphmodel.New(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Dispose()
+	opt := countOps(m.OptimizedGraph())
+	if opt["QuantizedFusedConv2D"] != 0 || opt["FusedConv2D"] != 1 {
+		t.Fatalf("quantized compute must be opt-in, got ops %v", opt)
+	}
+	if m.OptimizeStats().QuantizedOps != 0 {
+		t.Fatalf("QuantizedOps = %d, want 0", m.OptimizeStats().QuantizedOps)
+	}
+}
+
+// TestQuantizeRefusals: structurally present but ineligible patterns must
+// stay on the f32 kernels.
+func TestQuantizeRefusals(t *testing.T) {
+	// Scale count that doesn't match the output-channel count.
+	badScales := convGraph("BiasAdd", "Relu6", false)
+	snapInt8(badScales.Weights["W"])
+	badScales.Weights["W"].Int8Scales = badScales.Weights["W"].Int8Scales[:3]
+
+	// A transposed matmul: the quantized kernel is untransposed-only.
+	transposed := tinyGraph()
+	snapInt8(transposed.Weights["W"])
+	for i := range transposed.Nodes {
+		if transposed.Nodes[i].Name == "mm" {
+			transposed.Nodes[i].Attrs = map[string]any{"transpose_b": true}
+		}
+	}
+
+	// A depthwise conv: per-multiplier scales don't fit the per-outC
+	// kernel contract, so depthwise layers stay f32 even with scales.
+	depthwise := convGraph("BiasAdd", "Relu6", false)
+	for i := range depthwise.Nodes {
+		if depthwise.Nodes[i].Name == "conv" {
+			depthwise.Nodes[i].Op = "DepthwiseConv2dNative"
+		}
+	}
+	depthwise.Weights["W"].Shape = []int{3, 3, 2, 2} // [fh,fw,inC,mult]
+	depthwise.Weights["W"].Values = depthwise.Weights["W"].Values[:3*3*2*2]
+	depthwise.Weights["b"].Shape = []int{4} // outC = inC*mult = 4
+	snapInt8(depthwise.Weights["W"])
+
+	cases := []struct {
+		name  string
+		graph *savedmodel.GraphDef
+	}{
+		{"scale-count-mismatch", badScales},
+		{"transposed-matmul", transposed},
+		{"depthwise", depthwise},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := quantOn(t, tc.graph)
+			defer m.Dispose()
+			opt := countOps(m.OptimizedGraph())
+			if opt["QuantizedFusedConv2D"] != 0 || opt["_QuantizedFusedMatMul"] != 0 {
+				t.Fatalf("quantize must refuse, got ops %v", opt)
+			}
+			if m.OptimizeStats().QuantizedOps != 0 {
+				t.Fatalf("QuantizedOps = %d, want 0", m.OptimizeStats().QuantizedOps)
+			}
+		})
+	}
+}
+
+// TestBNFoldPropagatesScales: batch-norm folding scales filter channel c
+// by s[c], so the folded filter's scales must be q[c]·|s[c]| — keeping
+// the folded graph eligible for the quantized path (MobileNet's convs
+// are all Conv→BN→Relu6, so without propagation nothing would quantize).
+func TestBNFoldPropagatesScales(t *testing.T) {
+	g := convGraph("FusedBatchNorm", "Relu6", false)
+	snapInt8(g.Weights["W"])
+	origScales := append([]float32(nil), g.Weights["W"].Int8Scales...)
+
+	m := quantOn(t, g)
+	defer m.Dispose()
+	stats := m.OptimizeStats()
+	if stats.FoldedBatchNorms != 1 || stats.QuantizedOps != 1 {
+		t.Fatalf("want fold + quantize, got FoldedBatchNorms=%d QuantizedOps=%d",
+			stats.FoldedBatchNorms, stats.QuantizedOps)
+	}
+	// convGraph's BN constants: gamma = {0.1,0.2,0.3,0.4},
+	// variance = {1,1.5,2,0.5}, default epsilon 1e-3.
+	gamma := []float32{0.1, 0.2, 0.3, 0.4}
+	variance := []float32{1, 1.5, 2, 0.5}
+	for _, n := range m.OptimizedGraph().Nodes {
+		if n.Op != "QuantizedFusedConv2D" {
+			continue
+		}
+		scales := n.Attrs["wScales"].([]float32)
+		for c := range scales {
+			s := gamma[c] / float32(math.Sqrt(float64(variance[c])+1e-3))
+			if s < 0 {
+				s = -s
+			}
+			want := origScales[c] * s
+			if diff := math.Abs(float64(scales[c] - want)); diff > 1e-7 {
+				t.Fatalf("scale[%d] = %g, want q·|s| = %g", c, scales[c], want)
+			}
+		}
+		return
+	}
+	t.Fatal("no QuantizedFusedConv2D node in the optimized graph")
+}
+
+// TestQuantizedPredictParity: the int8 path predicts within the
+// quantization error envelope of the f32 path — 5% of the output's
+// dynamic range, the same gate the CI A/B run enforces.
+func TestQuantizedPredictParity(t *testing.T) {
+	for _, variant := range []string{"BiasAdd", "FusedBatchNorm"} {
+		t.Run(variant, func(t *testing.T) {
+			g := convGraph(variant, "Relu6", false)
+			snapInt8(g.Weights["W"])
+			qm := quantOn(t, g)
+			defer qm.Dispose()
+			fm, err := graphmodel.New(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer fm.Dispose()
+
+			vals := ramp(1 * 6 * 6 * 2)
+			want := runModel(t, fm, vals, []int{1, 6, 6, 2})
+			got := runModel(t, qm, vals, []int{1, 6, 6, 2})
+			var rangeF float64
+			for _, v := range want {
+				if a := math.Abs(float64(v)); a > rangeF {
+					rangeF = a
+				}
+			}
+			tol := 0.05 * rangeF
+			for i := range want {
+				if diff := math.Abs(float64(got[i] - want[i])); diff > tol {
+					t.Fatalf("output[%d]: int8 %g vs f32 %g (diff %g > tol %g)",
+						i, got[i], want[i], diff, tol)
+				}
+			}
+		})
+	}
+}
+
+// TestQuantizedVerifiedGraphLoads: the rewritten graph must satisfy the
+// load-time verifier (which knows the quantized ops and their mandatory
+// wScales attr) and execute.
+func TestQuantizedVerifiedGraphLoads(t *testing.T) {
+	g := tinyGraph()
+	snapInt8(g.Weights["W"])
+	m := quantOn(t, g, graphmodel.WithVerify(true))
+	defer m.Dispose()
+	x := ops.FromValues([]float32{1, 1}, 1, 2)
+	defer x.Dispose()
+	out, err := m.Predict(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer out.Dispose()
+	got := out.DataSync()
+	// f32 answer is [3.5, 0]; int8 rounding stays within a few percent.
+	if math.Abs(float64(got[0]-3.5)) > 0.2 || math.Abs(float64(got[1])) > 0.2 {
+		t.Fatalf("quantized predict %v, want ≈ [3.5 0]", got)
+	}
+}

@@ -21,7 +21,7 @@ import (
 // *core.OpError panics (wrapped into errors) at the first Execute instead
 // of as load-time diagnostics.
 func WithVerify(enabled bool) Option {
-	return func(c *config) { c.verify = enabled }
+	return func(c *config) { c.exec.Verify = &enabled }
 }
 
 // Verify statically checks shape and dtype consistency of every node in g,

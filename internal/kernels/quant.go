@@ -1,0 +1,257 @@
+package kernels
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// The int8 quantized compute path, reference tier. The converter records
+// per-channel symmetric scales for eligible weights (see
+// converter.QuantizationInt8); when quantized compute is enabled, the
+// graph optimizer rewrites FusedConv2D and _FusedMatMul to the
+// quantized ops below, attaching the artifact's scales as the "wScales"
+// attr. The kernels:
+//
+//   - re-quantize the f32 weights with the artifact scales (exact: the
+//     decoded weights are code·scale, so round(w/scale) recovers the
+//     stored int8 code bit-for-bit),
+//   - quantize activations dynamically per tensor (scale = maxAbs/127),
+//   - accumulate in int32 — exact integer arithmetic, so the result is
+//     independent of summation order and identical across backends and
+//     worker counts,
+//   - dequantize once at the edge: out = acc · (xScale · wScale[oc]),
+//     then the ordinary f32 bias + activation epilogue.
+//
+// Quantization is lossy (activations are rounded to 8 bits), so outputs
+// differ from the f32 path; the parity suite bounds that error. But the
+// quantized computation itself is deterministic and bit-identical
+// between this reference tier and the native tier, because both use the
+// same QuantizeWeightsInt8/QuantizeDynamicInt8 helpers and the same
+// dequantization expression.
+
+// quantRoundClamp rounds v to the nearest integer (half away from zero)
+// and clamps to the symmetric int8 range [-127, 127]. -128 is excluded
+// so the range is symmetric and |code| ≤ 127 always.
+func quantRoundClamp(v float32) int8 {
+	r := math.Round(float64(v))
+	if r > 127 {
+		return 127
+	}
+	if r < -127 {
+		return -127
+	}
+	return int8(r)
+}
+
+// WeightScalesInt8 computes per-channel symmetric scales for a weight
+// laid out with the channel as the innermost dimension (conv filters
+// [fh,fw,inC,outC] and matmul weights [k,n] both put the output channel
+// last): scale[c] = maxAbs(channel c)/127. A silent (all-zero) channel
+// gets scale 1 so dequantization never divides by zero.
+func WeightScalesInt8(w []float32, channels int) []float32 {
+	scales := make([]float32, channels)
+	for i, v := range w {
+		a := v
+		if a < 0 {
+			a = -a
+		}
+		c := i % channels
+		if a > scales[c] {
+			scales[c] = a
+		}
+	}
+	for c, m := range scales {
+		if m == 0 {
+			scales[c] = 1
+		} else {
+			scales[c] = m / 127
+		}
+	}
+	return scales
+}
+
+// QuantizeWeightsInt8 quantizes w (channel innermost) with the given
+// per-channel scales: code = clamp(round(w/scale), ±127).
+func QuantizeWeightsInt8(w []float32, channels int, scales []float32) []int8 {
+	codes := make([]int8, len(w))
+	for i, v := range w {
+		codes[i] = quantRoundClamp(v / scales[i%channels])
+	}
+	return codes
+}
+
+// QuantizeDynamicInt8 quantizes an activation tensor with one dynamic
+// per-tensor scale (maxAbs/127, or 1 for an all-zero tensor), writing
+// codes into dst (len(dst) == len(x)) and returning the scale.
+func QuantizeDynamicInt8(x []float32, dst []int8) float32 {
+	var maxAbs float32
+	for _, v := range x {
+		a := v
+		if a < 0 {
+			a = -a
+		}
+		if a > maxAbs {
+			maxAbs = a
+		}
+	}
+	scale := float32(1)
+	if maxAbs > 0 {
+		scale = maxAbs / 127
+	}
+	inv := 1 / scale
+	for i, v := range x {
+		dst[i] = quantRoundClamp(v * inv)
+	}
+	return scale
+}
+
+// quantScales validates and returns the mandatory wScales attr.
+func quantScales(name string, attrs Attrs, channels int) ([]float32, error) {
+	scales := attrs.Floats("wScales", nil)
+	if len(scales) != channels {
+		return nil, errIn(name, "wScales has %d entries, want %d", len(scales), channels)
+	}
+	return scales, nil
+}
+
+func init() {
+	// _QuantizedFusedMatMul: the int8 form of _FusedMatMul. Inputs
+	// (a, w[, bias]) with f32 storage; attrs activation + wScales (one
+	// per output column). The optimizer only emits it for untransposed
+	// products.
+	RegisterRef("_QuantizedFusedMatMul", func(inputs []Buffer, attrs Attrs) ([]Buffer, error) {
+		if len(inputs) != 2 && len(inputs) != 3 {
+			return nil, errIn("_QuantizedFusedMatMul", "got %d inputs, want 2 or 3", len(inputs))
+		}
+		a, w := inputs[0], inputs[1]
+		if a.Rank() != 2 || w.Rank() != 2 {
+			return nil, errIn("_QuantizedFusedMatMul", "inputs must be rank 2, got %v and %v", a.Shape, w.Shape)
+		}
+		if attrs.Bool("transposeA", false) || attrs.Bool("transposeB", false) {
+			return nil, errIn("_QuantizedFusedMatMul", "transposed operands are not supported")
+		}
+		m, k := a.Shape[0], a.Shape[1]
+		kB, n := w.Shape[0], w.Shape[1]
+		if k != kB {
+			return nil, errIn("_QuantizedFusedMatMul", "inner dims mismatch %v x %v", a.Shape, w.Shape)
+		}
+		scales, err := quantScales("_QuantizedFusedMatMul", attrs, n)
+		if err != nil {
+			return nil, err
+		}
+		bias, act, err := fusedEpilogue("_QuantizedFusedMatMul", inputs, attrs, n)
+		if err != nil {
+			return nil, err
+		}
+		qw := QuantizeWeightsInt8(w.Data, n, scales)
+		qa := make([]int8, len(a.Data))
+		aScale := QuantizeDynamicInt8(a.Data, qa)
+		out := NewBuffer([]int{m, n}, tensor.Float32)
+		acc := make([]int32, n)
+		for i := 0; i < m; i++ {
+			for j := range acc {
+				acc[j] = 0
+			}
+			aRow := qa[i*k : (i+1)*k]
+			for kk, avc := range aRow {
+				if avc == 0 {
+					continue
+				}
+				av := int32(avc)
+				wRow := qw[kk*n : (kk+1)*n]
+				for j, wv := range wRow {
+					acc[j] += av * int32(wv)
+				}
+			}
+			row := out.Data[i*n : (i+1)*n]
+			for j, s := range scales {
+				row[j] = float32(acc[j]) * (aScale * s)
+			}
+		}
+		applyEpilogue(out.Data, n, bias, act)
+		return []Buffer{out}, nil
+	})
+
+	// QuantizedFusedConv2D: the int8 form of FusedConv2D. Inputs
+	// (x, filter[, bias]); attrs strides/dilations/pad/activation +
+	// wScales (one per output channel).
+	RegisterRef("QuantizedFusedConv2D", func(inputs []Buffer, attrs Attrs) ([]Buffer, error) {
+		if len(inputs) != 2 && len(inputs) != 3 {
+			return nil, errIn("QuantizedFusedConv2D", "got %d inputs, want 2 or 3", len(inputs))
+		}
+		x, w := inputs[0], inputs[1]
+		strides, dilations, pad := convAttrs(attrs)
+		info, err := ComputeConv2DInfo(x.Shape, w.Shape, strides, dilations, pad, false)
+		if err != nil {
+			return nil, errIn("QuantizedFusedConv2D", "%v", err)
+		}
+		scales, err := quantScales("QuantizedFusedConv2D", attrs, info.OutChannels)
+		if err != nil {
+			return nil, err
+		}
+		bias, act, err := fusedEpilogue("QuantizedFusedConv2D", inputs, attrs, info.OutChannels)
+		if err != nil {
+			return nil, err
+		}
+		qw := QuantizeWeightsInt8(w.Data, info.OutChannels, scales)
+		qx := make([]int8, len(x.Data))
+		xScale := QuantizeDynamicInt8(x.Data, qx)
+		out := NewBuffer(info.OutShape(), tensor.Float32)
+		quantConvolve2D(out.Data, qx, qw, xScale, scales, info)
+		applyEpilogue(out.Data, info.OutChannels, bias, act)
+		return []Buffer{out}, nil
+	})
+}
+
+// quantConvolve2D runs the dense NHWC convolution in int8×int8→int32,
+// dequantizing each output position once. Mirrors convolve2D's loop
+// structure.
+func quantConvolve2D(out []float32, x []int8, w []int8, xScale float32, wScales []float32, info Conv2DInfo) {
+	inC, outC := info.InChannels, info.OutChannels
+	inRow := info.InWidth * inC
+	inImg := info.InHeight * inRow
+	outRow := info.OutWidth * outC
+	outImg := info.OutHeight * outRow
+	acc := make([]int32, outC)
+	for b := 0; b < info.BatchSize; b++ {
+		for oy := 0; oy < info.OutHeight; oy++ {
+			yCorner := oy*info.StrideHeight - info.PadTop
+			for ox := 0; ox < info.OutWidth; ox++ {
+				xCorner := ox*info.StrideWidth - info.PadLeft
+				for oc := range acc {
+					acc[oc] = 0
+				}
+				for fy := 0; fy < info.FilterHeight; fy++ {
+					iy := yCorner + fy*info.DilationHeight
+					if iy < 0 || iy >= info.InHeight {
+						continue
+					}
+					for fx := 0; fx < info.FilterWidth; fx++ {
+						ix := xCorner + fx*info.DilationWidth
+						if ix < 0 || ix >= info.InWidth {
+							continue
+						}
+						inBase := b*inImg + iy*inRow + ix*inC
+						wBase := (fy*info.FilterWidth + fx) * inC * outC
+						for ic := 0; ic < inC; ic++ {
+							xvc := x[inBase+ic]
+							if xvc == 0 {
+								continue
+							}
+							xv := int32(xvc)
+							wRow := w[wBase+ic*outC : wBase+(ic+1)*outC]
+							for oc, wv := range wRow {
+								acc[oc] += xv * int32(wv)
+							}
+						}
+					}
+				}
+				dst := out[b*outImg+oy*outRow+ox*outC:]
+				for oc, s := range wScales {
+					dst[oc] = float32(acc[oc]) * (xScale * s)
+				}
+			}
+		}
+	}
+}

@@ -76,6 +76,20 @@ func (a Attrs) String(key, def string) string {
 	return s
 }
 
+// Floats returns the []float32 attribute key, or def when absent.
+func (a Attrs) Floats(key string, def []float32) []float32 {
+	v, ok := a[key]
+	if !ok {
+		return def
+	}
+	f, ok := v.([]float32)
+	if !ok {
+		//lint:ignore operr kernels is imported by core and cannot name *core.OpError; the dispatching op attributes this attr-decode invariant
+		panic(fmt.Sprintf("kernels: attr %q is %T, want []float32", key, v))
+	}
+	return f
+}
+
 // Bool returns the bool attribute key, or def when absent.
 func (a Attrs) Bool(key string, def bool) bool {
 	v, ok := a[key]

@@ -93,34 +93,16 @@ func (b *Backend) fusedConv2D(inputs []kernels.Input, attrs kernels.Attrs) ([]ke
 	inC, outC := info.InChannels, info.OutChannels
 
 	// Pointwise fast path: a 1×1 stride-1 convolution is exactly the
-	// matmul [batch*h*w, inC] × [inC, outC]. Running it as a row-blocked
-	// matmul (k-outer, j-inner, streaming the output row) keeps the filter
-	// row and the output row hot in cache and removes all receptive-field
-	// bookkeeping — MobileNet's pointwise convs are where its FLOPs live.
+	// matmul [batch*h*w, inC] × [inC, outC] — MobileNet's pointwise convs
+	// are where its FLOPs live. It runs through the shared GEMM core
+	// (packed micro-kernel, or the zero-skipping naive loop under
+	// -gemm=naive) with the bias+activation epilogue fused into the store.
 	if info.FilterHeight == 1 && info.FilterWidth == 1 &&
 		info.StrideHeight == 1 && info.StrideWidth == 1 &&
 		info.PadTop == 0 && info.PadLeft == 0 &&
 		info.OutHeight == info.InHeight && info.OutWidth == info.InWidth {
 		rows := info.BatchSize * info.OutHeight * info.OutWidth
-		b.parallelFor(rows, 16, func(lo, hi int) {
-			for r := lo; r < hi; r++ {
-				xRow := xBuf[r*inC : (r+1)*inC]
-				dst := out[r*outC : (r+1)*outC]
-				for ic, xv := range xRow {
-					// Skip zero activations — the input is usually the
-					// previous block's ReLU output, so this elides most of
-					// the inner products (same trick as the tuned Conv2D).
-					if xv == 0 {
-						continue
-					}
-					wRow := wBuf[ic*outC : (ic+1)*outC]
-					for oc, wv := range wRow {
-						dst[oc] += xv * wv
-					}
-				}
-				epilogue(dst, bias, actName, act)
-			}
-		})
+		b.gemmAutoW(rows, outC, inC, xBuf, w, out, &gemmEpilogue{bias: bias, actName: actName, act: act})
 		return []kernels.TensorInfo{tinfo}, nil
 	}
 
@@ -128,7 +110,8 @@ func (b *Backend) fusedConv2D(inputs []kernels.Input, attrs kernels.Attrs) ([]ke
 	inImg := info.InHeight * inRow
 	outRow := info.OutWidth * outC
 	outImg := info.OutHeight * outRow
-	b.parallelFor(info.BatchSize*info.OutHeight, 2, func(lo, hi int) {
+	rowCost := info.OutWidth * outC * b.costPerElem(2*info.FilterHeight*info.FilterWidth*inC)
+	b.parallelFor(info.BatchSize*info.OutHeight, rowCost, func(lo, hi int) {
 		for r := lo; r < hi; r++ {
 			bb := r / info.OutHeight
 			oy := r % info.OutHeight
@@ -191,7 +174,8 @@ func (b *Backend) fusedDepthwiseConv2D(inputs []kernels.Input, attrs kernels.Att
 	outRow := info.OutWidth * outC
 	outImg := info.OutHeight * outRow
 
-	b.parallelFor(info.BatchSize*info.OutHeight, 2, func(lo, hi int) {
+	rowCost := info.OutWidth * outC * b.costPerElem(2*info.FilterHeight*info.FilterWidth)
+	b.parallelFor(info.BatchSize*info.OutHeight, rowCost, func(lo, hi int) {
 		for r := lo; r < hi; r++ {
 			bb := r / info.OutHeight
 			oy := r % info.OutHeight
@@ -262,37 +246,31 @@ func (b *Backend) fusedMatMul(inputs []kernels.Input, attrs kernels.Attrs) ([]ke
 	aBuf, bBuf := b.in(a), b.in(x)
 	out, info := b.out([]int{m, n}, tensor.Float32)
 
-	b.parallelFor(m, 8, func(lo, hi int) {
+	// Untransposed products (the optimizer only fuses this form) run on
+	// the shared GEMM core with the epilogue fused into the store.
+	if !transposeA && !transposeB {
+		b.gemmAutoW(m, n, k, aBuf, x, out, &gemmEpilogue{bias: bias, actName: actName, act: act})
+		return []kernels.TensorInfo{info}, nil
+	}
+
+	b.parallelFor(m, 2*k*n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			row := out[i*n : (i+1)*n]
-			if !transposeA && !transposeB {
-				aRow := aBuf[i*k : (i+1)*k]
-				for kk, av := range aRow {
-					if av == 0 {
-						continue
+			for kk := 0; kk < k; kk++ {
+				var av float32
+				if transposeA {
+					av = aBuf[kk*m+i]
+				} else {
+					av = aBuf[i*k+kk]
+				}
+				if transposeB {
+					for j := 0; j < n; j++ {
+						row[j] += av * bBuf[j*k+kk]
 					}
+				} else {
 					bRow := bBuf[kk*n : (kk+1)*n]
 					for j, bv := range bRow {
 						row[j] += av * bv
-					}
-				}
-			} else {
-				for kk := 0; kk < k; kk++ {
-					var av float32
-					if transposeA {
-						av = aBuf[kk*m+i]
-					} else {
-						av = aBuf[i*k+kk]
-					}
-					if transposeB {
-						for j := 0; j < n; j++ {
-							row[j] += av * bBuf[j*k+kk]
-						}
-					} else {
-						bRow := bBuf[kk*n : (kk+1)*n]
-						for j, bv := range bRow {
-							row[j] += av * bv
-						}
 					}
 				}
 			}

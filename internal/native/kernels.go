@@ -19,6 +19,7 @@ func (b *Backend) initKernels() {
 	b.registerElementwise()
 	b.registerReduce()
 	b.registerFused()
+	b.registerQuant()
 }
 
 // in returns the raw buffer of an input.
@@ -67,29 +68,27 @@ func (b *Backend) registerMatMul() {
 		out, info := b.out([]int{batch, m, n}, tensor.Float32)
 		aMat, bMat := a.Shape[1]*a.Shape[2], x.Shape[1]*x.Shape[2]
 
-		// Parallelize across (batch, row) pairs; the inner kernel walks
-		// k in the outer loop and j in the inner loop so writes stream
-		// through the output row — the access pattern AVX kernels use.
-		b.parallelFor(batch*m, 8, func(lo, hi int) {
+		// The common untransposed product goes through the shared GEMM
+		// core (packed micro-kernel, or the naive row-streaming loop under
+		// -gemm=naive), one call per batch element.
+		if !transposeA && !transposeB {
+			for p := 0; p < batch; p++ {
+				aOff := (p % batchA) * aMat
+				bOff := (p % batchB) * bMat
+				b.gemmAuto(m, n, k, aBuf[aOff:], bBuf[bOff:], out[p*m*n:(p+1)*m*n], nil)
+			}
+			return []kernels.TensorInfo{info}, nil
+		}
+
+		// Transposed variants: parallelize across (batch, row) pairs with
+		// the generic strided loop (2·k·n flops per row).
+		b.parallelFor(batch*m, 2*k*n, func(lo, hi int) {
 			for bi := lo; bi < hi; bi++ {
 				p := bi / m
 				i := bi % m
 				aOff := (p % batchA) * aMat
 				bOff := (p % batchB) * bMat
 				row := out[(p*m+i)*n : (p*m+i+1)*n]
-				if !transposeA && !transposeB {
-					aRow := aBuf[aOff+i*k : aOff+(i+1)*k]
-					for kk, av := range aRow {
-						if av == 0 {
-							continue
-						}
-						bRow := bBuf[bOff+kk*n : bOff+(kk+1)*n]
-						for j, bv := range bRow {
-							row[j] += av * bv
-						}
-					}
-					continue
-				}
 				for kk := 0; kk < k; kk++ {
 					var av float32
 					if transposeA {
@@ -137,8 +136,10 @@ func (b *Backend) registerConv() {
 		outRow := info.OutWidth * outC
 		outImg := info.OutHeight * outRow
 
-		// Parallelize across output rows (batch × outY).
-		b.parallelFor(info.BatchSize*info.OutHeight, 2, func(lo, hi int) {
+		// Parallelize across output rows (batch × outY); each row costs
+		// outW·outC inner products of length fh·fw·inC.
+		rowCost := info.OutWidth * outC * b.costPerElem(2*info.FilterHeight*info.FilterWidth*inC)
+		b.parallelFor(info.BatchSize*info.OutHeight, rowCost, func(lo, hi int) {
 			for r := lo; r < hi; r++ {
 				bb := r / info.OutHeight
 				oy := r % info.OutHeight
@@ -196,7 +197,8 @@ func (b *Backend) registerConv() {
 		outRow := info.OutWidth * outC
 		outImg := info.OutHeight * outRow
 
-		b.parallelFor(info.BatchSize*info.OutHeight, 2, func(lo, hi int) {
+		rowCost := info.OutWidth * outC * b.costPerElem(2*info.FilterHeight*info.FilterWidth)
+		b.parallelFor(info.BatchSize*info.OutHeight, rowCost, func(lo, hi int) {
 			for r := lo; r < hi; r++ {
 				bb := r / info.OutHeight
 				oy := r % info.OutHeight
@@ -255,7 +257,8 @@ func (b *Backend) registerConv() {
 			inImg := info.InHeight * inRow
 			outRow := info.OutWidth * c
 			outImg := info.OutHeight * outRow
-			b.parallelFor(info.BatchSize*info.OutHeight, 2, func(lo, hi int) {
+			rowCost := info.OutWidth * c * b.costPerElem(info.FilterHeight*info.FilterWidth)
+			b.parallelFor(info.BatchSize*info.OutHeight, rowCost, func(lo, hi int) {
 				for r := lo; r < hi; r++ {
 					bb := r / info.OutHeight
 					oy := r % info.OutHeight
@@ -327,7 +330,7 @@ func (b *Backend) registerElementwise() {
 			}
 			aBuf, xBuf := b.in(a), b.in(x)
 			out, info := b.out(a.Shape, a.DType)
-			b.parallelFor(len(out), 16384, func(lo, hi int) {
+			b.parallelFor(len(out), b.costPerElem(1), func(lo, hi int) {
 				for i := lo; i < hi; i++ {
 					out[i] = f(aBuf[i], xBuf[i])
 				}
@@ -347,7 +350,7 @@ func (b *Backend) registerElementwise() {
 			}
 			xBuf := b.in(inputs[0])
 			out, info := b.out(inputs[0].Shape, inputs[0].DType)
-			b.parallelFor(len(out), 16384, func(lo, hi int) {
+			b.parallelFor(len(out), b.costPerElem(1), func(lo, hi int) {
 				for i := lo; i < hi; i++ {
 					out[i] = f(xBuf[i])
 				}
@@ -423,7 +426,7 @@ func (b *Backend) registerElementwise() {
 			addC[ch] = offset[ch] - mean[ch]*mulC[ch]
 		}
 		out, info := b.out(x.Shape, tensor.Float32)
-		b.parallelFor(len(out)/c, 1024, func(lo, hi int) {
+		b.parallelFor(len(out)/c, c*b.costPerElem(2), func(lo, hi int) {
 			for r := lo; r < hi; r++ {
 				base := r * c
 				for ch := 0; ch < c; ch++ {
@@ -452,7 +455,10 @@ func (b *Backend) registerReduce() {
 				dt = tensor.Float32
 			}
 			out, info := b.out([]int{outer}, dt)
-			b.parallelFor(outer, 64, func(lo, hi int) {
+			// Each output element is one full row reduction; the inner
+			// accumulation never splits across chunks, so reduction order
+			// is fixed regardless of the worker count.
+			b.parallelFor(outer, inner*b.costPerElem(2), func(lo, hi int) {
 				for o := lo; o < hi; o++ {
 					acc := initial
 					row := xBuf[o*inner : (o+1)*inner]
@@ -494,7 +500,7 @@ func (b *Backend) registerReduce() {
 		outer, inner := x.Shape[0], x.Shape[1]
 		xBuf := b.in(x)
 		out, info := b.out(x.Shape, tensor.Float32)
-		b.parallelFor(outer, 16, func(lo, hi int) {
+		b.parallelFor(outer, inner*b.costPerElem(16), func(lo, hi int) {
 			for o := lo; o < hi; o++ {
 				row := xBuf[o*inner : (o+1)*inner]
 				dst := out[o*inner : (o+1)*inner]

@@ -6,10 +6,12 @@
 // There is no TensorFlow C library in this reproduction (see DESIGN.md);
 // instead the backend plays the same architectural role: it shares the
 // user-facing API with every other backend while delegating the hot kernels
-// to optimized code — here cache-blocked, goroutine-parallel Go loops that
-// stand in for the vendored BLAS/Eigen kernels. Everything not overridden
-// falls back to the reference kernels through the engine, exactly like the
-// real Node backend falls back for ops the C API does not expose.
+// to optimized code — here a cache-blocked packed GEMM core, an int8
+// quantized compute path, and loops sharded across a persistent worker
+// pool that stand in for the vendored BLAS/Eigen kernels. Everything not
+// overridden falls back to the reference kernels through the engine,
+// exactly like the real Node backend falls back for ops the C API does
+// not expose.
 package native
 
 import (
@@ -17,9 +19,12 @@ import (
 	"runtime"
 	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/cpu"
+	"repro/internal/exec"
 	"repro/internal/kernels"
+	"repro/internal/tensor"
 )
 
 // EnvWorkers is the environment variable overriding the worker-pool size,
@@ -42,32 +47,91 @@ func DefaultWorkers() int {
 // plane; only kernel execution differs.
 type Backend struct {
 	*cpu.Backend
-	workers int
-	table   map[string]kernels.OverrideKernel
+	workers  atomic.Int64
+	gemm     exec.GEMMMode
+	stepCost atomic.Int64 // plan-step flops-per-element hint; 0 = unset
+	table    map[string]kernels.OverrideKernel
+
+	// packCache holds per-weight preprocessed forms keyed by the weight's
+	// DataID: int8 quantized codes for the quantized kernels, and the
+	// cache-blocked panel layout for the packed GEMM core. Weights are
+	// written once and immutable thereafter, so entries stay valid until
+	// the data is disposed (see DisposeData).
+	packMu    sync.Mutex
+	packCache map[tensor.DataID]*packedForms
+}
+
+// packedForms collects the preprocessed forms of one immutable weight
+// buffer, each filled lazily on first use by its compute path.
+type packedForms struct {
+	quant *quantWeights
+	gemmB *packedB
 }
 
 // New returns the native backend.
 func New() *Backend {
 	b := &Backend{
-		Backend: cpu.NewNamed("node"),
-		workers: DefaultWorkers(),
+		Backend:   cpu.NewNamed("node"),
+		gemm:      exec.GEMMPacked,
+		packCache: map[tensor.DataID]*packedForms{},
 	}
+	b.workers.Store(int64(DefaultWorkers()))
 	b.initKernels()
 	return b
 }
 
-// SetWorkers sets the goroutine fan-out for parallel kernels. Values < 1
-// reset to the environment/core-count default. Call before issuing work;
-// the engine configures this through tf.Configure.
+// SetWorkers sets the intra-op parallelism budget: how many chunks of one
+// kernel may execute concurrently (the caller plus helpers drawn from the
+// shared pool). Values < 1 reset to the environment/core-count default.
+// Safe to call at any time; results are bit-identical across settings.
 func (b *Backend) SetWorkers(n int) {
 	if n < 1 {
 		n = DefaultWorkers()
 	}
-	b.workers = n
+	b.workers.Store(int64(n))
 }
 
-// Workers reports the current worker-pool size.
-func (b *Backend) Workers() int { return b.workers }
+// Workers reports the current intra-op worker budget.
+func (b *Backend) Workers() int { return int(b.workers.Load()) }
+
+// ApplyExecConfig implements exec.Configurable: the one entry point
+// through which tf.ConfigureExec, graphmodel options and serving model
+// options reach the backend.
+// Only explicitly-set fields act: Workers == 0 and GEMM == "" mean "leave
+// the backend as configured" (a zero exec.Config is a no-op), so loading a
+// model with default options never stomps a prior ConfigureExec. Pass a
+// negative worker count to reset to the backend default.
+func (b *Backend) ApplyExecConfig(c exec.Config) {
+	if c.Workers != 0 {
+		b.SetWorkers(c.Workers)
+	}
+	if c.GEMM != "" {
+		b.gemm = c.GEMM
+	}
+}
+
+// GEMM reports the active matmul core ("packed" or "naive").
+func (b *Backend) GEMM() exec.GEMMMode { return b.gemm }
+
+// SetStepCost implements exec.StepHinter: the graph executor sets the
+// compiled plan step's flops-per-element estimate before running each
+// kernel, and parallelFor folds it into the chunk grain for kernels that
+// have no better local estimate.
+func (b *Backend) SetStepCost(flopsPerElement int) {
+	b.stepCost.Store(int64(flopsPerElement))
+}
+
+// costPerElem returns the plan-step cost hint when one is set, else the
+// kernel's own estimate.
+func (b *Backend) costPerElem(local int) int {
+	if h := int(b.stepCost.Load()); h > 0 {
+		return h
+	}
+	if local < 1 {
+		return 1
+	}
+	return local
+}
 
 // KernelOverride implements kernels.Overrider.
 func (b *Backend) KernelOverride(name string) (kernels.OverrideKernel, bool) {
@@ -79,41 +143,19 @@ func (b *Backend) register(name string, k kernels.OverrideKernel) {
 	b.table[name] = k
 }
 
-// parallelFor splits [0, n) across the backend's workers. Small ranges run
-// inline: goroutine fan-out costs more than it saves below the grain size.
-func (b *Backend) parallelFor(n, grain int, fn func(lo, hi int)) {
-	if n <= 0 {
-		return
-	}
-	workers := b.workers
-	if grain < 1 {
-		grain = 1
-	}
-	if n <= grain || workers <= 1 {
-		fn(0, n)
-		return
-	}
-	chunks := (n + grain - 1) / grain
-	if chunks > workers {
-		chunks = workers
-	}
-	chunk := (n + chunks - 1) / chunks
-	var wg sync.WaitGroup
-	for lo := 0; lo < n; lo += chunk {
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			fn(lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
+// DisposeData drops any cached preprocessed form of the buffer before
+// releasing the storage, so the pack cache can never outlive (or alias a
+// recycled DataID of) the weight it was derived from.
+func (b *Backend) DisposeData(d tensor.DataID) {
+	b.packMu.Lock()
+	delete(b.packCache, d)
+	b.packMu.Unlock()
+	b.Backend.DisposeData(d)
 }
 
 var (
 	_ kernels.Backend   = (*Backend)(nil)
 	_ kernels.Overrider = (*Backend)(nil)
+	_ exec.Configurable = (*Backend)(nil)
+	_ exec.StepHinter   = (*Backend)(nil)
 )

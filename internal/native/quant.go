@@ -1,0 +1,243 @@
+package native
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/kernels"
+	"repro/internal/tensor"
+)
+
+// The int8 quantized compute path, native tier. Same contract as the
+// reference kernels in kernels/quant.go — shared quantization helpers,
+// int32 accumulation, identical dequantization expression — so outputs
+// are bit-identical to the reference tier and across worker counts
+// (integer sums are order-exact). The native additions are performance:
+// weights are quantized once per DataID and cached (invalidated by
+// DisposeData), and the accumulation loops shard across the worker pool.
+
+// quantWeights is the cached int8 form of one weight buffer. codes32 is
+// the same codes pre-widened to int32: the MAC loops read it instead of
+// sign-extending an int8 load per element, which costs more than the
+// multiply-accumulate itself in the scalar inner loop. (Values are
+// identical; the widening trades 4× weight-cache bytes for it.)
+type quantWeights struct {
+	codes   []int8
+	codes32 []int32
+	scales  []float32
+}
+
+// quantWeightsFor returns the cached int8 codes for a weight input,
+// quantizing on first use. Weight buffers are written once at model load
+// and immutable afterwards, so the cache entry stays valid until the
+// DataID is disposed.
+func (b *Backend) quantWeightsFor(w kernels.Input, channels int, scales []float32) *quantWeights {
+	b.packMu.Lock()
+	defer b.packMu.Unlock()
+	f := b.packCache[w.DataID]
+	if f == nil {
+		f = &packedForms{}
+		b.packCache[w.DataID] = f
+	}
+	if f.quant == nil {
+		codes := kernels.QuantizeWeightsInt8(b.in(w), channels, scales)
+		codes32 := make([]int32, len(codes))
+		for i, c := range codes {
+			codes32[i] = int32(c)
+		}
+		f.quant = &quantWeights{codes: codes, codes32: codes32, scales: scales}
+	}
+	return f.quant
+}
+
+// int8Pool recycles activation-code scratch buffers.
+var int8Pool = sync.Pool{New: func() any { return &[]int8{} }}
+
+func int8Buf(size int) (*[]int8, []int8) {
+	p := int8Pool.Get().(*[]int8)
+	if cap(*p) < size {
+		*p = make([]int8, size)
+	}
+	return p, (*p)[:size]
+}
+
+// int32Pool recycles accumulator rows.
+var int32Pool = sync.Pool{New: func() any { return &[]int32{} }}
+
+func int32Buf(size int) (*[]int32, []int32) {
+	p := int32Pool.Get().(*[]int32)
+	if cap(*p) < size {
+		*p = make([]int32, size)
+	}
+	return p, (*p)[:size]
+}
+
+// registerQuant installs the two quantized kernels.
+func (b *Backend) registerQuant() {
+	b.register("_QuantizedFusedMatMul", b.quantFusedMatMul)
+	b.register("QuantizedFusedConv2D", b.quantFusedConv2D)
+}
+
+func (b *Backend) quantFusedMatMul(inputs []kernels.Input, attrs kernels.Attrs) ([]kernels.TensorInfo, error) {
+	if len(inputs) != 2 && len(inputs) != 3 {
+		return nil, fmt.Errorf("_QuantizedFusedMatMul: got %d inputs, want 2 or 3", len(inputs))
+	}
+	a, w := inputs[0], inputs[1]
+	if len(a.Shape) != 2 || len(w.Shape) != 2 {
+		return nil, fmt.Errorf("_QuantizedFusedMatMul: inputs must be rank 2, got %v and %v", a.Shape, w.Shape)
+	}
+	if attrs.Bool("transposeA", false) || attrs.Bool("transposeB", false) {
+		return nil, fmt.Errorf("_QuantizedFusedMatMul: transposed operands are not supported")
+	}
+	m, k := a.Shape[0], a.Shape[1]
+	kB, n := w.Shape[0], w.Shape[1]
+	if k != kB {
+		return nil, fmt.Errorf("_QuantizedFusedMatMul: inner dims mismatch %v x %v", a.Shape, w.Shape)
+	}
+	scales := attrs.Floats("wScales", nil)
+	if len(scales) != n {
+		return nil, fmt.Errorf("_QuantizedFusedMatMul: wScales has %d entries, want %d", len(scales), n)
+	}
+	bias, actName, act, err := b.fusedOperands("_QuantizedFusedMatMul", inputs, attrs, n)
+	if err != nil {
+		return nil, err
+	}
+	qw := b.quantWeightsFor(w, n, scales)
+	aBuf := b.in(a)
+	holdA, qa := int8Buf(len(aBuf))
+	defer int8Pool.Put(holdA)
+	aScale := kernels.QuantizeDynamicInt8(aBuf, qa)
+	out, info := b.out([]int{m, n}, tensor.Float32)
+
+	b.quantGemm(m, n, k, qa, aScale, qw, scales, bias, actName, act, out)
+	return []kernels.TensorInfo{info}, nil
+}
+
+// quantGemm is the shared int8 matmul core: out[m×n] = dequant(qa[m×k] ·
+// codes[k×n]), with the bias+activation epilogue fused into the store.
+// Row-streaming with the zero-skip (dynamic quantization rounds small
+// activations to code 0, so post-relu sparsity survives quantization).
+// int32 accumulation is order-exact, so outputs are bit-identical across
+// worker counts and to the reference tier.
+func (b *Backend) quantGemm(m, n, k int, qa []int8, aScale float32, qw *quantWeights, scales, bias []float32, actName string, act func(float32) float32, out []float32) {
+	b.parallelFor(m, 2*k*n, func(lo, hi int) {
+		holdAcc, acc := int32Buf(n)
+		defer int32Pool.Put(holdAcc)
+		for i := lo; i < hi; i++ {
+			for j := range acc {
+				acc[j] = 0
+			}
+			aRow := qa[i*k : (i+1)*k]
+			for kk, avc := range aRow {
+				if avc == 0 {
+					continue
+				}
+				av := int32(avc)
+				wRow := qw.codes32[kk*n : (kk+1)*n]
+				for j, wv := range wRow {
+					acc[j] += av * wv
+				}
+			}
+			row := out[i*n : (i+1)*n]
+			for j, s := range scales {
+				row[j] = float32(acc[j]) * (aScale * s)
+			}
+			epilogue(row, bias, actName, act)
+		}
+	})
+}
+
+func (b *Backend) quantFusedConv2D(inputs []kernels.Input, attrs kernels.Attrs) ([]kernels.TensorInfo, error) {
+	if len(inputs) != 2 && len(inputs) != 3 {
+		return nil, fmt.Errorf("QuantizedFusedConv2D: got %d inputs, want 2 or 3", len(inputs))
+	}
+	x, w := inputs[0], inputs[1]
+	info, err := kernels.ComputeConv2DInfo(x.Shape, w.Shape,
+		attrs.Ints("strides", []int{1, 1}), attrs.Ints("dilations", []int{1, 1}),
+		attrs.String("pad", "valid"), false)
+	if err != nil {
+		return nil, err
+	}
+	inC, outC := info.InChannels, info.OutChannels
+	scales := attrs.Floats("wScales", nil)
+	if len(scales) != outC {
+		return nil, fmt.Errorf("QuantizedFusedConv2D: wScales has %d entries, want %d", len(scales), outC)
+	}
+	bias, actName, act, err := b.fusedOperands("QuantizedFusedConv2D", inputs, attrs, outC)
+	if err != nil {
+		return nil, err
+	}
+	qw := b.quantWeightsFor(w, outC, scales)
+	xBuf := b.in(x)
+	holdX, qx := int8Buf(len(xBuf))
+	defer int8Pool.Put(holdX)
+	xScale := kernels.QuantizeDynamicInt8(xBuf, qx)
+	out, tinfo := b.out(info.OutShape(), tensor.Float32)
+
+	// Pointwise fast path, mirroring the f32 kernel: a 1×1 stride-1 conv
+	// is the matmul [batch·h·w, inC] × [inC, outC], and MobileNet's
+	// quantized layers are almost all this shape. The general loop below
+	// pays per-pixel accumulator zeroing and filter-window branching that
+	// the row-blocked core amortizes away.
+	if info.FilterHeight == 1 && info.FilterWidth == 1 &&
+		info.StrideHeight == 1 && info.StrideWidth == 1 &&
+		info.PadTop == 0 && info.PadLeft == 0 &&
+		info.OutHeight == info.InHeight && info.OutWidth == info.InWidth {
+		rows := info.BatchSize * info.OutHeight * info.OutWidth
+		b.quantGemm(rows, outC, inC, qx, xScale, qw, scales, bias, actName, act, out)
+		return []kernels.TensorInfo{tinfo}, nil
+	}
+
+	inRow := info.InWidth * inC
+	inImg := info.InHeight * inRow
+	outRow := info.OutWidth * outC
+	outImg := info.OutHeight * outRow
+	rowCost := info.OutWidth * outC * b.costPerElem(2*info.FilterHeight*info.FilterWidth*inC)
+	b.parallelFor(info.BatchSize*info.OutHeight, rowCost, func(lo, hi int) {
+		holdAcc, acc := int32Buf(outC)
+		defer int32Pool.Put(holdAcc)
+		for r := lo; r < hi; r++ {
+			bb := r / info.OutHeight
+			oy := r % info.OutHeight
+			yCorner := oy*info.StrideHeight - info.PadTop
+			rowBase := bb*outImg + oy*outRow
+			for ox := 0; ox < info.OutWidth; ox++ {
+				xCorner := ox*info.StrideWidth - info.PadLeft
+				for oc := range acc {
+					acc[oc] = 0
+				}
+				for fy := 0; fy < info.FilterHeight; fy++ {
+					iy := yCorner + fy*info.DilationHeight
+					if iy < 0 || iy >= info.InHeight {
+						continue
+					}
+					for fx := 0; fx < info.FilterWidth; fx++ {
+						ix := xCorner + fx*info.DilationWidth
+						if ix < 0 || ix >= info.InWidth {
+							continue
+						}
+						inBase := bb*inImg + iy*inRow + ix*inC
+						wBase := (fy*info.FilterWidth + fx) * inC * outC
+						for ic := 0; ic < inC; ic++ {
+							xvc := qx[inBase+ic]
+							if xvc == 0 {
+								continue
+							}
+							xv := int32(xvc)
+							wRow := qw.codes32[wBase+ic*outC : wBase+(ic+1)*outC]
+							for oc, wv := range wRow {
+								acc[oc] += xv * wv
+							}
+						}
+					}
+				}
+				dst := out[rowBase+ox*outC : rowBase+(ox+1)*outC]
+				for oc, s := range scales {
+					dst[oc] = float32(acc[oc]) * (xScale * s)
+				}
+				epilogue(dst, bias, actName, act)
+			}
+		}
+	})
+	return []kernels.TensorInfo{tinfo}, nil
+}

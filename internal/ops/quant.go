@@ -1,0 +1,37 @@
+package ops
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/kernels"
+	"repro/internal/tensor"
+)
+
+// The quantized fused ops dispatch the int8 compute kernels the graph
+// optimizer rewrites eligible fused nodes onto when quantized compute is
+// enabled and the artifact carries per-channel int8 weight scales. Storage
+// stays f32 end to end — the kernels re-quantize the weights (exactly,
+// recovering the artifact's codes) and the activations (dynamically, per
+// tensor), accumulate in int32 and dequantize once at the edge. Like the
+// f32 fused ops these are inference-only.
+
+// QuantizedFusedConv2D is the int8 form of FusedConv2D: filter
+// [fh, fw, inC, outC] with one weight scale per output channel.
+func QuantizedFusedConv2D(x, filter, bias *tensor.Tensor, opts ConvOpts, activation string, wScales []float32) *tensor.Tensor {
+	a := opts.attrs()
+	a["activation"] = activation
+	a["wScales"] = wScales
+	return run1("QuantizedFusedConv2D", fusedInputs(x, filter, bias), a)
+}
+
+// QuantizedFusedMatMul is the int8 form of _FusedMatMul (untransposed
+// operands only): rank-2 a × w with one weight scale per output column.
+func QuantizedFusedMatMul(a, w, bias *tensor.Tensor, activation string, wScales []float32) *tensor.Tensor {
+	if a.Rank() != 2 || w.Rank() != 2 {
+		panic(&core.OpError{Kernel: "_QuantizedFusedMatMul", Err: fmt.Errorf("inputs must be rank 2, got %v and %v", a.Shape, w.Shape)})
+	}
+	return run1("_QuantizedFusedMatMul", fusedInputs(a, w, bias), kernels.Attrs{
+		"activation": activation, "wScales": wScales,
+	})
+}

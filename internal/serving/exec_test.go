@@ -1,0 +1,114 @@
+package serving
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/converter"
+	"repro/internal/exec"
+	"repro/internal/models"
+	"repro/internal/savedmodel"
+)
+
+// TestExecOptionsPrecedence: the deprecated Disable* booleans seed the
+// model's execution config, and the Exec option list overrides them —
+// callers on the unified surface always win.
+func TestExecOptionsPrecedence(t *testing.T) {
+	m := newModel("m", ModelOptions{DisableOptimize: true, DisableVerify: true})
+	if m.exec.OptimizeOn() || m.exec.VerifyOn() {
+		t.Fatalf("legacy booleans ignored: OptimizeOn=%v VerifyOn=%v", m.exec.OptimizeOn(), m.exec.VerifyOn())
+	}
+
+	m = newModel("m", ModelOptions{
+		DisableOptimize: true,
+		Exec:            []exec.Option{exec.WithOptimize(true)},
+	})
+	if !m.exec.OptimizeOn() {
+		t.Fatal("explicit Exec optimize setting must override DisableOptimize")
+	}
+
+	m = newModel("m", ModelOptions{Exec: []exec.Option{
+		exec.WithWorkers(2), exec.WithGEMM(exec.GEMMNaive), exec.WithQuantizedCompute(true),
+	}})
+	if m.exec.Workers != 2 || m.exec.GEMM != exec.GEMMNaive || !m.exec.QuantizedCompute {
+		t.Fatalf("Exec options lost in resolution: %+v", m.exec)
+	}
+	if !m.exec.OptimizeOn() || !m.exec.VerifyOn() {
+		t.Fatal("unset optimize/verify must stay on")
+	}
+}
+
+// TestQuantizedReplicatedServing: an int8 artifact served by a replica
+// pool with quantized compute and an explicit worker budget. Heavy
+// concurrent traffic doubles as the race-detector workout for the
+// worker pool + replica pool combination.
+func TestQuantizedReplicatedServing(t *testing.T) {
+	const classes = 10
+	model, err := models.MobileNetV1(models.MobileNetConfig{
+		Alpha: 0.25, InputSize: 96, NumClasses: classes, IncludeTop: true, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer model.Dispose()
+	g, err := savedmodel.FromSequential(model, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := converter.NewMemStore()
+	if _, err := converter.Convert(g, store, converter.Options{
+		QuantizationScheme: converter.QuantizationInt8,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := NewRegistry()
+	defer reg.Close()
+	m, err := reg.Load("mnet-int8", store, ModelOptions{
+		Backend:  "node",
+		Replicas: 3,
+		Batching: Config{MaxBatchSize: 4, BatchTimeout: 5 * time.Millisecond, QueueSize: 64},
+		Exec: []exec.Option{
+			exec.WithQuantizedCompute(true),
+			exec.WithWorkers(2),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := m.WaitReady(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	img := Instance{Values: make([]float32, 96*96*3), Shape: []int{96, 96, 3}}
+	for i := range img.Values {
+		img.Values[i] = float32(i%255) / 255
+	}
+	const requests = 24
+	var wg sync.WaitGroup
+	errs := make(chan error, requests)
+	for i := 0; i < requests; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out, err := m.Predict(ctx, img)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if len(out.Values) != classes {
+				errs <- fmt.Errorf("output has %d values, want %d", len(out.Values), classes)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/converter"
 	"repro/internal/core"
+	"repro/internal/exec"
 	"repro/internal/graphmodel"
 )
 
@@ -68,29 +69,37 @@ type ModelOptions struct {
 	// shed with 429 + Retry-After. Nil disables admission control
 	// entirely (every request competes only at the bounded queue).
 	Tenants map[string]int
+	// Exec carries the execution configuration applied to this model's
+	// load and to each replica's backend: worker budget, GEMM core,
+	// quantized compute, and the optimize/verify gates. One option list,
+	// the same surface as tf.LoadGraphModel and tf.ConfigureExec.
+	Exec []exec.Option
 	// DisableOptimize loads graph models with the load-time graph
-	// optimizer off (graphmodel.WithOptimize(false)): no operator fusion,
-	// no folding, no compiled-plan rewrites beyond attr decoding. The A/B
-	// switch for fusion benchmarks.
+	// optimizer off: no operator fusion, no folding, no compiled-plan
+	// rewrites beyond attr decoding.
+	//
+	// Deprecated: use Exec with exec.WithOptimize(false). An explicit
+	// Exec optimize setting overrides this field.
 	DisableOptimize bool
 	// DisableVerify loads graph models with the load-time static
-	// shape/dtype verifier off (graphmodel.WithVerify(false)):
-	// inconsistent models surface errors at the first request instead of
-	// being rejected at Load with a node-and-edge diagnostic.
+	// shape/dtype verifier off: inconsistent models surface errors at the
+	// first request instead of being rejected at Load.
+	//
+	// Deprecated: use Exec with exec.WithVerify(false). An explicit Exec
+	// verify setting overrides this field.
 	DisableVerify bool
 }
 
 // Model is one served model version: scheduler, metrics and lifecycle
 // state.
 type Model struct {
-	name       string // display name, "base" or "base@version"
-	backend    string
-	noOptimize bool
-	noVerify   bool
-	replicas   int
-	cfg        Config
-	metrics    *Metrics
-	adm        *admission // nil when ModelOptions.Tenants is nil
+	name     string // display name, "base" or "base@version"
+	backend  string
+	exec     exec.Config
+	replicas int
+	cfg      Config
+	metrics  *Metrics
+	adm      *admission // nil when ModelOptions.Tenants is nil
 
 	mu      sync.Mutex
 	state   State
@@ -256,7 +265,7 @@ func outcomeLabel(err error) string {
 
 // load resolves the artifact format, builds the runner and flips state.
 func (m *Model) load(store converter.Store) {
-	run, format, dispose, err := loadRunner(m.name, store, m.backend, m.Replicas(), m.noOptimize, m.noVerify)
+	run, format, dispose, err := loadRunner(m.name, store, m.backend, m.Replicas(), m.exec)
 	m.mu.Lock()
 	if m.state == StateUnloaded {
 		// Unloaded while loading: discard.
@@ -288,7 +297,7 @@ func (m *Model) load(store converter.Store) {
 // through the restored Sequential. The registry name becomes the model's
 // telemetry span prefix, so traces and kernel breakdowns attribute per
 // model.
-func loadRunner(name string, store converter.Store, backend string, replicas int, noOptimize, noVerify bool) (runner, string, func(), error) {
+func loadRunner(name string, store converter.Store, backend string, replicas int, ec exec.Config) (runner, string, func(), error) {
 	data, err := store.Read("model.json")
 	if err != nil {
 		return nil, "", nil, fmt.Errorf("serving: reading model.json: %w", err)
@@ -302,13 +311,13 @@ func loadRunner(name string, store converter.Store, backend string, replicas int
 	switch meta.Format {
 	case "graph-model":
 		if replicas > 1 {
-			p, err := newPool(name, store, backend, replicas, noOptimize, noVerify)
+			p, err := newPool(name, store, backend, replicas, ec)
 			if err != nil {
 				return nil, "", nil, err
 			}
 			return p, meta.Format, p.Close, nil
 		}
-		gm, err := graphmodel.Load(store, graphmodel.WithOptimize(!noOptimize), graphmodel.WithVerify(!noVerify))
+		gm, err := graphmodel.Load(store, graphmodel.WithExecConfig(ec))
 		if err != nil {
 			return nil, "", nil, err
 		}
@@ -451,16 +460,25 @@ func newModel(name string, opts ModelOptions) *Model {
 		// replica for the duration of a batch.
 		cfg.Workers = opts.Replicas
 	}
+	// Resolve the execution config: the deprecated Disable* booleans seed
+	// the defaults, then the Exec option list overrides — so callers on the
+	// new surface always win.
+	var shim []exec.Option
+	if opts.DisableOptimize {
+		shim = append(shim, exec.WithOptimize(false))
+	}
+	if opts.DisableVerify {
+		shim = append(shim, exec.WithVerify(false))
+	}
 	m := &Model{
-		name:       name,
-		backend:    backend,
-		noOptimize: opts.DisableOptimize,
-		noVerify:   opts.DisableVerify,
-		replicas:   opts.Replicas,
-		cfg:        cfg,
-		metrics:    NewMetrics(),
-		state:      StateLoading,
-		ready:      make(chan struct{}),
+		name:     name,
+		backend:  backend,
+		exec:     exec.Make(append(shim, opts.Exec...)...),
+		replicas: opts.Replicas,
+		cfg:      cfg,
+		metrics:  NewMetrics(),
+		state:    StateLoading,
+		ready:    make(chan struct{}),
 	}
 	if opts.Tenants != nil {
 		m.adm = newAdmission(opts.Tenants, cfg.QueueSize)

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/converter"
 	"repro/internal/core"
+	"repro/internal/exec"
 	"repro/internal/graphmodel"
 )
 
@@ -48,7 +49,7 @@ type pool struct {
 // verified once (it is the same graph N times); each replica optimizes
 // and compiles its own plan and uploads its own weight copy, so replicas
 // share no mutable state at all.
-func newPool(name string, store converter.Store, backend string, size int, noOptimize, noVerify bool) (*pool, error) {
+func newPool(name string, store converter.Store, backend string, size int, ec exec.Config) (*pool, error) {
 	g, err := converter.LoadArtifacts(store)
 	if err != nil {
 		return nil, err
@@ -62,8 +63,8 @@ func newPool(name string, store converter.Store, backend string, size int, noOpt
 		}
 		gm, err := graphmodel.New(g,
 			graphmodel.WithEngine(eng),
-			graphmodel.WithOptimize(!noOptimize),
-			graphmodel.WithVerify(!noVerify && i == 0))
+			graphmodel.WithExecConfig(ec),
+			graphmodel.WithVerify(ec.VerifyOn() && i == 0))
 		if err != nil {
 			p.Close()
 			return nil, fmt.Errorf("serving: loading replica %d: %w", i, err)

@@ -1,0 +1,96 @@
+package tf
+
+import (
+	"repro/internal/exec"
+	"repro/internal/graphmodel"
+)
+
+// This file is the execution-configuration surface: one functional-options
+// API that replaces the four knobs that accreted across releases —
+// native.SetWorkers/TFJS_NUM_WORKERS, Configure(Config{Workers}),
+// WithGraphOptimize/WithGraphVerify, and serving's Disable* booleans. The
+// same ExecOption values work everywhere execution is configured:
+//
+//	tf.ConfigureExec(tf.WithWorkers(4))                 // process-wide
+//	tf.LoadGraphModel(store, tf.WithQuantizedCompute(true))
+//	serving.ModelOptions{Exec: []tf.ExecOption{tf.WithGEMM(tf.GEMMNaive)}}
+//	tfjs-bench -gemm=packed -quant=int8                 // CLI flags
+//
+// An option set at load time applies to that model's engine's backend; an
+// option set with ConfigureExec applies to the process's "node" backend
+// (live or created later). Backends without the hooks (cpu, webgl
+// reference tiers) ignore the backend-level knobs.
+
+// ExecOption is one execution-configuration knob.
+type ExecOption = exec.Option
+
+// ExecConfig is the resolved execution configuration.
+type ExecConfig = exec.Config
+
+// GEMMMode selects the native backend's matrix-multiply core.
+type GEMMMode = exec.GEMMMode
+
+// GEMM cores: the cache-blocked packed micro-kernel (default; adaptive —
+// it row-streams sparse post-relu activations where zero-skip wins) and
+// the always-row-streaming naive loop kept for A/B benchmarking.
+const (
+	GEMMPacked = exec.GEMMPacked
+	GEMMNaive  = exec.GEMMNaive
+)
+
+// WithWorkers sets the intra-op worker budget — how many chunks of one
+// kernel's index space may execute concurrently. Results are bit-identical
+// across any worker count; only wall time changes. n < 0 resets to the
+// default (TFJS_NUM_WORKERS, else the host core count); 0 leaves the
+// current setting.
+func WithWorkers(n int) ExecOption { return exec.WithWorkers(n) }
+
+// WithGEMM selects the matmul core (GEMMPacked or GEMMNaive).
+func WithGEMM(mode GEMMMode) ExecOption { return exec.WithGEMM(mode) }
+
+// WithQuantizedCompute toggles the int8 compute path: when the loaded
+// artifact carries per-channel int8 weight scales (converted with
+// QuantizationScheme "int8"), the graph optimizer rewrites eligible fused
+// nodes onto int8 kernels with int32 accumulation.
+func WithQuantizedCompute(on bool) ExecOption { return exec.WithQuantizedCompute(on) }
+
+// WithOptimize toggles the load-time graph optimizer (fusion, folding,
+// pruning; on by default).
+func WithOptimize(on bool) ExecOption { return exec.WithOptimize(on) }
+
+// WithVerify toggles load-time static shape/dtype verification of the
+// execution graph (on by default).
+func WithVerify(on bool) ExecOption { return exec.WithVerify(on) }
+
+// LoadGraphModel loads a converted model from an artifact store —
+// tf.loadModel(url) (Section 5.1) — applying the execution options to the
+// load and to the model's backend.
+func LoadGraphModel(store ArtifactStore, opts ...ExecOption) (*GraphModel, error) {
+	return graphmodel.Load(store, graphmodel.WithExecOptions(opts...))
+}
+
+// ConfigureExec applies execution options process-wide: backend-level
+// knobs (workers, GEMM core) take effect on the live "node" backend
+// immediately and are remembered for one instantiated later. Returns an
+// error for invalid combinations (e.g. an unknown GEMM mode).
+func ConfigureExec(opts ...ExecOption) error {
+	c := exec.Make(opts...)
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	nodeMu.Lock()
+	defer nodeMu.Unlock()
+	pendingExec = pendingExec.Merge(c)
+	if nodeBackend != nil {
+		nodeBackend.ApplyExecConfig(c)
+	}
+	return nil
+}
+
+// ExecConfigured returns the process-wide execution configuration
+// accumulated by ConfigureExec calls.
+func ExecConfigured() ExecConfig {
+	nodeMu.Lock()
+	defer nodeMu.Unlock()
+	return pendingExec
+}

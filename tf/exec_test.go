@@ -1,0 +1,139 @@
+package tf_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/converter"
+	"repro/internal/models"
+	"repro/tf"
+)
+
+// TestConfigureExecFlowsToNodeBackend: the unified config surface reaches
+// the live node backend, accumulates across calls, and resets on demand.
+func TestConfigureExecFlowsToNodeBackend(t *testing.T) {
+	if err := tf.SetBackend("node"); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := tf.ConfigureExec(tf.WithWorkers(-1), tf.WithGEMM(tf.GEMMPacked)); err != nil {
+			t.Fatal(err)
+		}
+	}()
+
+	if err := tf.ConfigureExec(tf.WithWorkers(3)); err != nil {
+		t.Fatal(err)
+	}
+	if got := tf.NumWorkers(); got != 3 {
+		t.Fatalf("NumWorkers = %d after ConfigureExec(WithWorkers(3))", got)
+	}
+	// A later call touching a different knob must not disturb workers.
+	if err := tf.ConfigureExec(tf.WithGEMM(tf.GEMMNaive)); err != nil {
+		t.Fatal(err)
+	}
+	if got := tf.NumWorkers(); got != 3 {
+		t.Fatalf("NumWorkers = %d, want 3 preserved across unrelated ConfigureExec", got)
+	}
+	cfg := tf.ExecConfigured()
+	if cfg.Workers != 3 || cfg.GEMM != tf.GEMMNaive {
+		t.Fatalf("accumulated config %+v, want Workers=3 GEMM=naive", cfg)
+	}
+	// Invalid configs are rejected at the edge and change nothing.
+	if err := tf.ConfigureExec(tf.WithGEMM("blocked")); err == nil {
+		t.Fatal("unknown GEMM mode must be rejected")
+	}
+	if got := tf.ExecConfigured(); got.GEMM != tf.GEMMNaive {
+		t.Fatalf("rejected config must not apply, got GEMM %q", got.GEMM)
+	}
+
+	// The deprecated shim forwards to the same state.
+	tf.Configure(tf.Config{Workers: 5})
+	if got := tf.NumWorkers(); got != 5 {
+		t.Fatalf("NumWorkers = %d after deprecated Configure, want 5", got)
+	}
+}
+
+// TestQuantizedModelStillPredictsReasonably is the end-to-end int8 gate:
+// a MobileNet classifier converted with the int8 scheme and loaded with
+// quantized compute must quantize its conv stack and rank classes the
+// same way the f32 model does.
+func TestQuantizedModelStillPredictsReasonably(t *testing.T) {
+	if err := tf.SetBackend("node"); err != nil {
+		t.Fatal(err)
+	}
+	seq, err := tf.MobileNetV1(models.MobileNetConfig{
+		Alpha: 0.25, InputSize: 96, NumClasses: 10, IncludeTop: true, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := tf.ExportSavedModel(seq, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	f32Store := tf.NewMemStore()
+	if _, err := tf.Convert(g, f32Store, tf.ConvertOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	int8Store := tf.NewMemStore()
+	if _, err := tf.Convert(g, int8Store, tf.ConvertOptions{QuantizationScheme: converter.QuantizationInt8}); err != nil {
+		t.Fatal(err)
+	}
+
+	fm, err := tf.LoadGraphModel(f32Store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fm.Dispose()
+	qm, err := tf.LoadGraphModel(int8Store, tf.WithQuantizedCompute(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer qm.Dispose()
+	if n := qm.OptimizeStats().QuantizedOps; n == 0 {
+		t.Fatal("no op was rewritten to the int8 kernels")
+	}
+
+	// A deterministic synthetic image.
+	vals := make([]float32, 96*96*3)
+	for i := range vals {
+		vals[i] = float32((i*31)%255)/255 - 0.5
+	}
+	predict := func(m *tf.GraphModel) []float32 {
+		x := tf.Tensor4D(vals, 1, 96, 96, 3)
+		defer x.Dispose()
+		out, err := m.Predict(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer out.Dispose()
+		return append([]float32(nil), out.DataSync()...)
+	}
+	want := predict(fm)
+	got := predict(qm)
+
+	argmax := func(v []float32) int {
+		best := 0
+		for i, x := range v {
+			if x > v[best] {
+				best = i
+			}
+		}
+		return best
+	}
+	// Synthetic weights give near-uniform scores, so the top classes can
+	// be statistically tied; "still predicts reasonably" means the f32
+	// winner stays within noise of the int8 winner, and every class
+	// probability survives within the int8 error envelope.
+	top := argmax(want)
+	if gap := got[argmax(got)] - got[top]; float64(gap) > 0.01 {
+		t.Fatalf("f32 top-1 class %d fell %g behind int8 winner %d: %v vs %v",
+			top, gap, argmax(got), got, want)
+	}
+	for i := range want {
+		if diff := math.Abs(float64(got[i] - want[i])); diff > 0.05 {
+			t.Fatalf("class %d: int8 %g vs f32 %g (diff %g)", i, got[i], want[i], diff)
+		}
+	}
+}

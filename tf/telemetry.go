@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/exec"
 	"repro/internal/native"
 	"repro/internal/telemetry"
 )
@@ -114,6 +115,9 @@ func LeakCheck(fn func()) (*LeakReport, error) {
 }
 
 // Config carries process-wide tuning knobs applied by Configure.
+//
+// Deprecated: use ConfigureExec with WithWorkers — the one execution
+// configuration shared by LoadGraphModel, serving and the CLIs.
 type Config struct {
 	// Workers sets the goroutine fan-out of the "node" backend's parallel
 	// kernels. 0 leaves the current value; negative resets to the default
@@ -122,20 +126,18 @@ type Config struct {
 }
 
 var (
-	nodeMu         sync.Mutex
-	nodeBackend    *native.Backend
-	pendingWorkers int
+	nodeMu      sync.Mutex
+	nodeBackend *native.Backend
+	pendingExec exec.Config
 )
 
-// newNodeBackend builds the "node" backend, applying any worker count
-// configured before the backend was first activated.
+// newNodeBackend builds the "node" backend, applying any execution config
+// accumulated before the backend was first activated.
 func newNodeBackend() *native.Backend {
 	nodeMu.Lock()
 	defer nodeMu.Unlock()
 	b := native.New()
-	if pendingWorkers != 0 {
-		b.SetWorkers(pendingWorkers)
-	}
+	b.ApplyExecConfig(pendingExec)
 	nodeBackend = b
 	return b
 }
@@ -144,14 +146,12 @@ func newNodeBackend() *native.Backend {
 // effect on the live "node" backend immediately and is remembered for a
 // backend instantiated later. The TFJS_NUM_WORKERS environment variable
 // provides the same knob without code changes.
+//
+// Deprecated: use ConfigureExec(WithWorkers(n)).
 func Configure(c Config) {
-	nodeMu.Lock()
-	defer nodeMu.Unlock()
 	if c.Workers != 0 {
-		pendingWorkers = c.Workers
-		if nodeBackend != nil {
-			nodeBackend.SetWorkers(c.Workers)
-		}
+		//lint:ignore operr the legacy signature returns nothing, and a workers-only config always validates
+		_ = ConfigureExec(WithWorkers(c.Workers))
 	}
 }
 
@@ -163,8 +163,8 @@ func NumWorkers() int {
 	if nodeBackend != nil {
 		return nodeBackend.Workers()
 	}
-	if pendingWorkers > 0 {
-		return pendingWorkers
+	if pendingExec.Workers > 0 {
+		return pendingExec.Workers
 	}
 	return native.DefaultWorkers()
 }

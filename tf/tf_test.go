@@ -185,7 +185,7 @@ func TestMobileNetThroughConverterPipeline(t *testing.T) {
 	if len(res.PrunedNodes) == 0 {
 		t.Fatal("expected pruned training nodes")
 	}
-	gm, err := tf.LoadModel(store)
+	gm, err := tf.LoadGraphModel(store)
 	if err != nil {
 		t.Fatal(err)
 	}
