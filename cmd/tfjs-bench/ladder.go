@@ -16,14 +16,19 @@ import (
 // single-image MobileNet inference — each rung enables one more piece of
 // the execution config, all through the unified options API:
 //
-//	naive  ×1   row-streaming GEMM, one worker (the seed baseline)
-//	packed ×1   cache-blocked packed GEMM, one worker
-//	packed ×N   same core sharded across GOMAXPROCS workers
-//	int8   ×N   quantized compute path on the int8-converted artifact
+//	naive    ×1   row-streaming GEMM, one worker (the seed baseline)
+//	packed   ×1   cache-blocked packed GEMM, one worker
+//	packed   ×N   same core sharded across GOMAXPROCS workers
+//	measured ×N   chunk grain from the continuous profiler's measured
+//	              ns/element accounts instead of static flop estimates
+//	int8     ×N   quantized compute path on the int8-converted artifact
 //
-// The int8 rung doubles as the parity gate CI enforces: its class
-// probabilities must stay within 5% of the f32 output's dynamic range,
-// or the command exits nonzero. outPath, when set, writes the measured
+// Two gates ride on the ladder. The measured rung must be bitwise
+// identical to packed ×N — the cost model only moves chunk boundaries,
+// and kernels never split one output element's accumulation across
+// chunks, so any drift is a bug. The int8 rung's class probabilities
+// must stay within 5% of the f32 output's dynamic range. Either
+// violation exits nonzero. outPath, when set, writes the measured
 // numbers as JSON (the CI artifact behind the README ladder table).
 func ladderExperiment(alpha float64, size, runs int, outPath string) {
 	procs := runtime.GOMAXPROCS(0)
@@ -61,16 +66,18 @@ func ladderExperiment(alpha float64, size, runs int, outPath string) {
 	}
 
 	rungs := []struct {
-		label   string
-		workers int
-		gemm    tf.GEMMMode
-		store   tf.ArtifactStore
-		int8    bool
+		label    string
+		workers  int
+		gemm     tf.GEMMMode
+		store    tf.ArtifactStore
+		int8     bool
+		measured bool
 	}{
-		{"naive ×1", 1, tf.GEMMNaive, f32Store, false},
-		{"packed ×1", 1, tf.GEMMPacked, f32Store, false},
-		{fmt.Sprintf("packed ×%d", procs), procs, tf.GEMMPacked, f32Store, false},
-		{fmt.Sprintf("int8 ×%d", procs), procs, tf.GEMMPacked, int8Store, true},
+		{"naive ×1", 1, tf.GEMMNaive, f32Store, false, false},
+		{"packed ×1", 1, tf.GEMMPacked, f32Store, false, false},
+		{fmt.Sprintf("packed ×%d", procs), procs, tf.GEMMPacked, f32Store, false, false},
+		{fmt.Sprintf("measured ×%d", procs), procs, tf.GEMMPacked, f32Store, false, true},
+		{fmt.Sprintf("int8 ×%d", procs), procs, tf.GEMMPacked, int8Store, true, false},
 	}
 	defer func() {
 		if err := tf.ConfigureExec(tf.WithWorkers(-1), tf.WithGEMM(tf.GEMMPacked)); err != nil {
@@ -81,7 +88,7 @@ func ladderExperiment(alpha float64, size, runs int, outPath string) {
 	results := map[string]ModeResult{}
 	outputs := map[string][]float32{}
 	var baseMS float64
-	fmt.Printf("%-12s %12s %10s\n", "Rung", "ms/infer", "speedup")
+	fmt.Printf("%-14s %12s %10s\n", "Rung", "ms/infer", "speedup")
 	for _, r := range rungs {
 		if err := tf.ConfigureExec(tf.WithWorkers(r.workers), tf.WithGEMM(r.gemm)); err != nil {
 			log.Fatal(err)
@@ -89,6 +96,9 @@ func ladderExperiment(alpha float64, size, runs int, outPath string) {
 		var loadOpts []tf.ExecOption
 		if r.int8 {
 			loadOpts = append(loadOpts, tf.WithQuantizedCompute(true))
+		}
+		if r.measured {
+			loadOpts = append(loadOpts, tf.WithCostModel(tf.CostModelMeasured))
 		}
 		m, err := tf.LoadGraphModel(r.store, loadOpts...)
 		if err != nil {
@@ -117,17 +127,32 @@ func ladderExperiment(alpha float64, size, runs int, outPath string) {
 		if baseMS == 0 {
 			baseMS = ms
 		}
-		fmt.Printf("%-12s %12.1f %9.2fx\n", r.label, ms, baseMS/ms)
+		fmt.Printf("%-14s %12.1f %9.2fx\n", r.label, ms, baseMS/ms)
 		results[r.label] = ModeResult{PredictMS: ms, QPS: 1000 / ms}
 	}
 	fmt.Println("\n(the ×N rung needs GOMAXPROCS physical cores to show its gain; on fewer")
 	fmt.Println(" cores the workers time-slice and the rung measures scheduling overhead)")
 
+	// Bit-identity gate: the measured rung against packed ×N. The cost
+	// model may only move chunk boundaries, never arithmetic, so the two
+	// float32 vectors must match bit for bit.
+	f32Out := outputs[rungs[2].label]
+	measOut := outputs[rungs[3].label]
+	for i := range f32Out {
+		if math.Float32bits(measOut[i]) != math.Float32bits(f32Out[i]) {
+			fmt.Printf("\nmeasured-cost bit-identity gate FAILED: class %d measured=%x static=%x\n",
+				i, math.Float32bits(measOut[i]), math.Float32bits(f32Out[i]))
+			os.Exit(1)
+		}
+	}
+	fmt.Printf("\nmeasured-cost bit-identity gate: all %d class probabilities bitwise equal to packed ×%d\n",
+		len(f32Out), procs)
+
 	// Parity gate: the int8 rung against its f32 sibling at the same
 	// worker count. 5% of the f32 dynamic range is the same envelope the
 	// kernel- and model-level tests enforce.
 	want := outputs[rungs[2].label]
-	got := outputs[rungs[3].label]
+	got := outputs[rungs[4].label]
 	var rangeF float64
 	for _, v := range want {
 		if a := math.Abs(float64(v)); a > rangeF {

@@ -10,7 +10,10 @@
 //	tfjs-bench serve     — serving: micro-batched vs unbatched QPS and latency
 //	tfjs-bench fusion    — graph optimizer A/B: operator fusion on vs off
 //	tfjs-bench ladder    — native acceleration ladder: naive → packed →
-//	                       packed+multicore → int8, with the int8 parity gate
+//	                       packed+multicore → measured-cost → int8, with the
+//	                       bit-identity and int8 parity gates
+//	tfjs-bench overhead  — continuous profiler: QPS with profiling on vs off,
+//	                       exit nonzero beyond -overhead-budget (CI gate)
 //	tfjs-bench all       — everything above
 //
 // Flags -alpha, -size and -runs scale the MobileNet workload; the defaults
@@ -33,15 +36,23 @@
 // -fusion=off also lets the serve command run unoptimized graphs for
 // before/after comparisons.
 //
-// -gemm and -quant steer the native execution config for the serve
-// command (the CI A/B matrix runs serve under every combination):
-// -gemm selects the matmul core (packed, the cache-blocked default, or
-// naive), and -quant=int8 converts the model with the int8 scheme and
-// serves it on the quantized compute path. The ladder command measures
-// all four rungs in one run — naive ×1 worker, packed ×1, packed ×N
-// cores, int8 ×N — and enforces the int8-vs-f32 parity gate (exit
-// nonzero when any class probability drifts beyond 5% of the f32
-// output's dynamic range).
+// -gemm, -quant and -cost-model steer the native execution config for
+// the serve command (the CI A/B matrix runs serve under every
+// combination): -gemm selects the matmul core (packed, the cache-blocked
+// default, or naive), -quant=int8 converts the model with the int8
+// scheme and serves it on the quantized compute path, and
+// -cost-model=measured feeds the continuous profiler's ns/element
+// accounts back into the parallelism grain. The ladder command measures
+// all five rungs in one run — naive ×1 worker, packed ×1, packed ×N
+// cores, measured ×N, int8 ×N — and enforces two gates: the measured
+// rung must be bitwise identical to packed ×N (grain changes may never
+// change results), and the int8 rung must stay within 5% of the f32
+// output's dynamic range. Both exit nonzero on violation.
+//
+// The overhead command is the profiler's cost gate: it interleaves
+// serving rounds with profiling enabled and hard-disabled, compares
+// median QPS, and exits nonzero when the loss exceeds -overhead-budget
+// (default 3%) — CI runs it blocking.
 package main
 
 import (
@@ -65,6 +76,8 @@ func main() {
 	fusion := flag.String("fusion", "on", "graph optimizer for the serve command: on or off")
 	gemm := flag.String("gemm", "packed", "serve: native matmul core, packed or naive")
 	quant := flag.String("quant", "f32", "serve: compute precision, f32 or int8 (int8 converts with the int8 scheme and serves on the quantized path)")
+	costModel := flag.String("cost-model", "static", "serve/overhead: parallelism cost source, static or measured")
+	overheadBudget := flag.Float64("overhead-budget", 3.0, "overhead: max profiler QPS overhead in percent before exiting nonzero")
 	replicas := flag.Int("replicas", 1, "serve: also measure an N-replica engine pool (adds a replicasN mode)")
 	traceDir := flag.String("tracedir", "", "fusion: write trace_fusion_{on,off}.json Chrome traces to this directory")
 	flag.Parse()
@@ -78,6 +91,10 @@ func main() {
 	}
 	if *quant != "f32" && *quant != "int8" {
 		fmt.Fprintf(os.Stderr, "-quant must be f32 or int8, got %q\n", *quant)
+		os.Exit(2)
+	}
+	if cm := tf.CostModel(*costModel); cm != tf.CostModelStatic && cm != tf.CostModelMeasured {
+		fmt.Fprintf(os.Stderr, "-cost-model must be static or measured, got %q\n", *costModel)
 		os.Exit(2)
 	}
 
@@ -103,11 +120,13 @@ func main() {
 	case "webgpu":
 		webgpuExperiment()
 	case "serve":
-		serveExperiment(*alpha, *size, 10**runs, *baseline, *out, *fusion == "on", *replicas, *gemm, *quant)
+		serveExperiment(*alpha, *size, 10**runs, *baseline, *out, *fusion == "on", *replicas, *gemm, *quant, *costModel)
 	case "fusion":
 		fusionExperiment(*alpha, *size, *runs, *baseline, *out, *traceDir)
 	case "ladder":
 		ladderExperiment(*alpha, *size, *runs, *out)
+	case "overhead":
+		overheadExperiment(*alpha, *size, 10**runs, *overheadBudget, *costModel, *out)
 	case "all":
 		table1(*alpha, *size, *runs)
 		fig23()

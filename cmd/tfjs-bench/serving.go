@@ -28,10 +28,10 @@ import (
 // artifact, or a new BENCH_serving.json baseline). baselinePath compares
 // the run against a committed baseline and exits nonzero on a QPS
 // regression beyond the tolerance.
-func serveExperiment(alpha float64, size, runs int, baselinePath, outPath string, fusion bool, replicas int, gemm, quant string) {
+func serveExperiment(alpha float64, size, runs int, baselinePath, outPath string, fusion bool, replicas int, gemm, quant, costModel string) {
 	fmt.Printf("\n=== Serving: dynamic micro-batching throughput ===\n")
-	fmt.Printf("MobileNet v1 alpha=%.2f input=%dx%dx3, native backend, %d CPU core(s), 32 concurrent clients, %d requests per mode, fusion=%v gemm=%s quant=%s\n\n",
-		alpha, size, size, runtime.NumCPU(), runs, fusion, gemm, quant)
+	fmt.Printf("MobileNet v1 alpha=%.2f input=%dx%dx3, native backend, %d CPU core(s), 32 concurrent clients, %d requests per mode, fusion=%v gemm=%s quant=%s cost-model=%s\n\n",
+		alpha, size, size, runtime.NumCPU(), runs, fusion, gemm, quant, costModel)
 
 	store := converter.NewMemStore()
 	model, err := tf.MobileNetV1(tf.MobileNetConfig{
@@ -54,8 +54,13 @@ func serveExperiment(alpha float64, size, runs int, baselinePath, outPath string
 	model.Dispose()
 
 	// One exec-option list covers every knob the A/B matrix varies: the
-	// optimizer toggle, the GEMM core, and the int8 compute path.
-	execOpts := []tf.ExecOption{tf.WithOptimize(fusion), tf.WithGEMM(tf.GEMMMode(gemm))}
+	// optimizer toggle, the GEMM core, the int8 compute path, and the
+	// parallelism cost source.
+	execOpts := []tf.ExecOption{
+		tf.WithOptimize(fusion),
+		tf.WithGEMM(tf.GEMMMode(gemm)),
+		tf.WithCostModel(tf.CostModel(costModel)),
+	}
 	if quant == "int8" {
 		execOpts = append(execOpts, tf.WithQuantizedCompute(true))
 	}

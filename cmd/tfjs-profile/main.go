@@ -61,7 +61,20 @@ func main() {
 	fusionRep := flag.Bool("fusion-report", false, "print the graph-optimizer report: patterns fired, per-kernel dispatch/byte deltas, peak memory")
 	workers := flag.Int("workers", 0, "intra-op worker budget on the node backend (0 = leave default, <0 = reset)")
 	gemm := flag.String("gemm", "", "GEMM core on the node backend: packed or naive (empty = leave default)")
+	liveURL := flag.String("url", "", "live top mode: poll this /metrics URL (e.g. http://localhost:8500/metrics) instead of profiling locally")
+	interval := flag.Duration("interval", 2*time.Second, "live top mode: poll interval")
+	iterations := flag.Int("iterations", 0, "live top mode: number of frames to render (0 = until interrupted)")
 	flag.Parse()
+
+	if *liveURL != "" {
+		// Live mode is a pure metrics consumer: no local model, no local
+		// backend — everything comes from the polled server's exposition,
+		// parsed with the same strict OpenMetrics parser the tests use.
+		if err := liveTop(*liveURL, *interval, *iterations, *top, os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	if err := tf.SetBackend(*backend); err != nil {
 		log.Fatal(err)
@@ -155,6 +168,10 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("\nwrote %d trace events to %s (load in chrome://tracing)\n", rec.Len(), *tracePath)
+		if dropped := rec.Dropped(); dropped > 0 {
+			fmt.Printf("warning: the trace ring overwrote %d event(s) — the file holds only the most recent; per-shard drops: %v\n",
+				dropped, rec.DroppedByShard())
+		}
 	}
 }
 

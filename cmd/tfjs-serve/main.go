@@ -24,6 +24,11 @@
 // registers an inference graph from a JSON GraphSpec. Versioned models
 // roll out via POST /v1/models/{base}:promote|:canary|:shadow|:evict.
 //
+// -cost-model measured switches the parallelism grain from static flop
+// estimates to the continuous profiler's measured ns/element feedback.
+// -debug-addr localhost:6060 exposes net/http/pprof on a second,
+// typically loopback-only listener kept off the serving address.
+//
 // On SIGTERM/SIGINT the server drains gracefully: /readyz flips to 503,
 // new predicts are refused, in-flight requests get -drain-timeout to
 // finish, then the process exits.
@@ -36,6 +41,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -128,7 +134,15 @@ func main() {
 	reqTimeout := flag.Duration("request-timeout", 30*time.Second, "server-side request deadline")
 	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "graceful shutdown: max wait for in-flight requests")
 	demo := flag.Bool("demo", false, "serve a synthetic in-memory MobileNet v1 α=0.25 as \"mobilenet\"")
+	costModel := flag.String("cost-model", "static", "parallelism cost source: static (plan flop estimates) or measured (continuous profiler feedback)")
+	debugAddr := flag.String("debug-addr", "", "optional second listen address exposing net/http/pprof (e.g. localhost:6060); empty disables")
 	flag.Parse()
+
+	cm := tf.CostModel(*costModel)
+	if cm != tf.CostModelStatic && cm != tf.CostModelMeasured {
+		fmt.Fprintf(os.Stderr, "bad -cost-model %q: want static or measured\n", *costModel)
+		os.Exit(2)
+	}
 
 	if len(models) == 0 && !*demo {
 		fmt.Fprintln(os.Stderr, "nothing to serve: pass -model name=dir[:backend] or -demo")
@@ -147,6 +161,7 @@ func main() {
 		Batching: cfg,
 		Replicas: *replicas,
 		Tenants:  tenants,
+		Exec:     []tf.ExecOption{tf.WithCostModel(cm)},
 	}
 	reg := serving.NewRegistry()
 	defer reg.Close()
@@ -192,6 +207,24 @@ func main() {
 			log.Fatalf("registering graph %q: %v", g.name, err)
 		}
 		log.Printf("registered inference graph %q from %s", g.name, g.path)
+	}
+
+	if *debugAddr != "" {
+		// pprof lives on its own mux and listener so profiling endpoints
+		// are never reachable through the serving address — opt-in and
+		// bindable to localhost while the API faces the network.
+		debugMux := http.NewServeMux()
+		debugMux.HandleFunc("/debug/pprof/", pprof.Index)
+		debugMux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		debugMux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		debugMux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		debugMux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			log.Printf("pprof on http://%s/debug/pprof/", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, debugMux); err != nil {
+				log.Printf("debug listener: %v", err)
+			}
+		}()
 	}
 
 	srv := &http.Server{Addr: *addr, Handler: api}

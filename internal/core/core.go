@@ -925,6 +925,7 @@ func (e *Engine) instrumentedRun(name string, b kernels.Backend, inputs []*tenso
 	}
 	for _, out := range outs() {
 		ev.OutputShapes = append(ev.OutputShapes, tensor.CopyShape(out.Shape))
+		ev.Elements += int64(out.Size())
 	}
 	e.hub.Emit(ev)
 

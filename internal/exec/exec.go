@@ -16,6 +16,22 @@ import "fmt"
 // GEMMMode selects the matrix-multiply core used by the native backend.
 type GEMMMode string
 
+// CostModel selects how the backend estimates per-step work when choosing
+// its parallelism grain (and how the serving batcher models execution
+// latency): from static flop counts derived at plan-compile time, or from
+// the continuous profiler's measured ns/element accounts.
+type CostModel string
+
+const (
+	// CostModelStatic derives grain from compile-time flops-per-element
+	// estimates (the default, and the only behaviour before the profiler).
+	CostModelStatic CostModel = "static"
+	// CostModelMeasured derives grain from observed ns/element fed back by
+	// the continuous profiler. Outputs are bit-identical to static — only
+	// chunk boundaries (and therefore wall time) may differ.
+	CostModelMeasured CostModel = "measured"
+)
+
 const (
 	// GEMMPacked is the cache-blocked packed micro-kernel (default).
 	// It is adaptive: when sampling shows the lhs sparse enough that the
@@ -53,6 +69,10 @@ type Config struct {
 	// pointer form distinguishes "unset" from "explicitly disabled".
 	Optimize *bool
 	Verify   *bool
+
+	// CostModel selects static (flop-estimate) or measured (profiler
+	// feedback) per-step cost for grain selection. Empty means static.
+	CostModel CostModel
 }
 
 // Option mutates a Config; the functional-options surface of the API.
@@ -82,6 +102,12 @@ func WithOptimize(on bool) Option {
 // WithVerify toggles load-time graph verification.
 func WithVerify(on bool) Option {
 	return func(c *Config) { c.Verify = &on }
+}
+
+// WithCostModel selects the per-step cost model driving the parallelism
+// grain (CostModelStatic or CostModelMeasured).
+func WithCostModel(m CostModel) Option {
+	return func(c *Config) { c.CostModel = m }
 }
 
 // Make resolves options into a Config.
@@ -115,8 +141,14 @@ func (c Config) Merge(over Config) Config {
 	if over.Verify != nil {
 		out.Verify = over.Verify
 	}
+	if over.CostModel != "" {
+		out.CostModel = over.CostModel
+	}
 	return out
 }
+
+// MeasuredCost reports whether the measured cost model is selected.
+func (c Config) MeasuredCost() bool { return c.CostModel == CostModelMeasured }
 
 // OptimizeOn reports whether graph optimization is enabled (default true).
 func (c Config) OptimizeOn() bool { return c.Optimize == nil || *c.Optimize }
@@ -129,9 +161,15 @@ func (c Config) VerifyOn() bool { return c.Verify == nil || *c.Verify }
 func (c Config) Validate() error {
 	switch c.GEMM {
 	case "", GEMMPacked, GEMMNaive:
-		return nil
+	default:
+		return fmt.Errorf("exec: unknown GEMM mode %q (want %q or %q)", c.GEMM, GEMMPacked, GEMMNaive)
 	}
-	return fmt.Errorf("exec: unknown GEMM mode %q (want %q or %q)", c.GEMM, GEMMPacked, GEMMNaive)
+	switch c.CostModel {
+	case "", CostModelStatic, CostModelMeasured:
+	default:
+		return fmt.Errorf("exec: unknown cost model %q (want %q or %q)", c.CostModel, CostModelStatic, CostModelMeasured)
+	}
+	return nil
 }
 
 // Configurable is implemented by backends that accept an execution
@@ -166,4 +204,60 @@ func HintStepCost(b any, flopsPerElement int) {
 	if h, ok := b.(StepHinter); ok {
 		h.SetStepCost(flopsPerElement)
 	}
+}
+
+// CostObserver is a rolling measured-cost account for one plan step: the
+// backend feeds it per-chunk (duration, items) observations from inside
+// its sharded loops, and reads back the smoothed ns/item when the
+// measured cost model drives grain selection. Implemented by
+// telemetry.CostAccount; defined here so this package stays a leaf.
+// Implementations must be safe for concurrent use and must not block —
+// ObserveCost runs on the kernel hot path.
+type CostObserver interface {
+	// ObserveCost folds one timed run of `items` loop iterations taking
+	// `ns` nanoseconds into the account. items <= 0 observations are
+	// ignored.
+	ObserveCost(ns int64, items int)
+	// NSPerItem returns the smoothed measured cost per loop item in
+	// nanoseconds, or 0 when nothing has been observed yet.
+	NSPerItem() float64
+}
+
+// StepHint is the widened per-plan-step cost hint: the compile-time flop
+// estimate plus the step's rolling measured account. Immutable after
+// construction (the executor pre-allocates one per plan step), so the
+// backend can publish it with a single atomic pointer store per step.
+type StepHint struct {
+	// Flops is the static flops-per-output-element estimate (0 = unknown;
+	// the backend falls back to its per-kernel default).
+	Flops int
+	// Cost is the step's measured-cost account. The backend feeds it
+	// whenever profiling is enabled, regardless of Measured. Nil disables
+	// collection for this step.
+	Cost CostObserver
+	// Measured selects the grain source: when true and Cost has
+	// observations, grain derives from measured ns/item; otherwise from
+	// Flops. Outputs are bit-identical either way.
+	Measured bool
+}
+
+// StepHintSetter is implemented by backends that accept the widened hint.
+// SetStepHint(nil) clears the hint (equivalent to SetStepCost(0)).
+type StepHintSetter interface {
+	SetStepHint(h *StepHint)
+}
+
+// HintStep forwards a step's widened hint to the backend. Backends that
+// only implement the legacy StepHinter receive the hint's static flops,
+// so plans compiled with measured accounts still work against them.
+func HintStep(b any, h *StepHint) {
+	if s, ok := b.(StepHintSetter); ok {
+		s.SetStepHint(h)
+		return
+	}
+	if h == nil {
+		HintStepCost(b, 0)
+		return
+	}
+	HintStepCost(b, h.Flops)
 }

@@ -11,11 +11,13 @@ package graphmodel
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/converter"
 	"repro/internal/core"
 	"repro/internal/exec"
 	"repro/internal/savedmodel"
+	"repro/internal/telemetry"
 	"repro/internal/tensor"
 )
 
@@ -92,6 +94,12 @@ type Model struct {
 	// eng is the engine this model executes on (WithEngine); the global
 	// engine by default.
 	eng *core.Engine
+
+	// execCost is the rolling account of whole-execution wall time (one
+	// item per Execute call), fed when profiling is on. The serving
+	// batcher reads it through MeasuredExecuteMS to replace its static
+	// retry-after fallback with an observed per-execution latency.
+	execCost *telemetry.CostAccount
 }
 
 // Load reads artifacts from a converter.Store and prepares the model.
@@ -124,7 +132,7 @@ func New(g *savedmodel.GraphDef, opts ...Option) (*Model, error) {
 	// Backend-level knobs (worker budget, GEMM core) apply to the engine
 	// this model executes on; backends without the hook ignore them.
 	exec.Apply(eng.Backend(), cfg.exec)
-	m := &Model{graph: g, exec: g, eng: eng}
+	m := &Model{graph: g, exec: g, eng: eng, execCost: telemetry.NewCostAccount()}
 	m.span = spanName("graphmodel", g)
 	if cfg.exec.OptimizeOn() {
 		m.exec, m.optStats = optimize(g, eng.Telemetry(), m.span, cfg.exec.QuantizedCompute)
@@ -147,7 +155,7 @@ func New(g *savedmodel.GraphDef, opts ...Option) (*Model, error) {
 		return nil, err
 	}
 	m.order = order
-	m.plan = compilePlan(m.exec, m.order, m.nodes)
+	m.plan = compilePlan(m.exec, m.order, m.nodes, cfg.exec.MeasuredCost())
 	m.weights = map[string]*tensor.Tensor{}
 	e := eng
 	// Upload under the execution lock: loading may race with another
@@ -280,9 +288,23 @@ func (m *Model) Execute(feeds map[string]*tensor.Tensor) (map[string]*tensor.Ten
 		// dispatched here is attributed to this model.
 		end := e.Telemetry().BeginSpan(m.span)
 		defer end()
-		results, err = m.executeLocked(e, feeds)
+		if telemetry.ProfilingOn() {
+			t0 := time.Now()
+			results, err = m.executeLocked(e, feeds)
+			m.execCost.ObserveCost(time.Since(t0).Nanoseconds(), 1)
+		} else {
+			results, err = m.executeLocked(e, feeds)
+		}
 	})
 	return results, err
+}
+
+// MeasuredExecuteMS reports the rolling observed wall time of one Execute
+// call in milliseconds, or 0 when nothing has been measured yet (profiling
+// off, or no executions). The serving batcher folds this into its
+// retry-after hint instead of a hardcoded guess.
+func (m *Model) MeasuredExecuteMS() float64 {
+	return m.execCost.NSPerItem() / 1e6
 }
 
 // Engine returns the engine this model executes on.
@@ -317,17 +339,19 @@ func (m *Model) executeLocked(e *core.Engine, feeds map[string]*tensor.Tensor) (
 				env[ws.slot] = m.weights[ws.name]
 			}
 		}
-		// The plan carries each step's arithmetic intensity; hint it to
-		// the backend (if it listens) so the parallelism grain derives
-		// from the step's real per-element cost. Cleared on every exit.
+		// The plan carries each step's widened hint — arithmetic intensity
+		// plus the step's rolling measured-cost account; hint it to the
+		// backend (if it listens) so the parallelism grain derives from
+		// the step's real per-element cost (static or measured), and so
+		// per-chunk timings feed the account. Cleared on every exit.
 		bk := e.Backend()
-		defer exec.HintStepCost(bk, 0)
+		defer exec.HintStep(bk, nil)
 		for i := range p.steps {
 			st := &p.steps[i]
 			// A feed for any node short-circuits its step, as the lazy
 			// executor's env pre-population did.
 			if !fed[st.out] {
-				exec.HintStepCost(bk, st.cost)
+				exec.HintStep(bk, st.hint)
 				out, err := st.run(env)
 				if err != nil {
 					execErr = err

@@ -1,0 +1,96 @@
+package graphmodel_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/graphmodel"
+	"repro/internal/tensor"
+)
+
+// TestMeasuredCostBitIdentity is the tentpole invariant behind
+// -cost-model=measured: the cost model only changes how the native pool
+// chunks each kernel's index space, never which elements accumulate
+// together, so a model running on measured-cost grain must produce
+// outputs bitwise identical to the static-cost run — not merely close.
+// The measured model runs repeatedly so its EWMA accounts warm up and the
+// grain actually derives from observations partway through.
+func TestMeasuredCostBitIdentity(t *testing.T) {
+	if err := core.Global().SetBackend("node"); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := core.Global().SetBackend("cpu"); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 4; trial++ {
+		g, inShape := randomGraph(rng)
+		static, err := graphmodel.New(g)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		measured, err := graphmodel.New(g,
+			graphmodel.WithExecOptions(exec.WithCostModel(exec.CostModelMeasured)))
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		vals := make([]float32, tensor.ShapeSize(inShape))
+		for i := range vals {
+			vals[i] = rng.Float32()*2 - 1
+		}
+		want := runModel(t, static, vals, inShape)
+		for run := 0; run < 6; run++ {
+			got := runModel(t, measured, vals, inShape)
+			if len(got) != len(want) {
+				t.Fatalf("trial %d run %d: output sizes differ: %d vs %d", trial, run, len(got), len(want))
+			}
+			for i := range got {
+				if math.Float32bits(got[i]) != math.Float32bits(want[i]) {
+					t.Fatalf("trial %d run %d: output[%d] measured=%x static=%x (bitwise drift)",
+						trial, run, i, math.Float32bits(got[i]), math.Float32bits(want[i]))
+				}
+			}
+		}
+		static.Dispose()
+		measured.Dispose()
+	}
+}
+
+// TestMeasuredExecuteMS checks the whole-model cost account the serving
+// batcher's Retry-After model reads: zero before any execution, positive
+// after a few predicts.
+func TestMeasuredExecuteMS(t *testing.T) {
+	if err := core.Global().SetBackend("node"); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := core.Global().SetBackend("cpu"); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	rng := rand.New(rand.NewSource(5))
+	g, inShape := randomGraph(rng)
+	m, err := graphmodel.New(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Dispose()
+	if got := m.MeasuredExecuteMS(); got != 0 {
+		t.Fatalf("MeasuredExecuteMS before any run = %v, want 0", got)
+	}
+	vals := make([]float32, tensor.ShapeSize(inShape))
+	for i := range vals {
+		vals[i] = rng.Float32()
+	}
+	for run := 0; run < 3; run++ {
+		runModel(t, m, vals, inShape)
+	}
+	if got := m.MeasuredExecuteMS(); got <= 0 {
+		t.Errorf("MeasuredExecuteMS after 3 runs = %v, want > 0", got)
+	}
+}

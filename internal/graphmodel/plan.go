@@ -3,8 +3,10 @@ package graphmodel
 import (
 	"fmt"
 
+	"repro/internal/exec"
 	"repro/internal/ops"
 	"repro/internal/savedmodel"
+	"repro/internal/telemetry"
 	"repro/internal/tensor"
 )
 
@@ -30,6 +32,12 @@ type planStep struct {
 	// it to the backend before running the step, so the parallelism grain
 	// reflects the step's real per-element work.
 	cost int
+	// hint is the widened, pre-allocated per-step cost hint: the static
+	// flops estimate above plus this step's rolling measured-cost account
+	// (fed by the backend's sharded loops whenever profiling is on). One
+	// allocation per step at compile time keeps the execute hot path
+	// allocation-free; the backend publishes it with one atomic store.
+	hint *exec.StepHint
 	run  func(env []*tensor.Tensor) (*tensor.Tensor, error)
 }
 
@@ -50,8 +58,12 @@ type weightSlot struct {
 	name string
 }
 
-// compilePlan builds the plan for graph g in execution order.
-func compilePlan(g *savedmodel.GraphDef, order []string, nodes map[string]*savedmodel.NodeDef) *plan {
+// compilePlan builds the plan for graph g in execution order. measured
+// selects the backend's grain source for every step (exec.CostModel):
+// the static flop estimate, or the step's measured-cost account — the
+// account itself is allocated (and fed) either way, so switching the
+// model never discards history and the A/B arms profile identically.
+func compilePlan(g *savedmodel.GraphDef, order []string, nodes map[string]*savedmodel.NodeDef, measured bool) *plan {
 	p := &plan{slots: make(map[string]int, len(order))}
 	for _, name := range order {
 		p.slots[name] = p.numSlots
@@ -78,6 +90,11 @@ func compilePlan(g *savedmodel.GraphDef, order []string, nodes map[string]*saved
 		}
 		st := compileStep(n, slot, p.slots)
 		st.cost = stepCost(n, g)
+		st.hint = &exec.StepHint{
+			Flops:    st.cost,
+			Cost:     telemetry.NewCostAccount(),
+			Measured: measured,
+		}
 		p.steps = append(p.steps, st)
 	}
 	for _, out := range g.Outputs {

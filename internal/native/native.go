@@ -50,6 +50,11 @@ type Backend struct {
 	workers  atomic.Int64
 	gemm     exec.GEMMMode
 	stepCost atomic.Int64 // plan-step flops-per-element hint; 0 = unset
+	// stepHint is the widened per-step hint: static flops plus the step's
+	// rolling measured-cost account. Published by the graph executor with
+	// one atomic store per step; parallelFor reads it to pick the grain
+	// source and to feed per-chunk timings back into the account.
+	stepHint atomic.Pointer[exec.StepHint]
 	table    map[string]kernels.OverrideKernel
 
 	// packCache holds per-weight preprocessed forms keyed by the weight's
@@ -118,7 +123,20 @@ func (b *Backend) GEMM() exec.GEMMMode { return b.gemm }
 // kernel, and parallelFor folds it into the chunk grain for kernels that
 // have no better local estimate.
 func (b *Backend) SetStepCost(flopsPerElement int) {
+	b.stepHint.Store(nil)
 	b.stepCost.Store(int64(flopsPerElement))
+}
+
+// SetStepHint implements exec.StepHintSetter: the widened per-step hint.
+// The legacy stepCost mirror keeps costPerElem (and kernels that consult
+// it directly) working unchanged.
+func (b *Backend) SetStepHint(h *exec.StepHint) {
+	b.stepHint.Store(h)
+	if h == nil {
+		b.stepCost.Store(0)
+		return
+	}
+	b.stepCost.Store(int64(h.Flops))
 }
 
 // costPerElem returns the plan-step cost hint when one is set, else the
@@ -154,8 +172,9 @@ func (b *Backend) DisposeData(d tensor.DataID) {
 }
 
 var (
-	_ kernels.Backend   = (*Backend)(nil)
-	_ kernels.Overrider = (*Backend)(nil)
-	_ exec.Configurable = (*Backend)(nil)
-	_ exec.StepHinter   = (*Backend)(nil)
+	_ kernels.Backend     = (*Backend)(nil)
+	_ kernels.Overrider   = (*Backend)(nil)
+	_ exec.Configurable   = (*Backend)(nil)
+	_ exec.StepHinter     = (*Backend)(nil)
+	_ exec.StepHintSetter = (*Backend)(nil)
 )

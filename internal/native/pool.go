@@ -4,6 +4,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"repro/internal/telemetry"
 )
 
 // The shared worker pool. One process gets one pool of GOMAXPROCS
@@ -74,6 +77,13 @@ const chunkFlops = 32 * 1024
 // has a deep queue of chunks, more chunks only add scheduling overhead.
 const maxChunks = 256
 
+// chunkNS is the measured-cost sibling of chunkFlops: the wall-time cost
+// below which a chunk is not worth handing to another goroutine. The two
+// constants agree at the ~1 flop/ns a scalar core sustains, so switching
+// the cost model between static and measured moves the grain only as far
+// as the measurement diverges from the flop estimate.
+const chunkNS = 32 * 1024
+
 // chunkBounds returns chunk i of [0, n) split into c near-equal chunks. The layout is a
 // pure function of n and c — never of the worker count or of runtime
 // timing — which is half of the bit-stability story: every worker count
@@ -97,20 +107,47 @@ func chunkBounds(n, c, i int) (lo, hi int) {
 // work. A costPerItem <= 0 falls back to the plan step's per-element
 // cost hint (set by the graph executor), else to 1.
 //
-// Results are bit-identical for every workers setting: chunk boundaries
-// depend only on (n, costPerItem), and chunks are data-parallel over
-// disjoint output ranges. Only wall time varies with workers.
+// When the current plan step carries a measured-cost account
+// (exec.StepHint.Cost) and profiling is on, every chunk's wall time is
+// fed back into the account; summed chunk durations approximate the
+// step's sequential work time, so the measurement is independent of how
+// many workers ran it and never oscillates with the grain it informs.
+// Under exec.CostModelMeasured (hint.Measured) the grain itself derives
+// from the account's observed ns/item instead of the flop estimate.
+//
+// Results are bit-identical for every workers setting and either cost
+// model: chunk boundaries are a pure function of (n, chunks), kernels
+// never split one output element's accumulation across chunks, and the
+// cost model only moves the boundaries. Only wall time varies.
 func (b *Backend) parallelFor(n, costPerItem int, fn func(lo, hi int)) {
 	if n <= 0 {
 		return
 	}
-	if costPerItem <= 0 {
-		costPerItem = int(b.stepCost.Load())
-		if costPerItem <= 0 {
-			costPerItem = 1
+	hint := b.stepHint.Load()
+	work := fn
+	if hint != nil && hint.Cost != nil && telemetry.ProfilingOn() {
+		acct := hint.Cost
+		work = func(lo, hi int) {
+			t0 := time.Now()
+			fn(lo, hi)
+			acct.ObserveCost(time.Since(t0).Nanoseconds(), hi-lo)
 		}
 	}
-	grain := chunkFlops / costPerItem
+	grain := 0
+	if hint != nil && hint.Measured && hint.Cost != nil {
+		if nsPerItem := hint.Cost.NSPerItem(); nsPerItem > 0 {
+			grain = int(chunkNS / nsPerItem)
+		}
+	}
+	if grain <= 0 {
+		if costPerItem <= 0 {
+			costPerItem = int(b.stepCost.Load())
+			if costPerItem <= 0 {
+				costPerItem = 1
+			}
+		}
+		grain = chunkFlops / costPerItem
+	}
 	if grain < 1 {
 		grain = 1
 	}
@@ -120,7 +157,7 @@ func (b *Backend) parallelFor(n, costPerItem int, fn func(lo, hi int)) {
 	}
 	workers := b.Workers()
 	if chunks <= 1 || workers <= 1 {
-		fn(0, n)
+		work(0, n)
 		return
 	}
 
@@ -135,7 +172,7 @@ func (b *Backend) parallelFor(n, costPerItem int, fn func(lo, hi int)) {
 				return
 			}
 			lo, hi := chunkBounds(n, chunks, i)
-			fn(lo, hi)
+			work(lo, hi)
 		}
 	}
 	var wg sync.WaitGroup

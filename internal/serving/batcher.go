@@ -49,6 +49,7 @@ type scheduler struct {
 	cfg     Config
 	model   string
 	run     runner
+	est     costEstimator // run's measured-latency view; nil when unsupported
 	metrics *Metrics
 	hub     *telemetry.Hub
 
@@ -60,7 +61,9 @@ type scheduler struct {
 }
 
 // newScheduler starts the worker pool. The model name labels batch spans
-// and stage events.
+// and stage events. Runners that can report a measured per-execution
+// latency (graph runners, replica pools) are detected here and feed the
+// Retry-After hint before the execute-stage histogram has samples.
 func newScheduler(cfg Config, model string, run runner, metrics *Metrics) *scheduler {
 	s := &scheduler{
 		cfg:     cfg,
@@ -71,11 +74,24 @@ func newScheduler(cfg Config, model string, run runner, metrics *Metrics) *sched
 		queue:   make(chan *request, cfg.QueueSize),
 		stop:    make(chan struct{}),
 	}
+	if est, ok := run.(costEstimator); ok {
+		s.est = est
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
 	return s
+}
+
+// retryAfter computes the backoff hint for a shed request, folding in the
+// runner's measured execution latency when available.
+func (s *scheduler) retryAfter() time.Duration {
+	estMS := 0.0
+	if s.est != nil {
+		estMS = s.est.estimateExecMS()
+	}
+	return retryAfterHint(s.metrics, len(s.queue), s.cfg.MaxBatchSize, estMS)
 }
 
 // Close stops the workers and waits for in-flight batches to finish.
@@ -112,7 +128,7 @@ func (s *scheduler) Submit(ctx context.Context, inst Instance) (Instance, error)
 		// same contract as before; the wrapper adds the Retry-After hint.
 		return Instance{}, &ShedError{
 			Reason:     "queue_full",
-			RetryAfter: retryAfterHint(s.metrics, len(s.queue), s.cfg.MaxBatchSize),
+			RetryAfter: s.retryAfter(),
 		}
 	}
 	select {

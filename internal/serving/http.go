@@ -60,6 +60,7 @@ type Server struct {
 	mux        *http.ServeMux
 	trace      *telemetry.Recorder
 	stats      *telemetry.Stats
+	profiler   *telemetry.Profiler
 	unregister func()
 	draining   atomic.Bool
 
@@ -71,18 +72,21 @@ type Server struct {
 // collectors to the global engine's hub.
 func NewServer(reg *Registry) *Server {
 	s := &Server{
-		reg:    reg,
-		mux:    http.NewServeMux(),
-		trace:  telemetry.NewRecorder(0),
-		stats:  telemetry.NewStats(),
-		graphs: map[string]*GraphSpec{},
+		reg:      reg,
+		mux:      http.NewServeMux(),
+		trace:    telemetry.NewRecorder(0),
+		stats:    telemetry.NewStats(),
+		profiler: telemetry.NewProfiler(),
+		graphs:   map[string]*GraphSpec{},
 	}
 	hub := core.Global().Telemetry()
 	removeTrace := hub.Register(s.trace)
 	removeStats := hub.Register(s.stats)
+	removeProfiler := hub.Register(s.profiler)
 	s.unregister = func() {
 		removeTrace()
 		removeStats()
+		removeProfiler()
 	}
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	s.mux.HandleFunc("/readyz", s.handleReady)
@@ -115,6 +119,9 @@ func (s *Server) Stats() *telemetry.Stats { return s.stats }
 // Trace exposes the server's trace recorder.
 func (s *Server) Trace() *telemetry.Recorder { return s.trace }
 
+// Profiler exposes the server's continuous kernel-cost profiler.
+func (s *Server) Profiler() *telemetry.Profiler { return s.profiler }
+
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
@@ -140,32 +147,64 @@ func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// openMetricsContentType is the negotiated content type for the
+// OpenMetrics 1.0 text format.
+const openMetricsContentType = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+// wantsOpenMetrics reports whether the request's Accept header asks for
+// the OpenMetrics text format (what a Prometheus scraper sends).
+func wantsOpenMetrics(r *http.Request) bool {
+	for _, accept := range r.Header.Values("Accept") {
+		if strings.Contains(accept, "application/openmetrics-text") {
+			return true
+		}
+	}
+	return false
+}
+
+// handleMetrics serves the metrics exposition. The historical flat text
+// format stays the default; a scraper sending
+// Accept: application/openmetrics-text gets the same samples as
+// OpenMetrics 1.0 text (HELP/TYPE metadata, contiguous families, # EOF).
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	expo := buildExposition(s.reg.Snapshots(), s.stats, s.profiler, s.trace)
+	if wantsOpenMetrics(r) {
+		w.Header().Set("Content-Type", openMetricsContentType)
+		fmt.Fprint(w, expo.RenderOpenMetrics())
+		return
+	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprint(w, renderMetrics(s.reg.Snapshots(), s.stats))
+	fmt.Fprint(w, expo.RenderLegacy())
 }
 
 // handleTrace downloads the retained trace ring as Chrome trace-event
 // JSON. ?seconds=N restricts the download to events from the last N
-// seconds; absent or 0 downloads the whole ring.
+// seconds; an absent parameter downloads the whole ring, and an explicit
+// non-numeric or non-positive value is a client error (400) rather than a
+// silent whole-ring download. The applied window rides back on
+// X-Trace-Seconds ("all" for the whole ring) and the ring's overwrite
+// count on X-Trace-Dropped-Events, so a truncated capture is detectable
+// from the response alone.
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
 	var since time.Time
+	applied := "all"
 	if q := r.URL.Query().Get("seconds"); q != "" {
 		sec, err := strconv.ParseFloat(q, 64)
-		if err != nil || sec < 0 {
-			http.Error(w, "bad seconds parameter", http.StatusBadRequest)
+		if err != nil || !(sec > 0) || math.IsInf(sec, 0) {
+			http.Error(w, "bad seconds parameter: want a positive number", http.StatusBadRequest)
 			return
 		}
-		if sec > 0 {
-			since = time.Now().Add(-time.Duration(sec * float64(time.Second)))
-		}
+		since = time.Now().Add(-time.Duration(sec * float64(time.Second)))
+		applied = strconv.FormatFloat(sec, 'g', -1, 64)
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("Content-Disposition", `attachment; filename="trace.json"`)
+	w.Header().Set("X-Trace-Seconds", applied)
+	w.Header().Set("X-Trace-Dropped-Events", strconv.FormatInt(s.trace.Dropped(), 10))
 	//lint:ignore operr headers are already written; a streaming failure here means the client went away and has no recovery
 	_ = s.trace.WriteChromeTrace(w, since)
 }
@@ -203,13 +242,16 @@ func (s *Server) handleMemory(w http.ResponseWriter, r *http.Request) {
 	}
 	if q := r.URL.Query().Get("leaks"); q != "" {
 		sec, err := strconv.ParseFloat(q, 64)
-		if err != nil || sec <= 0 {
-			http.Error(w, "bad leaks parameter", http.StatusBadRequest)
+		if err != nil || !(sec > 0) || math.IsInf(sec, 0) {
+			http.Error(w, "bad leaks parameter: want a positive number", http.StatusBadRequest)
 			return
 		}
 		if sec > maxLeakCaptureSeconds {
 			sec = maxLeakCaptureSeconds
 		}
+		// Echo the window actually used, so a capped request (?leaks=600)
+		// is visible to the caller instead of silently shortened.
+		w.Header().Set("X-Leak-Capture-Seconds", strconv.FormatFloat(sec, 'g', -1, 64))
 		lt := telemetry.NewLifetimeTracker(1)
 		remove, err := eng.TrackLifetimes(lt)
 		if err != nil {

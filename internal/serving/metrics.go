@@ -1,8 +1,8 @@
 package serving
 
 import (
-	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 
@@ -221,9 +221,32 @@ func modelOfSpan(span string) string {
 // renderMetrics emits the Prometheus-style text exposition: per-model
 // request/latency/batch series, per-model per-kernel breakdowns from the
 // telemetry aggregator (nil skips them), and the engine's tensor/byte
-// counters.
+// counters. Kept as the legacy-format entry point; the HTTP handler
+// builds the richer exposition (profiler + trace series) itself.
 func renderMetrics(models map[string]Snapshot, stats *telemetry.Stats) string {
-	var b strings.Builder
+	return buildExposition(models, stats, nil, nil).RenderLegacy()
+}
+
+// buildExposition assembles the full metrics sample set. The sample
+// insertion order here IS the legacy wire format (RenderLegacy replays it
+// line by line), so samples must keep their historical order; the
+// OpenMetrics renderer regroups them by family on its own. prof and trace
+// are optional: nil skips the profiler cost accounts and the trace-ring
+// drop counters.
+func buildExposition(models map[string]Snapshot, stats *telemetry.Stats, prof *telemetry.Profiler, trace *telemetry.Recorder) *telemetry.Exposition {
+	e := telemetry.NewExposition()
+	e.Family("serving_requests_total", telemetry.TypeCounter, "Finished requests by model and outcome.")
+	e.Family("serving_request_latency_ms", telemetry.TypeGauge, "End-to-end request latency quantiles over the recent window (ms).")
+	e.Family("serving_batch_size_total", telemetry.TypeCounter, "Executed batches by batch size.")
+	e.Family("serving_queue_depth", telemetry.TypeGauge, "Requests waiting in the batching queue.")
+	e.Family("serving_queue_rejected_total", telemetry.TypeCounter, "Submissions refused because the queue was full.")
+	e.Family("serving_route_total", telemetry.TypeCounter, "Routing decisions by label (stable, canary, shadow, pinned).")
+	e.Family("serving_replica_inflight", telemetry.TypeGauge, "Batches currently executing per replica.")
+	e.Family("serving_replica_batches_total", telemetry.TypeCounter, "Batches executed per replica.")
+	e.Family("serving_replica_busy_ms_total", telemetry.TypeCounter, "Cumulative busy time per replica (ms).")
+	e.Family("serving_tenant_inflight", telemetry.TypeGauge, "Requests currently admitted per tenant.")
+	e.Family("serving_tenant_shed_total", telemetry.TypeCounter, "Requests shed by tenant admission control.")
+	e.Family("serving_stage_latency_ms", telemetry.TypeGauge, "Per-stage latency quantiles over the recent window (ms).")
 	names := make([]string, 0, len(models))
 	for name := range models {
 		names = append(names, name)
@@ -231,43 +254,46 @@ func renderMetrics(models map[string]Snapshot, stats *telemetry.Stats) string {
 	sort.Strings(names)
 	for _, name := range names {
 		s := models[name]
+		model := telemetry.L("model", name)
 		outcomes := make([]string, 0, len(s.Requests))
 		for o := range s.Requests {
 			outcomes = append(outcomes, o)
 		}
 		sort.Strings(outcomes)
 		for _, o := range outcomes {
-			fmt.Fprintf(&b, "serving_requests_total{model=%q,outcome=%q} %d\n", name, o, s.Requests[o])
+			e.Int("serving_requests_total", s.Requests[o], model, telemetry.L("outcome", o))
 		}
-		fmt.Fprintf(&b, "serving_request_latency_ms{model=%q,quantile=\"0.5\"} %.3f\n", name, s.LatencyP50)
-		fmt.Fprintf(&b, "serving_request_latency_ms{model=%q,quantile=\"0.95\"} %.3f\n", name, s.LatencyP95)
-		fmt.Fprintf(&b, "serving_request_latency_ms{model=%q,quantile=\"0.99\"} %.3f\n", name, s.LatencyP99)
+		e.Float("serving_request_latency_ms", s.LatencyP50, model, telemetry.L("quantile", "0.5"))
+		e.Float("serving_request_latency_ms", s.LatencyP95, model, telemetry.L("quantile", "0.95"))
+		e.Float("serving_request_latency_ms", s.LatencyP99, model, telemetry.L("quantile", "0.99"))
 		sizes := make([]int, 0, len(s.BatchSizes))
 		for size := range s.BatchSizes {
 			sizes = append(sizes, size)
 		}
 		sort.Ints(sizes)
 		for _, size := range sizes {
-			fmt.Fprintf(&b, "serving_batch_size_total{model=%q,size=\"%d\"} %d\n", name, size, s.BatchSizes[size])
+			e.Int("serving_batch_size_total", s.BatchSizes[size], model, telemetry.L("size", strconv.Itoa(size)))
 		}
-		fmt.Fprintf(&b, "serving_queue_depth{model=%q} %d\n", name, s.QueueDepth)
-		fmt.Fprintf(&b, "serving_queue_rejected_total{model=%q} %d\n", name, s.QueueRejected)
+		e.Int("serving_queue_depth", int64(s.QueueDepth), model)
+		e.Int("serving_queue_rejected_total", s.QueueRejected, model)
 		routeLabels := make([]string, 0, len(s.Routes))
 		for route := range s.Routes {
 			routeLabels = append(routeLabels, route)
 		}
 		sort.Strings(routeLabels)
 		for _, route := range routeLabels {
-			fmt.Fprintf(&b, "serving_route_total{model=%q,route=%q} %d\n", name, route, s.Routes[route])
+			e.Int("serving_route_total", s.Routes[route], model, telemetry.L("route", route))
 		}
 		for _, rs := range s.Replicas {
-			fmt.Fprintf(&b, "serving_replica_inflight{model=%q,replica=\"%d\"} %d\n", name, rs.ID, rs.Inflight)
-			fmt.Fprintf(&b, "serving_replica_batches_total{model=%q,replica=\"%d\"} %d\n", name, rs.ID, rs.Batches)
-			fmt.Fprintf(&b, "serving_replica_busy_ms_total{model=%q,replica=\"%d\"} %.3f\n", name, rs.ID, rs.BusyMS)
+			replica := telemetry.L("replica", strconv.Itoa(rs.ID))
+			e.Int("serving_replica_inflight", int64(rs.Inflight), model, replica)
+			e.Int("serving_replica_batches_total", rs.Batches, model, replica)
+			e.Float("serving_replica_busy_ms_total", rs.BusyMS, model, replica)
 		}
 		for _, ts := range s.Tenants {
-			fmt.Fprintf(&b, "serving_tenant_inflight{model=%q,tenant=%q} %d\n", name, ts.Tenant, ts.Inflight)
-			fmt.Fprintf(&b, "serving_tenant_shed_total{model=%q,tenant=%q} %d\n", name, ts.Tenant, ts.Shed)
+			tenant := telemetry.L("tenant", ts.Tenant)
+			e.Int("serving_tenant_inflight", int64(ts.Inflight), model, tenant)
+			e.Int("serving_tenant_shed_total", ts.Shed, model, tenant)
 		}
 		stages := make([]string, 0, len(s.Stages))
 		for stage := range s.Stages {
@@ -276,40 +302,98 @@ func renderMetrics(models map[string]Snapshot, stats *telemetry.Stats) string {
 		sort.Strings(stages)
 		for _, stage := range stages {
 			sl := s.Stages[stage]
-			fmt.Fprintf(&b, "serving_stage_latency_ms{model=%q,stage=%q,quantile=\"0.5\"} %.3f\n", name, stage, sl.P50)
-			fmt.Fprintf(&b, "serving_stage_latency_ms{model=%q,stage=%q,quantile=\"0.95\"} %.3f\n", name, stage, sl.P95)
-			fmt.Fprintf(&b, "serving_stage_latency_ms{model=%q,stage=%q,quantile=\"0.99\"} %.3f\n", name, stage, sl.P99)
+			stageL := telemetry.L("stage", stage)
+			e.Float("serving_stage_latency_ms", sl.P50, model, stageL, telemetry.L("quantile", "0.5"))
+			e.Float("serving_stage_latency_ms", sl.P95, model, stageL, telemetry.L("quantile", "0.95"))
+			e.Float("serving_stage_latency_ms", sl.P99, model, stageL, telemetry.L("quantile", "0.99"))
 		}
 	}
 	if stats != nil {
-		renderKernelMetrics(&b, stats)
+		addKernelSamples(e, stats)
 	}
+	e.Family("engine_num_tensors", telemetry.TypeGauge, "Live tensors on the global engine.")
+	e.Family("engine_num_data_buffers", telemetry.TypeGauge, "Live backing buffers on the global engine.")
+	e.Family("engine_num_bytes", telemetry.TypeGauge, "Bytes held by live buffers on the global engine.")
+	e.Family("engine_peak_bytes", telemetry.TypeGauge, "High-water mark of engine memory (bytes).")
 	mem := core.Global().Memory()
-	fmt.Fprintf(&b, "engine_num_tensors %d\n", mem.NumTensors)
-	fmt.Fprintf(&b, "engine_num_data_buffers %d\n", mem.NumDataBuffers)
-	fmt.Fprintf(&b, "engine_num_bytes %d\n", mem.NumBytes)
-	fmt.Fprintf(&b, "engine_peak_bytes %d\n", mem.PeakBytes)
-	return b.String()
+	e.Int("engine_num_tensors", int64(mem.NumTensors))
+	e.Int("engine_num_data_buffers", int64(mem.NumDataBuffers))
+	e.Int("engine_num_bytes", mem.NumBytes)
+	e.Int("engine_peak_bytes", mem.PeakBytes)
+	if trace != nil {
+		addTraceSamples(e, trace)
+	}
+	if prof != nil {
+		addProfilerSamples(e, prof)
+	}
+	return e
 }
 
-// renderKernelMetrics emits the per-model per-kernel series sourced from
+// addKernelSamples appends the per-model per-kernel series sourced from
 // the telemetry aggregator — the same numbers tfjs-profile prints, so the
 // two surfaces agree by construction.
-func renderKernelMetrics(b *strings.Builder, stats *telemetry.Stats) {
+func addKernelSamples(e *telemetry.Exposition, stats *telemetry.Stats) {
+	e.Family("serving_kernel_invocations_total", telemetry.TypeCounter, "Kernel dispatches by model and kernel.")
+	e.Family("serving_kernel_time_ms_total", telemetry.TypeCounter, "Cumulative kernel wall time by model and kernel (ms).")
+	// The legacy gauge name collides with the counter family above once
+	// OpenMetrics strips _total, so the OM rendering uses _window.
+	e.FamilyOM("serving_kernel_time_ms", "serving_kernel_time_ms_window",
+		telemetry.TypeGauge, "Kernel wall-time quantiles over the recent window (ms).")
+	e.Family("serving_kernel_bytes_added_total", telemetry.TypeCounter, "Bytes of output allocated by kernel dispatches.")
+	e.Family("telemetry_upload_bytes_total", telemetry.TypeCounter, "Bytes uploaded host-to-device.")
+	e.Family("telemetry_download_bytes_total", telemetry.TypeCounter, "Bytes downloaded device-to-host.")
+	e.Family("telemetry_page_out_bytes_total", telemetry.TypeCounter, "Bytes paged out of device memory.")
+	e.Family("telemetry_page_in_bytes_total", telemetry.TypeCounter, "Bytes paged back into device memory.")
+	e.Family("telemetry_fence_total", telemetry.TypeCounter, "Device fences awaited.")
 	for _, span := range stats.Spans() {
-		model := modelOfSpan(span)
+		model := telemetry.L("model", modelOfSpan(span))
 		for _, ks := range stats.KernelsForSpan(span) {
-			fmt.Fprintf(b, "serving_kernel_invocations_total{model=%q,kernel=%q} %d\n", model, ks.Name, ks.Count)
-			fmt.Fprintf(b, "serving_kernel_time_ms_total{model=%q,kernel=%q} %.3f\n", model, ks.Name, ks.TotalMS)
-			fmt.Fprintf(b, "serving_kernel_time_ms{model=%q,kernel=%q,quantile=\"0.5\"} %.3f\n", model, ks.Name, ks.P50MS)
-			fmt.Fprintf(b, "serving_kernel_time_ms{model=%q,kernel=%q,quantile=\"0.95\"} %.3f\n", model, ks.Name, ks.P95MS)
-			fmt.Fprintf(b, "serving_kernel_bytes_added_total{model=%q,kernel=%q} %d\n", model, ks.Name, ks.BytesAdded)
+			kernel := telemetry.L("kernel", ks.Name)
+			e.Int("serving_kernel_invocations_total", ks.Count, model, kernel)
+			e.Float("serving_kernel_time_ms_total", ks.TotalMS, model, kernel)
+			e.Float("serving_kernel_time_ms", ks.P50MS, model, kernel, telemetry.L("quantile", "0.5"))
+			e.Float("serving_kernel_time_ms", ks.P95MS, model, kernel, telemetry.L("quantile", "0.95"))
+			e.Int("serving_kernel_bytes_added_total", ks.BytesAdded, model, kernel)
 		}
 	}
 	tr := stats.Transfers()
-	fmt.Fprintf(b, "telemetry_upload_bytes_total %d\n", tr.UploadBytes)
-	fmt.Fprintf(b, "telemetry_download_bytes_total %d\n", tr.DownloadBytes)
-	fmt.Fprintf(b, "telemetry_page_out_bytes_total %d\n", tr.PageOutBytes)
-	fmt.Fprintf(b, "telemetry_page_in_bytes_total %d\n", tr.PageInBytes)
-	fmt.Fprintf(b, "telemetry_fence_total %d\n", tr.FenceCount)
+	e.Int("telemetry_upload_bytes_total", tr.UploadBytes)
+	e.Int("telemetry_download_bytes_total", tr.DownloadBytes)
+	e.Int("telemetry_page_out_bytes_total", tr.PageOutBytes)
+	e.Int("telemetry_page_in_bytes_total", tr.PageInBytes)
+	e.Int("telemetry_fence_total", tr.FenceCount)
+}
+
+// addTraceSamples appends the trace-ring overwrite counters: one series
+// per shard plus nothing else — a nonzero value means downloaded traces
+// are truncated to the most recent events.
+func addTraceSamples(e *telemetry.Exposition, trace *telemetry.Recorder) {
+	e.Family("telemetry_trace_dropped_events_total", telemetry.TypeCounter, "Trace events overwritten by ring wraparound, per shard.")
+	for shard, n := range trace.DroppedByShard() {
+		e.Int("telemetry_trace_dropped_events_total", n, telemetry.L("shard", strconv.Itoa(shard)))
+	}
+}
+
+// addProfilerSamples appends the continuous profiler's own series: how
+// many events it consumed, what its sampled self-overhead cost, and the
+// per-kernel measured cost accounts (ns/element EWMA plus quantiles).
+func addProfilerSamples(e *telemetry.Exposition, prof *telemetry.Profiler) {
+	e.Family("telemetry_profiler_events_total", telemetry.TypeCounter, "Kernel events consumed by the continuous profiler.")
+	e.Family("telemetry_profiler_overhead_samples_total", telemetry.TypeCounter, "Profiler self-overhead samples taken (1 in 64 events).")
+	e.Family("telemetry_profiler_overhead_ns_total", telemetry.TypeCounter, "Sampled wall time spent inside the profiler's observe path (ns).")
+	e.Family("telemetry_kernel_cost_ns_total", telemetry.TypeCounter, "Cumulative measured kernel time by kernel (ns).")
+	e.Family("telemetry_kernel_cost_items_total", telemetry.TypeCounter, "Output elements processed by measured kernel dispatches.")
+	e.Family("telemetry_kernel_cost_ns_per_element", telemetry.TypeGauge, "Measured kernel cost: ns per output element (EWMA, plus p50/p95 quantiles).")
+	e.Int("telemetry_profiler_events_total", prof.Events())
+	samples, overheadNS := prof.Overhead()
+	e.Int("telemetry_profiler_overhead_samples_total", samples)
+	e.Int("telemetry_profiler_overhead_ns_total", overheadNS)
+	for _, cs := range prof.Snapshot() {
+		kernel := telemetry.L("kernel", cs.Kernel)
+		e.Int("telemetry_kernel_cost_ns_total", cs.TotalNS, kernel)
+		e.Int("telemetry_kernel_cost_items_total", cs.Items, kernel)
+		e.Float("telemetry_kernel_cost_ns_per_element", cs.NSPerItem, kernel)
+		e.Float("telemetry_kernel_cost_ns_per_element", cs.P50, kernel, telemetry.L("quantile", "0.5"))
+		e.Float("telemetry_kernel_cost_ns_per_element", cs.P95, kernel, telemetry.L("quantile", "0.95"))
+	}
 }

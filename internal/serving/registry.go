@@ -234,7 +234,7 @@ func (m *Model) Predict(ctx context.Context, inst Instance) (Instance, error) {
 			return Instance{}, &ShedError{
 				Reason:     "tenant_quota",
 				Tenant:     tenant,
-				RetryAfter: retryAfterHint(m.metrics, sched.QueueDepth(), m.cfg.MaxBatchSize),
+				RetryAfter: sched.retryAfter(),
 			}
 		}
 		defer release()

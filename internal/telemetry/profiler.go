@@ -1,0 +1,391 @@
+package telemetry
+
+// The always-on continuous profiler: rolling measured-cost accounts for
+// plan steps and kernels. The paper's §7 argues a deployed runtime needs
+// continuous measurement; here the measurement closes the loop — the
+// native backend feeds per-chunk timings into per-step CostAccounts and,
+// under exec.CostModelMeasured, derives its parallelism grain from the
+// observed ns/item instead of compile-time flop guesses, and the serving
+// batcher's Retry-After model uses the measured execution cost instead of
+// a hardcoded 50ms assumption.
+//
+// Everything here is engineered for the kernel hot path:
+//   - one process-wide atomic gate (EnableProfiling) turns the whole layer
+//     off for A/B overhead measurement;
+//   - CostAccount's EWMA is a lock-free CAS on float bits, its totals are
+//     plain atomics, and its streaming quantiles sit behind a TryLock that
+//     is skipped (never waited on) under contention;
+//   - the Profiler observer shards its kernel-name map and samples its own
+//     overhead 1-in-64 so the self-measurement is itself cheap.
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// profilingOff gates every measured-cost collection site. Inverted
+// polarity so the zero value means "profiling on" — always-on by default,
+// no init required.
+var profilingOff atomic.Bool
+
+// EnableProfiling turns the continuous profiler's collection on or off
+// process-wide. It is on by default; `tfjs-bench overhead` flips it off
+// for the profiler-off arm of the overhead budget measurement.
+func EnableProfiling(on bool) { profilingOff.Store(!on) }
+
+// ProfilingOn reports whether measured-cost collection is enabled — the
+// single atomic load producers gate on.
+func ProfilingOn() bool { return !profilingOff.Load() }
+
+// ---------------------------------------------------------------------------
+// P² streaming quantile estimation
+
+// p2Quantile is the P² (piecewise-parabolic) streaming quantile estimator
+// of Jain & Chlamtac (1985): five markers track one quantile of an
+// unbounded stream in O(1) space and time per observation, no sample
+// buffer. It backs CostAccount's p50/p95 — a sliding-window Distribution
+// would cost a 512-float buffer per plan step per replica.
+type p2Quantile struct {
+	p    float64    // target quantile in (0,1)
+	n    int        // observations seen
+	q    [5]float64 // marker heights
+	pos  [5]float64 // actual marker positions (1-based)
+	want [5]float64 // desired marker positions
+	inc  [5]float64 // desired-position increments per observation
+}
+
+func newP2(p float64) p2Quantile {
+	return p2Quantile{
+		p:    p,
+		want: [5]float64{1, 1 + 2*p, 1 + 4*p, 3 + 2*p, 5},
+		inc:  [5]float64{0, p / 2, p, (1 + p) / 2, 1},
+	}
+}
+
+// observe folds one sample into the estimator.
+func (e *p2Quantile) observe(x float64) {
+	if e.n < 5 {
+		e.q[e.n] = x
+		e.n++
+		if e.n == 5 {
+			sort.Float64s(e.q[:])
+			for i := range e.pos {
+				e.pos[i] = float64(i + 1)
+			}
+		}
+		return
+	}
+	// Find the cell k such that q[k] <= x < q[k+1], extending the extremes.
+	var k int
+	switch {
+	case x < e.q[0]:
+		e.q[0] = x
+		k = 0
+	case x >= e.q[4]:
+		e.q[4] = x
+		k = 3
+	default:
+		for k = 0; k < 3; k++ {
+			if x < e.q[k+1] {
+				break
+			}
+		}
+	}
+	for i := k + 1; i < 5; i++ {
+		e.pos[i]++
+	}
+	for i := range e.want {
+		e.want[i] += e.inc[i]
+	}
+	// Adjust the three interior markers toward their desired positions.
+	for i := 1; i <= 3; i++ {
+		d := e.want[i] - e.pos[i]
+		if (d >= 1 && e.pos[i+1]-e.pos[i] > 1) || (d <= -1 && e.pos[i-1]-e.pos[i] < -1) {
+			sign := 1.0
+			if d < 0 {
+				sign = -1.0
+			}
+			q := e.parabolic(i, sign)
+			if e.q[i-1] < q && q < e.q[i+1] {
+				e.q[i] = q
+			} else {
+				e.q[i] = e.linear(i, sign)
+			}
+			e.pos[i] += sign
+		}
+	}
+	e.n++
+}
+
+// parabolic is the P² piecewise-parabolic height prediction for marker i
+// moved by d (±1).
+func (e *p2Quantile) parabolic(i int, d float64) float64 {
+	return e.q[i] + d/(e.pos[i+1]-e.pos[i-1])*
+		((e.pos[i]-e.pos[i-1]+d)*(e.q[i+1]-e.q[i])/(e.pos[i+1]-e.pos[i])+
+			(e.pos[i+1]-e.pos[i]-d)*(e.q[i]-e.q[i-1])/(e.pos[i]-e.pos[i-1]))
+}
+
+// linear is the fallback linear height prediction.
+func (e *p2Quantile) linear(i int, d float64) float64 {
+	j := i + int(d)
+	return e.q[i] + d*(e.q[j]-e.q[i])/(e.pos[j]-e.pos[i])
+}
+
+// value returns the current quantile estimate (exact for n < 5).
+func (e *p2Quantile) value() float64 {
+	if e.n == 0 {
+		return 0
+	}
+	if e.n < 5 {
+		s := append([]float64(nil), e.q[:e.n]...)
+		sort.Float64s(s)
+		idx := int(e.p * float64(len(s)-1))
+		return s[idx]
+	}
+	return e.q[2]
+}
+
+// ---------------------------------------------------------------------------
+// CostAccount
+
+// CostAccount is one rolling measured-cost account: the ns/item EWMA the
+// backend's grain selection reads, plus totals and streaming p50/p95 for
+// the exposition surfaces. It implements exec.CostObserver. The zero
+// value is NOT ready; use NewCostAccount.
+type CostAccount struct {
+	// ewma holds math.Float64bits of the smoothed ns/item; 0 means "no
+	// observations yet". Updated by CAS so concurrent chunk timings from
+	// different pool workers never lose the account.
+	ewma  atomic.Uint64
+	count atomic.Int64 // ObserveCost calls
+	items atomic.Int64 // total loop items timed
+	ns    atomic.Int64 // total nanoseconds timed
+
+	// qmu guards the quantile estimators. ObserveCost only TryLocks it —
+	// under contention the sample is skipped (the totals above still
+	// count it), so the hot path never blocks on a sibling chunk.
+	qmu sync.Mutex
+	p50 p2Quantile
+	p95 p2Quantile
+}
+
+// ewmaShift is the EWMA smoothing factor as a right-shift: new values
+// weigh 1/8. Small enough to ride out scheduling noise, large enough to
+// track a model's cost drift within a few dozen steps.
+const ewmaShift = 8
+
+// NewCostAccount returns an empty account.
+func NewCostAccount() *CostAccount {
+	return &CostAccount{p50: newP2(0.50), p95: newP2(0.95)}
+}
+
+// ObserveCost implements exec.CostObserver: fold one timed run of items
+// loop iterations taking ns nanoseconds into the account.
+func (a *CostAccount) ObserveCost(ns int64, items int) {
+	if items <= 0 {
+		return
+	}
+	x := float64(ns) / float64(items)
+	a.count.Add(1)
+	a.items.Add(int64(items))
+	a.ns.Add(ns)
+	for {
+		old := a.ewma.Load()
+		var next float64
+		if old == 0 {
+			next = x
+		} else {
+			prev := math.Float64frombits(old)
+			next = prev + (x-prev)/ewmaShift
+		}
+		if a.ewma.CompareAndSwap(old, math.Float64bits(next)) {
+			break
+		}
+	}
+	if a.qmu.TryLock() {
+		a.p50.observe(x)
+		a.p95.observe(x)
+		a.qmu.Unlock()
+	}
+}
+
+// NSPerItem implements exec.CostObserver: the smoothed measured cost per
+// loop item in nanoseconds (0 until the first observation).
+func (a *CostAccount) NSPerItem() float64 {
+	return math.Float64frombits(a.ewma.Load())
+}
+
+// Count returns the number of timed runs folded in.
+func (a *CostAccount) Count() int64 { return a.count.Load() }
+
+// Items returns the total loop items timed.
+func (a *CostAccount) Items() int64 { return a.items.Load() }
+
+// TotalNS returns the total nanoseconds timed.
+func (a *CostAccount) TotalNS() int64 { return a.ns.Load() }
+
+// Quantiles returns the streaming p50/p95 of the observed ns/item samples.
+func (a *CostAccount) Quantiles() (p50, p95 float64) {
+	a.qmu.Lock()
+	defer a.qmu.Unlock()
+	return a.p50.value(), a.p95.value()
+}
+
+// ---------------------------------------------------------------------------
+// Profiler
+
+// profilerShards spreads the kernel-name map across independently locked
+// shards, mirroring the trace recorder's sharding: concurrent replicas
+// dispatching different kernels rarely contend.
+const profilerShards = 8
+
+// overheadSampleEvery is the self-overhead sampling rate: one in this
+// many observed events is timed, so the profiler reports its own cost
+// without paying a clock read per kernel.
+const overheadSampleEvery = 64
+
+type profilerShard struct {
+	mu       sync.RWMutex
+	accounts map[string]*CostAccount
+}
+
+// Profiler is the hub Observer behind the per-kernel measured-cost
+// accounts: every kernel event with a known output element count feeds
+// the kernel's CostAccount (wall ns per output element). It backs the
+// telemetry_kernel_cost_* series on /metrics and the top-K table of
+// tfjs-profile -top.
+type Profiler struct {
+	shards [profilerShards]profilerShard
+	events atomic.Int64 // kernel events folded in
+
+	// Self-overhead accounting: 1 in overheadSampleEvery observations is
+	// timed end to end.
+	seq             atomic.Uint64
+	overheadNS      atomic.Int64
+	overheadSamples atomic.Int64
+}
+
+// NewProfiler returns an empty profiler.
+func NewProfiler() *Profiler {
+	p := &Profiler{}
+	for i := range p.shards {
+		p.shards[i].accounts = map[string]*CostAccount{}
+	}
+	return p
+}
+
+// shardOf hashes a kernel name onto a shard (FNV-1a).
+func shardOf(name string) int {
+	h := uint32(2166136261)
+	for i := 0; i < len(name); i++ {
+		h ^= uint32(name[i])
+		h *= 16777619
+	}
+	return int(h % profilerShards)
+}
+
+// Account returns the rolling cost account for one kernel name, creating
+// it on first use.
+func (p *Profiler) Account(name string) *CostAccount {
+	s := &p.shards[shardOf(name)]
+	s.mu.RLock()
+	a := s.accounts[name]
+	s.mu.RUnlock()
+	if a != nil {
+		return a
+	}
+	s.mu.Lock()
+	a = s.accounts[name]
+	if a == nil {
+		a = NewCostAccount()
+		s.accounts[name] = a
+	}
+	s.mu.Unlock()
+	return a
+}
+
+// Observe implements Observer: kernel events with an output element count
+// feed the kernel's cost account.
+func (p *Profiler) Observe(ev Event) {
+	if ev.Kind != KindKernel || ev.Elements <= 0 || !ProfilingOn() {
+		return
+	}
+	sampled := p.seq.Add(1)%overheadSampleEvery == 0
+	var t0 time.Time
+	if sampled {
+		t0 = time.Now()
+	}
+	ns := int64(ev.DurMS * float64(time.Millisecond))
+	p.Account(ev.Name).ObserveCost(ns, int(ev.Elements))
+	p.events.Add(1)
+	if sampled {
+		p.overheadNS.Add(time.Since(t0).Nanoseconds())
+		p.overheadSamples.Add(1)
+	}
+}
+
+// Events returns the number of kernel events folded in.
+func (p *Profiler) Events() int64 { return p.events.Load() }
+
+// Overhead returns the self-overhead sampling counters: how many
+// observations were timed and their summed cost. The mean (ns/sample)
+// estimates the profiler's per-event cost; the /metrics series exports
+// both so the rate stays computable after scrapes.
+func (p *Profiler) Overhead() (samples, totalNS int64) {
+	return p.overheadSamples.Load(), p.overheadNS.Load()
+}
+
+// CostSummary is one kernel's measured-cost snapshot.
+type CostSummary struct {
+	Kernel    string  `json:"kernel"`
+	Count     int64   `json:"count"`       // timed runs
+	Items     int64   `json:"items"`       // output elements timed
+	TotalNS   int64   `json:"total_ns"`    // summed wall nanoseconds
+	NSPerItem float64 `json:"ns_per_item"` // EWMA
+	P50       float64 `json:"p50_ns_item"` // streaming p50 of ns/item
+	P95       float64 `json:"p95_ns_item"` // streaming p95 of ns/item
+}
+
+// Snapshot returns every kernel's cost summary, sorted by total measured
+// time descending (ties by name, so the order is deterministic).
+func (p *Profiler) Snapshot() []CostSummary {
+	var out []CostSummary
+	for i := range p.shards {
+		s := &p.shards[i]
+		s.mu.RLock()
+		for name, a := range s.accounts {
+			p50, p95 := a.Quantiles()
+			out = append(out, CostSummary{
+				Kernel:    name,
+				Count:     a.Count(),
+				Items:     a.Items(),
+				TotalNS:   a.TotalNS(),
+				NSPerItem: a.NSPerItem(),
+				P50:       p50,
+				P95:       p95,
+			})
+		}
+		s.mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].TotalNS != out[j].TotalNS {
+			return out[i].TotalNS > out[j].TotalNS
+		}
+		return out[i].Kernel < out[j].Kernel
+	})
+	return out
+}
+
+// Top returns the k kernels with the highest total measured time.
+func (p *Profiler) Top(k int) []CostSummary {
+	all := p.Snapshot()
+	if k > 0 && len(all) > k {
+		all = all[:k]
+	}
+	return all
+}
+
+var _ Observer = (*Profiler)(nil)

@@ -1,0 +1,272 @@
+package telemetry
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// TestP2QuantileVsSorted checks the streaming P² estimates against exact
+// sorted-sample quantiles on a deterministic stream: the estimator has no
+// buffer, so some error is expected, but it must land near the truth.
+func TestP2QuantileVsSorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const n = 20000
+	samples := make([]float64, n)
+	p50 := newP2(0.50)
+	p95 := newP2(0.95)
+	for i := range samples {
+		// A right-skewed mixture, like real per-item kernel costs: mostly
+		// cheap with an occasional expensive tail.
+		v := rng.Float64() * 100
+		if rng.Intn(10) == 0 {
+			v += 500
+		}
+		samples[i] = v
+		p50.observe(v)
+		p95.observe(v)
+	}
+	sort.Float64s(samples)
+	exact50 := samples[n/2]
+	exact95 := samples[n*95/100]
+	if got := p50.value(); math.Abs(got-exact50) > 0.1*exact50 {
+		t.Errorf("p50 estimate %.2f, exact %.2f (>10%% off)", got, exact50)
+	}
+	if got := p95.value(); math.Abs(got-exact95) > 0.1*exact95 {
+		t.Errorf("p95 estimate %.2f, exact %.2f (>10%% off)", got, exact95)
+	}
+}
+
+// TestP2QuantileSmallStreams checks the exact-small-n path (n < 5 keeps
+// raw samples) and the empty case.
+func TestP2QuantileSmallStreams(t *testing.T) {
+	e := newP2(0.5)
+	if got := e.value(); got != 0 {
+		t.Errorf("empty estimator: got %v, want 0", got)
+	}
+	e.observe(30)
+	e.observe(10)
+	e.observe(20)
+	if got := e.value(); got != 20 {
+		t.Errorf("median of {10,20,30}: got %v, want 20", got)
+	}
+}
+
+// TestCostAccountEWMAConverges feeds a constant per-item cost and checks
+// the EWMA settles on it, then shifts the cost and checks it tracks.
+func TestCostAccountEWMAConverges(t *testing.T) {
+	a := NewCostAccount()
+	if a.NSPerItem() != 0 {
+		t.Fatalf("fresh account NSPerItem = %v, want 0", a.NSPerItem())
+	}
+	for i := 0; i < 100; i++ {
+		a.ObserveCost(1000, 10) // 100 ns/item
+	}
+	if got := a.NSPerItem(); math.Abs(got-100) > 1 {
+		t.Errorf("EWMA after constant 100 ns/item: got %.2f", got)
+	}
+	// Cost doubles: within a few hundred observations the EWMA (1/8 new
+	// weight) must have settled on the new level.
+	for i := 0; i < 2000; i++ {
+		a.ObserveCost(2000, 10) // 200 ns/item
+	}
+	if got := a.NSPerItem(); math.Abs(got-200) > 10 {
+		t.Errorf("EWMA after shift to 200 ns/item: got %.2f", got)
+	}
+	if a.Count() != 2100 || a.Items() != 21000 || a.TotalNS() != 100*1000+2000*2000 {
+		t.Errorf("totals: count=%d items=%d ns=%d", a.Count(), a.Items(), a.TotalNS())
+	}
+	p50, p95 := a.Quantiles()
+	if p50 < 100 || p50 > 200 || p95 < p50 {
+		t.Errorf("quantiles p50=%v p95=%v out of range", p50, p95)
+	}
+	// Non-positive item counts are ignored, never divide by zero.
+	a.ObserveCost(500, 0)
+	a.ObserveCost(500, -3)
+	if a.Count() != 2100 {
+		t.Errorf("non-positive items changed count: %d", a.Count())
+	}
+}
+
+// TestCostAccountConcurrent hammers one account from many goroutines while
+// readers poll the EWMA and quantiles — run under -race this is the
+// lock-freedom proof for the hot path; the totals check catches lost CAS
+// updates.
+func TestCostAccountConcurrent(t *testing.T) {
+	a := NewCostAccount()
+	const writers = 8
+	const perWriter = 5000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					_ = a.NSPerItem()
+					_, _ = a.Quantiles()
+					_ = a.Count()
+				}
+			}
+		}()
+	}
+	var writerWG sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		writerWG.Add(1)
+		go func() {
+			defer writerWG.Done()
+			for i := 0; i < perWriter; i++ {
+				a.ObserveCost(int64(100+i%7), 1+i%3)
+			}
+		}()
+	}
+	writerWG.Wait()
+	close(stop)
+	wg.Wait()
+	if got := a.Count(); got != writers*perWriter {
+		t.Errorf("lost observations: count=%d want %d", got, writers*perWriter)
+	}
+	if a.NSPerItem() <= 0 {
+		t.Errorf("EWMA = %v after %d observations", a.NSPerItem(), a.Count())
+	}
+}
+
+// TestDistributionConcurrentQuantiles races quantile reads against writes:
+// Quantiles must copy the window under the lock, so a concurrent Observe
+// can never hand sort.Float64s a mutating slice. Run with -race.
+func TestDistributionConcurrentQuantiles(t *testing.T) {
+	d := NewDistribution()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					qs := d.Quantiles(0.5, 0.95, 0.99)
+					if qs[0] > qs[2] {
+						t.Errorf("p50 %v > p99 %v", qs[0], qs[2])
+						return
+					}
+					_ = d.Count()
+					_ = d.Total()
+				}
+			}
+		}()
+	}
+	// Enough writes to wrap the sliding window several times over.
+	const writes = 4 * distributionWindow
+	var writerWG sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		writerWG.Add(1)
+		go func(seed int) {
+			defer writerWG.Done()
+			for i := 0; i < writes; i++ {
+				d.Observe(float64(seed*writes + i))
+			}
+		}(w)
+	}
+	writerWG.Wait()
+	close(stop)
+	wg.Wait()
+	if got := d.Count(); got != 4*writes {
+		t.Errorf("count = %d, want %d", got, 4*writes)
+	}
+}
+
+// TestProfilerObserve checks the event filter and the EnableProfiling
+// gate: only kernel events with a positive element count feed accounts,
+// and nothing is recorded while profiling is off.
+func TestProfilerObserve(t *testing.T) {
+	p := NewProfiler()
+	p.Observe(Event{Kind: KindKernel, Name: "MatMul", DurMS: 1, Elements: 1000})
+	p.Observe(Event{Kind: KindKernel, Name: "MatMul", DurMS: 3, Elements: 1000})
+	p.Observe(Event{Kind: KindKernel, Name: "Relu", DurMS: 0.5, Elements: 500})
+	p.Observe(Event{Kind: KindUpload, Name: "upload", DurMS: 9, Elements: 100}) // wrong kind
+	p.Observe(Event{Kind: KindKernel, Name: "NoElems", DurMS: 9})               // no element count
+	if got := p.Events(); got != 3 {
+		t.Fatalf("Events() = %d, want 3", got)
+	}
+
+	EnableProfiling(false)
+	p.Observe(Event{Kind: KindKernel, Name: "MatMul", DurMS: 1, Elements: 1000})
+	EnableProfiling(true)
+	p.Observe(Event{Kind: KindKernel, Name: "MatMul", DurMS: 1, Elements: 1000})
+	if got := p.Events(); got != 4 {
+		t.Fatalf("Events() = %d after gate cycle, want 4", got)
+	}
+
+	snap := p.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("Snapshot() has %d kernels, want 2: %+v", len(snap), snap)
+	}
+	// MatMul accumulated 5ms over 3000 elements, Relu 0.5ms over 500 —
+	// Snapshot sorts by total time descending.
+	if snap[0].Kernel != "MatMul" || snap[1].Kernel != "Relu" {
+		t.Errorf("snapshot order: %q, %q", snap[0].Kernel, snap[1].Kernel)
+	}
+	if snap[0].Count != 3 || snap[0].Items != 3000 {
+		t.Errorf("MatMul summary: %+v", snap[0])
+	}
+	if snap[0].NSPerItem <= 0 {
+		t.Errorf("MatMul NSPerItem = %v", snap[0].NSPerItem)
+	}
+	if top := p.Top(1); len(top) != 1 || top[0].Kernel != "MatMul" {
+		t.Errorf("Top(1) = %+v", top)
+	}
+}
+
+// TestProfilerOverheadSampling drives enough events through Observe that
+// the 1-in-overheadSampleEvery self-timing must have triggered.
+func TestProfilerOverheadSampling(t *testing.T) {
+	p := NewProfiler()
+	for i := 0; i < 3*overheadSampleEvery; i++ {
+		p.Observe(Event{Kind: KindKernel, Name: "K", DurMS: 0.1, Elements: 10})
+	}
+	samples, totalNS := p.Overhead()
+	if samples != 3 {
+		t.Errorf("overhead samples = %d, want 3", samples)
+	}
+	if totalNS < 0 {
+		t.Errorf("overhead totalNS = %d", totalNS)
+	}
+}
+
+// TestRecorderDroppedByShard overflows a tiny ring and checks the
+// per-shard overwrite counters: each sums into Dropped, and resetting
+// clears them.
+func TestRecorderDroppedByShard(t *testing.T) {
+	r := NewRecorder(recorderShards) // one slot per shard
+	const events = 5 * recorderShards
+	for i := 0; i < events; i++ {
+		r.Observe(Event{Kind: KindKernel, Name: "K"})
+	}
+	byShard := r.DroppedByShard()
+	if len(byShard) != recorderShards {
+		t.Fatalf("DroppedByShard has %d entries, want %d", len(byShard), recorderShards)
+	}
+	var sum int64
+	for _, n := range byShard {
+		sum += n
+	}
+	if sum != r.Dropped() {
+		t.Errorf("shard drops sum to %d, Dropped() = %d", sum, r.Dropped())
+	}
+	if want := int64(events - recorderShards); sum != want {
+		t.Errorf("dropped %d events, want %d", sum, want)
+	}
+	r.Reset()
+	if r.Dropped() != 0 {
+		t.Errorf("Dropped() = %d after Reset", r.Dropped())
+	}
+}

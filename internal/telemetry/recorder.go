@@ -26,15 +26,15 @@ const DefaultRecorderCapacity = 16384
 // loadable in chrome://tracing (or perfetto). Old events are overwritten,
 // so memory is bounded regardless of how long tracing stays enabled.
 type Recorder struct {
-	shards  [recorderShards]recorderShard
-	cursor  atomic.Uint64 // round-robins emissions across shards
-	dropped atomic.Int64  // events overwritten since creation
+	shards [recorderShards]recorderShard
+	cursor atomic.Uint64 // round-robins emissions across shards
 }
 
 type recorderShard struct {
-	mu   sync.Mutex
-	buf  []Event
-	next uint64 // total events written to this shard
+	mu      sync.Mutex
+	buf     []Event
+	next    uint64 // total events written to this shard
+	dropped int64  // events overwritten by this shard's ring wrapping
 }
 
 // NewRecorder returns a recorder keeping at most capacity events
@@ -62,14 +62,39 @@ func (r *Recorder) Observe(ev Event) {
 		s.buf = append(s.buf, ev)
 	} else {
 		s.buf[s.next%uint64(cap(s.buf))] = ev
-		r.dropped.Add(1)
+		s.dropped++
 	}
 	s.next++
 	s.mu.Unlock()
 }
 
-// Dropped reports how many events were overwritten by ring wraparound.
-func (r *Recorder) Dropped() int64 { return r.dropped.Load() }
+// Dropped reports how many events were overwritten by ring wraparound,
+// summed across shards. A nonzero count means a downloaded trace is
+// truncated: the ring kept only the most recent events.
+func (r *Recorder) Dropped() int64 {
+	var n int64
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.Lock()
+		n += s.dropped
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// DroppedByShard reports each shard's overwrite count. Shards fill
+// round-robin, so a skewed distribution points at a burst that wrapped
+// one shard while others still had room.
+func (r *Recorder) DroppedByShard() []int64 {
+	out := make([]int64, recorderShards)
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.Lock()
+		out[i] = s.dropped
+		s.mu.Unlock()
+	}
+	return out
+}
 
 // Len reports the number of retained events.
 func (r *Recorder) Len() int {
@@ -108,6 +133,7 @@ func (r *Recorder) Reset() {
 		s.mu.Lock()
 		s.buf = s.buf[:0]
 		s.next = 0
+		s.dropped = 0
 		s.mu.Unlock()
 	}
 }
@@ -126,9 +152,9 @@ type traceEvent struct {
 	Dur   *int64         `json:"dur,omitempty"` // microseconds, X events
 	PID   int            `json:"pid"`
 	TID   int            `json:"tid"`
-	Scope string         `json:"s,omitempty"`   // instant-event scope
-	ID    string         `json:"id,omitempty"`  // flow-event chain id
-	BP    string         `json:"bp,omitempty"`  // flow binding point ("e")
+	Scope string         `json:"s,omitempty"`  // instant-event scope
+	ID    string         `json:"id,omitempty"` // flow-event chain id
+	BP    string         `json:"bp,omitempty"` // flow binding point ("e")
 	Args  map[string]any `json:"args,omitempty"`
 }
 

@@ -147,6 +147,10 @@ type Event struct {
 	FlowID uint64
 	// Count is a generic cardinality: the batch size on Batch events.
 	Count int
+	// Elements is the total output element count of a kernel dispatch
+	// (Kernel only) — the denominator of the continuous profiler's
+	// measured ns/element accounts.
+	Elements int64
 }
 
 // Observer receives telemetry events. Implementations must be safe for

@@ -38,6 +38,23 @@ const (
 	GEMMNaive  = exec.GEMMNaive
 )
 
+// CostModel selects where the parallelism grain's per-element cost comes
+// from: the plan's static flop estimates, or the continuous profiler's
+// measured ns/element accounts.
+type CostModel = exec.CostModel
+
+// Cost models: static flop estimates (default) and measured ns/element
+// feedback from the continuous profiler. Results are bit-identical either
+// way; only chunking — and therefore wall time — changes.
+const (
+	CostModelStatic   = exec.CostModelStatic
+	CostModelMeasured = exec.CostModelMeasured
+)
+
+// WithCostModel selects the chunk-grain cost source (CostModelStatic or
+// CostModelMeasured).
+func WithCostModel(m CostModel) ExecOption { return exec.WithCostModel(m) }
+
 // WithWorkers sets the intra-op worker budget — how many chunks of one
 // kernel's index space may execute concurrently. Results are bit-identical
 // across any worker count; only wall time changes. n < 0 resets to the
