@@ -15,7 +15,11 @@ import (
 // average kernel launches per request — the graph-optimizer's primary
 // observable; KernelCounts breaks that down by kernel name (per inference
 // for the fusion modes, totals across the run for the serving modes, where
-// micro-batching makes per-request counts fractional).
+// micro-batching makes per-request counts fractional). The heap-pressure
+// trio (AllocsPerOp, BytesPerOp, GCPauseP95MS) is the memory planner's
+// observable: allocations and bytes per served request plus the p95
+// stop-the-world GC pause over the measured run — compare a -pool=on run
+// against -pool=off to see the recycler's effect.
 type ModeResult struct {
 	QPS              float64          `json:"qps"`
 	P50MS            float64          `json:"p50_ms,omitempty"`
@@ -26,6 +30,9 @@ type ModeResult struct {
 	PeakBytes        int64            `json:"peak_bytes,omitempty"`
 	KernelDispatches int64            `json:"kernel_dispatches,omitempty"`
 	KernelCounts     map[string]int64 `json:"kernel_counts,omitempty"`
+	AllocsPerOp      float64          `json:"allocs_per_op,omitempty"`
+	BytesPerOp       float64          `json:"bytes_per_op,omitempty"`
+	GCPauseP95MS     float64          `json:"gc_pause_p95_ms,omitempty"`
 }
 
 // ServingBench is a captured serving-benchmark run: the workload config

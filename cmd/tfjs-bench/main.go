@@ -42,7 +42,11 @@
 // default, or naive), -quant=int8 converts the model with the int8
 // scheme and serves it on the quantized compute path, and
 // -cost-model=measured feeds the continuous profiler's ns/element
-// accounts back into the parallelism grain. The ladder command measures
+// accounts back into the parallelism grain. -pool=off disables the
+// backend buffer recycler (the memory-planner A/B arm): every served
+// mode also reports heap allocations and bytes per request plus the GC
+// pause p95 over the run, so the pooled-vs-unpooled delta is measurable
+// from two invocations. The ladder command measures
 // all five rungs in one run — naive ×1 worker, packed ×1, packed ×N
 // cores, measured ×N, int8 ×N — and enforces two gates: the measured
 // rung must be bitwise identical to packed ×N (grain changes may never
@@ -77,6 +81,7 @@ func main() {
 	gemm := flag.String("gemm", "packed", "serve: native matmul core, packed or naive")
 	quant := flag.String("quant", "f32", "serve: compute precision, f32 or int8 (int8 converts with the int8 scheme and serves on the quantized path)")
 	costModel := flag.String("cost-model", "static", "serve/overhead: parallelism cost source, static or measured")
+	pool := flag.String("pool", "on", "serve: backend buffer recycler, on or off (the memory-planner A/B arm; off forces a fresh allocation per tensor)")
 	overheadBudget := flag.Float64("overhead-budget", 3.0, "overhead: max profiler QPS overhead in percent before exiting nonzero")
 	replicas := flag.Int("replicas", 1, "serve: also measure an N-replica engine pool (adds a replicasN mode)")
 	traceDir := flag.String("tracedir", "", "fusion: write trace_fusion_{on,off}.json Chrome traces to this directory")
@@ -95,6 +100,10 @@ func main() {
 	}
 	if cm := tf.CostModel(*costModel); cm != tf.CostModelStatic && cm != tf.CostModelMeasured {
 		fmt.Fprintf(os.Stderr, "-cost-model must be static or measured, got %q\n", *costModel)
+		os.Exit(2)
+	}
+	if *pool != "on" && *pool != "off" {
+		fmt.Fprintf(os.Stderr, "-pool must be on or off, got %q\n", *pool)
 		os.Exit(2)
 	}
 
@@ -120,7 +129,7 @@ func main() {
 	case "webgpu":
 		webgpuExperiment()
 	case "serve":
-		serveExperiment(*alpha, *size, 10**runs, *baseline, *out, *fusion == "on", *replicas, *gemm, *quant, *costModel)
+		serveExperiment(*alpha, *size, 10**runs, *baseline, *out, *fusion == "on", *replicas, *gemm, *quant, *costModel, *pool == "on")
 	case "fusion":
 		fusionExperiment(*alpha, *size, *runs, *baseline, *out, *traceDir)
 	case "ladder":

@@ -4,8 +4,10 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"math"
 	"os"
 	"runtime"
+	"runtime/metrics"
 	"sync"
 	"time"
 
@@ -28,10 +30,10 @@ import (
 // artifact, or a new BENCH_serving.json baseline). baselinePath compares
 // the run against a committed baseline and exits nonzero on a QPS
 // regression beyond the tolerance.
-func serveExperiment(alpha float64, size, runs int, baselinePath, outPath string, fusion bool, replicas int, gemm, quant, costModel string) {
+func serveExperiment(alpha float64, size, runs int, baselinePath, outPath string, fusion bool, replicas int, gemm, quant, costModel string, pool bool) {
 	fmt.Printf("\n=== Serving: dynamic micro-batching throughput ===\n")
-	fmt.Printf("MobileNet v1 alpha=%.2f input=%dx%dx3, native backend, %d CPU core(s), 32 concurrent clients, %d requests per mode, fusion=%v gemm=%s quant=%s cost-model=%s\n\n",
-		alpha, size, size, runtime.NumCPU(), runs, fusion, gemm, quant, costModel)
+	fmt.Printf("MobileNet v1 alpha=%.2f input=%dx%dx3, native backend, %d CPU core(s), 32 concurrent clients, %d requests per mode, fusion=%v gemm=%s quant=%s cost-model=%s pool=%v\n\n",
+		alpha, size, size, runtime.NumCPU(), runs, fusion, gemm, quant, costModel, pool)
 
 	store := converter.NewMemStore()
 	model, err := tf.MobileNetV1(tf.MobileNetConfig{
@@ -60,6 +62,7 @@ func serveExperiment(alpha float64, size, runs int, baselinePath, outPath string
 		tf.WithOptimize(fusion),
 		tf.WithGEMM(tf.GEMMMode(gemm)),
 		tf.WithCostModel(tf.CostModel(costModel)),
+		tf.WithPooling(pool),
 	}
 	if quant == "int8" {
 		execOpts = append(execOpts, tf.WithQuantizedCompute(true))
@@ -90,11 +93,13 @@ func serveExperiment(alpha float64, size, runs int, baselinePath, outPath string
 			replicas int
 		}{fmt.Sprintf("replicas%d", replicas), 16, replicas})
 	}
-	fmt.Printf("%-12s %10s %10s %10s %10s %10s %12s\n", "Mode", "QPS", "p50 (ms)", "p95 (ms)", "p99 (ms)", "max batch", "dispatch/req")
+	fmt.Printf("%-12s %10s %10s %10s %10s %10s %12s %11s %12s %11s\n",
+		"Mode", "QPS", "p50 (ms)", "p95 (ms)", "p99 (ms)", "max batch", "dispatch/req", "allocs/req", "bytes/req", "gc p95 (ms)")
 	for _, mode := range modes {
 		r := serveThroughput(store, size, mode.maxBatch, runs, execOpts, mode.replicas)
-		fmt.Printf("%-12s %10.1f %10.1f %10.1f %10.1f %10d %12d\n",
-			mode.label, r.QPS, r.P50MS, r.P95MS, r.P99MS, r.MaxBatch, r.KernelDispatches)
+		fmt.Printf("%-12s %10.1f %10.1f %10.1f %10.1f %10d %12d %11.1f %12.0f %11.3f\n",
+			mode.label, r.QPS, r.P50MS, r.P95MS, r.P99MS, r.MaxBatch, r.KernelDispatches,
+			r.AllocsPerOp, r.BytesPerOp, r.GCPauseP95MS)
 		results.Modes[mode.label] = r
 	}
 	fmt.Println("\n(single-core hosts show ~1x: the batched speedup comes from parallelizing the")
@@ -160,6 +165,14 @@ func serveThroughput(store converter.Store, size, maxBatch, total int, execOpts 
 		work <- struct{}{}
 	}
 	close(work)
+	// Heap-pressure bookkeeping for the pool A/B: allocations and bytes per
+	// request over the measured run, plus the p95 GC pause during it. With
+	// the recycler on, steady-state allocs/req collapses to the per-request
+	// plumbing (channels, response slices); -pool=off shows the cost of
+	// malloc-per-tensor inference.
+	var memBefore runtime.MemStats
+	runtime.ReadMemStats(&memBefore)
+	pausesBefore := gcPauseHistogram()
 	start := time.Now()
 	for c := 0; c < clients; c++ {
 		wg.Add(1)
@@ -175,6 +188,9 @@ func serveThroughput(store converter.Store, size, maxBatch, total int, execOpts 
 	wg.Wait()
 	elapsed := time.Since(start)
 	removeStats()
+	var memAfter runtime.MemStats
+	runtime.ReadMemStats(&memAfter)
+	gcPauseP95 := gcPauseP95MS(pausesBefore, gcPauseHistogram())
 
 	var dispatches int64
 	counts := map[string]int64{}
@@ -194,5 +210,55 @@ func serveThroughput(store converter.Store, size, maxBatch, total int, execOpts 
 		// across coalesced requests, so per-request tallies would truncate
 		// to zero for most kernels.
 		KernelCounts: counts,
+		AllocsPerOp:  float64(memAfter.Mallocs-memBefore.Mallocs) / float64(total),
+		BytesPerOp:   float64(memAfter.TotalAlloc-memBefore.TotalAlloc) / float64(total),
+		GCPauseP95MS: gcPauseP95,
 	}
+}
+
+// gcPauseHistogram samples the runtime's cumulative stop-the-world GC
+// pause histogram.
+func gcPauseHistogram() *metrics.Float64Histogram {
+	s := []metrics.Sample{{Name: "/sched/pauses/total/gc:seconds"}}
+	metrics.Read(s)
+	if s[0].Value.Kind() != metrics.KindFloat64Histogram {
+		return nil
+	}
+	return s[0].Value.Float64Histogram()
+}
+
+// gcPauseP95MS computes the p95 GC pause (milliseconds) of the pauses that
+// happened between two cumulative histogram samples. The quantile is
+// pessimistic — it reports the upper bound of the bucket the 95th
+// percentile falls in (the +Inf bucket clamps to its lower bound).
+func gcPauseP95MS(before, after *metrics.Float64Histogram) float64 {
+	if before == nil || after == nil {
+		return 0
+	}
+	counts := make([]uint64, len(after.Counts))
+	var total uint64
+	for i, c := range after.Counts {
+		d := c
+		if i < len(before.Counts) {
+			d -= before.Counts[i]
+		}
+		counts[i] = d
+		total += d
+	}
+	if total == 0 {
+		return 0
+	}
+	target := uint64(0.95 * float64(total))
+	var cum uint64
+	for b, c := range counts {
+		cum += c
+		if cum > target {
+			hi := after.Buckets[b+1]
+			if math.IsInf(hi, 1) {
+				hi = after.Buckets[b]
+			}
+			return hi * 1000
+		}
+	}
+	return 0
 }

@@ -1,14 +1,17 @@
 package analysis
 
 import (
+	"bufio"
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 )
@@ -171,7 +174,11 @@ func (l *Loader) loadPath(path string) (*Package, error) {
 			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
 			continue
 		}
-		filenames = append(filenames, filepath.Join(dir, name))
+		fn := filepath.Join(dir, name)
+		if excludedByBuildTags(fn) {
+			continue
+		}
+		filenames = append(filenames, fn)
 	}
 	sort.Strings(filenames)
 	if len(filenames) == 0 {
@@ -206,6 +213,40 @@ func (l *Loader) loadPath(path string) (*Package, error) {
 	pkg := &Package{Path: path, Dir: dir, Files: files, Types: tpkg, Info: info}
 	l.cache[path] = pkg
 	return pkg, nil
+}
+
+// excludedByBuildTags reports whether the file's //go:build line (if any)
+// evaluates false under the default build configuration: host GOOS/GOARCH
+// and no optional tags such as "race". Without this, variant pairs like
+// race.go/norace.go would both load and redeclare their symbols.
+func excludedByBuildTags(filename string) bool {
+	f, err := os.Open(filename)
+	if err != nil {
+		return false
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if strings.HasPrefix(line, "package ") {
+			break
+		}
+		if !constraint.IsGoBuild(line) {
+			continue
+		}
+		expr, err := constraint.Parse(line)
+		if err != nil {
+			return false
+		}
+		return !expr.Eval(func(tag string) bool {
+			switch tag {
+			case runtime.GOOS, runtime.GOARCH, "gc", "unix":
+				return true
+			}
+			return strings.HasPrefix(tag, "go1.")
+		})
+	}
+	return false
 }
 
 // Import implements types.Importer.

@@ -1,0 +1,282 @@
+// Package bufpool implements the engine-level buffer recycler: the
+// generalization of the WebGL backend's texture recycler (paper §4.1.2,
+// "disposing and re-allocating textures is relatively expensive, so we
+// reuse them") to the native/cpu data plane. Disposed buffers park on
+// power-of-two size-class free lists instead of returning to the garbage
+// collector; allocation checks the free list before make, so a model's
+// steady-state inference loop recycles the same few buffers forever.
+//
+// Pools are per-backend (and backends are per-engine), so serving replicas
+// never contend on a shared free list — the same isolation the texture
+// recycler gets from per-context texture managers.
+//
+// A pool is bounded two ways: a high-water byte cap (puts beyond it are
+// dropped to the GC) and an idle-shrink policy (classes that have not been
+// touched for a while are trimmed opportunistically during Put), so a
+// burst of large batches cannot pin its peak working set forever.
+//
+// Poison mode scribbles every freed buffer with a sentinel (NaN for
+// float32) so a recycler-induced use-after-dispose corrupts outputs loudly
+// — NaNs propagate and trip the debug-mode NaN check and the bit-identity
+// suites — instead of silently reading stale-but-plausible values.
+package bufpool
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Elem is the element type a Pool recycles. The three instantiations cover
+// the engine's data plane (float32) and the native backend's quantized
+// compute scratch (int8 activation codes, int32 accumulators).
+type Elem interface {
+	~float32 | ~int8 | ~int32
+}
+
+const (
+	// minClassBits is the smallest pooled class (32 elements); smaller
+	// requests round up. Sub-cacheline buffers are cheaper to make than to
+	// track.
+	minClassBits = 5
+	// maxClassBits is the largest pooled class (2^26 = 64M elements, 256 MiB
+	// of float32); larger requests bypass the pool entirely.
+	maxClassBits = 26
+	numClasses   = maxClassBits - minClassBits + 1
+
+	// trimEvery is how many Puts pass between opportunistic idle scans —
+	// the only time the pool consults the wall clock.
+	trimEvery = 1024
+	// idleAfter is how long a class may go untouched before a scan drops
+	// its free list.
+	idleAfter = 30 * time.Second
+)
+
+// DefaultMaxBytes is the default high-water cap per pool.
+const DefaultMaxBytes = 256 << 20
+
+// class is one power-of-two free list.
+type class[T Elem] struct {
+	free [][]T
+	// lastUse is the trim clock: updated on every hit and put, compared
+	// against idleAfter during opportunistic scans.
+	lastUse time.Time
+}
+
+// Stats is a point-in-time snapshot of a pool's counters.
+type Stats struct {
+	// Hits and Misses count Get calls served from a free list vs make.
+	Hits, Misses int64
+	// RecycledBytes is the cumulative bytes served from free lists.
+	RecycledBytes int64
+	// PoolBytes is the bytes currently parked on free lists.
+	PoolBytes int64
+	// FreeBuffers is the number of buffers currently parked.
+	FreeBuffers int
+}
+
+// Pool is a size-class buffer recycler. The zero value is not usable; use
+// New. All methods are safe for concurrent use.
+type Pool[T Elem] struct {
+	mu        sync.Mutex
+	classes   [numClasses]class[T]
+	poolBytes int64
+	freeBufs  int
+	maxBytes  int64
+	putCount  int64
+
+	poison atomic.Bool
+
+	hits, misses, recycled atomic.Int64
+
+	elemBytes int64
+}
+
+// New returns an empty pool with the default high-water cap.
+func New[T Elem]() *Pool[T] {
+	var z T
+	p := &Pool[T]{maxBytes: DefaultMaxBytes}
+	switch any(z).(type) {
+	case float32, int32:
+		p.elemBytes = 4
+	case int8:
+		p.elemBytes = 1
+	}
+	return p
+}
+
+// SetMaxBytes sets the high-water cap: Puts that would push the parked
+// bytes beyond it are dropped to the GC. n <= 0 restores the default.
+func (p *Pool[T]) SetMaxBytes(n int64) {
+	if n <= 0 {
+		n = DefaultMaxBytes
+	}
+	p.mu.Lock()
+	p.maxBytes = n
+	p.mu.Unlock()
+}
+
+// SetPoison toggles poison mode: freed buffers are scribbled with a
+// sentinel value (NaN for float32) on Put.
+func (p *Pool[T]) SetPoison(on bool) { p.poison.Store(on) }
+
+// Poison reports whether poison mode is on.
+func (p *Pool[T]) Poison() bool { return p.poison.Load() }
+
+// classFor returns the class index whose buffers hold at least n elements,
+// or -1 when n is outside the pooled range.
+func classFor(n int) int {
+	if n == 0 {
+		return -1
+	}
+	c := 0
+	for 1<<(c+minClassBits) < n {
+		c++
+		if c >= numClasses {
+			return -1
+		}
+	}
+	return c
+}
+
+// classSize is the capacity of class c's buffers.
+func classSize(c int) int { return 1 << (c + minClassBits) }
+
+// Get returns a buffer with len n. The contents are NOT zeroed — a
+// recycled buffer holds stale (or poisoned) values; callers that need
+// zeros must clear it. Buffers outside the pooled size range come straight
+// from make and will not recycle.
+func (p *Pool[T]) Get(n int) []T {
+	c := classFor(n)
+	if c < 0 {
+		p.misses.Add(1)
+		return make([]T, n)
+	}
+	p.mu.Lock()
+	cl := &p.classes[c]
+	if k := len(cl.free); k > 0 {
+		buf := cl.free[k-1]
+		cl.free[k-1] = nil
+		cl.free = cl.free[:k-1]
+		p.poolBytes -= int64(cap(buf)) * p.elemBytes
+		p.freeBufs--
+		cl.lastUse = time.Now()
+		p.mu.Unlock()
+		p.hits.Add(1)
+		p.recycled.Add(int64(n) * p.elemBytes)
+		return buf[:n]
+	}
+	p.mu.Unlock()
+	p.misses.Add(1)
+	return make([]T, n, classSize(c))
+}
+
+// Put parks a buffer for reuse. Only buffers whose capacity is exactly a
+// class size are accepted (everything Get hands out qualifies); foreign
+// buffers are left to the GC. Put drops the buffer instead when the pool
+// is at its high-water cap.
+func (p *Pool[T]) Put(buf []T) {
+	c := classFor(cap(buf))
+	if c < 0 || classSize(c) != cap(buf) {
+		return
+	}
+	if p.poison.Load() {
+		poisonFill(buf[:cap(buf)])
+	}
+	bytes := int64(cap(buf)) * p.elemBytes
+	now := time.Time{}
+	p.mu.Lock()
+	p.putCount++
+	scan := p.putCount%trimEvery == 0
+	if p.poolBytes+bytes > p.maxBytes {
+		if scan {
+			now = time.Now()
+			p.trimLocked(now)
+		}
+		p.mu.Unlock()
+		return
+	}
+	cl := &p.classes[c]
+	cl.free = append(cl.free, buf[:cap(buf)])
+	p.poolBytes += bytes
+	p.freeBufs++
+	if scan {
+		now = time.Now()
+	}
+	cl.lastUse = latest(cl.lastUse, now)
+	if scan {
+		p.trimLocked(now)
+	}
+	p.mu.Unlock()
+}
+
+func latest(a, b time.Time) time.Time {
+	if b.After(a) {
+		return b
+	}
+	if a.IsZero() && b.IsZero() {
+		return time.Now()
+	}
+	return a
+}
+
+// trimLocked drops the free lists of classes idle longer than idleAfter.
+// Caller holds p.mu.
+func (p *Pool[T]) trimLocked(now time.Time) {
+	for i := range p.classes {
+		cl := &p.classes[i]
+		if len(cl.free) == 0 || now.Sub(cl.lastUse) < idleAfter {
+			continue
+		}
+		for j := range cl.free {
+			p.poolBytes -= int64(cap(cl.free[j])) * p.elemBytes
+			cl.free[j] = nil
+		}
+		p.freeBufs -= len(cl.free)
+		cl.free = nil
+	}
+}
+
+// Drain empties every free list, returning parked memory to the GC.
+func (p *Pool[T]) Drain() {
+	p.mu.Lock()
+	for i := range p.classes {
+		p.classes[i].free = nil
+	}
+	p.poolBytes = 0
+	p.freeBufs = 0
+	p.mu.Unlock()
+}
+
+// Stats returns a snapshot of the pool's counters.
+func (p *Pool[T]) Stats() Stats {
+	p.mu.Lock()
+	bytes, bufs := p.poolBytes, p.freeBufs
+	p.mu.Unlock()
+	return Stats{
+		Hits:          p.hits.Load(),
+		Misses:        p.misses.Load(),
+		RecycledBytes: p.recycled.Load(),
+		PoolBytes:     bytes,
+		FreeBuffers:   bufs,
+	}
+}
+
+// poisonFill scribbles the sentinel over buf: quiet NaN for float32 (any
+// arithmetic on it yields NaN, so corruption propagates to outputs), and a
+// recognizable 0xAA.. pattern for the integer scratch types.
+func poisonFill[T Elem](buf []T) {
+	var v T
+	switch pv := any(&v).(type) {
+	case *float32:
+		*pv = float32(math.NaN())
+	case *int8:
+		*pv = -86 // 0xAA
+	case *int32:
+		*pv = -1431655766 // 0xAAAAAAAA
+	}
+	for i := range buf {
+		buf[i] = v
+	}
+}

@@ -1,0 +1,9 @@
+//go:build race
+
+package bufpool
+
+// RaceEnabled reports whether the binary was built with the race detector.
+// Race-enabled test runs default poison mode on, so recycler-induced
+// use-after-dispose fails loudly in exactly the builds meant to catch
+// lifetime bugs.
+const RaceEnabled = true

@@ -440,7 +440,7 @@ func (e *Engine) ReadSync(t *tensor.Tensor) []float32 {
 	}
 	if e.hub.Active() {
 		start := time.Now()
-		vals := entry.backend.ReadSync(t.DataID)
+		vals := retainable(entry.backend, entry.backend.ReadSync(t.DataID))
 		e.hub.Emit(telemetry.Event{
 			Kind:    telemetry.KindDownload,
 			Name:    "dataSync",
@@ -451,7 +451,22 @@ func (e *Engine) ReadSync(t *tensor.Tensor) []float32 {
 		})
 		return vals
 	}
-	return entry.backend.ReadSync(t.DataID)
+	return retainable(entry.backend, entry.backend.ReadSync(t.DataID))
+}
+
+// retainable makes a backend read safe for the caller to hold past the
+// tensor's lifetime. Host backends return their backing buffer without
+// copying; when such a backend recycles buffers on dispose, a retained
+// slice would be scribbled over on reuse, so the engine copies at the
+// read boundary instead (kernel-internal reads stay zero-copy — inputs
+// are alive for the duration of a kernel).
+func retainable(b kernels.Backend, vals []float32) []float32 {
+	if r, ok := b.(kernels.Recycler); ok && r.PoolActive() {
+		cp := make([]float32, len(vals))
+		copy(cp, vals)
+		return cp
+	}
+	return vals
 }
 
 // Read implements tensor.Handler (tensor.data()).
@@ -505,6 +520,39 @@ func (e *Engine) Clone(t *tensor.Tensor) *tensor.Tensor {
 	// A clone is differentiable: record it like an identity kernel.
 	e.recordOnTape("Identity", []*tensor.Tensor{t}, []*tensor.Tensor{out}, nil)
 	return out
+}
+
+// AdoptData wraps a data container the backend already holds (registered
+// via WriteOwned or a kernel) into a tracked tensor handle. Shape is
+// retained, not copied. Used by the graphmodel plan executor to hand kernel
+// outputs back to the engine without a host round-trip.
+func (e *Engine) AdoptData(b kernels.Backend, id tensor.DataID, shape []int, dtype tensor.DataType) *tensor.Tensor {
+	t := tensor.New(id, shape, dtype)
+	e.registerTensor(t, b)
+	return t
+}
+
+// DataBackend returns the backend holding the container, or nil when the
+// container is unknown to this engine.
+func (e *Engine) DataBackend(id tensor.DataID) kernels.Backend {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if entry, ok := e.data[id]; ok {
+		return entry.backend
+	}
+	return nil
+}
+
+// FastEligible reports whether execution may bypass the engine's
+// per-kernel bookkeeping (tensor handles, tape recording, telemetry
+// events): no telemetry observers, no gradient tape, no lifetime tracker.
+// The graphmodel plan executor checks this before taking its direct
+// kernel-dispatch path.
+func (e *Engine) FastEligible() bool {
+	if e.hub.Active() || e.lifetime.Load() != nil {
+		return false
+	}
+	return e.GradDepth() == 0
 }
 
 // NumTensors returns the count of live (undisposed) tensor handles.
@@ -660,10 +708,12 @@ func (e *Engine) ensureOnBackend(t *tensor.Tensor, b kernels.Backend) {
 		return
 	}
 	// The container keeps its DataID while moving between backends, so
-	// every tensor handle sharing it stays valid.
+	// every tensor handle sharing it stays valid. Write to the target
+	// before disposing the source: a recycling source backend may scribble
+	// or reuse the buffer the moment DisposeData returns.
 	values := entry.backend.ReadSync(t.DataID)
-	entry.backend.DisposeData(t.DataID)
 	b.Write(t.DataID, values, t.Shape, t.DType)
+	entry.backend.DisposeData(t.DataID)
 	e.mu.Lock()
 	entry.backend = b
 	e.mu.Unlock()

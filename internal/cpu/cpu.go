@@ -13,8 +13,10 @@ package cpu
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/bufpool"
 	"repro/internal/jsenv"
 	"repro/internal/kernels"
 	"repro/internal/tensor"
@@ -27,6 +29,13 @@ type Backend struct {
 	mu    sync.Mutex
 	bufs  map[tensor.DataID][]float32
 	bytes int64
+
+	// pool, when non-nil, is the data-plane buffer recycler (ISSUE 9's
+	// generalization of the WebGL texture recycler): DisposeData parks
+	// buffers here and Alloc/Write draw from it before make. It is an
+	// atomic pointer so config-time toggles don't race in-flight kernels.
+	pool   atomic.Pointer[bufpool.Pool[float32]]
+	poison atomic.Bool
 }
 
 // New returns the plain CPU backend.
@@ -41,9 +50,62 @@ func NewNamed(name string) *Backend {
 // Name implements kernels.Backend.
 func (b *Backend) Name() string { return b.name }
 
+// EnablePooling turns the data-plane buffer recycler on or off. Turning it
+// off drains the free lists back to the GC. Live containers are unaffected
+// either way — only future Alloc/Write/DisposeData calls change behavior.
+func (b *Backend) EnablePooling(on bool) {
+	if on {
+		if b.pool.Load() == nil {
+			p := bufpool.New[float32]()
+			p.SetPoison(b.poison.Load())
+			b.pool.CompareAndSwap(nil, p)
+		}
+		return
+	}
+	if p := b.pool.Swap(nil); p != nil {
+		p.Drain()
+	}
+}
+
+// PoolActive implements kernels.Recycler.
+func (b *Backend) PoolActive() bool { return b.pool.Load() != nil }
+
+// SetPoolPoison toggles poison mode: freed buffers are scribbled with NaN
+// sentinels so use-after-dispose corrupts results loudly.
+func (b *Backend) SetPoolPoison(on bool) {
+	b.poison.Store(on)
+	if p := b.pool.Load(); p != nil {
+		p.SetPoison(on)
+	}
+}
+
+// PoolPoison reports whether poison mode is on.
+func (b *Backend) PoolPoison() bool { return b.poison.Load() }
+
+// Alloc returns a zeroed buffer of n elements, drawn from the recycler
+// when pooling is on. Kernel overrides allocate outputs through it (they
+// accumulate with +=, so outputs must start zeroed; zeroing also clears any
+// poison sentinel) and hand the buffer back via WriteOwned.
+func (b *Backend) Alloc(n int) []float32 {
+	p := b.pool.Load()
+	if p == nil {
+		return make([]float32, n)
+	}
+	buf := p.Get(n)
+	for i := range buf {
+		buf[i] = 0
+	}
+	return buf
+}
+
 // Write implements kernels.Backend.
 func (b *Backend) Write(d tensor.DataID, values []float32, shape []int, dtype tensor.DataType) {
-	buf := make([]float32, len(values))
+	var buf []float32
+	if p := b.pool.Load(); p != nil {
+		buf = p.Get(len(values))
+	} else {
+		buf = make([]float32, len(values))
+	}
 	copy(buf, values)
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -99,26 +161,53 @@ func (b *Backend) Read(d tensor.DataID) *jsenv.Future[[]float32] {
 				f.Resolve(nil, fmt.Errorf("cpu: %v", r))
 			}
 		}()
-		f.Resolve(b.Raw(d), nil)
+		buf := b.Raw(d)
+		if b.PoolActive() {
+			// The future's consumer retains the slice past the tensor's
+			// lifetime; with the recycler on, the backing buffer may be
+			// reused (and poisoned) after dispose, so hand out a copy.
+			cp := make([]float32, len(buf))
+			copy(cp, buf)
+			buf = cp
+		}
+		f.Resolve(buf, nil)
 	}()
 	return f
 }
 
-// DisposeData implements kernels.Backend.
+// DisposeData implements kernels.Backend. With the recycler on, the backing
+// buffer parks on a size-class free list for the next Alloc/Write instead
+// of returning to the GC.
 func (b *Backend) DisposeData(d tensor.DataID) {
 	b.mu.Lock()
-	defer b.mu.Unlock()
-	if buf, ok := b.bufs[d]; ok {
+	buf, ok := b.bufs[d]
+	if ok {
 		b.bytes -= int64(len(buf)) * 4
 		delete(b.bufs, d)
+	}
+	b.mu.Unlock()
+	if !ok {
+		return
+	}
+	if p := b.pool.Load(); p != nil {
+		p.Put(buf)
 	}
 }
 
 // Memory implements kernels.Backend.
 func (b *Backend) Memory() kernels.MemoryInfo {
 	b.mu.Lock()
-	defer b.mu.Unlock()
-	return kernels.MemoryInfo{NumBuffers: len(b.bufs), NumBytes: b.bytes}
+	info := kernels.MemoryInfo{NumBuffers: len(b.bufs), NumBytes: b.bytes}
+	b.mu.Unlock()
+	if p := b.pool.Load(); p != nil {
+		st := p.Stats()
+		info.FreeBuffers = st.FreeBuffers
+		info.PoolBytes = st.PoolBytes
+		info.PoolHits = st.Hits
+		info.PoolMisses = st.Misses
+		info.RecycledBytes = st.RecycledBytes
+	}
+	return info
 }
 
 // Time implements kernels.Backend. The CPU has no separate device timeline,
@@ -132,9 +221,15 @@ func (b *Backend) Time(f func()) kernels.TimeInfo {
 // Close implements kernels.Backend.
 func (b *Backend) Close() {
 	b.mu.Lock()
-	defer b.mu.Unlock()
 	b.bufs = map[tensor.DataID][]float32{}
 	b.bytes = 0
+	b.mu.Unlock()
+	if p := b.pool.Load(); p != nil {
+		p.Drain()
+	}
 }
 
-var _ kernels.Backend = (*Backend)(nil)
+var (
+	_ kernels.Backend  = (*Backend)(nil)
+	_ kernels.Recycler = (*Backend)(nil)
+)

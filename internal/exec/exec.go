@@ -73,6 +73,19 @@ type Config struct {
 	// CostModel selects static (flop-estimate) or measured (profiler
 	// feedback) per-step cost for grain selection. Empty means static.
 	CostModel CostModel
+
+	// Pooling gates the backend's data-plane buffer recycler (disposed
+	// buffers park on size-class free lists for reuse — the host-memory
+	// analogue of the WebGL texture recycler). nil means the backend
+	// default: on for native (unless TFJS_POOL=off), off for plain cpu.
+	// Outputs are bit-identical either way.
+	Pooling *bool
+
+	// PoolPoison scribbles freed buffers with NaN sentinels so a
+	// use-after-dispose through the recycler corrupts results loudly.
+	// nil means the backend default: on in race-detector builds or when
+	// TFJS_POOL_POISON is set.
+	PoolPoison *bool
 }
 
 // Option mutates a Config; the functional-options surface of the API.
@@ -110,6 +123,16 @@ func WithCostModel(m CostModel) Option {
 	return func(c *Config) { c.CostModel = m }
 }
 
+// WithPooling toggles the backend's buffer recycler.
+func WithPooling(on bool) Option {
+	return func(c *Config) { c.Pooling = &on }
+}
+
+// WithPoolPoison toggles NaN-scribbling of freed buffers (debug).
+func WithPoolPoison(on bool) Option {
+	return func(c *Config) { c.PoolPoison = &on }
+}
+
 // Make resolves options into a Config.
 func Make(opts ...Option) Config {
 	var c Config
@@ -143,6 +166,12 @@ func (c Config) Merge(over Config) Config {
 	}
 	if over.CostModel != "" {
 		out.CostModel = over.CostModel
+	}
+	if over.Pooling != nil {
+		out.Pooling = over.Pooling
+	}
+	if over.PoolPoison != nil {
+		out.PoolPoison = over.PoolPoison
 	}
 	return out
 }

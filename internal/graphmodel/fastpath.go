@@ -1,0 +1,767 @@
+package graphmodel
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/kernels"
+	"repro/internal/savedmodel"
+	"repro/internal/tensor"
+)
+
+// This file compiles the second, lower tier of the execution plan: a direct
+// kernel-dispatch path over backend data containers that bypasses the
+// engine's per-kernel bookkeeping entirely (tensor handles, tidy-scope
+// tracking, tape recording). Together with the backend buffer recycler it
+// makes warmed steady-state inference allocation-free: every step writes its
+// output descriptor into preallocated per-step scratch, output buffers come
+// from the backend's free lists, and intermediates are returned to those
+// free lists at their statically-computed last use.
+//
+// The fast plan is a projection of plan.go's compileStep lowering onto the
+// kernels.Input level: each op dispatches the same kernels with the same
+// attributes and the same operand views, so outputs are bit-identical to
+// the legacy path (which remains the arm for profiling, gradients, -pool=off
+// and foreign-backend feeds).
+//
+// Identity, Reshape and Flatten compile to pure aliases — no kernel, no new
+// handle, just a shape rewrite over the input's container. A union-find over
+// alias edges groups slots into "roots" (one root per physical container);
+// liveness and disposal operate on roots so an alias can never outlive or
+// free its underlying buffer incorrectly.
+
+// fastBackend is what the direct path needs from a backend: storage, the
+// single-output plan-kernel form, and an active buffer recycler.
+type fastBackend interface {
+	kernels.Backend
+	kernels.Recycler
+	kernels.PlanExecutor
+}
+
+// fastDispose marks that a step is the last reader of a root.
+type fastDispose struct {
+	root int
+}
+
+// fastStep executes one node against backend containers. run fills st.info
+// (the output descriptor) from the operand Inputs in fc.env; all slices it
+// touches are preallocated scratch reused across executions — safe because
+// executions serialize on the model's engine lock.
+type fastStep struct {
+	name    string // node name, for error attribution
+	op      string
+	ins     []int
+	inNames []string
+	out     int
+	alias   bool // out shares the input's data container
+	hint    *exec.StepHint
+	run     func(fc *fastCtx, st *fastStep) error
+	info    kernels.TensorInfo // output descriptor scratch
+	insBuf  []kernels.Input    // operand scratch
+	dispose []fastDispose
+}
+
+// fastPlan is the compiled direct-dispatch plan plus its per-model runtime
+// state. The state is reused across executions; the engine execution lock
+// serializes them (Model.Execute always runs under RunExclusive).
+type fastPlan struct {
+	steps    []fastStep
+	numSlots int
+	slots    map[string]int // shared with the legacy plan (immutable)
+	// root maps each slot to its alias-group representative: the slot whose
+	// step actually produces (or is seeded with) the physical container.
+	root []int
+	// rootPersistent marks roots holding weights, placeholders or outputs —
+	// never disposed mid-execution.
+	rootPersistent []bool
+	// outRoot marks roots that reach a graph output, excluded from the
+	// end-of-execution sweep of unconsumed intermediates.
+	outRoot     []bool
+	weightSlots []weightSlot
+	outSlots    []int
+	state       *fastCtx
+}
+
+// fastCtx is the per-execution slot environment, preallocated once per model.
+type fastCtx struct {
+	bk  fastBackend
+	env []kernels.Input // per slot
+	fed []bool          // per slot
+	// fedRoot marks roots containing a fed slot: their containers belong to
+	// the caller and are never disposed here.
+	fedRoot   []bool
+	fedTensor []*tensor.Tensor // per slot, for returning fed outputs
+	// owned/ownedID track containers produced by this execution, per root:
+	// what disposal (and the error-path sweep) releases back to the pool.
+	owned   []bool
+	ownedID []tensor.DataID
+}
+
+// noAttrs is the shared empty attribute bag for kernels that take none,
+// mirroring RunKernel's nil→Attrs{} coercion without a per-call make.
+var noAttrs = kernels.Attrs{}
+
+// operands fills st.insBuf from the environment, mirroring the legacy
+// executor's nil-guard ("input not evaluated").
+func (fc *fastCtx) operands(st *fastStep) error {
+	for i, s := range st.ins {
+		in := fc.env[s]
+		if in.DataID == 0 {
+			return fmt.Errorf("graphmodel: node %q input %q not evaluated", st.name, st.inNames[i])
+		}
+		st.insBuf[i] = in
+	}
+	return nil
+}
+
+// kernel dispatches one kernel: the backend's plan form when it has one,
+// else the reference implementation through host memory (the same fallback
+// order as the engine's dispatch, minus the handle bookkeeping). dst's Shape
+// is caller-owned scratch; kernels append into it by value.
+func (fc *fastCtx) kernel(name string, ins []kernels.Input, attrs kernels.Attrs, dst *kernels.TensorInfo) error {
+	found, err := fc.bk.RunPlanKernel(name, ins, attrs, dst)
+	if found && err == nil {
+		return nil
+	}
+	if found && !errors.Is(err, kernels.ErrFallback) {
+		return err
+	}
+	ref, ok := kernels.LookupRef(name)
+	if !ok {
+		return fmt.Errorf("graphmodel: kernel %q not available on backend %q", name, fc.bk.Name())
+	}
+	bufs := make([]kernels.Buffer, len(ins))
+	for i, in := range ins {
+		bufs[i] = kernels.Buffer{Data: fc.bk.ReadSync(in.DataID), Shape: in.Shape, DType: in.DType}
+	}
+	outs, err := ref(bufs, attrs)
+	if err != nil {
+		return err
+	}
+	if len(outs) != 1 {
+		return fmt.Errorf("graphmodel: kernel %q returned %d outputs, want 1", name, len(outs))
+	}
+	id := tensor.NewDataID()
+	fc.bk.Write(id, outs[0].Data, outs[0].Shape, outs[0].DType)
+	dst.DataID = id
+	dst.DType = outs[0].DType
+	// Copy, never alias: the ref kernel's shape slice dies with this call.
+	dst.Shape = append(dst.Shape[:0], outs[0].Shape...)
+	return nil
+}
+
+// compileFast builds the direct-dispatch plan, or nil when any node uses an
+// op (or attribute form) the fast lowering does not cover — the model then
+// always executes through the legacy plan, preserving its semantics
+// (including its deferred per-node errors). p supplies the shared slot map
+// and the per-step cost hints, so both arms feed one measured-cost account
+// per node.
+func compileFast(g *savedmodel.GraphDef, order []string, nodes map[string]*savedmodel.NodeDef, p *plan) *fastPlan {
+	fp := &fastPlan{
+		numSlots:    p.numSlots,
+		slots:       p.slots,
+		weightSlots: p.weightSlots,
+		outSlots:    p.outSlots,
+	}
+	hints := make(map[string]*exec.StepHint, len(p.steps))
+	for i := range p.steps {
+		hints[p.steps[i].name] = p.steps[i].hint
+	}
+	fp.root = make([]int, fp.numSlots)
+	for i := range fp.root {
+		fp.root[i] = i
+	}
+	persistent := make([]bool, fp.numSlots)
+	for _, name := range order {
+		n, ok := nodes[name]
+		if !ok {
+			continue
+		}
+		slot := fp.slots[name]
+		if n.Op == "Const" {
+			persistent[slot] = true
+			continue
+		}
+		if n.Op == "Placeholder" {
+			persistent[slot] = true
+		}
+		st, ok := compileFastStep(n, slot, fp.slots)
+		if !ok {
+			return nil
+		}
+		st.hint = hints[name]
+		if st.alias {
+			fp.root[slot] = fp.root[st.ins[0]]
+		}
+		fp.steps = append(fp.steps, st)
+	}
+	for _, out := range g.Outputs {
+		persistent[fp.slots[out]] = true
+	}
+	fp.rootPersistent = make([]bool, fp.numSlots)
+	fp.outRoot = make([]bool, fp.numSlots)
+	for s := 0; s < fp.numSlots; s++ {
+		if persistent[s] {
+			fp.rootPersistent[fp.root[s]] = true
+		}
+	}
+	for _, s := range fp.outSlots {
+		fp.outRoot[fp.root[s]] = true
+	}
+	// Liveness over roots: the step last reading a root disposes it. An
+	// alias step never disposes its own output's root (the alias keeps the
+	// container alive); dead containers are swept at execution end.
+	seen := make([]bool, fp.numSlots)
+	for i := len(fp.steps) - 1; i >= 0; i-- {
+		st := &fp.steps[i]
+		outRoot := fp.root[st.out]
+		for _, s := range st.ins {
+			r := fp.root[s]
+			if !seen[r] && !fp.rootPersistent[r] && r != outRoot {
+				st.dispose = append(st.dispose, fastDispose{root: r})
+			}
+			seen[r] = true
+		}
+	}
+	fp.state = &fastCtx{
+		env:       make([]kernels.Input, fp.numSlots),
+		fed:       make([]bool, fp.numSlots),
+		fedRoot:   make([]bool, fp.numSlots),
+		fedTensor: make([]*tensor.Tensor, fp.numSlots),
+		owned:     make([]bool, fp.numSlots),
+		ownedID:   make([]tensor.DataID, fp.numSlots),
+	}
+	return fp
+}
+
+// compileFastStep lowers one node to the kernels.Input level, mirroring
+// compileStep's op switch exactly — same kernels, same attributes, same
+// operand views — so both arms produce bit-identical values. ok=false means
+// the op (or an attribute form) has no fast lowering and the whole model
+// stays on the legacy plan.
+func compileFastStep(n *savedmodel.NodeDef, slot int, slots map[string]int) (fastStep, bool) {
+	ins := make([]int, len(n.Inputs))
+	for i, in := range n.Inputs {
+		s, ok := slots[in]
+		if !ok {
+			return fastStep{}, false
+		}
+		ins[i] = s
+	}
+	base := func() fastStep {
+		return fastStep{
+			name:    n.Name,
+			op:      n.Op,
+			ins:     ins,
+			inNames: n.Inputs,
+			out:     slot,
+			insBuf:  make([]kernels.Input, len(ins)),
+		}
+	}
+	// simple builds a one-kernel step with fixed arity and precompiled attrs.
+	simple := func(arity int, kernel string, attrs kernels.Attrs) (fastStep, bool) {
+		if len(ins) != arity {
+			return fastStep{}, false
+		}
+		st := base()
+		st.run = func(fc *fastCtx, st *fastStep) error {
+			if err := fc.operands(st); err != nil {
+				return err
+			}
+			return fc.kernel(kernel, st.insBuf, attrs, &st.info)
+		}
+		return st, true
+	}
+	// fused is simple with the 2-or-3-input arity of the fused kernels.
+	fused := func(kernel string, attrs kernels.Attrs) (fastStep, bool) {
+		if len(ins) != 2 && len(ins) != 3 {
+			return fastStep{}, false
+		}
+		st := base()
+		st.run = func(fc *fastCtx, st *fastStep) error {
+			if err := fc.operands(st); err != nil {
+				return err
+			}
+			return fc.kernel(kernel, st.insBuf, attrs, &st.info)
+		}
+		return st, true
+	}
+	// alias builds a zero-copy step: out shares the input container, only
+	// the shape differs. shape appends the output dims into st.info.Shape.
+	alias := func(shape func(in kernels.Input, st *fastStep) error) (fastStep, bool) {
+		if len(ins) != 1 {
+			return fastStep{}, false
+		}
+		st := base()
+		st.alias = true
+		st.run = func(fc *fastCtx, st *fastStep) error {
+			if err := fc.operands(st); err != nil {
+				return err
+			}
+			in := st.insBuf[0]
+			if err := shape(in, st); err != nil {
+				return err
+			}
+			st.info.DataID, st.info.DType = in.DataID, in.DType
+			return nil
+		}
+		return st, true
+	}
+	attrs := n.Attrs
+
+	switch n.Op {
+	case "Placeholder":
+		st := base()
+		st.run = func(fc *fastCtx, st *fastStep) error {
+			return fmt.Errorf("graphmodel: node %q (%s) must be fed", st.name, st.op)
+		}
+		return st, true
+	case "Identity":
+		return alias(func(in kernels.Input, st *fastStep) error {
+			st.info.Shape = append(st.info.Shape[:0], in.Shape...)
+			return nil
+		})
+	case "Reshape":
+		target := attrInts(attrs, "shape", nil)
+		return alias(func(in kernels.Input, st *fastStep) error {
+			if len(in.Shape) == 0 {
+				return fmt.Errorf("graphmodel: node %q: Reshape of rank-0 input", st.name)
+			}
+			// [batch, target...] with one -1 inferred, as tensor.InferShape.
+			st.info.Shape = append(st.info.Shape[:0], in.Shape[0])
+			st.info.Shape = append(st.info.Shape, target...)
+			size := tensor.ShapeSize(in.Shape)
+			wild, known := -1, 1
+			for i, d := range st.info.Shape {
+				switch {
+				case d == -1:
+					if wild != -1 {
+						return fmt.Errorf("graphmodel: node %q: shape %v has more than one -1 dimension", st.name, st.info.Shape)
+					}
+					wild = i
+				case d < 0:
+					return fmt.Errorf("graphmodel: node %q: shape %v has negative dimension %d", st.name, st.info.Shape, d)
+				default:
+					known *= d
+				}
+			}
+			if wild == -1 {
+				if known != size {
+					return fmt.Errorf("graphmodel: node %q: shape %v incompatible with %d elements", st.name, st.info.Shape, size)
+				}
+				return nil
+			}
+			if known == 0 || size%known != 0 {
+				return fmt.Errorf("graphmodel: node %q: cannot infer -1 in shape %v for %d elements", st.name, st.info.Shape, size)
+			}
+			st.info.Shape[wild] = size / known
+			return nil
+		})
+	case "Flatten":
+		return alias(func(in kernels.Input, st *fastStep) error {
+			if len(in.Shape) == 0 || in.Shape[0] == 0 {
+				return fmt.Errorf("graphmodel: node %q: cannot flatten shape %v", st.name, in.Shape)
+			}
+			st.info.Shape = append(st.info.Shape[:0], in.Shape[0], tensor.ShapeSize(in.Shape)/in.Shape[0])
+			return nil
+		})
+	case "MatMul":
+		if len(ins) != 2 {
+			return fastStep{}, false
+		}
+		mmAttrs := kernels.Attrs{
+			"transposeA": attrBool(attrs, "transpose_a"),
+			"transposeB": attrBool(attrs, "transpose_b"),
+		}
+		st := base()
+		var tmp kernels.TensorInfo
+		var av, bv [3]int
+		st.run = func(fc *fastCtx, st *fastStep) error {
+			if err := fc.operands(st); err != nil {
+				return err
+			}
+			a, b := st.insBuf[0], st.insBuf[1]
+			if len(a.Shape) != 2 || len(b.Shape) != 2 {
+				return fmt.Errorf("graphmodel: node %q: MatMul inputs must be rank 2, got %v and %v", st.name, a.Shape, b.Shape)
+			}
+			// The ops.MatMul lowering: rank-3 views in, rank-2 view out.
+			av = [3]int{1, a.Shape[0], a.Shape[1]}
+			bv = [3]int{1, b.Shape[0], b.Shape[1]}
+			st.insBuf[0].Shape = av[:]
+			st.insBuf[1].Shape = bv[:]
+			if err := fc.kernel("BatchMatMul", st.insBuf, mmAttrs, &tmp); err != nil {
+				return err
+			}
+			st.info.DataID, st.info.DType = tmp.DataID, tmp.DType
+			st.info.Shape = append(st.info.Shape[:0], tmp.Shape[1], tmp.Shape[2])
+			return nil
+		}
+		return st, true
+	case "Add", "BiasAdd":
+		return simple(2, "Add", noAttrs)
+	case "Sub":
+		return simple(2, "Sub", noAttrs)
+	case "Mul":
+		return simple(2, "Mul", noAttrs)
+	case "Relu":
+		return simple(1, "Relu", noAttrs)
+	case "Relu6":
+		return simple(1, "Relu6", noAttrs)
+	case "Sigmoid":
+		return simple(1, "Sigmoid", noAttrs)
+	case "Tanh":
+		return simple(1, "Tanh", noAttrs)
+	case "Elu":
+		return simple(1, "Elu", noAttrs)
+	case "Softplus":
+		return simple(1, "Softplus", noAttrs)
+	case "Softmax":
+		if len(ins) != 1 {
+			return fastStep{}, false
+		}
+		st := base()
+		var tmp kernels.TensorInfo
+		var flat [2]int
+		st.run = func(fc *fastCtx, st *fastStep) error {
+			if err := fc.operands(st); err != nil {
+				return err
+			}
+			in := st.insBuf[0]
+			rank := len(in.Shape)
+			if rank == 0 {
+				return fmt.Errorf("graphmodel: node %q: softmax requires rank >= 1", st.name)
+			}
+			inner := in.Shape[rank-1]
+			if inner == 0 {
+				return fmt.Errorf("graphmodel: node %q: softmax over empty axis of shape %v", st.name, in.Shape)
+			}
+			flat = [2]int{tensor.ShapeSize(in.Shape) / inner, inner}
+			st.insBuf[0].Shape = flat[:]
+			if err := fc.kernel("Softmax", st.insBuf, noAttrs, &tmp); err != nil {
+				return err
+			}
+			st.info.DataID, st.info.DType = tmp.DataID, tmp.DType
+			st.info.Shape = append(st.info.Shape[:0], in.Shape...)
+			return nil
+		}
+		return st, true
+	case "Conv2D":
+		return simple(2, "Conv2D", convKernelAttrs(attrs))
+	case "DepthwiseConv2dNative":
+		return simple(2, "DepthwiseConv2dNative", convKernelAttrs(attrs))
+	case "FusedConv2D", "FusedDepthwiseConv2dNative":
+		a := convKernelAttrs(attrs)
+		a["activation"] = attrString(attrs, "activation", "")
+		return fused(n.Op, a)
+	case "_FusedMatMul":
+		return fused("_FusedMatMul", kernels.Attrs{
+			"transposeA": attrBool(attrs, "transpose_a"),
+			"transposeB": attrBool(attrs, "transpose_b"),
+			"activation": attrString(attrs, "activation", ""),
+		})
+	case "QuantizedFusedConv2D":
+		wScales := attrFloats(attrs, "wScales")
+		if len(wScales) == 0 {
+			return fastStep{}, false
+		}
+		a := convKernelAttrs(attrs)
+		a["activation"] = attrString(attrs, "activation", "")
+		a["wScales"] = wScales
+		return fused("QuantizedFusedConv2D", a)
+	case "_QuantizedFusedMatMul":
+		wScales := attrFloats(attrs, "wScales")
+		if len(wScales) == 0 {
+			return fastStep{}, false
+		}
+		return fused("_QuantizedFusedMatMul", kernels.Attrs{
+			"activation": attrString(attrs, "activation", ""),
+			"wScales":    wScales,
+		})
+	case "MaxPool", "AvgPool":
+		filterSize := attrInts(attrs, "ksize", []int{2, 2})
+		strides := attrInts(attrs, "strides", nil)
+		if strides == nil {
+			strides = filterSize
+		}
+		return simple(1, n.Op, kernels.Attrs{
+			"filterSize": filterSize,
+			"strides":    strides,
+			"pad":        attrString(attrs, "padding", "valid"),
+		})
+	case "Mean":
+		if len(ins) != 1 {
+			return fastStep{}, false
+		}
+		axesAttr := attrInts(attrs, "axes", nil)
+		keep := attrBool(attrs, "keep_dims")
+		st := base()
+		// Reduction scratch, memoized on the input rank (stable in steady
+		// state): normalized axes and, when the reduced axes are not already
+		// innermost, the transpose permutation that makes them so.
+		var tmp, red kernels.TensorInfo
+		var normAxes []int
+		var permAttrs kernels.Attrs
+		var flat [2]int
+		memoRank := -1
+		st.run = func(fc *fastCtx, st *fastStep) error {
+			if err := fc.operands(st); err != nil {
+				return err
+			}
+			in := st.insBuf[0]
+			rank := len(in.Shape)
+			if rank != memoRank {
+				normAxes = normAxes[:0]
+				if len(axesAttr) == 0 {
+					for i := 0; i < rank; i++ {
+						normAxes = append(normAxes, i)
+					}
+				} else {
+					for _, a := range axesAttr {
+						if a < 0 {
+							a += rank
+						}
+						if a < 0 || a >= rank {
+							return fmt.Errorf("graphmodel: node %q: axis %v out of range for rank %d", st.name, axesAttr, rank)
+						}
+						if !containsInt(normAxes, a) {
+							normAxes = append(normAxes, a)
+						}
+					}
+					sort.Ints(normAxes)
+				}
+				permAttrs = nil
+				if !axesInner(normAxes, rank) {
+					perm := make([]int, 0, rank)
+					for i := 0; i < rank; i++ {
+						if !containsInt(normAxes, i) {
+							perm = append(perm, i)
+						}
+					}
+					perm = append(perm, normAxes...)
+					permAttrs = kernels.Attrs{"perm": perm}
+				}
+				memoRank = rank
+			}
+			inner := 1
+			for _, a := range normAxes {
+				inner *= in.Shape[a]
+			}
+			if inner == 0 {
+				return fmt.Errorf("graphmodel: node %q: Mean over empty axis of shape %v", st.name, in.Shape)
+			}
+			outer := tensor.ShapeSize(in.Shape) / inner
+			work := in
+			if permAttrs != nil {
+				if err := fc.kernel("Transpose", st.insBuf, permAttrs, &tmp); err != nil {
+					return err
+				}
+				work = kernels.Input{DataID: tmp.DataID, Shape: tmp.Shape, DType: tmp.DType}
+			}
+			flat = [2]int{outer, inner}
+			st.insBuf[0] = kernels.Input{DataID: work.DataID, Shape: flat[:], DType: work.DType}
+			err := fc.kernel("Mean", st.insBuf, noAttrs, &red)
+			if permAttrs != nil {
+				// The transposed copy is kernel-internal: back to the pool.
+				fc.bk.DisposeData(tmp.DataID)
+			}
+			if err != nil {
+				return err
+			}
+			st.info.DataID, st.info.DType = red.DataID, red.DType
+			st.info.Shape = st.info.Shape[:0]
+			for i := 0; i < rank; i++ {
+				switch {
+				case !containsInt(normAxes, i):
+					st.info.Shape = append(st.info.Shape, in.Shape[i])
+				case keep:
+					st.info.Shape = append(st.info.Shape, 1)
+				}
+			}
+			return nil
+		}
+		return st, true
+	case "FusedBatchNorm":
+		return simple(5, "FusedBatchNorm", kernels.Attrs{
+			"varianceEpsilon": attrFloat(attrs, "epsilon", 1e-3),
+		})
+	case "Pad":
+		p := attrInts(attrs, "padding", nil)
+		if len(p) != 4 {
+			return fastStep{}, false
+		}
+		padAttrs := kernels.Attrs{
+			"paddings":      []int{0, 0, p[0], p[1], p[2], p[3], 0, 0},
+			"constantValue": float64(0),
+		}
+		if len(ins) != 1 {
+			return fastStep{}, false
+		}
+		st := base()
+		st.run = func(fc *fastCtx, st *fastStep) error {
+			if err := fc.operands(st); err != nil {
+				return err
+			}
+			if len(st.insBuf[0].Shape) != 4 {
+				return fmt.Errorf("graphmodel: node %q: Pad input must be rank 4, got %v", st.name, st.insBuf[0].Shape)
+			}
+			return fc.kernel("PadV2", st.insBuf, padAttrs, &st.info)
+		}
+		return st, true
+	default:
+		return fastStep{}, false
+	}
+}
+
+// convKernelAttrs decodes the graph conv attributes into the kernel
+// attribute bag, with exactly the defaulting of convOpts + ConvOpts.attrs().
+func convKernelAttrs(attrs map[string]any) kernels.Attrs {
+	return kernels.Attrs{
+		"strides":   attrInts(attrs, "strides", []int{1, 1}),
+		"dilations": []int{1, 1},
+		"pad":       attrString(attrs, "padding", "valid"),
+	}
+}
+
+func containsInt(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// axesInner reports whether axes are exactly the trailing dimensions
+// (ops.axesAreInner, which this package cannot import).
+func axesInner(axes []int, rank int) bool {
+	for i, a := range axes {
+		if a != rank-len(axes)+i {
+			return false
+		}
+	}
+	return true
+}
+
+// fastReady reports whether every weight container lives on bk, verifying
+// once per backend identity: after a backend switch the legacy path migrates
+// the weights on its first execution, and the next call re-approves.
+func (m *Model) fastReady(e *core.Engine, bk kernels.Backend) bool {
+	if m.fastBK == bk {
+		return true
+	}
+	for _, w := range m.weights {
+		if e.DataBackend(w.DataID) != bk {
+			return false
+		}
+	}
+	m.fastBK = bk
+	return true
+}
+
+// feedsOn reports whether every feed's container lives on bk (a feed made
+// under a different engine or backend must take the legacy path, whose
+// ensureOnBackend migrates it).
+func feedsOn(e *core.Engine, bk kernels.Backend, feeds map[string]*tensor.Tensor) bool {
+	for _, t := range feeds {
+		if e.DataBackend(t.DataID) != bk {
+			return false
+		}
+	}
+	return true
+}
+
+// executeFast runs the fast plan; the caller holds the execution lock and
+// has checked eligibility (fast plan compiled, engine bypass-eligible,
+// pooling backend, feeds and weights resident). Intermediates go back to
+// the backend's free lists at their last use; outputs are adopted into
+// engine-tracked tensors at the very end — the only per-execution handles.
+func (m *Model) executeFast(e *core.Engine, bk fastBackend, feeds map[string]*tensor.Tensor) (map[string]*tensor.Tensor, error) {
+	fp := m.fast
+	fc := fp.state
+	fc.bk = bk
+	for i := range fc.env {
+		fc.env[i] = kernels.Input{}
+		fc.fed[i] = false
+		fc.fedRoot[i] = false
+		fc.fedTensor[i] = nil
+		fc.owned[i] = false
+		fc.ownedID[i] = 0
+	}
+	for name, t := range feeds {
+		if s, ok := fp.slots[name]; ok {
+			fc.env[s] = kernels.Input{DataID: t.DataID, Shape: t.Shape, DType: t.DType}
+			fc.fed[s] = true
+			fc.fedRoot[fp.root[s]] = true
+			fc.fedTensor[s] = t
+		}
+	}
+	for _, ws := range fp.weightSlots {
+		if !fc.fed[ws.slot] {
+			w := m.weights[ws.name]
+			fc.env[ws.slot] = kernels.Input{DataID: w.DataID, Shape: w.Shape, DType: w.DType}
+		}
+	}
+	var execErr error
+	defer exec.HintStep(bk, nil)
+	for i := range fp.steps {
+		st := &fp.steps[i]
+		// A feed for any node short-circuits its step.
+		if !fc.fed[st.out] {
+			exec.HintStep(bk, st.hint)
+			if err := st.run(fc, st); err != nil {
+				execErr = err
+				break
+			}
+			fc.env[st.out] = kernels.Input{DataID: st.info.DataID, Shape: st.info.Shape, DType: st.info.DType}
+			if !st.alias {
+				r := fp.root[st.out]
+				fc.owned[r] = true
+				fc.ownedID[r] = st.info.DataID
+			}
+		}
+		for _, d := range st.dispose {
+			// Never dispose fed containers (caller-owned); roots seeded from
+			// weights are persistent and never listed.
+			if fc.owned[d.root] && !fc.fedRoot[d.root] {
+				bk.DisposeData(fc.ownedID[d.root])
+				fc.owned[d.root] = false
+			}
+		}
+	}
+	if execErr != nil {
+		// Error path: release everything this execution produced.
+		for r, own := range fc.owned {
+			if own {
+				bk.DisposeData(fc.ownedID[r])
+				fc.owned[r] = false
+			}
+		}
+		return nil, execErr
+	}
+	// Sweep containers no step consumed (dead branches), keeping outputs.
+	for r, own := range fc.owned {
+		if own && !fp.outRoot[r] {
+			bk.DisposeData(fc.ownedID[r])
+			fc.owned[r] = false
+		}
+	}
+	results := make(map[string]*tensor.Tensor, len(fp.outSlots))
+	for i, out := range m.exec.Outputs {
+		s := fp.outSlots[i]
+		if fc.fed[s] {
+			results[out] = fc.fedTensor[s]
+			continue
+		}
+		in := fc.env[s]
+		if in.DataID == 0 {
+			return nil, fmt.Errorf("graphmodel: output %q not evaluated", out)
+		}
+		// CopyShape: the env shape points into per-step scratch reused by
+		// the next execution.
+		results[out] = e.AdoptData(bk, in.DataID, tensor.CopyShape(in.Shape), in.DType)
+	}
+	return results, nil
+}

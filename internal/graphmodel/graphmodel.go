@@ -16,6 +16,7 @@ import (
 	"repro/internal/converter"
 	"repro/internal/core"
 	"repro/internal/exec"
+	"repro/internal/kernels"
 	"repro/internal/savedmodel"
 	"repro/internal/telemetry"
 	"repro/internal/tensor"
@@ -81,6 +82,15 @@ type Model struct {
 	// concurrent Execute calls.
 	plan     *plan
 	optStats OptimizeStats
+
+	// fast is the direct-dispatch projection of the plan (fastpath.go):
+	// kernel calls over backend containers, bypassing per-step tensor
+	// handles and scope tracking so warmed steady-state inference
+	// allocates nothing. nil when any node has no fast lowering; the
+	// legacy plan then always runs. fastBK caches the backend the weights
+	// were last verified resident on (see fastReady).
+	fast   *fastPlan
+	fastBK kernels.Backend
 
 	// weights are uploaded once at load time and shared across calls.
 	weights map[string]*tensor.Tensor
@@ -156,6 +166,7 @@ func New(g *savedmodel.GraphDef, opts ...Option) (*Model, error) {
 	}
 	m.order = order
 	m.plan = compilePlan(m.exec, m.order, m.nodes, cfg.exec.MeasuredCost())
+	m.fast = compileFast(m.exec, m.order, m.nodes, m.plan)
 	m.weights = map[string]*tensor.Tensor{}
 	e := eng
 	// Upload under the execution lock: loading may race with another
@@ -322,6 +333,18 @@ func (m *Model) Engine() *core.Engine {
 // peak engine memory tracks the live set; the surrounding tidy scope
 // remains as the safety net for the error paths.
 func (m *Model) executeLocked(e *core.Engine, feeds map[string]*tensor.Tensor) (map[string]*tensor.Tensor, error) {
+	// The direct-dispatch path handles the steady-state serving case:
+	// engine bypass-eligible (no profiling hub, no tape, no tidy-scope
+	// observers), a pooling backend with the plan-kernel interface, and
+	// feeds plus weights resident on it. Everything else — gradients,
+	// profiling, -pool=off A/B runs, foreign-backend feeds — takes the
+	// legacy plan below, which migrates data and tracks handles.
+	if m.fast != nil && e.FastEligible() {
+		if bk, ok := e.Backend().(fastBackend); ok && bk.PoolActive() &&
+			feedsOn(e, bk, feeds) && m.fastReady(e, bk) {
+			return m.executeFast(e, bk, feeds)
+		}
+	}
 	results := map[string]*tensor.Tensor{}
 	var execErr error
 	p := m.plan

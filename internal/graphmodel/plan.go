@@ -205,6 +205,10 @@ func compileStep(n *savedmodel.NodeDef, slot int, slots map[string]int) planStep
 	case "Placeholder", "Const":
 		return errStep(n, slot, fmt.Errorf("graphmodel: node %q (%s) must be fed", n.Name, n.Op))
 	case "Identity":
+		// A zero-copy aliasing view: Clone shares the input's data container
+		// and only mints a new handle (no buffer copy, mirroring the WebGL
+		// backend's free reshape/identity of §3.4). The fast path compiles
+		// Identity further down to pure metadata — no handle at all.
 		return step(1, func(in []*tensor.Tensor) *tensor.Tensor { return in[0].Clone() })
 	case "MatMul":
 		ta, tb := attrBool(attrs, "transpose_a"), attrBool(attrs, "transpose_b")

@@ -74,6 +74,30 @@ type Overrider interface {
 // round-tripping values through host memory.
 type OverrideKernel func(inputs []Input, attrs Attrs) ([]TensorInfo, error)
 
+// Recycler is implemented by backends whose DisposeData returns buffers to
+// a free list for reuse — the generalization of the WebGL texture recycler
+// (Section 4.1.2) to host-memory backends. Callers that retain a slice read
+// from such a backend must copy it while the pool is active, since the
+// backing buffer may be recycled (and poisoned) after the container is
+// disposed.
+type Recycler interface {
+	// PoolActive reports whether the data-plane buffer pool is on.
+	PoolActive() bool
+}
+
+// PlanExecutor is implemented by backends that can run a single-output
+// kernel writing the result descriptor into caller-provided storage. The
+// plan executor in graphmodel uses this form on the steady-state inference
+// path: it avoids the per-call []TensorInfo and shape-copy allocations of
+// the OverrideKernel contract.
+type PlanExecutor interface {
+	// RunPlanKernel executes the named kernel, filling *out. The boolean
+	// reports whether the backend has a kernel under that name at all; a
+	// true/ErrFallback combination means the backend declined this input
+	// and the caller should use the reference implementation.
+	RunPlanKernel(name string, inputs []Input, attrs Attrs, out *TensorInfo) (bool, error)
+}
+
 // Input pairs a data container with its logical shape and dtype, the view
 // of a tensor a kernel needs.
 type Input struct {
@@ -109,6 +133,16 @@ type MemoryInfo struct {
 	// PagedBytes is the bytes currently paged out of the device to host
 	// memory (WebGL only; Section 4.1.2).
 	PagedBytes int64
+	// FreeBuffers is the number of recycled host buffers awaiting reuse
+	// (pooled backends; the host-memory analogue of FreeTextures).
+	FreeBuffers int
+	// PoolBytes is the bytes currently parked on the backend's free lists.
+	PoolBytes int64
+	// PoolHits and PoolMisses count allocations served from the free
+	// lists vs fresh makes since the backend was created.
+	PoolHits, PoolMisses int64
+	// RecycledBytes is the cumulative bytes served from the free lists.
+	RecycledBytes int64
 	// Unreliable is set when the backend cannot exactly account for
 	// device memory, mirroring tf.memory().unreliable in the browser.
 	Unreliable bool

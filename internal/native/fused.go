@@ -13,6 +13,12 @@ import (
 // fused pair, FusedConv2D carries a pointwise (1×1) fast path that runs the
 // conv as a row-blocked matmul — the shape of most of MobileNet's FLOPs.
 
+// defaultConvStride is the shared [1, 1] default for the strides/dilations
+// attributes. A package-level slice instead of a literal at each call site:
+// the attribute getters only read it, and the per-call literal was one of
+// the last steady-state allocations on the pooled inference path.
+var defaultConvStride = []int{1, 1}
+
 // registerFused installs the three fused kernels.
 func (b *Backend) registerFused() {
 	b.register("FusedConv2D", b.fusedConv2D)
@@ -73,23 +79,24 @@ func epilogue(dst []float32, bias []float32, actName string, act func(float32) f
 	}
 }
 
-func (b *Backend) fusedConv2D(inputs []kernels.Input, attrs kernels.Attrs) ([]kernels.TensorInfo, error) {
+func (b *Backend) fusedConv2D(inputs []kernels.Input, attrs kernels.Attrs, out *kernels.TensorInfo) error {
 	if len(inputs) != 2 && len(inputs) != 3 {
-		return nil, fmt.Errorf("FusedConv2D: got %d inputs, want 2 or 3", len(inputs))
+		return fmt.Errorf("FusedConv2D: got %d inputs, want 2 or 3", len(inputs))
 	}
 	x, w := inputs[0], inputs[1]
 	info, err := kernels.ComputeConv2DInfo(x.Shape, w.Shape,
-		attrs.Ints("strides", []int{1, 1}), attrs.Ints("dilations", []int{1, 1}),
+		attrs.Ints("strides", defaultConvStride), attrs.Ints("dilations", defaultConvStride),
 		attrs.String("pad", "valid"), false)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	bias, actName, act, err := b.fusedOperands("FusedConv2D", inputs, attrs, info.OutChannels)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	xBuf, wBuf := b.in(x), b.in(w)
-	out, tinfo := b.out(info.OutShape(), tensor.Float32)
+	out.Shape = append(out.Shape[:0], info.BatchSize, info.OutHeight, info.OutWidth, info.OutChannels)
+	dstBuf := b.outInto(out, tensor.Float32)
 	inC, outC := info.InChannels, info.OutChannels
 
 	// Pointwise fast path: a 1×1 stride-1 convolution is exactly the
@@ -102,36 +109,45 @@ func (b *Backend) fusedConv2D(inputs []kernels.Input, attrs kernels.Attrs) ([]ke
 		info.PadTop == 0 && info.PadLeft == 0 &&
 		info.OutHeight == info.InHeight && info.OutWidth == info.InWidth {
 		rows := info.BatchSize * info.OutHeight * info.OutWidth
-		b.gemmAutoW(rows, outC, inC, xBuf, w, out, &gemmEpilogue{bias: bias, actName: actName, act: act})
-		return []kernels.TensorInfo{tinfo}, nil
+		b.gemmAutoW(rows, outC, inC, xBuf, w, dstBuf, gemmEpilogue{bias: bias, actName: actName, act: act})
+		return nil
 	}
 
 	inRow := info.InWidth * inC
 	inImg := info.InHeight * inRow
 	outRow := info.OutWidth * outC
 	outImg := info.OutHeight * outRow
-	rowCost := info.OutWidth * outC * b.costPerElem(2*info.FilterHeight*info.FilterWidth*inC)
-	b.parallelFor(info.BatchSize*info.OutHeight, rowCost, func(lo, hi int) {
+	// Scalar copies of the geometry for the closure below: capturing info
+	// itself would spill the whole struct to the heap on every call (the
+	// compiler captures large structs by reference), and this path must stay
+	// allocation-free in steady state beyond the one closure object.
+	inH, inW, outH, outW := info.InHeight, info.InWidth, info.OutHeight, info.OutWidth
+	fH, fW := info.FilterHeight, info.FilterWidth
+	sH, sW := info.StrideHeight, info.StrideWidth
+	dH, dW := info.DilationHeight, info.DilationWidth
+	padT, padL := info.PadTop, info.PadLeft
+	rowCost := outW * outC * b.costPerElem(2*fH*fW*inC)
+	b.parallelFor(info.BatchSize*outH, rowCost, func(lo, hi int) {
 		for r := lo; r < hi; r++ {
-			bb := r / info.OutHeight
-			oy := r % info.OutHeight
-			yCorner := oy*info.StrideHeight - info.PadTop
+			bb := r / outH
+			oy := r % outH
+			yCorner := oy*sH - padT
 			rowBase := bb*outImg + oy*outRow
-			for ox := 0; ox < info.OutWidth; ox++ {
-				xCorner := ox*info.StrideWidth - info.PadLeft
-				dst := out[rowBase+ox*outC : rowBase+(ox+1)*outC]
-				for fy := 0; fy < info.FilterHeight; fy++ {
-					iy := yCorner + fy*info.DilationHeight
-					if iy < 0 || iy >= info.InHeight {
+			for ox := 0; ox < outW; ox++ {
+				xCorner := ox*sW - padL
+				dst := dstBuf[rowBase+ox*outC : rowBase+(ox+1)*outC]
+				for fy := 0; fy < fH; fy++ {
+					iy := yCorner + fy*dH
+					if iy < 0 || iy >= inH {
 						continue
 					}
-					for fx := 0; fx < info.FilterWidth; fx++ {
-						ix := xCorner + fx*info.DilationWidth
-						if ix < 0 || ix >= info.InWidth {
+					for fx := 0; fx < fW; fx++ {
+						ix := xCorner + fx*dW
+						if ix < 0 || ix >= inW {
 							continue
 						}
 						inBase := bb*inImg + iy*inRow + ix*inC
-						wBase := (fy*info.FilterWidth + fx) * inC * outC
+						wBase := (fy*fW + fx) * inC * outC
 						for ic := 0; ic < inC; ic++ {
 							xv := xBuf[inBase+ic]
 							if xv == 0 {
@@ -148,54 +164,62 @@ func (b *Backend) fusedConv2D(inputs []kernels.Input, attrs kernels.Attrs) ([]ke
 			}
 		}
 	})
-	return []kernels.TensorInfo{tinfo}, nil
+	return nil
 }
 
-func (b *Backend) fusedDepthwiseConv2D(inputs []kernels.Input, attrs kernels.Attrs) ([]kernels.TensorInfo, error) {
+func (b *Backend) fusedDepthwiseConv2D(inputs []kernels.Input, attrs kernels.Attrs, out *kernels.TensorInfo) error {
 	if len(inputs) != 2 && len(inputs) != 3 {
-		return nil, fmt.Errorf("FusedDepthwiseConv2dNative: got %d inputs, want 2 or 3", len(inputs))
+		return fmt.Errorf("FusedDepthwiseConv2dNative: got %d inputs, want 2 or 3", len(inputs))
 	}
 	x, w := inputs[0], inputs[1]
 	info, err := kernels.ComputeConv2DInfo(x.Shape, w.Shape,
-		attrs.Ints("strides", []int{1, 1}), attrs.Ints("dilations", []int{1, 1}),
+		attrs.Ints("strides", defaultConvStride), attrs.Ints("dilations", defaultConvStride),
 		attrs.String("pad", "valid"), true)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	bias, actName, act, err := b.fusedOperands("FusedDepthwiseConv2dNative", inputs, attrs, info.OutChannels)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	xBuf, wBuf := b.in(x), b.in(w)
-	out, tinfo := b.out(info.OutShape(), tensor.Float32)
+	out.Shape = append(out.Shape[:0], info.BatchSize, info.OutHeight, info.OutWidth, info.OutChannels)
+	dstBuf := b.outInto(out, tensor.Float32)
 	inC, mult, outC := info.InChannels, info.ChannelMultiplier, info.OutChannels
 	inRow := info.InWidth * inC
 	inImg := info.InHeight * inRow
 	outRow := info.OutWidth * outC
 	outImg := info.OutHeight * outRow
 
-	rowCost := info.OutWidth * outC * b.costPerElem(2*info.FilterHeight*info.FilterWidth)
-	b.parallelFor(info.BatchSize*info.OutHeight, rowCost, func(lo, hi int) {
+	// Scalar geometry copies — same reason as fusedConv2D above: keep the
+	// oversized Conv2DInfo struct out of the closure captures.
+	inH, inW, outH, outW := info.InHeight, info.InWidth, info.OutHeight, info.OutWidth
+	fH, fW := info.FilterHeight, info.FilterWidth
+	sH, sW := info.StrideHeight, info.StrideWidth
+	dH, dW := info.DilationHeight, info.DilationWidth
+	padT, padL := info.PadTop, info.PadLeft
+	rowCost := outW * outC * b.costPerElem(2*fH*fW)
+	b.parallelFor(info.BatchSize*outH, rowCost, func(lo, hi int) {
 		for r := lo; r < hi; r++ {
-			bb := r / info.OutHeight
-			oy := r % info.OutHeight
-			yCorner := oy*info.StrideHeight - info.PadTop
+			bb := r / outH
+			oy := r % outH
+			yCorner := oy*sH - padT
 			rowBase := bb*outImg + oy*outRow
-			for ox := 0; ox < info.OutWidth; ox++ {
-				xCorner := ox*info.StrideWidth - info.PadLeft
-				dst := out[rowBase+ox*outC : rowBase+(ox+1)*outC]
-				for fy := 0; fy < info.FilterHeight; fy++ {
-					iy := yCorner + fy*info.DilationHeight
-					if iy < 0 || iy >= info.InHeight {
+			for ox := 0; ox < outW; ox++ {
+				xCorner := ox*sW - padL
+				dst := dstBuf[rowBase+ox*outC : rowBase+(ox+1)*outC]
+				for fy := 0; fy < fH; fy++ {
+					iy := yCorner + fy*dH
+					if iy < 0 || iy >= inH {
 						continue
 					}
-					for fx := 0; fx < info.FilterWidth; fx++ {
-						ix := xCorner + fx*info.DilationWidth
-						if ix < 0 || ix >= info.InWidth {
+					for fx := 0; fx < fW; fx++ {
+						ix := xCorner + fx*dW
+						if ix < 0 || ix >= inW {
 							continue
 						}
 						inBase := bb*inImg + iy*inRow + ix*inC
-						wBase := (fy*info.FilterWidth + fx) * inC * mult
+						wBase := (fy*fW + fx) * inC * mult
 						if mult == 1 {
 							for ic := 0; ic < inC; ic++ {
 								dst[ic] += xBuf[inBase+ic] * wBuf[wBase+ic]
@@ -214,18 +238,18 @@ func (b *Backend) fusedDepthwiseConv2D(inputs []kernels.Input, attrs kernels.Att
 			}
 		}
 	})
-	return []kernels.TensorInfo{tinfo}, nil
+	return nil
 }
 
-func (b *Backend) fusedMatMul(inputs []kernels.Input, attrs kernels.Attrs) ([]kernels.TensorInfo, error) {
+func (b *Backend) fusedMatMul(inputs []kernels.Input, attrs kernels.Attrs, out *kernels.TensorInfo) error {
 	if len(inputs) != 2 && len(inputs) != 3 {
-		return nil, fmt.Errorf("_FusedMatMul: got %d inputs, want 2 or 3", len(inputs))
+		return fmt.Errorf("_FusedMatMul: got %d inputs, want 2 or 3", len(inputs))
 	}
 	a, x := inputs[0], inputs[1]
 	transposeA := attrs.Bool("transposeA", false)
 	transposeB := attrs.Bool("transposeB", false)
 	if len(a.Shape) != 2 || len(x.Shape) != 2 {
-		return nil, fmt.Errorf("_FusedMatMul: inputs must be rank 2, got %v and %v", a.Shape, x.Shape)
+		return fmt.Errorf("_FusedMatMul: inputs must be rank 2, got %v and %v", a.Shape, x.Shape)
 	}
 	m, kA := a.Shape[0], a.Shape[1]
 	if transposeA {
@@ -236,26 +260,27 @@ func (b *Backend) fusedMatMul(inputs []kernels.Input, attrs kernels.Attrs) ([]ke
 		kB, n = n, kB
 	}
 	if kA != kB {
-		return nil, fmt.Errorf("_FusedMatMul: inner dims mismatch %v x %v", a.Shape, x.Shape)
+		return fmt.Errorf("_FusedMatMul: inner dims mismatch %v x %v", a.Shape, x.Shape)
 	}
 	k := kA
 	bias, actName, act, err := b.fusedOperands("_FusedMatMul", inputs, attrs, n)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	aBuf, bBuf := b.in(a), b.in(x)
-	out, info := b.out([]int{m, n}, tensor.Float32)
+	out.Shape = append(out.Shape[:0], m, n)
+	dstBuf := b.outInto(out, tensor.Float32)
 
 	// Untransposed products (the optimizer only fuses this form) run on
 	// the shared GEMM core with the epilogue fused into the store.
 	if !transposeA && !transposeB {
-		b.gemmAutoW(m, n, k, aBuf, x, out, &gemmEpilogue{bias: bias, actName: actName, act: act})
-		return []kernels.TensorInfo{info}, nil
+		b.gemmAutoW(m, n, k, aBuf, x, dstBuf, gemmEpilogue{bias: bias, actName: actName, act: act})
+		return nil
 	}
 
 	b.parallelFor(m, 2*k*n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
-			row := out[i*n : (i+1)*n]
+			row := dstBuf[i*n : (i+1)*n]
 			for kk := 0; kk < k; kk++ {
 				var av float32
 				if transposeA {
@@ -277,5 +302,5 @@ func (b *Backend) fusedMatMul(inputs []kernels.Input, attrs kernels.Attrs) ([]ke
 			epilogue(row, bias, actName, act)
 		}
 	})
-	return []kernels.TensorInfo{info}, nil
+	return nil
 }

@@ -1,8 +1,6 @@
 package native
 
 import (
-	"sync"
-
 	"repro/internal/exec"
 	"repro/internal/kernels"
 )
@@ -46,27 +44,19 @@ type packedB struct {
 	panels []float32 // panel j at [j*k*gemmNR : (j+1)*k*gemmNR]
 }
 
-// packPool recycles packing buffers: one B pack and one A panel per
-// in-flight GEMM chunk, reused across calls to keep the hot path
-// allocation-free after warmup.
-var packPool = sync.Pool{New: func() any { return &[]float32{} }}
-
-func packBuf(size int) (*[]float32, []float32) {
-	p := packPool.Get().(*[]float32)
-	if cap(*p) < size {
-		*p = make([]float32, size)
-	}
-	buf := (*p)[:size]
-	return p, buf
-}
+// Packing scratch (one B pack and one A panel per in-flight GEMM chunk)
+// comes from the backend's per-replica float32 recycler, reused across
+// calls to keep the hot path allocation-free after warmup. The panels are
+// fully overwritten including zero padding, so they skip zeroing and
+// tolerate poison.
 
 // packB packs row-major B (k×n, row stride ldb) into NR-column panels
-// held in a pooled scratch buffer — the path for rhs operands that are
-// not reused across calls.
-func packB(bBuf []float32, k, n, ldb int) (*[]float32, packedB) {
+// held in recycler scratch — the path for rhs operands that are not
+// reused across calls. The caller returns the panels to b.scratchF32.
+func (b *Backend) packB(bBuf []float32, k, n, ldb int) packedB {
 	panels := (n + gemmNR - 1) / gemmNR
-	hold, buf := packBuf(panels * k * gemmNR)
-	return hold, packBInto(buf, bBuf, k, n, ldb)
+	buf := b.scratchF32.Get(panels * k * gemmNR)
+	return packBInto(buf, bBuf, k, n, ldb)
 }
 
 // packBInto packs row-major B (k×n, row stride ldb) into the NR-column
@@ -170,30 +160,30 @@ func micro2x4(k int, ap, bp []float32, r0 int, dst *[gemmMR * gemmNR]float32) {
 }
 
 // gemmEpilogue is the optional fused tail applied to each finished
-// output row: bias add and activation (see epilogue in fused.go).
+// output row: bias add and activation (see epilogue in fused.go). Passed
+// by value so the per-call construction stays off the heap; the zero
+// value is a no-op epilogue.
 type gemmEpilogue struct {
 	bias    []float32
 	actName string
 	act     func(float32) float32
 }
 
-func (e *gemmEpilogue) apply(row []float32) {
-	if e != nil {
-		epilogue(row, e.bias, e.actName, e.act)
-	}
+func (e gemmEpilogue) apply(row []float32) {
+	epilogue(row, e.bias, e.actName, e.act)
 }
 
 // gemmPacked computes out[m×n] = A[m×k]·B(packed), parallelized over A
-// row panels. out rows use stride ldc; A rows stride lda. ep, when
-// non-nil, fuses bias+activation into the store.
-func (b *Backend) gemmPacked(m, n, k int, aBuf []float32, lda int, pb packedB, out []float32, ldc int, ep *gemmEpilogue) {
+// row panels. out rows use stride ldc; A rows stride lda. A non-zero ep
+// fuses bias+activation into the store.
+func (b *Backend) gemmPacked(m, n, k int, aBuf []float32, lda int, pb packedB, out []float32, ldc int, ep gemmEpilogue) {
 	rowPanels := (m + gemmMR - 1) / gemmMR
 	colPanels := (n + gemmNR - 1) / gemmNR
 	// Per row panel: pack k×MR once, then 2·k·MR flops per output column.
 	cost := k * gemmMR * (2*n + 1)
 	b.parallelFor(rowPanels, cost, func(lo, hi int) {
-		hold, apanel := packBuf(k * gemmMR)
-		defer packPool.Put(hold)
+		apanel := b.scratchF32.Get(k * gemmMR)
+		defer b.scratchF32.Put(apanel)
 		var tile [gemmMR * gemmNR]float32
 		for pi := lo; pi < hi; pi++ {
 			i0 := pi * gemmMR
@@ -253,20 +243,20 @@ func lhsZeroFraction(a []float32) float64 {
 // the lhs sparse enough for its zero-skip to win (activations after a
 // relu-family epilogue). exec.GEMMNaive forces row-streaming always —
 // the benchmark A/B control and cross-check oracle.
-func (b *Backend) gemmAuto(m, n, k int, aBuf, bBuf []float32, out []float32, ep *gemmEpilogue) {
+func (b *Backend) gemmAuto(m, n, k int, aBuf, bBuf []float32, out []float32, ep gemmEpilogue) {
 	if b.gemm == exec.GEMMNaive || lhsZeroFraction(aBuf) >= gemmSparseBail {
 		b.gemmNaive(m, n, k, aBuf, bBuf, out, ep)
 		return
 	}
-	hold, pb := packB(bBuf, k, n, n)
-	defer packPool.Put(hold)
+	pb := b.packB(bBuf, k, n, n)
+	defer b.scratchF32.Put(pb.panels)
 	b.gemmPacked(m, n, k, aBuf, k, pb, out, n, ep)
 }
 
 // gemmAutoW is gemmAuto for products whose rhs is an immutable weight
 // (the fused matmul and pointwise-conv paths): the packed panels come
 // from the per-DataID cache instead of being rebuilt per call.
-func (b *Backend) gemmAutoW(m, n, k int, aBuf []float32, w kernels.Input, out []float32, ep *gemmEpilogue) {
+func (b *Backend) gemmAutoW(m, n, k int, aBuf []float32, w kernels.Input, out []float32, ep gemmEpilogue) {
 	if b.gemm == exec.GEMMNaive || lhsZeroFraction(aBuf) >= gemmSparseBail {
 		b.gemmNaive(m, n, k, aBuf, b.in(w), out, ep)
 		return
@@ -276,7 +266,7 @@ func (b *Backend) gemmAutoW(m, n, k int, aBuf []float32, w kernels.Input, out []
 
 // gemmNaive is the original k-outer j-inner row-streaming core with the
 // activation-sparsity zero-skip, retained for -gemm=naive A/B runs.
-func (b *Backend) gemmNaive(m, n, k int, aBuf, bBuf []float32, out []float32, ep *gemmEpilogue) {
+func (b *Backend) gemmNaive(m, n, k int, aBuf, bBuf []float32, out []float32, ep gemmEpilogue) {
 	b.parallelFor(m, 2*k*n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			row := out[i*n : (i+1)*n]

@@ -12,8 +12,15 @@ import (
 // dominate model inference and training time are overridden — matmul,
 // convolutions, pooling, the element-wise workhorses, reductions and
 // softmax; the long tail inherits the reference implementations.
+//
+// Every kernel is written in the planKernel form: it appends its output
+// shape into out.Shape (caller-owned scratch, so the steady-state plan
+// executor re-runs a step without allocating) and registers its buffer via
+// outInto. Shapes are always appended by value, never aliased from an
+// input, so an output can outlive its inputs.
 func (b *Backend) initKernels() {
 	b.table = map[string]kernels.OverrideKernel{}
+	b.plans = map[string]planKernel{}
 	b.registerMatMul()
 	b.registerConv()
 	b.registerElementwise()
@@ -25,24 +32,55 @@ func (b *Backend) initKernels() {
 // in returns the raw buffer of an input.
 func (b *Backend) in(i kernels.Input) []float32 { return b.Raw(i.DataID) }
 
-// out allocates and registers an output buffer.
-func (b *Backend) out(shape []int, dtype tensor.DataType) ([]float32, kernels.TensorInfo) {
-	buf := make([]float32, tensor.ShapeSize(shape))
+// outInto allocates (from the recycler when pooling is on) and registers
+// the output buffer for dst. dst.Shape must already hold the output shape.
+func (b *Backend) outInto(dst *kernels.TensorInfo, dtype tensor.DataType) []float32 {
+	buf := b.Alloc(tensor.ShapeSize(dst.Shape))
 	id := tensor.NewDataID()
 	b.WriteOwned(id, buf)
-	return buf, kernels.TensorInfo{DataID: id, Shape: tensor.CopyShape(shape), DType: dtype}
+	dst.DataID = id
+	dst.DType = dtype
+	return buf
+}
+
+// refInto runs the reference kernel and registers its single output into
+// dst. Shared by overrides that decline a shape/layout combination.
+func (b *Backend) refInto(name string, inputs []kernels.Input, attrs kernels.Attrs, dst *kernels.TensorInfo) error {
+	ref, ok := kernels.LookupRef(name)
+	if !ok {
+		return fmt.Errorf("%s: no reference implementation", name)
+	}
+	bufs := make([]kernels.Buffer, len(inputs))
+	for i, in := range inputs {
+		bufs[i] = kernels.Buffer{Data: b.in(in), Shape: in.Shape, DType: in.DType}
+	}
+	outs, err := ref(bufs, attrs)
+	if err != nil {
+		return err
+	}
+	if len(outs) != 1 {
+		return fmt.Errorf("%s: reference kernel produced %d outputs, want 1", name, len(outs))
+	}
+	id := tensor.NewDataID()
+	b.WriteOwned(id, outs[0].Data)
+	dst.DataID = id
+	// Copy, don't alias: a reference kernel's output shape may share its
+	// input's backing slice.
+	dst.Shape = append(dst.Shape[:0], outs[0].Shape...)
+	dst.DType = outs[0].DType
+	return nil
 }
 
 func (b *Backend) registerMatMul() {
-	b.register("BatchMatMul", func(inputs []kernels.Input, attrs kernels.Attrs) ([]kernels.TensorInfo, error) {
+	b.register("BatchMatMul", func(inputs []kernels.Input, attrs kernels.Attrs, out *kernels.TensorInfo) error {
 		if len(inputs) != 2 {
-			return nil, fmt.Errorf("BatchMatMul: got %d inputs, want 2", len(inputs))
+			return fmt.Errorf("BatchMatMul: got %d inputs, want 2", len(inputs))
 		}
 		a, x := inputs[0], inputs[1]
 		transposeA := attrs.Bool("transposeA", false)
 		transposeB := attrs.Bool("transposeB", false)
 		if len(a.Shape) != 3 || len(x.Shape) != 3 {
-			return nil, fmt.Errorf("BatchMatMul: inputs must be rank 3, got %v and %v", a.Shape, x.Shape)
+			return fmt.Errorf("BatchMatMul: inputs must be rank 3, got %v and %v", a.Shape, x.Shape)
 		}
 		batchA, batchB := a.Shape[0], x.Shape[0]
 		batch := batchA
@@ -50,7 +88,7 @@ func (b *Backend) registerMatMul() {
 			batch = batchB
 		}
 		if batchA != batchB && batchA != 1 && batchB != 1 {
-			return nil, fmt.Errorf("BatchMatMul: incompatible batch dims %d and %d", batchA, batchB)
+			return fmt.Errorf("BatchMatMul: incompatible batch dims %d and %d", batchA, batchB)
 		}
 		m, kA := a.Shape[1], a.Shape[2]
 		if transposeA {
@@ -61,11 +99,12 @@ func (b *Backend) registerMatMul() {
 			kB, n = n, kB
 		}
 		if kA != kB {
-			return nil, fmt.Errorf("BatchMatMul: inner dims mismatch %v x %v", a.Shape, x.Shape)
+			return fmt.Errorf("BatchMatMul: inner dims mismatch %v x %v", a.Shape, x.Shape)
 		}
 		k := kA
 		aBuf, bBuf := b.in(a), b.in(x)
-		out, info := b.out([]int{batch, m, n}, tensor.Float32)
+		out.Shape = append(out.Shape[:0], batch, m, n)
+		dst := b.outInto(out, tensor.Float32)
 		aMat, bMat := a.Shape[1]*a.Shape[2], x.Shape[1]*x.Shape[2]
 
 		// The common untransposed product goes through the shared GEMM
@@ -75,9 +114,9 @@ func (b *Backend) registerMatMul() {
 			for p := 0; p < batch; p++ {
 				aOff := (p % batchA) * aMat
 				bOff := (p % batchB) * bMat
-				b.gemmAuto(m, n, k, aBuf[aOff:], bBuf[bOff:], out[p*m*n:(p+1)*m*n], nil)
+				b.gemmAuto(m, n, k, aBuf[aOff:], bBuf[bOff:], dst[p*m*n:(p+1)*m*n], gemmEpilogue{})
 			}
-			return []kernels.TensorInfo{info}, nil
+			return nil
 		}
 
 		// Transposed variants: parallelize across (batch, row) pairs with
@@ -88,7 +127,7 @@ func (b *Backend) registerMatMul() {
 				i := bi % m
 				aOff := (p % batchA) * aMat
 				bOff := (p % batchB) * bMat
-				row := out[(p*m+i)*n : (p*m+i+1)*n]
+				row := dst[(p*m+i)*n : (p*m+i+1)*n]
 				for kk := 0; kk < k; kk++ {
 					var av float32
 					if transposeA {
@@ -112,24 +151,25 @@ func (b *Backend) registerMatMul() {
 				}
 			}
 		})
-		return []kernels.TensorInfo{info}, nil
+		return nil
 	})
 }
 
 func (b *Backend) registerConv() {
-	b.register("Conv2D", func(inputs []kernels.Input, attrs kernels.Attrs) ([]kernels.TensorInfo, error) {
+	b.register("Conv2D", func(inputs []kernels.Input, attrs kernels.Attrs, out *kernels.TensorInfo) error {
 		if len(inputs) != 2 {
-			return nil, fmt.Errorf("Conv2D: got %d inputs, want 2", len(inputs))
+			return fmt.Errorf("Conv2D: got %d inputs, want 2", len(inputs))
 		}
 		x, w := inputs[0], inputs[1]
 		info, err := kernels.ComputeConv2DInfo(x.Shape, w.Shape,
-			attrs.Ints("strides", []int{1, 1}), attrs.Ints("dilations", []int{1, 1}),
+			attrs.Ints("strides", defaultConvStride), attrs.Ints("dilations", defaultConvStride),
 			attrs.String("pad", "valid"), false)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		xBuf, wBuf := b.in(x), b.in(w)
-		out, tinfo := b.out(info.OutShape(), tensor.Float32)
+		out.Shape = append(out.Shape[:0], info.BatchSize, info.OutHeight, info.OutWidth, info.OutChannels)
+		dst := b.outInto(out, tensor.Float32)
 		inC, outC := info.InChannels, info.OutChannels
 		inRow := info.InWidth * inC
 		inImg := info.InHeight * inRow
@@ -147,7 +187,7 @@ func (b *Backend) registerConv() {
 				for ox := 0; ox < info.OutWidth; ox++ {
 					xCorner := ox*info.StrideWidth - info.PadLeft
 					outBase := bb*outImg + oy*outRow + ox*outC
-					dst := out[outBase : outBase+outC]
+					rowDst := dst[outBase : outBase+outC]
 					for fy := 0; fy < info.FilterHeight; fy++ {
 						iy := yCorner + fy*info.DilationHeight
 						if iy < 0 || iy >= info.InHeight {
@@ -167,7 +207,7 @@ func (b *Backend) registerConv() {
 								}
 								wRow := wBuf[wBase+ic*outC : wBase+(ic+1)*outC]
 								for oc, wv := range wRow {
-									dst[oc] += xv * wv
+									rowDst[oc] += xv * wv
 								}
 							}
 						}
@@ -175,22 +215,23 @@ func (b *Backend) registerConv() {
 				}
 			}
 		})
-		return []kernels.TensorInfo{tinfo}, nil
+		return nil
 	})
 
-	b.register("DepthwiseConv2dNative", func(inputs []kernels.Input, attrs kernels.Attrs) ([]kernels.TensorInfo, error) {
+	b.register("DepthwiseConv2dNative", func(inputs []kernels.Input, attrs kernels.Attrs, out *kernels.TensorInfo) error {
 		if len(inputs) != 2 {
-			return nil, fmt.Errorf("DepthwiseConv2dNative: got %d inputs, want 2", len(inputs))
+			return fmt.Errorf("DepthwiseConv2dNative: got %d inputs, want 2", len(inputs))
 		}
 		x, w := inputs[0], inputs[1]
 		info, err := kernels.ComputeConv2DInfo(x.Shape, w.Shape,
-			attrs.Ints("strides", []int{1, 1}), attrs.Ints("dilations", []int{1, 1}),
+			attrs.Ints("strides", defaultConvStride), attrs.Ints("dilations", defaultConvStride),
 			attrs.String("pad", "valid"), true)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		xBuf, wBuf := b.in(x), b.in(w)
-		out, tinfo := b.out(info.OutShape(), tensor.Float32)
+		out.Shape = append(out.Shape[:0], info.BatchSize, info.OutHeight, info.OutWidth, info.OutChannels)
+		dst := b.outInto(out, tensor.Float32)
 		inC, mult, outC := info.InChannels, info.ChannelMultiplier, info.OutChannels
 		inRow := info.InWidth * inC
 		inImg := info.InHeight * inRow
@@ -220,13 +261,13 @@ func (b *Backend) registerConv() {
 							wBase := (fy*info.FilterWidth + fx) * inC * mult
 							if mult == 1 {
 								for ic := 0; ic < inC; ic++ {
-									out[outBase+ic] += xBuf[inBase+ic] * wBuf[wBase+ic]
+									dst[outBase+ic] += xBuf[inBase+ic] * wBuf[wBase+ic]
 								}
 							} else {
 								for ic := 0; ic < inC; ic++ {
 									xv := xBuf[inBase+ic]
 									for q := 0; q < mult; q++ {
-										out[outBase+ic*mult+q] += xv * wBuf[wBase+ic*mult+q]
+										dst[outBase+ic*mult+q] += xv * wBuf[wBase+ic*mult+q]
 									}
 								}
 							}
@@ -235,23 +276,24 @@ func (b *Backend) registerConv() {
 				}
 			}
 		})
-		return []kernels.TensorInfo{tinfo}, nil
+		return nil
 	})
 
-	pool := func(name string, isMax bool) kernels.OverrideKernel {
-		return func(inputs []kernels.Input, attrs kernels.Attrs) ([]kernels.TensorInfo, error) {
+	pool := func(name string, isMax bool) planKernel {
+		return func(inputs []kernels.Input, attrs kernels.Attrs, out *kernels.TensorInfo) error {
 			if len(inputs) != 1 {
-				return nil, fmt.Errorf("%s: got %d inputs, want 1", name, len(inputs))
+				return fmt.Errorf("%s: got %d inputs, want 1", name, len(inputs))
 			}
 			x := inputs[0]
 			filterSize := attrs.Ints("filterSize", []int{2, 2})
 			strides := attrs.Ints("strides", filterSize)
 			info, err := kernels.ComputePool2DInfo(x.Shape, filterSize, strides, attrs.String("pad", "valid"))
 			if err != nil {
-				return nil, err
+				return err
 			}
 			xBuf := b.in(x)
-			out, tinfo := b.out(info.OutShape(), x.DType)
+			out.Shape = append(out.Shape[:0], info.BatchSize, info.OutHeight, info.OutWidth, info.OutChannels)
+			dst := b.outInto(out, x.DType)
 			c := info.OutChannels
 			inRow := info.InWidth * c
 			inImg := info.InHeight * inRow
@@ -292,15 +334,15 @@ func (b *Backend) registerConv() {
 								}
 							}
 							if isMax {
-								out[outBase+ch] = best
+								dst[outBase+ch] = best
 							} else if count > 0 {
-								out[outBase+ch] = sum / float32(count)
+								dst[outBase+ch] = sum / float32(count)
 							}
 						}
 					}
 				}
 			})
-			return []kernels.TensorInfo{tinfo}, nil
+			return nil
 		}
 	}
 	b.register("MaxPool", pool("MaxPool", true))
@@ -309,33 +351,24 @@ func (b *Backend) registerConv() {
 
 func (b *Backend) registerElementwise() {
 	bin := func(name string, f func(a, x float32) float32) {
-		b.register(name, func(inputs []kernels.Input, attrs kernels.Attrs) ([]kernels.TensorInfo, error) {
+		b.register(name, func(inputs []kernels.Input, attrs kernels.Attrs, out *kernels.TensorInfo) error {
 			if len(inputs) != 2 {
-				return nil, fmt.Errorf("%s: got %d inputs, want 2", name, len(inputs))
+				return fmt.Errorf("%s: got %d inputs, want 2", name, len(inputs))
 			}
 			a, x := inputs[0], inputs[1]
 			if !tensor.ShapesEqual(a.Shape, x.Shape) {
 				// Broadcasting falls back to the reference kernel.
-				ref, _ := kernels.LookupRef(name)
-				outs, err := ref([]kernels.Buffer{
-					{Data: b.in(a), Shape: a.Shape, DType: a.DType},
-					{Data: b.in(x), Shape: x.Shape, DType: x.DType},
-				}, attrs)
-				if err != nil {
-					return nil, err
-				}
-				id := tensor.NewDataID()
-				b.WriteOwned(id, outs[0].Data)
-				return []kernels.TensorInfo{{DataID: id, Shape: outs[0].Shape, DType: outs[0].DType}}, nil
+				return b.refInto(name, inputs, attrs, out)
 			}
 			aBuf, xBuf := b.in(a), b.in(x)
-			out, info := b.out(a.Shape, a.DType)
-			b.parallelFor(len(out), b.costPerElem(1), func(lo, hi int) {
+			out.Shape = append(out.Shape[:0], a.Shape...)
+			dst := b.outInto(out, a.DType)
+			b.parallelFor(len(dst), b.costPerElem(1), func(lo, hi int) {
 				for i := lo; i < hi; i++ {
-					out[i] = f(aBuf[i], xBuf[i])
+					dst[i] = f(aBuf[i], xBuf[i])
 				}
 			})
-			return []kernels.TensorInfo{info}, nil
+			return nil
 		})
 	}
 	bin("Add", func(a, x float32) float32 { return a + x })
@@ -344,18 +377,19 @@ func (b *Backend) registerElementwise() {
 	bin("RealDiv", func(a, x float32) float32 { return a / x })
 
 	un := func(name string, f func(x float32) float32) {
-		b.register(name, func(inputs []kernels.Input, attrs kernels.Attrs) ([]kernels.TensorInfo, error) {
+		b.register(name, func(inputs []kernels.Input, attrs kernels.Attrs, out *kernels.TensorInfo) error {
 			if len(inputs) != 1 {
-				return nil, fmt.Errorf("%s: got %d inputs, want 1", name, len(inputs))
+				return fmt.Errorf("%s: got %d inputs, want 1", name, len(inputs))
 			}
 			xBuf := b.in(inputs[0])
-			out, info := b.out(inputs[0].Shape, inputs[0].DType)
-			b.parallelFor(len(out), b.costPerElem(1), func(lo, hi int) {
+			out.Shape = append(out.Shape[:0], inputs[0].Shape...)
+			dst := b.outInto(out, inputs[0].DType)
+			b.parallelFor(len(dst), b.costPerElem(1), func(lo, hi int) {
 				for i := lo; i < hi; i++ {
-					out[i] = f(xBuf[i])
+					dst[i] = f(xBuf[i])
 				}
 			})
-			return []kernels.TensorInfo{info}, nil
+			return nil
 		})
 	}
 	un("Relu", func(x float32) float32 {
@@ -382,9 +416,9 @@ func (b *Backend) registerElementwise() {
 
 	// FusedBatchNorm with the common layout (params of shape [C], input
 	// [..., C]) runs a channel-indexed tight loop.
-	b.register("FusedBatchNorm", func(inputs []kernels.Input, attrs kernels.Attrs) ([]kernels.TensorInfo, error) {
+	b.register("FusedBatchNorm", func(inputs []kernels.Input, attrs kernels.Attrs, out *kernels.TensorInfo) error {
 		if len(inputs) != 5 {
-			return nil, fmt.Errorf("FusedBatchNorm: got %d inputs, want 5", len(inputs))
+			return fmt.Errorf("FusedBatchNorm: got %d inputs, want 5", len(inputs))
 		}
 		x := inputs[0]
 		rank := len(x.Shape)
@@ -400,53 +434,45 @@ func (b *Backend) registerElementwise() {
 			}
 		}
 		if !channelParams {
-			ref, _ := kernels.LookupRef("FusedBatchNorm")
-			bufs := make([]kernels.Buffer, 5)
-			for i, in := range inputs {
-				bufs[i] = kernels.Buffer{Data: b.in(in), Shape: in.Shape, DType: in.DType}
-			}
-			outs, err := ref(bufs, attrs)
-			if err != nil {
-				return nil, err
-			}
-			id := tensor.NewDataID()
-			b.WriteOwned(id, outs[0].Data)
-			return []kernels.TensorInfo{{DataID: id, Shape: outs[0].Shape, DType: outs[0].DType}}, nil
+			return b.refInto("FusedBatchNorm", inputs, attrs, out)
 		}
 		eps := float32(attrs.Float("varianceEpsilon", 1e-3))
 		xBuf := b.in(x)
 		mean, variance, offset, scale := b.in(inputs[1]), b.in(inputs[2]), b.in(inputs[3]), b.in(inputs[4])
 		// Precompute per-channel multiplier and bias:
-		// out = x*mulC + addC.
-		mulC := make([]float32, c)
-		addC := make([]float32, c)
+		// out = x*mulC + addC. Scratch from the recycler; fully overwritten.
+		mulC := b.scratchF32.Get(c)
+		addC := b.scratchF32.Get(c)
 		for ch := 0; ch < c; ch++ {
 			inv := float32(1 / math.Sqrt(float64(variance[ch]+eps)))
 			mulC[ch] = scale[ch] * inv
 			addC[ch] = offset[ch] - mean[ch]*mulC[ch]
 		}
-		out, info := b.out(x.Shape, tensor.Float32)
-		b.parallelFor(len(out)/c, c*b.costPerElem(2), func(lo, hi int) {
+		out.Shape = append(out.Shape[:0], x.Shape...)
+		dst := b.outInto(out, tensor.Float32)
+		b.parallelFor(len(dst)/c, c*b.costPerElem(2), func(lo, hi int) {
 			for r := lo; r < hi; r++ {
 				base := r * c
 				for ch := 0; ch < c; ch++ {
-					out[base+ch] = xBuf[base+ch]*mulC[ch] + addC[ch]
+					dst[base+ch] = xBuf[base+ch]*mulC[ch] + addC[ch]
 				}
 			}
 		})
-		return []kernels.TensorInfo{info}, nil
+		b.scratchF32.Put(mulC)
+		b.scratchF32.Put(addC)
+		return nil
 	})
 }
 
 func (b *Backend) registerReduce() {
 	red := func(name string, initial float32, merge func(acc, v float32) float32, finish func(acc float32, n int) float32) {
-		b.register(name, func(inputs []kernels.Input, attrs kernels.Attrs) ([]kernels.TensorInfo, error) {
+		b.register(name, func(inputs []kernels.Input, attrs kernels.Attrs, out *kernels.TensorInfo) error {
 			if len(inputs) != 1 {
-				return nil, fmt.Errorf("%s: got %d inputs, want 1", name, len(inputs))
+				return fmt.Errorf("%s: got %d inputs, want 1", name, len(inputs))
 			}
 			x := inputs[0]
 			if len(x.Shape) != 2 {
-				return nil, fmt.Errorf("%s: input must be rank 2, got %v", name, x.Shape)
+				return fmt.Errorf("%s: input must be rank 2, got %v", name, x.Shape)
 			}
 			outer, inner := x.Shape[0], x.Shape[1]
 			xBuf := b.in(x)
@@ -454,7 +480,8 @@ func (b *Backend) registerReduce() {
 			if name == "Mean" {
 				dt = tensor.Float32
 			}
-			out, info := b.out([]int{outer}, dt)
+			out.Shape = append(out.Shape[:0], outer)
+			dst := b.outInto(out, dt)
 			// Each output element is one full row reduction; the inner
 			// accumulation never splits across chunks, so reduction order
 			// is fixed regardless of the worker count.
@@ -468,10 +495,10 @@ func (b *Backend) registerReduce() {
 					if finish != nil {
 						acc = finish(acc, inner)
 					}
-					out[o] = acc
+					dst[o] = acc
 				}
 			})
-			return []kernels.TensorInfo{info}, nil
+			return nil
 		})
 	}
 	red("Sum", 0, func(a, v float32) float32 { return a + v }, nil)
@@ -489,21 +516,22 @@ func (b *Backend) registerReduce() {
 		return a
 	}, nil)
 
-	b.register("Softmax", func(inputs []kernels.Input, attrs kernels.Attrs) ([]kernels.TensorInfo, error) {
+	b.register("Softmax", func(inputs []kernels.Input, attrs kernels.Attrs, out *kernels.TensorInfo) error {
 		if len(inputs) != 1 {
-			return nil, fmt.Errorf("Softmax: got %d inputs, want 1", len(inputs))
+			return fmt.Errorf("Softmax: got %d inputs, want 1", len(inputs))
 		}
 		x := inputs[0]
 		if len(x.Shape) != 2 {
-			return nil, fmt.Errorf("Softmax: input must be rank 2, got %v", x.Shape)
+			return fmt.Errorf("Softmax: input must be rank 2, got %v", x.Shape)
 		}
 		outer, inner := x.Shape[0], x.Shape[1]
 		xBuf := b.in(x)
-		out, info := b.out(x.Shape, tensor.Float32)
+		out.Shape = append(out.Shape[:0], x.Shape...)
+		dst := b.outInto(out, tensor.Float32)
 		b.parallelFor(outer, inner*b.costPerElem(16), func(lo, hi int) {
 			for o := lo; o < hi; o++ {
 				row := xBuf[o*inner : (o+1)*inner]
-				dst := out[o*inner : (o+1)*inner]
+				d := dst[o*inner : (o+1)*inner]
 				maxV := float32(math.Inf(-1))
 				for _, v := range row {
 					if v > maxV {
@@ -513,15 +541,15 @@ func (b *Backend) registerReduce() {
 				var sum float64
 				for i, v := range row {
 					e := math.Exp(float64(v - maxV))
-					dst[i] = float32(e)
+					d[i] = float32(e)
 					sum += e
 				}
 				inv := float32(1 / sum)
-				for i := range dst {
-					dst[i] *= inv
+				for i := range d {
+					d[i] *= inv
 				}
 			}
 		})
-		return []kernels.TensorInfo{info}, nil
+		return nil
 	})
 }

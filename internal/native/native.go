@@ -21,6 +21,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/bufpool"
 	"repro/internal/cpu"
 	"repro/internal/exec"
 	"repro/internal/kernels"
@@ -31,6 +32,32 @@ import (
 // mirroring how the Node.js backend respects the libuv/OMP thread knobs
 // instead of hardcoding the host core count.
 const EnvWorkers = "TFJS_NUM_WORKERS"
+
+// EnvPool disables the data-plane buffer recycler when set to "off" or "0"
+// (pooling is on by default for this backend).
+const EnvPool = "TFJS_POOL"
+
+// EnvPoolPoison enables NaN-scribbling of freed buffers when set to a
+// non-empty value other than "off"/"0". Race-detector builds default it on.
+const EnvPoolPoison = "TFJS_POOL_POISON"
+
+func envOff(key string) bool {
+	s := os.Getenv(key)
+	return s == "off" || s == "0"
+}
+
+// defaultPooling reports whether the recycler starts enabled.
+func defaultPooling() bool { return !envOff(EnvPool) }
+
+// defaultPoison reports whether poison mode starts enabled: explicitly via
+// TFJS_POOL_POISON, or implicitly in race-detector builds so lifetime bugs
+// fail loudly exactly where data races would.
+func defaultPoison() bool {
+	if s := os.Getenv(EnvPoolPoison); s != "" {
+		return !envOff(EnvPoolPoison)
+	}
+	return bufpool.RaceEnabled
+}
 
 // DefaultWorkers resolves the initial worker count: TFJS_NUM_WORKERS when
 // set to a positive integer, else the host core count.
@@ -56,6 +83,19 @@ type Backend struct {
 	// source and to feed per-chunk timings back into the account.
 	stepHint atomic.Pointer[exec.StepHint]
 	table    map[string]kernels.OverrideKernel
+	// plans is the single-output write-into form of the same kernels,
+	// used by the graphmodel plan executor to skip the per-call slice and
+	// shape-copy allocations of the OverrideKernel contract.
+	plans map[string]planKernel
+
+	// Scratch recyclers for kernel-internal temporaries (GEMM pack panels,
+	// int8 activation codes, int32 accumulators). Always active — they
+	// replace the former package-global sync.Pools with per-backend (and so
+	// per-replica) free lists — and independent of the data-plane Pooling
+	// flag; only poison mode is shared.
+	scratchF32 *bufpool.Pool[float32]
+	scratchI8  *bufpool.Pool[int8]
+	scratchI32 *bufpool.Pool[int32]
 
 	// packCache holds per-weight preprocessed forms keyed by the weight's
 	// DataID: int8 quantized codes for the quantized kernels, and the
@@ -76,13 +116,27 @@ type packedForms struct {
 // New returns the native backend.
 func New() *Backend {
 	b := &Backend{
-		Backend:   cpu.NewNamed("node"),
-		gemm:      exec.GEMMPacked,
-		packCache: map[tensor.DataID]*packedForms{},
+		Backend:    cpu.NewNamed("node"),
+		gemm:       exec.GEMMPacked,
+		packCache:  map[tensor.DataID]*packedForms{},
+		scratchF32: bufpool.New[float32](),
+		scratchI8:  bufpool.New[int8](),
+		scratchI32: bufpool.New[int32](),
 	}
 	b.workers.Store(int64(DefaultWorkers()))
+	b.EnablePooling(defaultPooling())
+	b.SetPoolPoison(defaultPoison())
 	b.initKernels()
 	return b
+}
+
+// SetPoolPoison toggles poison mode on the data-plane recycler and the
+// kernel scratch pools together.
+func (b *Backend) SetPoolPoison(on bool) {
+	b.Backend.SetPoolPoison(on)
+	b.scratchF32.SetPoison(on)
+	b.scratchI8.SetPoison(on)
+	b.scratchI32.SetPoison(on)
 }
 
 // SetWorkers sets the intra-op parallelism budget: how many chunks of one
@@ -112,6 +166,12 @@ func (b *Backend) ApplyExecConfig(c exec.Config) {
 	}
 	if c.GEMM != "" {
 		b.gemm = c.GEMM
+	}
+	if c.Pooling != nil {
+		b.EnablePooling(*c.Pooling)
+	}
+	if c.PoolPoison != nil {
+		b.SetPoolPoison(*c.PoolPoison)
 	}
 }
 
@@ -157,8 +217,49 @@ func (b *Backend) KernelOverride(name string) (kernels.OverrideKernel, bool) {
 	return k, ok
 }
 
-func (b *Backend) register(name string, k kernels.OverrideKernel) {
-	b.table[name] = k
+// planKernel is the internal single-output kernel form: it writes the
+// result descriptor into caller-provided storage instead of returning a
+// fresh []TensorInfo, so the steady-state plan executor allocates nothing
+// per dispatch. Every native override is written in this form; the legacy
+// OverrideKernel table entries are thin wrappers.
+type planKernel func(inputs []kernels.Input, attrs kernels.Attrs, out *kernels.TensorInfo) error
+
+// register installs a kernel in both tables: the direct plan form and the
+// wrapped engine form.
+func (b *Backend) register(name string, k planKernel) {
+	b.plans[name] = k
+	b.table[name] = func(inputs []kernels.Input, attrs kernels.Attrs) ([]kernels.TensorInfo, error) {
+		// info.Shape starts nil, so the kernel's append builds a fresh
+		// slice: the engine may retain it past the inputs' lifetime.
+		var info kernels.TensorInfo
+		if err := k(inputs, attrs, &info); err != nil {
+			return nil, err
+		}
+		return []kernels.TensorInfo{info}, nil
+	}
+}
+
+// RunPlanKernel implements kernels.PlanExecutor.
+func (b *Backend) RunPlanKernel(name string, inputs []kernels.Input, attrs kernels.Attrs, out *kernels.TensorInfo) (bool, error) {
+	k, ok := b.plans[name]
+	if !ok {
+		return false, nil
+	}
+	return true, k(inputs, attrs, out)
+}
+
+// Memory folds the scratch recyclers into the embedded storage plane's
+// snapshot so /metrics sees the full pooled footprint.
+func (b *Backend) Memory() kernels.MemoryInfo {
+	info := b.Backend.Memory()
+	for _, st := range []bufpool.Stats{b.scratchF32.Stats(), b.scratchI8.Stats(), b.scratchI32.Stats()} {
+		info.FreeBuffers += st.FreeBuffers
+		info.PoolBytes += st.PoolBytes
+		info.PoolHits += st.Hits
+		info.PoolMisses += st.Misses
+		info.RecycledBytes += st.RecycledBytes
+	}
+	return info
 }
 
 // DisposeData drops any cached preprocessed form of the buffer before
@@ -172,9 +273,11 @@ func (b *Backend) DisposeData(d tensor.DataID) {
 }
 
 var (
-	_ kernels.Backend     = (*Backend)(nil)
-	_ kernels.Overrider   = (*Backend)(nil)
-	_ exec.Configurable   = (*Backend)(nil)
-	_ exec.StepHinter     = (*Backend)(nil)
-	_ exec.StepHintSetter = (*Backend)(nil)
+	_ kernels.Backend      = (*Backend)(nil)
+	_ kernels.Overrider    = (*Backend)(nil)
+	_ kernels.Recycler     = (*Backend)(nil)
+	_ kernels.PlanExecutor = (*Backend)(nil)
+	_ exec.Configurable    = (*Backend)(nil)
+	_ exec.StepHinter      = (*Backend)(nil)
+	_ exec.StepHintSetter  = (*Backend)(nil)
 )

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/exec"
 	"repro/internal/telemetry"
 )
 
@@ -124,14 +125,13 @@ func (b *Backend) parallelFor(n, costPerItem int, fn func(lo, hi int)) {
 		return
 	}
 	hint := b.stepHint.Load()
-	work := fn
+	// acct, when set, receives each chunk's wall time. The timing is inlined
+	// at the two execution sites below rather than wrapped in a closure: the
+	// wrapper was a per-call heap allocation on the single-worker path, which
+	// must stay allocation-free in steady state.
+	var acct exec.CostObserver
 	if hint != nil && hint.Cost != nil && telemetry.ProfilingOn() {
-		acct := hint.Cost
-		work = func(lo, hi int) {
-			t0 := time.Now()
-			fn(lo, hi)
-			acct.ObserveCost(time.Since(t0).Nanoseconds(), hi-lo)
-		}
+		acct = hint.Cost
 	}
 	grain := 0
 	if hint != nil && hint.Measured && hint.Cost != nil {
@@ -157,7 +157,13 @@ func (b *Backend) parallelFor(n, costPerItem int, fn func(lo, hi int)) {
 	}
 	workers := b.Workers()
 	if chunks <= 1 || workers <= 1 {
-		work(0, n)
+		if acct != nil {
+			t0 := time.Now()
+			fn(0, n)
+			acct.ObserveCost(time.Since(t0).Nanoseconds(), n)
+			return
+		}
+		fn(0, n)
 		return
 	}
 
@@ -172,7 +178,13 @@ func (b *Backend) parallelFor(n, costPerItem int, fn func(lo, hi int)) {
 				return
 			}
 			lo, hi := chunkBounds(n, chunks, i)
-			work(lo, hi)
+			if acct != nil {
+				t0 := time.Now()
+				fn(lo, hi)
+				acct.ObserveCost(time.Since(t0).Nanoseconds(), hi-lo)
+				continue
+			}
+			fn(lo, hi)
 		}
 	}
 	var wg sync.WaitGroup

@@ -2,7 +2,6 @@ package native
 
 import (
 	"fmt"
-	"sync"
 
 	"repro/internal/kernels"
 	"repro/internal/tensor"
@@ -15,6 +14,9 @@ import (
 // (integer sums are order-exact). The native additions are performance:
 // weights are quantized once per DataID and cached (invalidated by
 // DisposeData), and the accumulation loops shard across the worker pool.
+// Activation-code and accumulator scratch comes from the backend's
+// per-replica recyclers (b.scratchI8/b.scratchI32); the buffers are fully
+// overwritten before use, so they skip zeroing and tolerate poison.
 
 // quantWeights is the cached int8 form of one weight buffer. codes32 is
 // the same codes pre-widened to int32: the MAC loops read it instead of
@@ -50,67 +52,46 @@ func (b *Backend) quantWeightsFor(w kernels.Input, channels int, scales []float3
 	return f.quant
 }
 
-// int8Pool recycles activation-code scratch buffers.
-var int8Pool = sync.Pool{New: func() any { return &[]int8{} }}
-
-func int8Buf(size int) (*[]int8, []int8) {
-	p := int8Pool.Get().(*[]int8)
-	if cap(*p) < size {
-		*p = make([]int8, size)
-	}
-	return p, (*p)[:size]
-}
-
-// int32Pool recycles accumulator rows.
-var int32Pool = sync.Pool{New: func() any { return &[]int32{} }}
-
-func int32Buf(size int) (*[]int32, []int32) {
-	p := int32Pool.Get().(*[]int32)
-	if cap(*p) < size {
-		*p = make([]int32, size)
-	}
-	return p, (*p)[:size]
-}
-
 // registerQuant installs the two quantized kernels.
 func (b *Backend) registerQuant() {
 	b.register("_QuantizedFusedMatMul", b.quantFusedMatMul)
 	b.register("QuantizedFusedConv2D", b.quantFusedConv2D)
 }
 
-func (b *Backend) quantFusedMatMul(inputs []kernels.Input, attrs kernels.Attrs) ([]kernels.TensorInfo, error) {
+func (b *Backend) quantFusedMatMul(inputs []kernels.Input, attrs kernels.Attrs, out *kernels.TensorInfo) error {
 	if len(inputs) != 2 && len(inputs) != 3 {
-		return nil, fmt.Errorf("_QuantizedFusedMatMul: got %d inputs, want 2 or 3", len(inputs))
+		return fmt.Errorf("_QuantizedFusedMatMul: got %d inputs, want 2 or 3", len(inputs))
 	}
 	a, w := inputs[0], inputs[1]
 	if len(a.Shape) != 2 || len(w.Shape) != 2 {
-		return nil, fmt.Errorf("_QuantizedFusedMatMul: inputs must be rank 2, got %v and %v", a.Shape, w.Shape)
+		return fmt.Errorf("_QuantizedFusedMatMul: inputs must be rank 2, got %v and %v", a.Shape, w.Shape)
 	}
 	if attrs.Bool("transposeA", false) || attrs.Bool("transposeB", false) {
-		return nil, fmt.Errorf("_QuantizedFusedMatMul: transposed operands are not supported")
+		return fmt.Errorf("_QuantizedFusedMatMul: transposed operands are not supported")
 	}
 	m, k := a.Shape[0], a.Shape[1]
 	kB, n := w.Shape[0], w.Shape[1]
 	if k != kB {
-		return nil, fmt.Errorf("_QuantizedFusedMatMul: inner dims mismatch %v x %v", a.Shape, w.Shape)
+		return fmt.Errorf("_QuantizedFusedMatMul: inner dims mismatch %v x %v", a.Shape, w.Shape)
 	}
 	scales := attrs.Floats("wScales", nil)
 	if len(scales) != n {
-		return nil, fmt.Errorf("_QuantizedFusedMatMul: wScales has %d entries, want %d", len(scales), n)
+		return fmt.Errorf("_QuantizedFusedMatMul: wScales has %d entries, want %d", len(scales), n)
 	}
 	bias, actName, act, err := b.fusedOperands("_QuantizedFusedMatMul", inputs, attrs, n)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	qw := b.quantWeightsFor(w, n, scales)
 	aBuf := b.in(a)
-	holdA, qa := int8Buf(len(aBuf))
-	defer int8Pool.Put(holdA)
+	qa := b.scratchI8.Get(len(aBuf))
+	defer b.scratchI8.Put(qa)
 	aScale := kernels.QuantizeDynamicInt8(aBuf, qa)
-	out, info := b.out([]int{m, n}, tensor.Float32)
+	out.Shape = append(out.Shape[:0], m, n)
+	dst := b.outInto(out, tensor.Float32)
 
-	b.quantGemm(m, n, k, qa, aScale, qw, scales, bias, actName, act, out)
-	return []kernels.TensorInfo{info}, nil
+	b.quantGemm(m, n, k, qa, aScale, qw, scales, bias, actName, act, dst)
+	return nil
 }
 
 // quantGemm is the shared int8 matmul core: out[m×n] = dequant(qa[m×k] ·
@@ -121,8 +102,8 @@ func (b *Backend) quantFusedMatMul(inputs []kernels.Input, attrs kernels.Attrs) 
 // worker counts and to the reference tier.
 func (b *Backend) quantGemm(m, n, k int, qa []int8, aScale float32, qw *quantWeights, scales, bias []float32, actName string, act func(float32) float32, out []float32) {
 	b.parallelFor(m, 2*k*n, func(lo, hi int) {
-		holdAcc, acc := int32Buf(n)
-		defer int32Pool.Put(holdAcc)
+		acc := b.scratchI32.Get(n)
+		defer b.scratchI32.Put(acc)
 		for i := lo; i < hi; i++ {
 			for j := range acc {
 				acc[j] = 0
@@ -147,32 +128,33 @@ func (b *Backend) quantGemm(m, n, k int, qa []int8, aScale float32, qw *quantWei
 	})
 }
 
-func (b *Backend) quantFusedConv2D(inputs []kernels.Input, attrs kernels.Attrs) ([]kernels.TensorInfo, error) {
+func (b *Backend) quantFusedConv2D(inputs []kernels.Input, attrs kernels.Attrs, out *kernels.TensorInfo) error {
 	if len(inputs) != 2 && len(inputs) != 3 {
-		return nil, fmt.Errorf("QuantizedFusedConv2D: got %d inputs, want 2 or 3", len(inputs))
+		return fmt.Errorf("QuantizedFusedConv2D: got %d inputs, want 2 or 3", len(inputs))
 	}
 	x, w := inputs[0], inputs[1]
 	info, err := kernels.ComputeConv2DInfo(x.Shape, w.Shape,
-		attrs.Ints("strides", []int{1, 1}), attrs.Ints("dilations", []int{1, 1}),
+		attrs.Ints("strides", defaultConvStride), attrs.Ints("dilations", defaultConvStride),
 		attrs.String("pad", "valid"), false)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	inC, outC := info.InChannels, info.OutChannels
 	scales := attrs.Floats("wScales", nil)
 	if len(scales) != outC {
-		return nil, fmt.Errorf("QuantizedFusedConv2D: wScales has %d entries, want %d", len(scales), outC)
+		return fmt.Errorf("QuantizedFusedConv2D: wScales has %d entries, want %d", len(scales), outC)
 	}
 	bias, actName, act, err := b.fusedOperands("QuantizedFusedConv2D", inputs, attrs, outC)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	qw := b.quantWeightsFor(w, outC, scales)
 	xBuf := b.in(x)
-	holdX, qx := int8Buf(len(xBuf))
-	defer int8Pool.Put(holdX)
+	qx := b.scratchI8.Get(len(xBuf))
+	defer b.scratchI8.Put(qx)
 	xScale := kernels.QuantizeDynamicInt8(xBuf, qx)
-	out, tinfo := b.out(info.OutShape(), tensor.Float32)
+	out.Shape = append(out.Shape[:0], info.BatchSize, info.OutHeight, info.OutWidth, info.OutChannels)
+	dstBuf := b.outInto(out, tensor.Float32)
 
 	// Pointwise fast path, mirroring the f32 kernel: a 1×1 stride-1 conv
 	// is the matmul [batch·h·w, inC] × [inC, outC], and MobileNet's
@@ -184,8 +166,8 @@ func (b *Backend) quantFusedConv2D(inputs []kernels.Input, attrs kernels.Attrs) 
 		info.PadTop == 0 && info.PadLeft == 0 &&
 		info.OutHeight == info.InHeight && info.OutWidth == info.InWidth {
 		rows := info.BatchSize * info.OutHeight * info.OutWidth
-		b.quantGemm(rows, outC, inC, qx, xScale, qw, scales, bias, actName, act, out)
-		return []kernels.TensorInfo{tinfo}, nil
+		b.quantGemm(rows, outC, inC, qx, xScale, qw, scales, bias, actName, act, dstBuf)
+		return nil
 	}
 
 	inRow := info.InWidth * inC
@@ -194,8 +176,8 @@ func (b *Backend) quantFusedConv2D(inputs []kernels.Input, attrs kernels.Attrs) 
 	outImg := info.OutHeight * outRow
 	rowCost := info.OutWidth * outC * b.costPerElem(2*info.FilterHeight*info.FilterWidth*inC)
 	b.parallelFor(info.BatchSize*info.OutHeight, rowCost, func(lo, hi int) {
-		holdAcc, acc := int32Buf(outC)
-		defer int32Pool.Put(holdAcc)
+		acc := b.scratchI32.Get(outC)
+		defer b.scratchI32.Put(acc)
 		for r := lo; r < hi; r++ {
 			bb := r / info.OutHeight
 			oy := r % info.OutHeight
@@ -231,7 +213,7 @@ func (b *Backend) quantFusedConv2D(inputs []kernels.Input, attrs kernels.Attrs) 
 						}
 					}
 				}
-				dst := out[rowBase+ox*outC : rowBase+(ox+1)*outC]
+				dst := dstBuf[rowBase+ox*outC : rowBase+(ox+1)*outC]
 				for oc, s := range scales {
 					dst[oc] = float32(acc[oc]) * (xScale * s)
 				}
@@ -239,5 +221,5 @@ func (b *Backend) quantFusedConv2D(inputs []kernels.Input, attrs kernels.Attrs) 
 			}
 		}
 	})
-	return []kernels.TensorInfo{tinfo}, nil
+	return nil
 }

@@ -1,6 +1,8 @@
 package serving
 
 import (
+	"math"
+	"runtime/metrics"
 	"sort"
 	"strconv"
 	"strings"
@@ -244,6 +246,11 @@ func buildExposition(models map[string]Snapshot, stats *telemetry.Stats, prof *t
 	e.Family("serving_replica_inflight", telemetry.TypeGauge, "Batches currently executing per replica.")
 	e.Family("serving_replica_batches_total", telemetry.TypeCounter, "Batches executed per replica.")
 	e.Family("serving_replica_busy_ms_total", telemetry.TypeCounter, "Cumulative busy time per replica (ms).")
+	e.Family("serving_replica_pool_free_buffers", telemetry.TypeGauge, "Buffers parked on the replica backend's recycler free lists.")
+	e.Family("serving_replica_pool_bytes", telemetry.TypeGauge, "Bytes parked on the replica backend's recycler free lists.")
+	e.Family("serving_replica_pool_hits_total", telemetry.TypeCounter, "Allocations served from the replica's recycler free lists.")
+	e.Family("serving_replica_pool_misses_total", telemetry.TypeCounter, "Allocations that fell through the replica's recycler to the heap.")
+	e.Family("serving_replica_pool_recycled_bytes_total", telemetry.TypeCounter, "Bytes of heap allocation avoided by the replica's recycler.")
 	e.Family("serving_tenant_inflight", telemetry.TypeGauge, "Requests currently admitted per tenant.")
 	e.Family("serving_tenant_shed_total", telemetry.TypeCounter, "Requests shed by tenant admission control.")
 	e.Family("serving_stage_latency_ms", telemetry.TypeGauge, "Per-stage latency quantiles over the recent window (ms).")
@@ -289,6 +296,11 @@ func buildExposition(models map[string]Snapshot, stats *telemetry.Stats, prof *t
 			e.Int("serving_replica_inflight", int64(rs.Inflight), model, replica)
 			e.Int("serving_replica_batches_total", rs.Batches, model, replica)
 			e.Float("serving_replica_busy_ms_total", rs.BusyMS, model, replica)
+			e.Int("serving_replica_pool_free_buffers", int64(rs.PoolFreeBuffers), model, replica)
+			e.Int("serving_replica_pool_bytes", rs.PoolBytes, model, replica)
+			e.Int("serving_replica_pool_hits_total", rs.PoolHits, model, replica)
+			e.Int("serving_replica_pool_misses_total", rs.PoolMisses, model, replica)
+			e.Int("serving_replica_pool_recycled_bytes_total", rs.PoolRecycledBytes, model, replica)
 		}
 		for _, ts := range s.Tenants {
 			tenant := telemetry.L("tenant", ts.Tenant)
@@ -315,11 +327,22 @@ func buildExposition(models map[string]Snapshot, stats *telemetry.Stats, prof *t
 	e.Family("engine_num_data_buffers", telemetry.TypeGauge, "Live backing buffers on the global engine.")
 	e.Family("engine_num_bytes", telemetry.TypeGauge, "Bytes held by live buffers on the global engine.")
 	e.Family("engine_peak_bytes", telemetry.TypeGauge, "High-water mark of engine memory (bytes).")
+	e.Family("engine_pool_free_buffers", telemetry.TypeGauge, "Buffers parked on the global backend's recycler free lists.")
+	e.Family("engine_pool_bytes", telemetry.TypeGauge, "Bytes parked on the global backend's recycler free lists.")
+	e.Family("engine_pool_hits_total", telemetry.TypeCounter, "Allocations served from the global backend's recycler.")
+	e.Family("engine_pool_misses_total", telemetry.TypeCounter, "Allocations that fell through the global backend's recycler to the heap.")
+	e.Family("engine_pool_recycled_bytes_total", telemetry.TypeCounter, "Bytes of heap allocation avoided by the global backend's recycler.")
 	mem := core.Global().Memory()
 	e.Int("engine_num_tensors", int64(mem.NumTensors))
 	e.Int("engine_num_data_buffers", int64(mem.NumDataBuffers))
 	e.Int("engine_num_bytes", mem.NumBytes)
 	e.Int("engine_peak_bytes", mem.PeakBytes)
+	e.Int("engine_pool_free_buffers", int64(mem.Backend.FreeBuffers))
+	e.Int("engine_pool_bytes", mem.Backend.PoolBytes)
+	e.Int("engine_pool_hits_total", mem.Backend.PoolHits)
+	e.Int("engine_pool_misses_total", mem.Backend.PoolMisses)
+	e.Int("engine_pool_recycled_bytes_total", mem.Backend.RecycledBytes)
+	addRuntimeSamples(e)
 	if trace != nil {
 		addTraceSamples(e, trace)
 	}
@@ -327,6 +350,68 @@ func buildExposition(models map[string]Snapshot, stats *telemetry.Stats, prof *t
 		addProfilerSamples(e, prof)
 	}
 	return e
+}
+
+// addRuntimeSamples appends the Go runtime's GC series — the operator-facing
+// evidence for the buffer recycler: with pooling on, steady-state serving
+// stops producing garbage, so GC pause quantiles and cycle counts flatten.
+// Sourced from runtime/metrics (the supported successor to the deprecated
+// GCStats surface).
+func addRuntimeSamples(e *telemetry.Exposition) {
+	e.Family("process_gc_pause_ms", telemetry.TypeGauge, "Stop-the-world GC pause quantiles over the process lifetime (ms).")
+	e.Family("process_gc_cycles_total", telemetry.TypeCounter, "Completed GC cycles.")
+	e.Family("process_heap_objects_bytes", telemetry.TypeGauge, "Bytes of live heap objects.")
+	samples := []metrics.Sample{
+		{Name: "/sched/pauses/total/gc:seconds"},
+		{Name: "/gc/cycles/total:gc-cycles"},
+		{Name: "/memory/classes/heap/objects:bytes"},
+	}
+	metrics.Read(samples)
+	if h := samples[0].Value; h.Kind() == metrics.KindFloat64Histogram {
+		for q, v := range gcPauseQuantiles(h.Float64Histogram(), 0.5, 0.95, 0.99) {
+			// Milliseconds, matching every other *_ms series: the legacy
+			// renderer prints %.3f, and GC pauses are sub-millisecond, so a
+			// seconds-valued gauge would truncate to 0.000.
+			e.Float("process_gc_pause_ms", v*1000, telemetry.L("quantile", []string{"0.5", "0.95", "0.99"}[q]))
+		}
+	}
+	if v := samples[1].Value; v.Kind() == metrics.KindUint64 {
+		e.Int("process_gc_cycles_total", int64(v.Uint64()))
+	}
+	if v := samples[2].Value; v.Kind() == metrics.KindUint64 {
+		e.Int("process_heap_objects_bytes", int64(v.Uint64()))
+	}
+}
+
+// gcPauseQuantiles reads quantiles off a runtime/metrics histogram: the
+// value below which the requested fraction of observations fall, taking
+// each bucket's upper bound (pessimistic). Infinite bounds clamp to the
+// nearest finite neighbor.
+func gcPauseQuantiles(h *metrics.Float64Histogram, qs ...float64) []float64 {
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	out := make([]float64, len(qs))
+	if total == 0 {
+		return out
+	}
+	for i, q := range qs {
+		target := uint64(q * float64(total))
+		var cum uint64
+		for b, c := range h.Counts {
+			cum += c
+			if cum > target {
+				hi := h.Buckets[b+1]
+				if math.IsInf(hi, 1) {
+					hi = h.Buckets[b]
+				}
+				out[i] = hi
+				break
+			}
+		}
+	}
+	return out
 }
 
 // addKernelSamples appends the per-model per-kernel series sourced from

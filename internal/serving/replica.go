@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/exec"
 	"repro/internal/graphmodel"
+	"repro/internal/kernels"
 )
 
 // replica is one independently executing copy of a model: its own engine
@@ -26,12 +27,20 @@ type replica struct {
 }
 
 // ReplicaSnapshot is one replica's utilization for /metrics and the
-// Snapshot JSON.
+// Snapshot JSON. The pool fields sample the replica backend's buffer
+// recycler (zero-valued on backends without one): free-list inventory and
+// the hit/miss/recycled counters that show whether steady-state inference
+// is actually allocation-free on this replica.
 type ReplicaSnapshot struct {
-	ID       int     `json:"id"`
-	Inflight int64   `json:"inflight"`
-	Batches  int64   `json:"batches"`
-	BusyMS   float64 `json:"busy_ms"`
+	ID                int     `json:"id"`
+	Inflight          int64   `json:"inflight"`
+	Batches           int64   `json:"batches"`
+	BusyMS            float64 `json:"busy_ms"`
+	PoolFreeBuffers   int     `json:"pool_free_buffers,omitempty"`
+	PoolBytes         int64   `json:"pool_bytes,omitempty"`
+	PoolHits          int64   `json:"pool_hits,omitempty"`
+	PoolMisses        int64   `json:"pool_misses,omitempty"`
+	PoolRecycledBytes int64   `json:"pool_recycled_bytes,omitempty"`
 }
 
 // pool routes batches across replicas. It implements runner, so the
@@ -133,11 +142,20 @@ func (p *pool) size() int { return len(p.replicas) }
 func (p *pool) snapshots() []ReplicaSnapshot {
 	out := make([]ReplicaSnapshot, len(p.replicas))
 	for i, r := range p.replicas {
+		var bk kernels.MemoryInfo
+		if r.eng != nil {
+			bk = r.eng.Backend().Memory()
+		}
 		out[i] = ReplicaSnapshot{
-			ID:       r.id,
-			Inflight: r.inflight.Load(),
-			Batches:  r.batches.Load(),
-			BusyMS:   float64(r.busyNS.Load()) / float64(time.Millisecond),
+			ID:                r.id,
+			Inflight:          r.inflight.Load(),
+			Batches:           r.batches.Load(),
+			BusyMS:            float64(r.busyNS.Load()) / float64(time.Millisecond),
+			PoolFreeBuffers:   bk.FreeBuffers,
+			PoolBytes:         bk.PoolBytes,
+			PoolHits:          bk.PoolHits,
+			PoolMisses:        bk.PoolMisses,
+			PoolRecycledBytes: bk.RecycledBytes,
 		}
 	}
 	return out

@@ -79,6 +79,19 @@ func WithOptimize(on bool) ExecOption { return exec.WithOptimize(on) }
 // execution graph (on by default).
 func WithVerify(on bool) ExecOption { return exec.WithVerify(on) }
 
+// WithPooling toggles the backend's data-plane buffer recycler (on by
+// default for the node backend; TFJS_POOL=off flips the default). With
+// pooling on, disposed tensor buffers return to per-engine size-class free
+// lists and steady-state inference stops allocating; outputs are
+// bit-identical either way.
+func WithPooling(on bool) ExecOption { return exec.WithPooling(on) }
+
+// WithPoolPoison toggles poison mode: recycled buffers are scribbled with
+// NaN (float32) or sentinel values on free, so use-after-dispose reads
+// fail loudly instead of silently seeing stale data. Defaults on in race
+// builds and via TFJS_POOL_POISON.
+func WithPoolPoison(on bool) ExecOption { return exec.WithPoolPoison(on) }
+
 // LoadGraphModel loads a converted model from an artifact store —
 // tf.loadModel(url) (Section 5.1) — applying the execution options to the
 // load and to the model's backend.
