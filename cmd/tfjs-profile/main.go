@@ -22,6 +22,12 @@
 // the per-kernel dispatch and byte deltas between the unoptimized and
 // optimized graphs, and the peak engine memory of each arm.
 //
+// With -plan-report it instead loads the converted MobileNet (running the
+// planvet dataflow verifier the load performs by default) and prints the
+// compiled plan's per-root lifetime table: when each container is
+// produced, last read, and returned to the recycler. `tfjs-vet -plan`
+// gates CI on the same verification.
+//
 // -workers and -gemm set the node backend's execution config through the
 // same tf.ConfigureExec options API the library exposes, so a profile of
 // "-gemm naive -workers 1" measures exactly what that configuration runs.
@@ -59,6 +65,8 @@ func main() {
 	leaks := flag.Bool("leaks", false, "run under the tensor-lifetime tracker and print the leak report")
 	injectLeak := flag.Bool("inject-leak", false, "deliberately leak one tensor to demonstrate -leaks attribution")
 	fusionRep := flag.Bool("fusion-report", false, "print the graph-optimizer report: patterns fired, per-kernel dispatch/byte deltas, peak memory")
+	planRep := flag.Bool("plan-report", false, "verify the compiled fast-path plan and print its per-root lifetime table")
+	planOpt := flag.Bool("plan-optimize", true, "with -plan-report: run the graph optimizer before compiling the plan")
 	workers := flag.Int("workers", 0, "intra-op worker budget on the node backend (0 = leave default, <0 = reset)")
 	gemm := flag.String("gemm", "", "GEMM core on the node backend: packed or naive (empty = leave default)")
 	liveURL := flag.String("url", "", "live top mode: poll this /metrics URL (e.g. http://localhost:8500/metrics) instead of profiling locally")
@@ -88,6 +96,11 @@ func main() {
 
 	if *fusionRep {
 		fusionReport(*alpha, *size, *runs)
+		return
+	}
+
+	if *planRep {
+		planReport(*alpha, *size, *planOpt)
 		return
 	}
 

@@ -1,23 +1,36 @@
-// Command tfjs-vet is the source-level tier of the repo's two-tier static
-// analysis suite (the load-time graph verifier in graphmodel/savedmodel is
-// the second). It type-checks the module with nothing but the standard
-// library and runs four repo-specific analyzers over it:
+// Command tfjs-vet is the static-analysis entry point of the repo. It has
+// two tiers. The source tier type-checks the module with nothing but the
+// standard library and runs the repo-specific analyzers over it:
 //
 //	tensorleak    constructor results must be disposed/kept/returned/escape
 //	syncread      no blocking reads reachable from event-loop callbacks
 //	operr         typed *core.OpError panics; no discarded internal errors
 //	kernelparity  backend/decoder kernel-name literals must agree
+//	deprecated    no new cross-package uses of "Deprecated:" symbols
+//	enginebind    goroutines must Bind/SpawnReplica before ambient engine use
+//	poolretain    no Raw/ReadSync buffer view may escape the recycler's reach
+//	lockorder     exec lock is outermost; never acquire it under a mutex
+//
+// The IR tier (-plan) verifies the compiled fast-path execution plans
+// themselves: it synthesizes the shipped example models in-process, loads
+// each with the planvet dataflow verifier on (def-before-use, no
+// use-after-free, dispose-exactly-once, acyclic aliases, protected
+// feeds/outputs), and prints the per-root lifetime table the compiler
+// produced.
 //
 // Usage:
 //
 //	tfjs-vet ./...                  # vet the whole module (the CI gate)
 //	tfjs-vet ./internal/ops ./tf    # vet specific packages
 //	tfjs-vet -run tensorleak ./...  # one analyzer only
+//	tfjs-vet -plan zoo              # verify every example model's plan
+//	tfjs-vet -plan mobilenet-0.25-96
 //	tfjs-vet -list                  # describe the analyzers
 //
-// Exit status is 1 when any unsuppressed finding is reported. Findings are
-// silenced line-by-line with `//lint:ignore <analyzer> <reason>`; a
-// directive without a reason suppresses nothing and is itself reported.
+// Exit status is 1 when any unsuppressed finding is reported (or, with
+// -plan, when any plan is rejected). Findings are silenced line-by-line
+// with `//lint:ignore <analyzer> <reason>`; a directive without a reason
+// suppresses nothing and is itself reported.
 package main
 
 import (
@@ -25,6 +38,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 
 	"repro/internal/analysis"
 )
@@ -33,7 +47,12 @@ func main() {
 	list := flag.Bool("list", false, "list the registered analyzers and exit")
 	run := flag.String("run", "", "comma-separated analyzers to run (default: all)")
 	showSuppressed := flag.Bool("show-suppressed", false, "also print suppressed findings with their justifications")
+	plan := flag.String("plan", "", `verify the compiled fast-path plan of an example model ("zoo", or mobilenet-<alpha>-<size>[-unoptimized]) and print its lifetime table`)
 	flag.Parse()
+
+	if *plan != "" {
+		os.Exit(runPlan(*plan, os.Stdout))
+	}
 
 	if *list {
 		for _, a := range analysis.All {
@@ -59,18 +78,22 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	loader, err := analysis.NewLoader(cwd)
+	loader, err := analysis.SharedLoader(cwd)
 	if err != nil {
 		fatal(err)
 	}
+	loadStart := time.Now()
 	prog, err := loader.LoadPatterns(cwd, patterns)
 	if err != nil {
 		fatal(err)
 	}
+	loadTime := time.Since(loadStart)
+	runStart := time.Now()
 	diags, err := analysis.Run(prog, analyzers)
 	if err != nil {
 		fatal(err)
 	}
+	runTime := time.Since(runStart)
 
 	failed := false
 	for _, d := range diags {
@@ -89,7 +112,8 @@ func main() {
 	if failed {
 		os.Exit(1)
 	}
-	fmt.Printf("tfjs-vet: %d package(s) clean\n", len(prog.Pkgs))
+	fmt.Printf("tfjs-vet: %d package(s) clean (load %s, analyzers %s)\n",
+		len(prog.Pkgs), loadTime.Round(time.Millisecond), runTime.Round(time.Millisecond))
 }
 
 // relPath renders filenames relative to the working directory when that is

@@ -17,6 +17,20 @@
 //   - deprecated: no new cross-package uses of "Deprecated:" symbols — the
 //     ratchet that keeps the repo on the unified exec-config surface while
 //     the legacy shims stay for downstream code.
+//   - enginebind: no ambient tensor construction or core.Current() from a
+//     spawned goroutine without Engine.Bind/SpawnReplica/RunExclusive —
+//     the goroutine-bound-engine contract of the serving replica pools.
+//   - poolretain: no backend Raw/ReadSync buffer view escaping into
+//     fields, channels, package vars or exported results, nor read after
+//     DisposeData — stale views the buffer recycler turns into silent
+//     corruption.
+//   - lockorder: the engine execution lock is the outermost lock; nothing
+//     may acquire it (RunExclusive, or anything that transitively calls
+//     it) while holding a sync.Mutex/RWMutex.
+//
+// The compiled execution plans the fast path runs have their own
+// IR-level verifier (internal/planvet, `tfjs-vet -plan`): dataflow proofs
+// over slots, alias roots and dispose points, run at model load.
 //
 // Findings can be silenced with a justified suppression on the offending
 // line (or the line above):
@@ -84,7 +98,7 @@ type Analyzer struct {
 }
 
 // All lists every registered analyzer in reporting order.
-var All = []*Analyzer{TensorLeak, SyncRead, OpErr, KernelParity, Deprecated}
+var All = []*Analyzer{TensorLeak, SyncRead, OpErr, KernelParity, Deprecated, EngineBind, PoolRetain, LockOrder}
 
 // ByName resolves a comma-separated analyzer list; nil selects All.
 func ByName(names string) ([]*Analyzer, error) {

@@ -18,7 +18,7 @@ var update = flag.Bool("update", false, "rewrite golden files")
 // diagnostic (suppressed ones annotated) relative to testdata/src.
 func runFixture(t *testing.T, name string) string {
 	t.Helper()
-	loader, err := analysis.NewLoader(".")
+	loader, err := analysis.SharedLoader(".")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,13 +177,67 @@ func TestSuppressions(t *testing.T) {
 	}
 }
 
+func TestEngineBindFixture(t *testing.T) {
+	got := runFixture(t, "enginebindfix")
+	checkGolden(t, "enginebindfix", got)
+	if n := strings.Count(got, "enginebind:"); n != 4 {
+		t.Errorf("want exactly 4 enginebind findings (2 direct, 2 via helpers), got %d:\n%s", n, got)
+	}
+	if !strings.Contains(got, "core.Current()") || !strings.Contains(got, "allocates on core.Current()") {
+		t.Errorf("expected both Current() and constructor findings:\n%s", got)
+	}
+	for _, clean := range []string{"CleanBind", "CleanExclusive", "CleanReplica", "CleanSynchronous"} {
+		if strings.Contains(got, clean) {
+			t.Errorf("false positive mentioning %s:\n%s", clean, got)
+		}
+	}
+}
+
+func TestPoolRetainFixture(t *testing.T) {
+	got := runFixture(t, "poolretainfix")
+	checkGolden(t, "poolretainfix", got)
+	for _, fragment := range []string{
+		"returned from exported ReturnDirect",
+		"returned from exported ReturnTainted",
+		"stored in field h.view",
+		"stored in package variable cache",
+		"sent on a channel",
+		"read after DisposeData(id)",
+	} {
+		if !strings.Contains(got, fragment) {
+			t.Errorf("expected a finding containing %q, got:\n%s", fragment, got)
+		}
+	}
+	for _, clean := range []string{"CleanCopy", "cleanAccessor", "CleanLocalUse", "CleanReuse"} {
+		if strings.Contains(got, clean) {
+			t.Errorf("false positive mentioning %s:\n%s", clean, got)
+		}
+	}
+}
+
+func TestLockOrderFixture(t *testing.T) {
+	got := runFixture(t, "lockorderfix")
+	checkGolden(t, "lockorderfix", got)
+	if n := strings.Count(got, "lockorder:"); n != 2 {
+		t.Errorf("want exactly 2 lockorder findings (direct + helper chain), got %d:\n%s", n, got)
+	}
+	if !strings.Contains(got, "runOnEngine → (*core.Engine).RunExclusive") {
+		t.Errorf("expected the acquirer chain in the helper finding:\n%s", got)
+	}
+	for _, clean := range []string{"CleanReleaseFirst", "CleanNestedMutex", "CleanGoroutine"} {
+		if strings.Contains(got, clean) {
+			t.Errorf("false positive mentioning %s:\n%s", clean, got)
+		}
+	}
+}
+
 // TestRepoIsClean is the dogfooding gate in test form: the repository's own
 // sources must vet clean (the CI workflow also runs the binary).
 func TestRepoIsClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("loads and type-checks the whole module")
 	}
-	loader, err := analysis.NewLoader(".")
+	loader, err := analysis.SharedLoader(".")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,151 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// EngineBind enforces the goroutine-bound-engine contract from the
+// serving control plane: `core.Current()` resolves the engine bound to
+// the calling goroutine, so a spawned goroutine that creates tensors
+// through the ambient ops/tf constructors (which allocate on Current())
+// or consults Current() directly silently lands on the global engine —
+// or on whatever engine the parent happened to bind — corrupting
+// replica isolation. A goroutine must either bind an engine first
+// (`release := eng.Bind(); defer release()`), run its tensor work under
+// `eng.RunExclusive` (which binds for the duration of the closure), or
+// be handed an engine created with `SpawnReplica`. The analyzer roots at
+// every `go` statement, follows package-local calls, and reports each
+// ambient engine use it reaches that is not discharged by one of those
+// forms.
+var EngineBind = &Analyzer{
+	Name: "enginebind",
+	Doc: "no ambient tensor construction or core.Current() from a spawned " +
+		"goroutine without Engine.Bind/SpawnReplica/RunExclusive",
+	Run: runEngineBind,
+}
+
+func runEngineBind(pass *Pass) error {
+	info := pass.Pkg.Info
+
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, file := range pass.Pkg.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := info.Defs[fd.Name].(*types.Func); ok {
+				decls[fn] = fd
+			}
+		}
+	}
+
+	visited := map[ast.Node]bool{}
+	var visit func(body ast.Node, rootPos ast.Node)
+	visit = func(body ast.Node, rootPos ast.Node) {
+		if visited[body] {
+			return
+		}
+		visited[body] = true
+		// A body that binds an engine (or spawns its own replica) has
+		// taken ownership of its engine affinity; everything it runs is
+		// judged bound.
+		if bindsEngine(info, body) {
+			return
+		}
+		walkStack(body, func(n ast.Node, stack []ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			// Work inside a RunExclusive closure runs with the engine
+			// bound; don't descend into its arguments.
+			if isEngineMethodCall(info, call, "RunExclusive") {
+				return false
+			}
+			if kind := ambientEngineUse(pass, call); kind != "" {
+				root := pass.Prog.Fset.Position(rootPos.Pos())
+				pass.Reportf(call.Pos(),
+					"%s uses the goroutine-bound engine inside a goroutine spawned at line %d without Engine.Bind/SpawnReplica; bind the engine (release := eng.Bind(); defer release()) or run under eng.RunExclusive",
+					kind, root.Line)
+				return true
+			}
+			if fn := calleeFunc(info, call); fn != nil {
+				if fd, ok := decls[fn]; ok {
+					visit(fd.Body, rootPos)
+				}
+			}
+			return true
+		})
+	}
+
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			switch fun := ast.Unparen(g.Call.Fun).(type) {
+			case *ast.FuncLit:
+				visit(fun.Body, g)
+			default:
+				if fn := calleeFunc(info, g.Call); fn != nil {
+					if fd, ok := decls[fn]; ok {
+						visit(fd.Body, g)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// ambientEngineUse classifies a call as an ambient engine access: a
+// direct core.Current() lookup, or an ops/tf tensor constructor (those
+// allocate on the goroutine-bound engine). Returns "" otherwise.
+func ambientEngineUse(pass *Pass, call *ast.CallExpr) string {
+	fn := calleeFunc(pass.Pkg.Info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	if fn.Name() == "Current" && fn.Pkg().Path() == pass.Prog.ModulePath+"/internal/core" {
+		return "core.Current()"
+	}
+	if isTensorConstructor(pass, call) {
+		return selectorName(call) + " (allocates on core.Current())"
+	}
+	return ""
+}
+
+// bindsEngine reports whether the body contains a call to Engine.Bind or
+// Engine.SpawnReplica — the forms that give the goroutine its own engine
+// affinity.
+func bindsEngine(info *types.Info, body ast.Node) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if isEngineMethodCall(info, call, "Bind") || isEngineMethodCall(info, call, "SpawnReplica") {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isEngineMethodCall reports whether call invokes the named method on
+// core.Engine.
+func isEngineMethodCall(info *types.Info, call *ast.CallExpr, name string) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	s, ok := info.Selections[sel]
+	return ok && isNamed(s.Recv(), "internal/core", "Engine")
+}

@@ -14,6 +14,7 @@ import (
 	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Package is one loaded, type-checked package: the parsed files plus the
@@ -57,6 +58,7 @@ type Loader struct {
 	moduleRoot string
 	modulePath string
 	std        types.ImporterFrom
+	mu         sync.Mutex          // serializes LoadDir/LoadPatterns on a shared loader
 	cache      map[string]*Package // by import path
 	loading    map[string]bool     // import-cycle guard
 }
@@ -140,8 +142,14 @@ func (l *Loader) importPathFor(dir string) (string, error) {
 
 // LoadDir parses and type-checks the package in dir (non-test files only)
 // and returns it. Results are cached by import path, so shared dependencies
-// type-check once per Loader.
+// type-check once per Loader — and once per process on the SharedLoader.
 func (l *Loader) LoadDir(dir string) (*Package, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.loadDir(dir)
+}
+
+func (l *Loader) loadDir(dir string) (*Package, error) {
 	path, err := l.importPathFor(dir)
 	if err != nil {
 		return nil, err
@@ -318,14 +326,43 @@ func (l *Loader) LoadPatterns(baseDir string, patterns []string) (*Program, erro
 		return nil, fmt.Errorf("analysis: no packages match %v", patterns)
 	}
 	prog := &Program{Fset: l.fset, ModulePath: l.modulePath, ModuleRoot: l.moduleRoot}
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	for _, dir := range dirs {
-		pkg, err := l.LoadDir(dir)
+		pkg, err := l.loadDir(dir)
 		if err != nil {
 			return nil, err
 		}
 		prog.Pkgs = append(prog.Pkgs, pkg)
 	}
 	return prog, nil
+}
+
+// sharedLoaders holds one loader per module root for SharedLoader.
+var (
+	sharedMu      sync.Mutex
+	sharedLoaders = map[string]*Loader{}
+)
+
+// SharedLoader returns the process-wide loader for the module containing
+// dir, creating it on first use. A Loader's package cache is keyed by
+// import path, so every run that goes through the shared instance —
+// each fixture suite in the tests, the repo-clean gate, repeated
+// embedder calls — reuses the type-checked module and standard-library
+// packages the first run built instead of re-checking them from source.
+// Loads serialize on the loader's mutex.
+func SharedLoader(dir string) (*Loader, error) {
+	l, err := NewLoader(dir)
+	if err != nil {
+		return nil, err
+	}
+	sharedMu.Lock()
+	defer sharedMu.Unlock()
+	if existing, ok := sharedLoaders[l.moduleRoot]; ok {
+		return existing, nil
+	}
+	sharedLoaders[l.moduleRoot] = l
+	return l, nil
 }
 
 // hasGoFiles reports whether dir directly contains at least one non-test

@@ -1,0 +1,310 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// PoolRetain flags pooled backend buffers escaping their scope. The
+// data-plane accessors `Backend.ReadSync(DataID)` and `Backend.Raw(DataID)`
+// return the backing store uncopied; once `DisposeData` parks that buffer
+// on the recycler's free lists, `Alloc` hands the same memory to the next
+// tensor, and a slice retained across the dispose reads (or worse,
+// writes) another tensor's values with no error anywhere. The engine-level
+// read path copies at the API boundary (core.retainable), so the hazard is
+// exactly a raw view escaping into longer-lived storage: a struct field, a
+// channel, a package variable, or the result of an exported function —
+// or being read again after a `DisposeData` of the same ID in the same
+// function. Copy first (`append([]float32(nil), v...)`) when a view must
+// outlive the data.
+var PoolRetain = &Analyzer{
+	Name: "poolretain",
+	Doc: "no backend Raw/ReadSync buffer view may escape into fields, " +
+		"channels, package vars or exported-function results, nor be read " +
+		"after DisposeData frees it",
+	Run: runPoolRetain,
+}
+
+func runPoolRetain(pass *Pass) error {
+	for _, file := range pass.Pkg.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkPoolRetain(pass, fd)
+		}
+	}
+	return nil
+}
+
+// poolView records one tainted local: the object holding a pooled view
+// and the rendered DataID expression it was read from.
+type poolView struct {
+	obj    types.Object
+	argKey string
+}
+
+func checkPoolRetain(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.Pkg.Info
+
+	// Taint pass: locals assigned from a Raw/ReadSync(DataID) call, or
+	// aliased from a tainted local, hold pooled views. Iterate to a
+	// fixpoint so chains of simple aliases are covered.
+	tainted := map[types.Object]string{}
+	taintLHS := func(lhs ast.Expr, key string) bool {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok {
+			return false
+		}
+		obj := info.Defs[id]
+		if obj == nil {
+			obj = info.Uses[id]
+		}
+		if obj == nil {
+			return false
+		}
+		if _, seen := tainted[obj]; !seen {
+			tainted[obj] = key
+			return true
+		}
+		return false
+	}
+	rhsKey := func(rhs ast.Expr) (string, bool) {
+		switch e := ast.Unparen(rhs).(type) {
+		case *ast.CallExpr:
+			if key, ok := pooledViewCall(pass, e); ok {
+				return key, true
+			}
+		case *ast.Ident:
+			if obj := info.Uses[e]; obj != nil {
+				if key, ok := tainted[obj]; ok {
+					return key, true
+				}
+			}
+		}
+		return "", false
+	}
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.AssignStmt:
+				if len(st.Lhs) == len(st.Rhs) {
+					for i := range st.Rhs {
+						if key, ok := rhsKey(st.Rhs[i]); ok && taintLHS(st.Lhs[i], key) {
+							changed = true
+						}
+					}
+				}
+			case *ast.ValueSpec:
+				if len(st.Names) == len(st.Values) {
+					for i := range st.Values {
+						if key, ok := rhsKey(st.Values[i]); ok && taintLHS(st.Names[i], key) {
+							changed = true
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// DisposeData positions per DataID expression, for the same-function
+	// use-after-free check.
+	disposeAt := map[string]token.Pos{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "DisposeData" {
+			return true
+		}
+		key := types.ExprString(call.Args[0])
+		if prev, ok := disposeAt[key]; !ok || call.Pos() < prev {
+			disposeAt[key] = call.Pos()
+		}
+		return true
+	})
+
+	taintedIdent := func(e ast.Expr) (*ast.Ident, string, bool) {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return nil, "", false
+		}
+		obj := info.Uses[id]
+		if obj == nil {
+			return nil, "", false
+		}
+		key, ok := tainted[obj]
+		return id, key, ok
+	}
+	// viewExpr matches an escaping view either way it is written: through
+	// a tainted local, or as a direct Raw/ReadSync call.
+	viewExpr := func(e ast.Expr) (ast.Node, string, bool) {
+		if id, _, ok := taintedIdent(e); ok {
+			return id, id.Name, true
+		}
+		if call, ok := ast.Unparen(e).(*ast.CallExpr); ok {
+			if key, ok := pooledViewCall(pass, call); ok {
+				return call, selectorName(call) + "(" + key + ")", true
+			}
+		}
+		return nil, "", false
+	}
+	// containsTainted looks for a tainted ident anywhere under e (composite
+	// literals wrapping a view still carry it out).
+	containsTainted := func(e ast.Expr) (*ast.Ident, bool) {
+		var found *ast.Ident
+		ast.Inspect(e, func(n ast.Node) bool {
+			if found != nil {
+				return false
+			}
+			if id, ok := n.(*ast.Ident); ok {
+				if obj := info.Uses[id]; obj != nil {
+					if _, ok := tainted[obj]; ok {
+						found = id
+						return false
+					}
+				}
+			}
+			// A call result is a fresh value (copies discharge the taint),
+			// and indexing yields an element copy, not the backing slice —
+			// don't descend into either. Slicing (v[1:]) keeps the backing
+			// memory and still taints.
+			switch n.(type) {
+			case *ast.CallExpr, *ast.IndexExpr:
+				return false
+			}
+			return true
+		})
+		return found, found != nil
+	}
+
+	exported := fd.Name.IsExported()
+	walkStack(fd.Body, func(n ast.Node, stack []ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.ReturnStmt:
+			// Returning a view from an exported function hands pooled
+			// memory across the package boundary, where the caller cannot
+			// know the buffer's lifetime. Unexported accessors are the
+			// backend's own business (kernel operands are alive by
+			// contract); returns inside closures are judged by where the
+			// closure goes, which is beyond this pass.
+			if !exported || insideFuncLit(stack) {
+				break
+			}
+			for _, res := range st.Results {
+				if at, name, ok := viewExpr(res); ok {
+					pass.Reportf(at.Pos(),
+						"pooled buffer view %s (from Raw/ReadSync) returned from exported %s; the recycler may reuse this memory after DisposeData — copy it (append([]float32(nil), v...)) first",
+						name, fd.Name.Name)
+					continue
+				}
+				if id, ok := containsTainted(res); ok {
+					pass.Reportf(id.Pos(),
+						"pooled buffer view %q (from Raw/ReadSync) returned from exported %s; the recycler may reuse this memory after DisposeData — copy it (append([]float32(nil), %s...)) first",
+						id.Name, fd.Name.Name, id.Name)
+				}
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range st.Lhs {
+				if i >= len(st.Rhs) {
+					break
+				}
+				at, name, ok := viewExpr(st.Rhs[i])
+				if !ok {
+					continue
+				}
+				switch l := ast.Unparen(lhs).(type) {
+				case *ast.SelectorExpr:
+					pass.Reportf(at.Pos(),
+						"pooled buffer view %s stored in field %s outlives its scope; the recycler may reuse this memory after DisposeData — store a copy",
+						name, types.ExprString(l))
+				case *ast.Ident:
+					if obj := info.Uses[l]; obj != nil && obj.Parent() == pass.Pkg.Types.Scope() {
+						pass.Reportf(at.Pos(),
+							"pooled buffer view %s stored in package variable %s; the recycler may reuse this memory after DisposeData — store a copy",
+							name, l.Name)
+					}
+				}
+			}
+		case *ast.SendStmt:
+			if at, name, ok := viewExpr(st.Value); ok {
+				pass.Reportf(at.Pos(),
+					"pooled buffer view %s sent on a channel escapes its scope; the recycler may reuse this memory after DisposeData — send a copy",
+					name)
+			}
+		case *ast.Ident:
+			// Use-after-DisposeData: reading a view after the same DataID
+			// expression was freed in this function.
+			obj := info.Uses[st]
+			if obj == nil {
+				break
+			}
+			key, ok := tainted[obj]
+			if !ok {
+				break
+			}
+			free, freed := disposeAt[key]
+			if !freed || st.Pos() <= free || isAssignTarget(st, stack) {
+				break
+			}
+			pass.Reportf(st.Pos(),
+				"pooled buffer view %q read after DisposeData(%s) freed its backing buffer; the recycler may already have handed this memory to another tensor",
+				st.Name, key)
+		}
+		return true
+	})
+}
+
+// pooledViewCall reports whether call returns an uncopied view of pooled
+// backend memory: a ReadSync or Raw method taking a tensor.DataID. (The
+// engine-level ReadSync takes a *tensor.Tensor and copies; the tensor-level
+// DataSync returns engine-managed memory — neither seeds this analyzer.)
+func pooledViewCall(pass *Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || len(call.Args) != 1 {
+		return "", false
+	}
+	if sel.Sel.Name != "ReadSync" && sel.Sel.Name != "Raw" {
+		return "", false
+	}
+	tv, ok := pass.Pkg.Info.Types[call.Args[0]]
+	if !ok || !isNamed(tv.Type, "internal/tensor", "DataID") {
+		return "", false
+	}
+	return types.ExprString(call.Args[0]), true
+}
+
+// insideFuncLit reports whether the innermost enclosing function of the
+// node at the top of stack is a closure rather than the declaration.
+func insideFuncLit(stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if _, ok := stack[i].(*ast.FuncLit); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// isAssignTarget reports whether id is being written (an assignment LHS),
+// not read.
+func isAssignTarget(id *ast.Ident, stack []ast.Node) bool {
+	if len(stack) == 0 {
+		return false
+	}
+	assign, ok := stack[len(stack)-1].(*ast.AssignStmt)
+	if !ok {
+		return false
+	}
+	for _, lhs := range assign.Lhs {
+		if ast.Unparen(lhs) == ast.Node(id) {
+			return true
+		}
+	}
+	return false
+}

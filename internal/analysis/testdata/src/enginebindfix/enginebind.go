@@ -1,0 +1,92 @@
+// Package enginebindfix seeds enginebind violations: ambient engine use
+// (tensor constructors, core.Current()) inside spawned goroutines that
+// never take engine affinity, both directly and through package-local
+// helpers. Every constructed tensor is disposed so the fixture stays
+// clean under tensorleak.
+package enginebindfix
+
+import (
+	"repro/internal/core"
+	"repro/internal/ops"
+)
+
+// DirectConstruct allocates on the ambient engine right inside the
+// spawned closure.
+func DirectConstruct() {
+	go func() {
+		t := ops.Zeros(2, 2) // want: constructor in unbound goroutine
+		t.Dispose()
+	}()
+}
+
+// DirectCurrent consults the goroutine-bound engine without binding one.
+func DirectCurrent() {
+	go func() {
+		_ = core.Current() // want: Current() in unbound goroutine
+	}()
+}
+
+// Indirect reaches the ambient constructor through a helper, exercising
+// the intra-package call graph from inside the closure.
+func Indirect() {
+	go func() {
+		makeScratch()
+	}()
+}
+
+// NamedWorker spawns a declared function directly; the analyzer follows
+// the go statement's callee too.
+func NamedWorker() {
+	go worker()
+}
+
+func worker() {
+	t := ops.Ones(4) // want: reached from go worker()
+	t.Dispose()
+}
+
+func makeScratch() {
+	t := ops.Scalar(1) // want: reached from goroutine via helper
+	t.Dispose()
+}
+
+// CleanBind takes engine affinity before touching ambient state.
+func CleanBind(eng *core.Engine) {
+	go func() {
+		release := eng.Bind()
+		defer release()
+		t := ops.Zeros(3)
+		t.Dispose()
+	}()
+}
+
+// CleanExclusive runs its tensor work under RunExclusive, which binds the
+// engine for the duration of the closure.
+func CleanExclusive(eng *core.Engine) {
+	go func() {
+		eng.RunExclusive(func() {
+			t := ops.Ones(2)
+			t.Dispose()
+		})
+	}()
+}
+
+// CleanReplica spawns a private replica and binds it: the serving-pool
+// idiom.
+func CleanReplica(eng *core.Engine) {
+	go func() {
+		rep := eng.SpawnReplica()
+		release := rep.Bind()
+		defer release()
+		t := ops.Zeros(2)
+		t.Dispose()
+	}()
+}
+
+// CleanSynchronous uses ambient constructors on the caller's goroutine,
+// which owns whatever binding is in place.
+func CleanSynchronous() {
+	t := ops.Ones(2, 2)
+	t.Dispose()
+	_ = core.Current()
+}

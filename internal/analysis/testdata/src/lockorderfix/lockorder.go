@@ -1,0 +1,72 @@
+// Package lockorderfix seeds lockorder violations: acquiring the engine
+// execution lock (RunExclusive directly, or through a helper chain) while
+// a sync.Mutex is lexically held — the inversion that deadlocks against
+// the steady-state serving path.
+package lockorderfix
+
+import (
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Server pairs a local mutex with an engine, the shape of every serving
+// registry in the repo.
+type Server struct {
+	mu  sync.Mutex
+	eng *core.Engine
+	n   int
+}
+
+// DirectInversion holds mu across RunExclusive: exec lock acquired under
+// the mutex.
+func (s *Server) DirectInversion() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.eng.RunExclusive(func() { // want: RunExclusive under held mutex
+		s.n++
+	})
+}
+
+// IndirectInversion reaches the exec lock through a helper, exercising
+// the transitive acquirer closure.
+func (s *Server) IndirectInversion() {
+	s.mu.Lock()
+	s.runOnEngine() // want: helper chain acquires exec lock under mutex
+	s.mu.Unlock()
+}
+
+func (s *Server) runOnEngine() {
+	s.eng.RunExclusive(func() {
+		s.n++
+	})
+}
+
+// CleanReleaseFirst snapshots under the mutex, releases it, then takes
+// the exec lock — the sanctioned order.
+func (s *Server) CleanReleaseFirst() {
+	s.mu.Lock()
+	n := s.n
+	s.mu.Unlock()
+	s.eng.RunExclusive(func() {
+		_ = n
+	})
+}
+
+// CleanNestedMutex acquires the mutex inside the exclusive section:
+// exec lock outermost, local mutex nested — the correct hierarchy.
+func (s *Server) CleanNestedMutex() {
+	s.eng.RunExclusive(func() {
+		s.mu.Lock()
+		s.n++
+		s.mu.Unlock()
+	})
+}
+
+// CleanGoroutine hands the exclusive section to another goroutine; that
+// frame never holds the caller's mutex.
+func (s *Server) CleanGoroutine() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go s.runOnEngine()
+}

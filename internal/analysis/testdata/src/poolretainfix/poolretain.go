@@ -1,0 +1,79 @@
+// Package poolretainfix seeds poolretain violations: uncopied
+// Raw/ReadSync buffer views escaping into longer-lived storage or being
+// read after DisposeData parks their backing buffer on the recycler.
+package poolretainfix
+
+import (
+	"repro/internal/cpu"
+	"repro/internal/tensor"
+)
+
+// cache holds a package-scope escape target.
+var cache []float32
+
+// Holder holds a field escape target.
+type Holder struct {
+	view []float32
+}
+
+// ReturnDirect hands the pooled view straight across the package
+// boundary.
+func ReturnDirect(b *cpu.Backend, id tensor.DataID) []float32 {
+	return b.Raw(id) // want: direct view returned from exported func
+}
+
+// ReturnTainted returns the view through a local alias chain.
+func ReturnTainted(b *cpu.Backend, id tensor.DataID) []float32 {
+	v := b.ReadSync(id)
+	w := v
+	return w // want: tainted alias returned from exported func
+}
+
+// StoreField parks the view in a struct field that outlives the call.
+func StoreField(b *cpu.Backend, id tensor.DataID, h *Holder) {
+	h.view = b.ReadSync(id) // want: field store
+}
+
+// StorePackageVar parks the view in package-scope state.
+func StorePackageVar(b *cpu.Backend, id tensor.DataID) {
+	cache = b.Raw(id) // want: package variable store
+}
+
+// SendChannel ships the view to another goroutine's lifetime.
+func SendChannel(b *cpu.Backend, id tensor.DataID, ch chan []float32) {
+	ch <- b.Raw(id) // want: channel send
+}
+
+// UseAfterDispose reads the view after DisposeData freed the buffer: the
+// recycler may already have handed the memory to another tensor.
+func UseAfterDispose(b *cpu.Backend, id tensor.DataID) float32 {
+	v := b.ReadSync(id)
+	b.DisposeData(id)
+	return v[0] // want: read after DisposeData
+}
+
+// CleanCopy copies before the view escapes — the sanctioned idiom.
+func CleanCopy(b *cpu.Backend, id tensor.DataID) []float32 {
+	v := b.Raw(id)
+	return append([]float32(nil), v...)
+}
+
+// cleanAccessor is unexported: kernel operands are alive for the call by
+// contract, so the backend's own plumbing may pass views around.
+func cleanAccessor(b *cpu.Backend, id tensor.DataID) []float32 {
+	return b.Raw(id)
+}
+
+// CleanLocalUse consumes the view before the dispose; nothing escapes.
+func CleanLocalUse(b *cpu.Backend, id tensor.DataID) float32 {
+	v := b.ReadSync(id)
+	sum := v[0]
+	b.DisposeData(id)
+	return sum
+}
+
+// CleanReuse keeps the compiler happy about the unexported helper.
+func CleanReuse(b *cpu.Backend, id tensor.DataID) float32 {
+	v := cleanAccessor(b, id)
+	return v[len(v)-1]
+}

@@ -146,7 +146,12 @@ func (b *Backend) Raw(d tensor.DataID) []float32 {
 
 // ReadSync implements kernels.Backend. Like the TensorFlow.js CPU backend
 // it returns the backing buffer without copying; callers must not mutate
-// it.
+// it. This is the data plane's view accessor itself — the one place a
+// pooled view legitimately crosses the package boundary. Consumers that
+// outlive the data must copy: the engine-level read path does exactly
+// that (core.retainable) whenever the recycler is active.
+//
+//lint:ignore poolretain the data-plane view accessor: kernel operands are alive for the call by contract, and the engine copies at the API boundary (core.retainable)
 func (b *Backend) ReadSync(d tensor.DataID) []float32 { return b.Raw(d) }
 
 // Read implements kernels.Backend. Host memory is immediately available, so

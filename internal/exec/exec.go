@@ -70,6 +70,12 @@ type Config struct {
 	Optimize *bool
 	Verify   *bool
 
+	// PlanVerify gates the load-time dataflow verification of the
+	// compiled fast-path plan (internal/planvet): def-before-use,
+	// use-after-free across dispose points, dispose-exactly-once, alias
+	// acyclicity, and feed/output recycler exclusion. nil means on.
+	PlanVerify *bool
+
 	// CostModel selects static (flop-estimate) or measured (profiler
 	// feedback) per-step cost for grain selection. Empty means static.
 	CostModel CostModel
@@ -115,6 +121,12 @@ func WithOptimize(on bool) Option {
 // WithVerify toggles load-time graph verification.
 func WithVerify(on bool) Option {
 	return func(c *Config) { c.Verify = &on }
+}
+
+// WithPlanVerify toggles load-time dataflow verification of the compiled
+// fast-path plan.
+func WithPlanVerify(on bool) Option {
+	return func(c *Config) { c.PlanVerify = &on }
 }
 
 // WithCostModel selects the per-step cost model driving the parallelism
@@ -164,6 +176,9 @@ func (c Config) Merge(over Config) Config {
 	if over.Verify != nil {
 		out.Verify = over.Verify
 	}
+	if over.PlanVerify != nil {
+		out.PlanVerify = over.PlanVerify
+	}
 	if over.CostModel != "" {
 		out.CostModel = over.CostModel
 	}
@@ -184,6 +199,10 @@ func (c Config) OptimizeOn() bool { return c.Optimize == nil || *c.Optimize }
 
 // VerifyOn reports whether graph verification is enabled (default true).
 func (c Config) VerifyOn() bool { return c.Verify == nil || *c.Verify }
+
+// PlanVerifyOn reports whether compiled-plan dataflow verification is
+// enabled (default true).
+func (c Config) PlanVerifyOn() bool { return c.PlanVerify == nil || *c.PlanVerify }
 
 // Validate rejects unknown GEMM modes early, at the API edge, rather
 // than deep inside a kernel dispatch.

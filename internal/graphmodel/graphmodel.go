@@ -167,6 +167,15 @@ func New(g *savedmodel.GraphDef, opts ...Option) (*Model, error) {
 	m.order = order
 	m.plan = compilePlan(m.exec, m.order, m.nodes, cfg.exec.MeasuredCost())
 	m.fast = compileFast(m.exec, m.order, m.nodes, m.plan)
+	if cfg.exec.PlanVerifyOn() {
+		// Prove the compiled plan's dispose points and alias roots memory-
+		// safe before the first execution (see planexport.go); a defective
+		// plan is a compiler bug, surfaced here as a load error instead of
+		// silent corruption through the recycler.
+		if err := m.verifyPlan(eng.Telemetry()); err != nil {
+			return nil, err
+		}
+	}
 	m.weights = map[string]*tensor.Tensor{}
 	e := eng
 	// Upload under the execution lock: loading may race with another

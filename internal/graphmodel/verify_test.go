@@ -87,8 +87,10 @@ func TestVerifyTelemetry(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer m.Dispose()
-	if len(events) != 1 || events[0].Name != "ok" {
-		t.Fatalf("want one ok event, got %+v", events)
+	// A successful load emits the graph verifier's "ok" plus the plan
+	// verifier's "plan-ok" (see planexport.go).
+	if len(events) != 2 || events[0].Name != "ok" || events[1].Name != "plan-ok" {
+		t.Fatalf(`want ["ok", "plan-ok"] events, got %+v`, events)
 	}
 }
 

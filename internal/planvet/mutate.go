@@ -1,0 +1,122 @@
+package planvet
+
+// Plan corruptor: the verifier's mutation harness. Corrupt clones a
+// clean plan and injects one defect of the requested class, returning
+// false when the plan has no applicable site (e.g. no alias step to
+// cycle). Tests corrupt real compiled MobileNet plans and assert the
+// verifier convicts every class — proving the dataflow checks actually
+// discriminate, rather than passing everything. Never call this with a
+// plan that will execute: the corrupted copy is for Verify only.
+
+// Mutation names one injectable defect class.
+type Mutation string
+
+const (
+	// MutEarlyDispose moves a dispose point before the root's last
+	// reader, the classic off-by-one in reverse-scan liveness. Surfaces
+	// as use-after-free at the orphaned reader.
+	MutEarlyDispose Mutation = "early-dispose"
+	// MutDoubleDispose adds a second dispose point for a root already
+	// freed — the recycler would hand one buffer to two tensors.
+	MutDoubleDispose Mutation = "double-dispose"
+	// MutAliasCycle ties two slots' root pointers into a loop, so no slot
+	// owns the container.
+	MutAliasCycle Mutation = "alias-cycle"
+	// MutUndefinedSlot rewires a step's operand to a slot nothing
+	// defines.
+	MutUndefinedSlot Mutation = "undefined-slot"
+	// MutLeakedRoot deletes a dispose point, so the container never
+	// returns to the recycler at its last use.
+	MutLeakedRoot Mutation = "leaked-root"
+)
+
+// Mutations lists every injectable defect class, in a stable order.
+var Mutations = []Mutation{
+	MutEarlyDispose, MutDoubleDispose, MutAliasCycle, MutUndefinedSlot, MutLeakedRoot,
+}
+
+// Corrupt returns a copy of p with one injected defect of class m, or
+// ok=false when p has no applicable site for that class.
+func Corrupt(p *Plan, m Mutation) (*Plan, bool) {
+	cp := p.Clone()
+	switch m {
+	case MutEarlyDispose:
+		// A dispose point always sits on the root's last reader; moving it
+		// one step earlier orphans that read. Needs a dispose point on a
+		// step with a predecessor.
+		for i := 1; i < len(cp.Steps); i++ {
+			if len(cp.Steps[i].Dispose) == 0 {
+				continue
+			}
+			r := cp.Steps[i].Dispose[0]
+			cp.Steps[i].Dispose = cp.Steps[i].Dispose[1:]
+			cp.Steps[i-1].Dispose = append(cp.Steps[i-1].Dispose, r)
+			return cp, true
+		}
+		return nil, false
+	case MutDoubleDispose:
+		// Duplicate a dispose entry on a later step (or the same step when
+		// it is the last one).
+		for i := range cp.Steps {
+			if len(cp.Steps[i].Dispose) == 0 {
+				continue
+			}
+			r := cp.Steps[i].Dispose[0]
+			j := i + 1
+			if j >= len(cp.Steps) {
+				j = i
+			}
+			cp.Steps[j].Dispose = append(cp.Steps[j].Dispose, r)
+			return cp, true
+		}
+		return nil, false
+	case MutAliasCycle:
+		// Tie a step's input root back to its output: the chain in→out→in
+		// never reaches an owning root. Prefer a real alias step (the
+		// defect the union-find could actually produce); fully fused plans
+		// may have none, so fall back to any step with an operand.
+		inject := func(aliasOnly bool) (*Plan, bool) {
+			for i := range cp.Steps {
+				st := &cp.Steps[i]
+				if (aliasOnly && !st.Alias) || len(st.Ins) == 0 {
+					continue
+				}
+				in, out := st.Ins[0], st.Out
+				if in == out || in < 0 || out < 0 || in >= len(cp.Roots) || out >= len(cp.Roots) {
+					continue
+				}
+				cp.Roots[out] = in
+				cp.Roots[in] = out
+				return cp, true
+			}
+			return nil, false
+		}
+		if mutated, ok := inject(true); ok {
+			return mutated, true
+		}
+		return inject(false)
+	case MutUndefinedSlot:
+		// Grow the slot table by one phantom slot and read it.
+		for i := range cp.Steps {
+			if len(cp.Steps[i].Ins) == 0 {
+				continue
+			}
+			phantom := len(cp.Slots)
+			cp.Slots = append(cp.Slots, Slot{Name: "phantom"})
+			cp.Roots = append(cp.Roots, phantom)
+			cp.Steps[i].Ins[0] = phantom
+			return cp, true
+		}
+		return nil, false
+	case MutLeakedRoot:
+		for i := range cp.Steps {
+			if len(cp.Steps[i].Dispose) == 0 {
+				continue
+			}
+			cp.Steps[i].Dispose = cp.Steps[i].Dispose[1:]
+			return cp, true
+		}
+		return nil, false
+	}
+	return nil, false
+}

@@ -75,6 +75,11 @@ func WithQuantizedCompute(on bool) ExecOption { return exec.WithQuantizedCompute
 // pruning; on by default).
 func WithOptimize(on bool) ExecOption { return exec.WithOptimize(on) }
 
+// WithPlanVerify toggles load-time dataflow verification of the compiled
+// fast-path execution plan (dispose points, alias roots; enabled by
+// default — see internal/planvet).
+func WithPlanVerify(on bool) ExecOption { return exec.WithPlanVerify(on) }
+
 // WithVerify toggles load-time static shape/dtype verification of the
 // execution graph (on by default).
 func WithVerify(on bool) ExecOption { return exec.WithVerify(on) }
